@@ -1,0 +1,78 @@
+//! The brute-force scan: exact, index-free top-k evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId};
+
+/// Statistics of one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Number of entities whose degree was computed (always `|E| - 1`).
+    pub entities_checked: usize,
+}
+
+/// Computes the exact top-k answers by scoring every entity.
+///
+/// Returns `(entity, degree)` pairs sorted by degree (descending) with ties broken
+/// by entity id, excluding the query entity itself.
+pub fn scan_top_k<M: AssociationMeasure + ?Sized>(
+    sequences: &BTreeMap<EntityId, CellSetSequence>,
+    query: EntityId,
+    k: usize,
+    measure: &M,
+) -> (Vec<(EntityId, f64)>, ScanStats) {
+    let query_seq = match sequences.get(&query) {
+        Some(seq) => seq,
+        None => return (Vec::new(), ScanStats::default()),
+    };
+    let mut scored: Vec<(EntityId, f64)> = sequences
+        .iter()
+        .filter(|(e, _)| **e != query)
+        .map(|(e, seq)| (*e, measure.degree(query_seq, seq)))
+        .collect();
+    let stats = ScanStats { entities_checked: scored.len() };
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    (scored, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::examples::PaperExample;
+    use trace_model::DiceAdm;
+
+    fn sequences() -> BTreeMap<EntityId, CellSetSequence> {
+        PaperExample::build().entities.into_iter().collect()
+    }
+
+    #[test]
+    fn scan_finds_the_closest_entity() {
+        let seqs = sequences();
+        let measure = DiceAdm::paper_example();
+        let (results, stats) = scan_top_k(&seqs, EntityId(2), 1, &measure);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, EntityId(0), "e_a is e_c's best match");
+        assert_eq!(stats.entities_checked, 3);
+    }
+
+    #[test]
+    fn scan_orders_results_and_respects_k() {
+        let seqs = sequences();
+        let measure = DiceAdm::paper_example();
+        let (results, _) = scan_top_k(&seqs, EntityId(2), 10, &measure);
+        assert_eq!(results.len(), 3, "k larger than population returns everyone else");
+        assert!(results.windows(2).all(|w| w[0].1 >= w[1].1));
+        let (top2, _) = scan_top_k(&seqs, EntityId(2), 2, &measure);
+        assert_eq!(&results[..2], &top2[..]);
+    }
+
+    #[test]
+    fn unknown_query_returns_empty() {
+        let seqs = sequences();
+        let measure = DiceAdm::paper_example();
+        let (results, stats) = scan_top_k(&seqs, EntityId(99), 1, &measure);
+        assert!(results.is_empty());
+        assert_eq!(stats.entities_checked, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//!
+//! * hierarchical hasher mode (paper-exact exhaustive min vs. the scalable
+//!   PathMax substitute);
+//! * query bound tightness (level constraints on/off, branch accumulation on/off);
+//! * signature width (hash-function count) on build and query cost;
+//! * the MinSigTree against the brute-force scan and the bitmap baseline.
+
+use baseline::{scan_top_k, BitmapIndex, BitmapIndexConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsig::{HasherMode, IndexConfig, MinSigIndex, QueryOptions};
+use minsig_bench::{bench_dataset, bench_measure, bench_queries};
+use std::hint::black_box;
+
+fn hasher_modes(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let mut group = c.benchmark_group("ablation_hasher_mode");
+    group.sample_size(10);
+    for (name, mode) in [("pathmax", HasherMode::PathMax), ("exhaustive", HasherMode::Exhaustive)] {
+        group.bench_function(BenchmarkId::new("build", name), |b| {
+            b.iter(|| {
+                let config =
+                    IndexConfig { hasher_mode: mode, ..IndexConfig::with_hash_functions(64) };
+                black_box(
+                    MinSigIndex::build(dataset.sp_index(), &dataset.traces, config).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bound_tightness(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let index = minsig_bench::bench_index(&dataset, 128);
+    let measure = bench_measure(&dataset);
+    let queries = bench_queries(&dataset, 5);
+    let mut group = c.benchmark_group("ablation_query_bounds");
+    group.sample_size(10);
+    let variants = [
+        ("full_bounds", QueryOptions::default()),
+        (
+            "no_level_constraints",
+            QueryOptions { use_level_constraints: false, accumulate_down_branch: true },
+        ),
+        (
+            "no_accumulation",
+            QueryOptions { use_level_constraints: true, accumulate_down_branch: false },
+        ),
+    ];
+    for (name, options) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(index.top_k_with_options(q, 10, &measure, options).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn signature_width(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let measure = bench_measure(&dataset);
+    let queries = bench_queries(&dataset, 5);
+    let mut group = c.benchmark_group("ablation_signature_width");
+    group.sample_size(10);
+    for nh in [16u32, 64, 256] {
+        let index = minsig_bench::bench_index(&dataset, nh);
+        group.bench_function(BenchmarkId::new("query_top10", nh), |b| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(index.top_k(q, 10, &measure).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn index_vs_baselines(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let index = minsig_bench::bench_index(&dataset, 128);
+    let measure = bench_measure(&dataset);
+    let queries = bench_queries(&dataset, 5);
+    let sequences = index.sequences().clone();
+    let bitmap =
+        BitmapIndex::build(&sequences, BitmapIndexConfig { min_support: 3, num_clusters: 128 });
+    let mut group = c.benchmark_group("ablation_index_vs_baselines");
+    group.sample_size(10);
+    group.bench_function("minsigtree_top10", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(index.top_k(q, 10, &measure).unwrap());
+            }
+        })
+    });
+    group.bench_function("bitmap_baseline_top10", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(bitmap.top_k(&sequences, q, 10, &measure));
+            }
+        })
+    });
+    group.bench_function("brute_force_scan_top10", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(scan_top_k(&sequences, q, 10, &measure));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default();
+    targets = hasher_modes, bound_tightness, signature_width, index_vs_baselines
+);
+criterion_main!(ablations);

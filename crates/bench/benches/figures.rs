@@ -1,0 +1,56 @@
+//! One Criterion group per figure of the paper's evaluation (Chapter 7).
+//!
+//! Each group wraps the corresponding `experiments::figs` runner at smoke scale,
+//! so `cargo bench --bench figures` both times the experiments and regenerates
+//! their tables (printed once per group via `--nocapture`-free logging to
+//! stderr).  Individual benchmark ids carry the figure number so the output can
+//! be matched against `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figs, Scale, Table};
+
+fn run_figure<F: Fn(&Scale) -> Table>(c: &mut Criterion, id: &str, runner: F) {
+    let scale = minsig_bench::bench_scale();
+    // Print the regenerated table once so a bench run doubles as a report.
+    let table = runner(&scale);
+    eprintln!("{}", table.to_text());
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(id, |b| b.iter(|| runner(&scale)));
+    group.finish();
+}
+
+fn fig7_1(c: &mut Criterion) {
+    run_figure(c, "fig7_1_data_distribution", figs::fig7_1::run);
+}
+fn fig7_2(c: &mut Criterion) {
+    run_figure(c, "fig7_2_adm_distribution", figs::fig7_2::run);
+}
+fn fig7_3(c: &mut Criterion) {
+    run_figure(c, "fig7_3_pe_vs_hash_functions", figs::fig7_3::run);
+}
+fn fig7_4(c: &mut Criterion) {
+    run_figure(c, "fig7_4_pe_vs_data_characteristics", figs::fig7_4::run);
+}
+fn fig7_5(c: &mut Criterion) {
+    run_figure(c, "fig7_5_pe_vs_adm_parameters", figs::fig7_5::run);
+}
+fn fig7_6(c: &mut Criterion) {
+    run_figure(c, "fig7_6_search_time_vs_memory", figs::fig7_6::run);
+}
+fn fig7_7(c: &mut Criterion) {
+    run_figure(c, "fig7_7_pe_vs_k_vs_baseline", figs::fig7_7::run);
+}
+fn fig7_8(c: &mut Criterion) {
+    run_figure(c, "fig7_8_indexing_cost", figs::fig7_8::run);
+}
+fn fig7_9(c: &mut Criterion) {
+    run_figure(c, "fig7_9_update_cost", figs::fig7_9::run);
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default();
+    targets = fig7_1, fig7_2, fig7_3, fig7_4, fig7_5, fig7_6, fig7_7, fig7_8, fig7_9
+);
+criterion_main!(figures);

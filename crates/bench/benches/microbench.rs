@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the building blocks: signature computation, cell-set
+//! algebra, hierarchical hashing, external sort and buffer-pool access.  These
+//! are the hot paths identified by the Section 4.3 cost analysis and are the
+//! first places to look when profiling a regression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minsig::{CellHashFamily, HasherMode, HierarchicalHasher, SeededHashFamily, SignatureList};
+use minsig_bench::bench_dataset;
+use std::hint::black_box;
+use trace_model::{CellSet, CellSetSequence, StCell};
+use trace_storage::{external_sort, PagedTraceStore, PoolConfig, TraceRecord, VirtualDisk};
+
+fn signature_computation(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let sp = dataset.sp_index();
+    let seqs = dataset.traces.cell_sequences(sp).unwrap();
+    let (_, seq) = seqs.iter().next().unwrap();
+    let mut group = c.benchmark_group("signature_computation");
+    group.throughput(Throughput::Elements(seq.total_cells() as u64));
+    for nh in [32u32, 128, 512] {
+        let hasher =
+            HierarchicalHasher::new(SeededHashFamily::new(nh, 1, 1 << 20), HasherMode::PathMax);
+        group.bench_function(BenchmarkId::new("pathmax", nh), |b| {
+            b.iter(|| black_box(SignatureList::build(sp, &hasher, seq)))
+        });
+    }
+    group.finish();
+}
+
+fn hash_family(c: &mut Criterion) {
+    let family = SeededHashFamily::new(256, 7, 1 << 24);
+    let cells: Vec<StCell> = (0..1000u32).map(|i| StCell::new(i % 72, i * 31)).collect();
+    let mut group = c.benchmark_group("hash_family");
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    group.bench_function("hash_1000_cells_x_1_function", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &cell in &cells {
+                acc ^= family.hash_base(0, cell);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn cell_set_algebra(c: &mut Criterion) {
+    let a = CellSet::from_cells((0..2000u32).map(|i| StCell::new(i % 100, i * 3)));
+    let b = CellSet::from_cells((0..2000u32).map(|i| StCell::new(i % 100, i * 5)));
+    let mut group = c.benchmark_group("cell_set_algebra");
+    group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+    group.bench_function("intersection_len", |bencher| {
+        bencher.iter(|| black_box(a.intersection_len(&b)))
+    });
+    group.bench_function("union", |bencher| bencher.iter(|| black_box(a.union(&b))));
+    group.bench_function("difference", |bencher| bencher.iter(|| black_box(a.difference(&b))));
+    group.finish();
+}
+
+fn sequence_projection(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let sp = dataset.sp_index();
+    let entity = dataset.traces.entities().next().unwrap();
+    let trace = dataset.traces.trace(entity).unwrap();
+    let base = trace.base_cells(sp, 60).unwrap();
+    let mut group = c.benchmark_group("sequence_projection");
+    group.throughput(Throughput::Elements(base.len() as u64));
+    group.bench_function("from_base_cells", |b| {
+        b.iter(|| black_box(CellSetSequence::from_base_cells(sp, &base).unwrap()))
+    });
+    group.finish();
+}
+
+fn storage_paths(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let records: Vec<TraceRecord> = dataset
+        .traces
+        .iter()
+        .flat_map(|(_, t)| t.instances().iter().map(TraceRecord::from_presence))
+        .collect();
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("external_sort", |b| {
+        b.iter(|| {
+            let disk = VirtualDisk::new();
+            black_box(external_sort(&disk, records.clone(), 8))
+        })
+    });
+    let store = PagedTraceStore::build(&dataset.traces, 8);
+    let entities: Vec<_> = dataset.traces.entities().take(100).collect();
+    group.bench_function("read_100_traces_via_pool", |b| {
+        b.iter(|| {
+            let pool = store.pool(PoolConfig::default());
+            for &e in &entities {
+                black_box(store.read_trace(&pool, e));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = microbench;
+    config = Criterion::default();
+    targets = signature_computation, hash_family, cell_set_algebra, sequence_projection, storage_paths
+);
+criterion_main!(microbench);

@@ -1,0 +1,62 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches regenerate the paper's figures at a reduced, fixed scale so that
+//! `cargo bench` finishes in minutes; the `experiments` binary runs the same code
+//! at larger scales.  Keeping the fixture construction here (rather than in each
+//! bench file) ensures every bench measures the same datasets.
+
+use experiments::Scale;
+use minsig::{IndexConfig, MinSigIndex};
+use mobility::{SynConfig, SynDataset};
+use trace_model::{EntityId, PaperAdm};
+
+/// The fixed scale used by all benchmarks.
+pub fn bench_scale() -> Scale {
+    Scale::smoke()
+}
+
+/// A small but non-trivial benchmark dataset (deterministic).
+pub fn bench_dataset() -> SynDataset {
+    let mut config: SynConfig = bench_scale().syn_config();
+    config.num_entities = 600;
+    config.days = 4;
+    SynDataset::generate(config).expect("bench dataset generates")
+}
+
+/// Builds an index over the benchmark dataset with `nh` hash functions.
+pub fn bench_index(dataset: &SynDataset, nh: u32) -> MinSigIndex {
+    MinSigIndex::build(
+        dataset.sp_index(),
+        &dataset.traces,
+        IndexConfig::with_hash_functions(nh),
+    )
+    .expect("bench index builds")
+}
+
+/// The default association measure for the benchmark dataset.
+pub fn bench_measure(dataset: &SynDataset) -> PaperAdm {
+    PaperAdm::default_for(dataset.sp_index().height() as usize)
+}
+
+/// Deterministic query entities for the benchmark dataset.
+pub fn bench_queries(dataset: &SynDataset, n: usize) -> Vec<EntityId> {
+    dataset.query_entities(n, 12345)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let dataset = bench_dataset();
+        assert_eq!(dataset.traces.num_entities(), 600);
+        let index = bench_index(&dataset, 16);
+        assert_eq!(index.num_entities(), 600);
+        let queries = bench_queries(&dataset, 4);
+        assert_eq!(queries.len(), 4);
+        let measure = bench_measure(&dataset);
+        let (results, _) = index.top_k(queries[0], 1, &measure).unwrap();
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Index configuration.
+
+use crate::error::{IndexError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How the hierarchical hash value of a *coarse* (non-base) ST-cell is derived.
+///
+/// The paper defines `h_u(t, l_x) = min over { h_u(t, l_c) | l_c child of l_x }`
+/// — the minimum over **all** children, which guarantees that a coarse cell never
+/// hashes above any of its descendants (the property Theorems 1–4 rely on).
+/// Computing that minimum exactly requires enumerating every descendant base
+/// unit, which is exact but expensive for wide hierarchies; this enum selects
+/// between the exact rule and a scalable closed-form alternative that satisfies
+/// the same monotonicity property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HasherMode {
+    /// The paper's rule: minimum over all descendant base cells, memoised per
+    /// coarse cell.  Exact but O(descendants) on first touch of each cell.
+    Exhaustive,
+    /// A scalable substitute: the hash of a cell at level `l` is the *maximum* of
+    /// independent per-(time, ancestor) draws along its ancestor path.  The value
+    /// of a parent is computed from a strict prefix of its children's paths, so
+    /// `h(parent) <= h(child)` always holds — the only property the correctness
+    /// theorems need — while evaluation is `O(level)` per cell with no memo.
+    PathMax,
+}
+
+/// Configuration of a [`MinSigIndex`](crate::index::MinSigIndex).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Number of hash functions (`nh`), i.e. the signature width.
+    pub num_hash_functions: u32,
+    /// Seed of the hash family (the index is fully deterministic given the seed).
+    pub hash_seed: u64,
+    /// Size of the hash range; `None` derives it from the dataset as
+    /// `|base units| × |time units|`, the paper's `[0, |S|-1]` range.
+    pub hash_range: Option<u64>,
+    /// How coarse-cell hashes are computed.
+    pub hasher_mode: HasherMode,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            num_hash_functions: 128,
+            hash_seed: 0x5EED_CAFE,
+            hash_range: None,
+            hasher_mode: HasherMode::PathMax,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// A configuration with a specific number of hash functions and defaults for
+    /// everything else.
+    pub fn with_hash_functions(num_hash_functions: u32) -> Self {
+        IndexConfig { num_hash_functions, ..IndexConfig::default() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_hash_functions == 0 {
+            return Err(IndexError::InvalidConfig("num_hash_functions must be positive".into()));
+        }
+        if let Some(range) = self.hash_range {
+            if range < 2 {
+                return Err(IndexError::InvalidConfig("hash_range must be at least 2".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(IndexConfig::default().validate().is_ok());
+        assert_eq!(IndexConfig::default().hasher_mode, HasherMode::PathMax);
+    }
+
+    #[test]
+    fn with_hash_functions_overrides_only_nh() {
+        let c = IndexConfig::with_hash_functions(512);
+        assert_eq!(c.num_hash_functions, 512);
+        assert_eq!(c.hash_seed, IndexConfig::default().hash_seed);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(IndexConfig { num_hash_functions: 0, ..IndexConfig::default() }.validate().is_err());
+        assert!(IndexConfig { hash_range: Some(1), ..IndexConfig::default() }.validate().is_err());
+        assert!(IndexConfig { hash_range: Some(100), ..IndexConfig::default() }.validate().is_ok());
+    }
+}

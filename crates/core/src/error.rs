@@ -1,0 +1,78 @@
+//! Error types for index construction and querying.
+
+use std::fmt;
+use trace_model::ModelError;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+/// Errors produced by the MinSigTree index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A problem in the underlying trace data model.
+    Model(ModelError),
+    /// The index was built over a different sp-index height than the query.
+    LevelMismatch {
+        /// Height the index was built with.
+        index_levels: u8,
+        /// Height of the query sequence.
+        query_levels: u8,
+    },
+    /// The query entity is not part of the index and no explicit sequence was given.
+    UnknownQueryEntity(u64),
+    /// The index configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Model(e) => write!(f, "data model error: {e}"),
+            IndexError::LevelMismatch { index_levels, query_levels } => write!(
+                f,
+                "query sequence has {query_levels} levels but the index was built over {index_levels}"
+            ),
+            IndexError::UnknownQueryEntity(id) => {
+                write!(f, "query entity e{id} is not present in the index")
+            }
+            IndexError::InvalidConfig(msg) => write!(f, "invalid index configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for IndexError {
+    fn from(e: ModelError) -> Self {
+        IndexError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_errors_are_wrapped() {
+        let err: IndexError = ModelError::UnknownEntity(3).into();
+        assert!(matches!(err, IndexError::Model(_)));
+        assert!(err.to_string().contains("unknown entity"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn display_messages() {
+        let err = IndexError::LevelMismatch { index_levels: 4, query_levels: 2 };
+        assert!(err.to_string().contains("2 levels"));
+        assert!(IndexError::UnknownQueryEntity(9).to_string().contains("e9"));
+        assert!(IndexError::InvalidConfig("nh".into()).to_string().contains("nh"));
+        assert!(std::error::Error::source(&IndexError::UnknownQueryEntity(9)).is_none());
+    }
+}

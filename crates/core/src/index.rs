@@ -1,0 +1,489 @@
+//! The [`MinSigIndex`]: the public entry point tying together signatures, the
+//! MinSigTree, query processing and incremental maintenance.
+
+use crate::config::IndexConfig;
+use crate::error::{IndexError, Result};
+use crate::query::{self, MapProvider, QueryOptions, TopKResult};
+use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
+use crate::stats::{IndexStats, SearchStats};
+use crate::tree::MinSigTree;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use trace_model::{
+    AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, SpIndex, TraceSet,
+};
+
+/// The MinSigTree index over a set of digital traces.
+///
+/// The index owns a copy of the spatial hierarchy, the hash family, the tree and
+/// the materialised ST-cell set sequences of every indexed entity (the latter are
+/// what leaf evaluation needs to compute exact association degrees; the paged
+/// query path of [`crate::paged`] reads them from a disk-backed store instead).
+#[derive(Debug)]
+pub struct MinSigIndex {
+    sp: SpIndex,
+    config: IndexConfig,
+    ticks_per_unit: u64,
+    hasher: HierarchicalHasher<SeededHashFamily>,
+    tree: MinSigTree,
+    sequences: BTreeMap<EntityId, CellSetSequence>,
+    stats: IndexStats,
+}
+
+impl MinSigIndex {
+    /// Builds the index over a trace set (Algorithm 1 plus the data-representation
+    /// step of Section 4.1).
+    pub fn build(sp: &SpIndex, traces: &TraceSet, config: IndexConfig) -> Result<Self> {
+        config.validate()?;
+        let start = Instant::now();
+        let sequences = traces.cell_sequences(sp)?;
+        Self::build_from_sequences(sp, sequences, traces.ticks_per_unit(), config, start)
+    }
+
+    /// Builds the index from already-materialised sequences (used by experiments
+    /// that reuse one dataset across many index configurations).
+    pub fn build_from_cell_sequences(
+        sp: &SpIndex,
+        sequences: BTreeMap<EntityId, CellSetSequence>,
+        ticks_per_unit: u64,
+        config: IndexConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let start = Instant::now();
+        Self::build_from_sequences(sp, sequences, ticks_per_unit, config, start)
+    }
+
+    fn build_from_sequences(
+        sp: &SpIndex,
+        sequences: BTreeMap<EntityId, CellSetSequence>,
+        ticks_per_unit: u64,
+        config: IndexConfig,
+        start: Instant,
+    ) -> Result<Self> {
+        let hash_range = config.hash_range.unwrap_or_else(|| default_hash_range(sp, &sequences));
+        let family = SeededHashFamily::new(config.num_hash_functions, config.hash_seed, hash_range);
+        let hasher = HierarchicalHasher::new(family, config.hasher_mode);
+
+        let mut tree = MinSigTree::new(sp.height());
+        let mut hash_evaluations = 0u64;
+        for (&entity, seq) in &sequences {
+            let sig = SignatureList::build(sp, &hasher, seq);
+            hash_evaluations += seq.total_cells() as u64 * config.num_hash_functions as u64;
+            tree.insert(entity, &sig);
+        }
+
+        let stats = IndexStats {
+            num_entities: sequences.len(),
+            num_nodes: tree.num_nodes(),
+            index_bytes: tree.size_bytes(),
+            hash_evaluations,
+            build_time_us: start.elapsed().as_micros() as u64,
+        };
+        Ok(MinSigIndex { sp: sp.clone(), config, ticks_per_unit, hasher, tree, sequences, stats })
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// Build statistics (updated by incremental maintenance).
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// The spatial hierarchy of the index.
+    pub fn sp_index(&self) -> &SpIndex {
+        &self.sp
+    }
+
+    /// The underlying tree (read-only).
+    pub fn tree(&self) -> &MinSigTree {
+        &self.tree
+    }
+
+    /// The hierarchical hasher (used by the paged query path and by ablations).
+    pub fn hasher(&self) -> &HierarchicalHasher<SeededHashFamily> {
+        &self.hasher
+    }
+
+    /// The temporal discretisation (raw ticks per base temporal unit).
+    pub fn ticks_per_unit(&self) -> u64 {
+        self.ticks_per_unit
+    }
+
+    /// Number of indexed entities.
+    pub fn num_entities(&self) -> usize {
+        self.tree.num_entities()
+    }
+
+    /// True when the entity is indexed.
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.sequences.contains_key(&entity)
+    }
+
+    /// The materialised sequence of an indexed entity.
+    pub fn sequence(&self, entity: EntityId) -> Option<&CellSetSequence> {
+        self.sequences.get(&entity)
+    }
+
+    /// The materialised sequences of all indexed entities (used by baselines and
+    /// ground-truth comparisons).
+    pub fn sequences(&self) -> &BTreeMap<EntityId, CellSetSequence> {
+        &self.sequences
+    }
+
+    /// Incrementally inserts a new entity or replaces an existing entity's trace
+    /// (Section 4.2.3): only the signature of the affected entity is recomputed
+    /// and only its root-to-leaf path is touched.
+    pub fn update_entity(&mut self, entity: EntityId, trace: &DigitalTrace) -> Result<()> {
+        let start = Instant::now();
+        let seq = trace.cell_sequence(&self.sp, self.ticks_per_unit)?;
+        let sig = SignatureList::build(&self.sp, &self.hasher, &seq);
+        self.stats.hash_evaluations +=
+            seq.total_cells() as u64 * self.config.num_hash_functions as u64;
+        self.tree.insert(entity, &sig);
+        self.sequences.insert(entity, seq);
+        self.stats.num_entities = self.sequences.len();
+        self.stats.num_nodes = self.tree.num_nodes();
+        self.stats.index_bytes = self.tree.size_bytes();
+        self.stats.build_time_us += start.elapsed().as_micros() as u64;
+        Ok(())
+    }
+
+    /// Removes an entity from the index; returns `true` when it was present.
+    pub fn remove_entity(&mut self, entity: EntityId) -> bool {
+        let removed = self.tree.remove(entity);
+        self.sequences.remove(&entity);
+        self.stats.num_entities = self.sequences.len();
+        removed
+    }
+
+    /// Answers a top-k query for an indexed entity with default options.
+    pub fn top_k<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.top_k_with_options(query, k, measure, QueryOptions::default())
+    }
+
+    /// Answers a top-k query for an indexed entity with explicit options.
+    pub fn top_k_with_options<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        let seq = self
+            .sequences
+            .get(&query)
+            .ok_or(IndexError::UnknownQueryEntity(query.raw()))?
+            .clone();
+        self.top_k_for_sequence(&seq, Some(query), k, measure, options)
+    }
+
+    /// Answers a top-k query for an arbitrary (possibly external) query sequence.
+    pub fn top_k_for_sequence<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        let provider = MapProvider::new(&self.sequences);
+        query::search(
+            &self.sp,
+            &self.hasher,
+            &self.tree,
+            query,
+            exclude,
+            k,
+            measure,
+            &provider,
+            options,
+        )
+    }
+
+    /// Ground-truth brute force over the indexed sequences (used by tests,
+    /// baselines and the experiment harness).
+    pub fn brute_force<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<TopKResult>> {
+        let seq = self
+            .sequences
+            .get(&query)
+            .ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        Ok(query::brute_force_top_k(&self.sequences, seq, Some(query), k, measure))
+    }
+}
+
+/// The paper's hash range `|S| = |L| × |T|`: base spatial units times base
+/// temporal units, derived from the data (at least 2).
+fn default_hash_range(sp: &SpIndex, sequences: &BTreeMap<EntityId, CellSetSequence>) -> u64 {
+    let max_time = sequences
+        .values()
+        .flat_map(|seq| seq.base().iter().map(|c| c.time() as u64))
+        .max()
+        .unwrap_or(0);
+    ((sp.num_base_units() as u64) * (max_time + 1)).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{DiceAdm, PaperAdm, Period, PresenceInstance};
+
+    /// A small deterministic dataset with obvious associations: entities come in
+    /// pairs (2i, 2i+1) that visit the same places at the same times, plus some
+    /// noise visits.
+    fn paired_dataset(pairs: usize) -> (SpIndex, TraceSet) {
+        let sp = SpIndex::uniform(3, &[4, 4]).unwrap();
+        let base = sp.base_units().to_vec();
+        let mut traces = TraceSet::new(60);
+        for i in 0..pairs {
+            for member in 0..2u64 {
+                let entity = EntityId(2 * i as u64 + member);
+                // Shared itinerary of the pair.
+                for step in 0..6u64 {
+                    let unit = base[(i * 7 + step as usize) % base.len()];
+                    let start = step * 180;
+                    traces.record(PresenceInstance::new(
+                        entity,
+                        unit,
+                        Period::new(start, start + 60).unwrap(),
+                    ));
+                }
+                // Individual noise.
+                let noise_unit = base[(i * 13 + member as usize * 29 + 5) % base.len()];
+                traces.record(PresenceInstance::new(
+                    entity,
+                    noise_unit,
+                    Period::new(2000 + member * 120, 2060 + member * 120).unwrap(),
+                ));
+            }
+        }
+        (sp, traces)
+    }
+
+    #[test]
+    fn build_reports_sane_stats() {
+        let (sp, traces) = paired_dataset(20);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(32)).unwrap();
+        let stats = index.stats();
+        assert_eq!(stats.num_entities, 40);
+        assert!(stats.num_nodes > 1);
+        assert!(stats.index_bytes > 0);
+        assert!(stats.hash_evaluations > 0);
+        assert_eq!(index.num_entities(), 40);
+        assert!(index.contains(EntityId(0)));
+        assert!(!index.contains(EntityId(999)));
+        index.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn top1_finds_the_partner_entity() {
+        let (sp, traces) = paired_dataset(25);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(64)).unwrap();
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        for query in [0u64, 7, 16, 33] {
+            let (results, stats) = index.top_k(EntityId(query), 1, &measure).unwrap();
+            assert_eq!(results.len(), 1);
+            let partner = if query % 2 == 0 { query + 1 } else { query - 1 };
+            assert_eq!(results[0].entity, EntityId(partner), "query {query}");
+            assert!(results[0].degree > 0.0);
+            assert!(stats.entities_checked >= 1);
+        }
+    }
+
+    #[test]
+    fn index_matches_brute_force_for_various_k() {
+        let (sp, traces) = paired_dataset(15);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        for k in [1usize, 3, 10, 30] {
+            for query in [0u64, 5, 12, 29] {
+                let (results, _) = index.top_k(EntityId(query), k, &measure).unwrap();
+                let expect = index.brute_force(EntityId(query), k, &measure).unwrap();
+                assert_eq!(results.len(), expect.len());
+                for (r, e) in results.iter().zip(expect.iter()) {
+                    assert!(
+                        (r.degree - e.degree).abs() < 1e-9,
+                        "degree mismatch for query {query}, k {k}: {} vs {}",
+                        r.degree,
+                        e.degree
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_checks_fewer_entities_than_brute_force() {
+        let (sp, traces) = paired_dataset(60);
+        let index =
+            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(128)).unwrap();
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        let (_, stats) = index.top_k(EntityId(0), 1, &measure).unwrap();
+        assert!(
+            stats.entities_checked < index.num_entities(),
+            "the index should not degenerate into a full scan ({} of {})",
+            stats.entities_checked,
+            index.num_entities()
+        );
+        assert!(stats.pruning_effectiveness() > 0.0);
+    }
+
+    #[test]
+    fn unknown_query_entity_is_an_error() {
+        let (sp, traces) = paired_dataset(3);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let measure = DiceAdm::uniform(3);
+        assert!(matches!(
+            index.top_k(EntityId(999), 1, &measure),
+            Err(IndexError::UnknownQueryEntity(999))
+        ));
+        assert!(index.brute_force(EntityId(999), 1, &measure).is_err());
+    }
+
+    #[test]
+    fn update_entity_is_equivalent_to_rebuilding() {
+        let (sp, mut traces) = paired_dataset(10);
+        let config = IndexConfig::with_hash_functions(32);
+        let mut index = MinSigIndex::build(&sp, &traces, config).unwrap();
+        let measure = PaperAdm::default_for(sp.height() as usize);
+
+        // Give entity 4 a brand new trace that shadows entity 9.
+        let donor = traces.trace(EntityId(9)).unwrap().clone();
+        let new_trace = DigitalTrace::from_instances(
+            donor
+                .instances()
+                .iter()
+                .map(|pi| PresenceInstance::new(EntityId(4), pi.unit, pi.period))
+                .collect(),
+        );
+        index.update_entity(EntityId(4), &new_trace).unwrap();
+        traces.insert_trace(EntityId(4), new_trace);
+
+        let rebuilt = MinSigIndex::build(&sp, &traces, config).unwrap();
+        for query in [4u64, 9, 0, 15] {
+            let (a, _) = index.top_k(EntityId(query), 3, &measure).unwrap();
+            let (b, _) = rebuilt.top_k(EntityId(query), 3, &measure).unwrap();
+            let da: Vec<f64> = a.iter().map(|r| r.degree).collect();
+            let db: Vec<f64> = b.iter().map(|r| r.degree).collect();
+            for (x, y) in da.iter().zip(db.iter()) {
+                assert!((x - y).abs() < 1e-9, "query {query}: {da:?} vs {db:?}");
+            }
+        }
+        // Entity 4 should now be most associated with entity 9.
+        let (results, _) = index.top_k(EntityId(4), 1, &measure).unwrap();
+        assert_eq!(results[0].entity, EntityId(9));
+    }
+
+    #[test]
+    fn insert_new_entity_after_build() {
+        let (sp, traces) = paired_dataset(5);
+        let mut index =
+            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(32)).unwrap();
+        let base = sp.base_units().to_vec();
+        let new_entity = EntityId(1000);
+        let trace = DigitalTrace::from_instances(vec![PresenceInstance::new(
+            new_entity,
+            base[0],
+            Period::new(0, 120).unwrap(),
+        )]);
+        index.update_entity(new_entity, &trace).unwrap();
+        assert_eq!(index.num_entities(), 11);
+        assert!(index.contains(new_entity));
+        let measure = DiceAdm::uniform(3);
+        let (results, _) = index.top_k(new_entity, 2, &measure).unwrap();
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn remove_entity_shrinks_the_answer_set() {
+        let (sp, traces) = paired_dataset(5);
+        let mut index =
+            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(32)).unwrap();
+        let measure = PaperAdm::default_for(3);
+        let (before, _) = index.top_k(EntityId(0), 1, &measure).unwrap();
+        assert_eq!(before[0].entity, EntityId(1));
+        assert!(index.remove_entity(EntityId(1)));
+        assert!(!index.remove_entity(EntityId(1)));
+        let (after, _) = index.top_k(EntityId(0), 1, &measure).unwrap();
+        assert_ne!(after[0].entity, EntityId(1));
+        assert_eq!(index.num_entities(), 9);
+    }
+
+    #[test]
+    fn k_larger_than_population_returns_everyone_else() {
+        let (sp, traces) = paired_dataset(3);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let measure = DiceAdm::uniform(3);
+        let (results, _) = index.top_k(EntityId(0), 100, &measure).unwrap();
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let (sp, traces) = paired_dataset(3);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let measure = DiceAdm::uniform(3);
+        let (results, stats) = index.top_k(EntityId(0), 0, &measure).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.k, 0);
+    }
+
+    #[test]
+    fn external_query_sequence_works_without_exclusion() {
+        let (sp, traces) = paired_dataset(4);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let measure = DiceAdm::uniform(3);
+        let query_seq = index.sequence(EntityId(2)).unwrap().clone();
+        let (results, _) = index
+            .top_k_for_sequence(&query_seq, None, 1, &measure, QueryOptions::default())
+            .unwrap();
+        // Without exclusion the best match for entity 2's own sequence is entity 2.
+        assert_eq!(results[0].entity, EntityId(2));
+    }
+
+    #[test]
+    fn level_mismatch_is_reported() {
+        let (sp, traces) = paired_dataset(2);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let other_sp = SpIndex::uniform(2, &[2]).unwrap();
+        let seq = trace_model::CellSetSequence::from_base_cells(
+            &other_sp,
+            &trace_model::CellSet::new(),
+        )
+        .unwrap();
+        let measure = DiceAdm::uniform(2);
+        let err = index
+            .top_k_for_sequence(&seq, None, 1, &measure, QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::LevelMismatch { .. }));
+    }
+
+    #[test]
+    fn exhaustive_and_pathmax_modes_agree_with_brute_force() {
+        let (sp, traces) = paired_dataset(8);
+        let measure = PaperAdm::default_for(3);
+        for mode in [crate::HasherMode::Exhaustive, crate::HasherMode::PathMax] {
+            let config = IndexConfig { hasher_mode: mode, ..IndexConfig::with_hash_functions(32) };
+            let index = MinSigIndex::build(&sp, &traces, config).unwrap();
+            for query in [0u64, 3, 11] {
+                let (results, _) = index.top_k(EntityId(query), 5, &measure).unwrap();
+                let expect = index.brute_force(EntityId(query), 5, &measure).unwrap();
+                for (r, e) in results.iter().zip(expect.iter()) {
+                    assert!((r.degree - e.degree).abs() < 1e-9, "mode {mode:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Top-k joins and batch query evaluation (the kNN-join future-work direction of
+//! Section 8.2).
+//!
+//! A *top-k join* answers the top-k query for every entity of a probe set in one
+//! call.  Each probe reuses the same MinSigTree and the same early-termination
+//! machinery as a single query; the batch API adds two things on top:
+//!
+//! * **parallel evaluation** — probes are independent, so they are spread over a
+//!   configurable number of worker threads (scoped threads, no unsafe, no extra
+//!   dependencies);
+//! * **aggregate statistics** — the mean pruning effectiveness over the batch,
+//!   which is what the experiment harness reports.
+
+use crate::error::Result;
+use crate::index::MinSigIndex;
+use crate::query::{QueryOptions, TopKResult};
+use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
+use trace_model::{AssociationMeasure, EntityId};
+
+/// The result of one probe within a join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinRow {
+    /// The probe (query) entity.
+    pub probe: EntityId,
+    /// Its top-k associated entities.
+    pub matches: Vec<TopKResult>,
+    /// The per-probe search statistics.
+    pub stats: SearchStats,
+}
+
+/// Aggregate statistics of a join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct JoinStats {
+    /// Number of probes answered.
+    pub probes: usize,
+    /// Probes skipped because the entity is not indexed.
+    pub skipped: usize,
+    /// Mean entities checked per probe.
+    pub mean_entities_checked: f64,
+    /// Mean pruning effectiveness over the probes.
+    pub mean_pruning_effectiveness: f64,
+}
+
+/// Options of a join evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinOptions {
+    /// Number of result entities per probe.
+    pub k: usize,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// Per-probe query options.
+    pub query: QueryOptions,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions { k: 10, threads: 1, query: QueryOptions::default() }
+    }
+}
+
+impl MinSigIndex {
+    /// Answers the top-k query for every probe entity, optionally in parallel.
+    ///
+    /// Probes that are not indexed are skipped (and counted in
+    /// [`JoinStats::skipped`]); the output preserves the probe order.
+    pub fn top_k_join<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probes: &[EntityId],
+        measure: &M,
+        options: JoinOptions,
+    ) -> Result<(Vec<JoinRow>, JoinStats)> {
+        let threads = options.threads.max(1).min(probes.len().max(1));
+        let rows: Vec<Option<JoinRow>> = if threads <= 1 {
+            probes.iter().map(|&probe| self.join_one(probe, measure, options)).collect()
+        } else {
+            let mut rows: Vec<Option<JoinRow>> = vec![None; probes.len()];
+            let chunk = probes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (chunk_index, probe_chunk) in probes.chunks(chunk).enumerate() {
+                    handles.push((
+                        chunk_index,
+                        scope.spawn(move || {
+                            probe_chunk
+                                .iter()
+                                .map(|&probe| self.join_one(probe, measure, options))
+                                .collect::<Vec<_>>()
+                        }),
+                    ));
+                }
+                for (chunk_index, handle) in handles {
+                    let chunk_rows = handle.join().expect("join worker never panics");
+                    for (offset, row) in chunk_rows.into_iter().enumerate() {
+                        rows[chunk_index * chunk + offset] = row;
+                    }
+                }
+            });
+            rows
+        };
+
+        let mut stats = JoinStats::default();
+        let mut out = Vec::with_capacity(probes.len());
+        for row in rows {
+            match row {
+                Some(row) => {
+                    stats.probes += 1;
+                    stats.mean_entities_checked += row.stats.entities_checked as f64;
+                    stats.mean_pruning_effectiveness += row.stats.pruning_effectiveness();
+                    out.push(row);
+                }
+                None => stats.skipped += 1,
+            }
+        }
+        if stats.probes > 0 {
+            stats.mean_entities_checked /= stats.probes as f64;
+            stats.mean_pruning_effectiveness /= stats.probes as f64;
+        }
+        Ok((out, stats))
+    }
+
+    fn join_one<M: AssociationMeasure + ?Sized>(
+        &self,
+        probe: EntityId,
+        measure: &M,
+        options: JoinOptions,
+    ) -> Option<JoinRow> {
+        let (matches, stats) =
+            self.top_k_with_options(probe, options.k, measure, options.query).ok()?;
+        Some(JoinRow { probe, matches, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use trace_model::{PaperAdm, Period, PresenceInstance, SpIndex, TraceSet};
+
+    fn dataset(pairs: usize) -> (SpIndex, TraceSet) {
+        let sp = SpIndex::uniform(4, &[4]).unwrap();
+        let base = sp.base_units().to_vec();
+        let mut traces = TraceSet::new(60);
+        for i in 0..pairs {
+            for member in 0..2u64 {
+                let entity = EntityId(2 * i as u64 + member);
+                for step in 0..6u64 {
+                    let unit = base[(i * 5 + step as usize) % base.len()];
+                    traces.record(PresenceInstance::new(
+                        entity,
+                        unit,
+                        Period::new(step * 120, step * 120 + 60).unwrap(),
+                    ));
+                }
+            }
+        }
+        (sp, traces)
+    }
+
+    #[test]
+    fn join_answers_every_probe_and_finds_partners() {
+        let (sp, traces) = dataset(20);
+        let index =
+            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
+        let measure = PaperAdm::default_for(2);
+        let probes: Vec<EntityId> = (0..10u64).map(EntityId).collect();
+        let (rows, stats) = index
+            .top_k_join(&probes, &measure, JoinOptions { k: 1, ..JoinOptions::default() })
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(stats.probes, 10);
+        assert_eq!(stats.skipped, 0);
+        for row in &rows {
+            let probe = row.probe.raw();
+            let partner = if probe % 2 == 0 { probe + 1 } else { probe - 1 };
+            assert_eq!(row.matches[0].entity, EntityId(partner));
+        }
+        assert!(stats.mean_pruning_effectiveness >= 0.0);
+        assert!(stats.mean_entities_checked >= 1.0);
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential_join() {
+        let (sp, traces) = dataset(25);
+        let index =
+            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
+        let measure = PaperAdm::default_for(2);
+        let probes: Vec<EntityId> = (0..30u64).map(EntityId).collect();
+        let (seq_rows, _) = index
+            .top_k_join(&probes, &measure, JoinOptions { k: 3, threads: 1, ..JoinOptions::default() })
+            .unwrap();
+        let (par_rows, _) = index
+            .top_k_join(&probes, &measure, JoinOptions { k: 3, threads: 4, ..JoinOptions::default() })
+            .unwrap();
+        assert_eq!(seq_rows.len(), par_rows.len());
+        for (a, b) in seq_rows.iter().zip(par_rows.iter()) {
+            assert_eq!(a.probe, b.probe);
+            assert_eq!(a.matches.len(), b.matches.len());
+            for (x, y) in a.matches.iter().zip(b.matches.iter()) {
+                assert!((x.degree - y.degree).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_probes_are_skipped_not_fatal() {
+        let (sp, traces) = dataset(3);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let measure = PaperAdm::default_for(2);
+        let probes = vec![EntityId(0), EntityId(999), EntityId(1)];
+        let (rows, stats) = index.top_k_join(&probes, &measure, JoinOptions::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(rows[0].probe, EntityId(0));
+        assert_eq!(rows[1].probe, EntityId(1));
+    }
+
+    #[test]
+    fn empty_probe_set_is_a_noop() {
+        let (sp, traces) = dataset(2);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let measure = PaperAdm::default_for(2);
+        let (rows, stats) = index.top_k_join(&[], &measure, JoinOptions::default()).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.probes, 0);
+        assert_eq!(stats.mean_entities_checked, 0.0);
+    }
+}

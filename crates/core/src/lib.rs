@@ -1,0 +1,70 @@
+//! # minsig
+//!
+//! The MinSigTree index of *Top-k Queries over Digital Traces* (Li, Yu, Koudas;
+//! SIGMOD 2019): hierarchy-aware MinHash signatures, an m-level grouping tree, and
+//! a best-first top-k search with early termination.
+//!
+//! ## How the pieces fit together
+//!
+//! 1. Every entity's digital trace is represented as a per-level ST-cell set
+//!    sequence (`trace-model`).
+//! 2. A family of `nh` hash functions maps ST-cells to `[0, range)`; the value of
+//!    a *coarse* cell is constrained to be no larger than the value of any of its
+//!    descendant cells, which makes signatures at different levels comparable
+//!    (Theorem 1) and lets a signature certify the *absence* of an entity from
+//!    ST-cells (Theorem 2).  See [`signature`].
+//! 3. Entities are grouped recursively by the position of the largest value in
+//!    their per-level signatures (the *routing index*), producing the
+//!    [`tree::MinSigTree`]; each node stores only its routing index and the group
+//!    minimum at that index (Section 4.2.2).
+//! 4. A top-k query walks the tree best-first, bounding the association degree
+//!    achievable inside each subtree from the node's routing value (Theorem 4 /
+//!    Section 5.1) and terminating as soon as the k-th best exact answer matches
+//!    the best remaining bound ([`query`]).
+//!
+//! The [`index::MinSigIndex`] type wires all of this together and additionally
+//! supports incremental updates (Section 4.2.3) and a paged query mode that reads
+//! candidate traces through a bounded buffer pool (`trace-storage`), which is what
+//! the memory-sensitivity experiment of Figure 7.6 measures.
+//!
+//! ```
+//! use minsig::{IndexConfig, MinSigIndex};
+//! use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
+//!
+//! // Two-level hierarchy with four base units, three entities.
+//! let sp = SpIndex::uniform(2, &[2]).unwrap();
+//! let base = sp.base_units().to_vec();
+//! let mut traces = TraceSet::new(60);
+//! for (e, unit) in [(0u64, base[0]), (1, base[0]), (2, base[3])] {
+//!     traces.record(PresenceInstance::new(EntityId(e), unit, Period::new(0, 120).unwrap()));
+//! }
+//! let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+//! let measure = DiceAdm::uniform(2);
+//! let (results, stats) = index.top_k(EntityId(0), 1, &measure).unwrap();
+//! assert_eq!(results[0].entity, EntityId(1));
+//! assert!(stats.entities_checked <= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod approximate;
+pub mod config;
+pub mod error;
+pub mod index;
+pub mod join;
+pub mod paged;
+pub mod query;
+pub mod signature;
+pub mod stats;
+pub mod tree;
+
+pub use approximate::{BandedIndex, BandingConfig};
+pub use config::{HasherMode, IndexConfig};
+pub use error::{IndexError, Result};
+pub use index::MinSigIndex;
+pub use join::{JoinOptions, JoinRow, JoinStats};
+pub use query::{QueryOptions, TopKResult};
+pub use signature::{CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily};
+pub use stats::{IndexStats, SearchStats};
+pub use tree::MinSigTree;

@@ -1,0 +1,484 @@
+//! Hierarchy-aware MinHash signatures (Section 4.2.1).
+//!
+//! An entity's level-`i` signature is the element-wise minimum, over the cells of
+//! its level-`i` ST-cell set, of `nh` hash functions.  The hash functions are
+//! constrained so that a coarse cell never hashes above any of its descendant
+//! cells; this gives two properties the index relies on:
+//!
+//! * **Theorem 1** — `sig^i[u] <= sig^{i+1}[u]` for every entity and every `u`;
+//! * **Theorem 2** — if `sig^i[u] > h_u(s)` for a base ST-cell `s`, the entity is
+//!   guaranteed not to be present in `s`.
+//!
+//! Two hash constructions are provided (see [`HasherMode`]): the paper's exact
+//! min-over-children rule and a scalable `PathMax` rule; both satisfy the
+//! monotonicity property above, which is the only thing the correctness proofs
+//! use.  A third, table-driven family reproduces the worked example of
+//! Tables 4.1–4.3.
+
+use crate::config::HasherMode;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use trace_model::{CellSetSequence, Level, SpIndex, StCell};
+
+/// A family of `nh` hash functions over base-level ST-cells.
+pub trait CellHashFamily: Send + Sync {
+    /// Number of hash functions in the family.
+    fn num_functions(&self) -> u32;
+
+    /// Exclusive upper bound of the hash values.
+    fn range(&self) -> u64;
+
+    /// The value of hash function `u` (0-based) on a base-level cell.
+    fn hash_base(&self, u: u32, cell: StCell) -> u64;
+}
+
+/// A seeded family of hash functions based on the SplitMix64 finaliser, mapping
+/// `(function index, cell)` to `[0, range)`.
+#[derive(Debug, Clone)]
+pub struct SeededHashFamily {
+    seeds: Vec<u64>,
+    range: u64,
+}
+
+impl SeededHashFamily {
+    /// Creates a family of `nh` functions with the given seed and range.
+    pub fn new(nh: u32, seed: u64, range: u64) -> Self {
+        assert!(nh > 0, "need at least one hash function");
+        assert!(range >= 2, "hash range must be at least 2");
+        let seeds = (0..nh as u64).map(|i| splitmix64(seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15)))).collect();
+        SeededHashFamily { seeds, range }
+    }
+}
+
+impl CellHashFamily for SeededHashFamily {
+    fn num_functions(&self) -> u32 {
+        self.seeds.len() as u32
+    }
+
+    fn range(&self) -> u64 {
+        self.range
+    }
+
+    #[inline]
+    fn hash_base(&self, u: u32, cell: StCell) -> u64 {
+        let mixed = splitmix64(self.seeds[u as usize] ^ cell.packed());
+        mixed % self.range
+    }
+}
+
+/// The 64-bit SplitMix64 finaliser — a fast, well-distributed mixing function.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A hash family backed by an explicit table, used to reproduce the worked
+/// example of Table 4.1 exactly.
+#[derive(Debug, Clone, Default)]
+pub struct TableHashFamily {
+    range: u64,
+    values: HashMap<(u32, u64), u64>,
+}
+
+impl TableHashFamily {
+    /// Creates an empty table with the given range.
+    pub fn new(range: u64) -> Self {
+        TableHashFamily { range, values: HashMap::new() }
+    }
+
+    /// Sets the value of hash function `u` on a base cell.
+    pub fn set(&mut self, u: u32, cell: StCell, value: u64) {
+        assert!(value < self.range, "table value outside range");
+        self.values.insert((u, cell.packed()), value);
+    }
+
+    /// Number of distinct functions mentioned in the table.
+    fn max_function(&self) -> u32 {
+        self.values.keys().map(|&(u, _)| u + 1).max().unwrap_or(0)
+    }
+}
+
+impl CellHashFamily for TableHashFamily {
+    fn num_functions(&self) -> u32 {
+        self.max_function()
+    }
+
+    fn range(&self) -> u64 {
+        self.range
+    }
+
+    fn hash_base(&self, u: u32, cell: StCell) -> u64 {
+        *self
+            .values
+            .get(&(u, cell.packed()))
+            .unwrap_or_else(|| panic!("no table entry for function {u} and cell {cell}"))
+    }
+}
+
+/// The hierarchy-aware hasher: extends a base-cell hash family to cells at every
+/// sp-index level while preserving `h(parent) <= h(child)`.
+pub struct HierarchicalHasher<F> {
+    family: F,
+    mode: HasherMode,
+    /// Memo for the exhaustive mode: packed coarse cell → per-function values.
+    memo: RwLock<HashMap<u64, Vec<u64>>>,
+}
+
+impl<F: std::fmt::Debug> std::fmt::Debug for HierarchicalHasher<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HierarchicalHasher")
+            .field("family", &self.family)
+            .field("mode", &self.mode)
+            .field("memo_entries", &self.memo.read().len())
+            .finish()
+    }
+}
+
+impl<F: CellHashFamily> HierarchicalHasher<F> {
+    /// Wraps a base-cell family.
+    pub fn new(family: F, mode: HasherMode) -> Self {
+        HierarchicalHasher { family, mode, memo: RwLock::new(HashMap::new()) }
+    }
+
+    /// The underlying base-cell family.
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+
+    /// The hasher mode.
+    pub fn mode(&self) -> HasherMode {
+        self.mode
+    }
+
+    /// Number of hash functions.
+    pub fn num_functions(&self) -> u32 {
+        self.family.num_functions()
+    }
+
+    /// Exclusive upper bound of hash values.
+    pub fn range(&self) -> u64 {
+        self.family.range()
+    }
+
+    /// The value of hash function `u` on a cell whose spatial unit lives at any
+    /// level of `sp`.
+    pub fn hash(&self, sp: &SpIndex, u: u32, cell: StCell) -> u64 {
+        let level = sp.level(cell.unit()).expect("cell unit must exist in the sp-index");
+        match self.mode {
+            HasherMode::PathMax => self.path_max(sp, u, cell, level),
+            HasherMode::Exhaustive => {
+                if level == sp.height() {
+                    self.family.hash_base(u, cell)
+                } else {
+                    self.exhaustive(sp, cell)[u as usize]
+                }
+            }
+        }
+    }
+
+    /// Exhaustive rule: minimum over all descendant base cells, memoised.
+    fn exhaustive(&self, sp: &SpIndex, cell: StCell) -> Vec<u64> {
+        if let Some(values) = self.memo.read().get(&cell.packed()) {
+            return values.clone();
+        }
+        let nh = self.family.num_functions() as usize;
+        let mut values = vec![u64::MAX; nh];
+        let (lo, hi) = sp.base_range(cell.unit()).expect("unit exists");
+        for ordinal in lo..hi {
+            let base_unit = sp.base_unit_at(ordinal).expect("ordinal in range");
+            let base_cell = StCell::new(cell.time(), base_unit);
+            for (u, slot) in values.iter_mut().enumerate() {
+                let h = self.family.hash_base(u as u32, base_cell);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        self.memo.write().insert(cell.packed(), values.clone());
+        values
+    }
+
+    /// PathMax rule: `h_u(t, unit at level l) = max over the unit's ancestors a_1..a_l
+    /// of g_u(t, a_j)`, where `g_u` is an independent uniform draw per
+    /// (function, time, unit).  A parent's value is the maximum over a strict
+    /// prefix of its children's ancestor paths, hence never larger.
+    fn path_max(&self, sp: &SpIndex, u: u32, cell: StCell, level: Level) -> u64 {
+        let mut value = 0u64;
+        let path = sp.path(cell.unit()).expect("unit exists");
+        debug_assert_eq!(path.len(), level as usize);
+        for ancestor in path {
+            let h = self.family.hash_base(u, StCell::new(cell.time(), ancestor));
+            if h > value {
+                value = h;
+            }
+        }
+        value
+    }
+
+    /// The value of hash function `u` on a *base* cell — an alias of
+    /// [`HierarchicalHasher::hash`] kept for call-site clarity on the query path,
+    /// where all pruned-set checks are against base cells.
+    pub fn hash_base_cell(&self, sp: &SpIndex, u: u32, cell: StCell) -> u64 {
+        self.hash(sp, u, cell)
+    }
+
+    /// Number of memoised coarse cells (exhaustive mode only; useful for memory
+    /// accounting).
+    pub fn memo_len(&self) -> usize {
+        self.memo.read().len()
+    }
+}
+
+/// The per-level signature list of one entity (Section 4.2.1): `levels[i-1][u]` is
+/// `sig^i[u]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureList {
+    levels: Vec<Vec<u64>>,
+}
+
+impl SignatureList {
+    /// Computes the signature list of an entity from its ST-cell set sequence.
+    ///
+    /// Empty levels produce all-`u64::MAX` signatures (an entity with no presence
+    /// at a level can never be pruned *into* a group by it).
+    pub fn build<F: CellHashFamily>(
+        sp: &SpIndex,
+        hasher: &HierarchicalHasher<F>,
+        seq: &CellSetSequence,
+    ) -> Self {
+        let nh = hasher.num_functions() as usize;
+        let mut levels = Vec::with_capacity(seq.num_levels());
+        for (_level, set) in seq.iter_levels() {
+            let mut sig = vec![u64::MAX; nh];
+            for cell in set.iter() {
+                for (u, slot) in sig.iter_mut().enumerate() {
+                    let h = hasher.hash(sp, u as u32, cell);
+                    if h < *slot {
+                        *slot = h;
+                    }
+                }
+            }
+            levels.push(sig);
+        }
+        SignatureList { levels }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The signature at a level (1-based).
+    pub fn level(&self, level: Level) -> &[u64] {
+        &self.levels[(level - 1) as usize]
+    }
+
+    /// The routing index at a level: the position of the maximum value (ties are
+    /// broken towards the lowest index, matching "ties are broken arbitrarily").
+    pub fn routing_index(&self, level: Level) -> u32 {
+        let sig = self.level(level);
+        let mut best = 0usize;
+        for (i, &v) in sig.iter().enumerate() {
+            if v > sig[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// The value at a given level and function index.
+    pub fn value(&self, level: Level, u: u32) -> u64 {
+        self.level(level)[u as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::examples::{PaperExample, T1, T2};
+    use trace_model::{CellSet, CellSetSequence, SpIndex};
+
+    fn paper_hasher() -> (PaperExample, HierarchicalHasher<TableHashFamily>) {
+        let ex = PaperExample::build();
+        let mut table = TableHashFamily::new(10);
+        let u = ex.units;
+        for (t, unit) in [(T1, u.l1), (T2, u.l1), (T1, u.l2), (T2, u.l2), (T1, u.l3), (T2, u.l3), (T1, u.l4), (T2, u.l4)] {
+            for h in [1u32, 2] {
+                let cell = StCell::new(t, unit);
+                let value = ex.hash_value(h as usize, cell).unwrap() as u64;
+                table.set(h - 1, cell, value);
+            }
+        }
+        (ex, HierarchicalHasher::new(table, HasherMode::Exhaustive))
+    }
+
+    /// Table 4.3: the signatures of the four example entities match the paper.
+    #[test]
+    fn paper_example_signature_table() {
+        let (ex, hasher) = paper_hasher();
+        let expected = ex.expected_signatures();
+        for ((entity, seq), (expected_entity, sig1, sig2)) in ex.entities.iter().zip(expected) {
+            assert_eq!(*entity, expected_entity);
+            let sig = SignatureList::build(&ex.sp, &hasher, seq);
+            assert_eq!(sig.level(1), &[sig1[0] as u64, sig1[1] as u64], "level-1 signature of {entity}");
+            assert_eq!(sig.level(2), &[sig2[0] as u64, sig2[1] as u64], "level-2 signature of {entity}");
+        }
+    }
+
+    /// Example 4.2.1 routing: e_a, e_b, e_c route to index 2 (1-based) at level 1,
+    /// e_d routes to index 1.
+    #[test]
+    fn paper_example_routing_indices() {
+        let (ex, hasher) = paper_hasher();
+        let routing: Vec<u32> = ex
+            .entities
+            .iter()
+            .map(|(_, seq)| SignatureList::build(&ex.sp, &hasher, seq).routing_index(1))
+            .collect();
+        assert_eq!(routing, vec![1, 1, 1, 0], "0-based routing indices at level 1");
+    }
+
+    #[test]
+    fn seeded_family_is_deterministic_and_in_range() {
+        let f = SeededHashFamily::new(16, 99, 1000);
+        assert_eq!(f.num_functions(), 16);
+        for u in 0..16 {
+            for t in 0..20u32 {
+                let c = StCell::new(t, t * 7);
+                let a = f.hash_base(u, c);
+                let b = f.hash_base(u, c);
+                assert_eq!(a, b);
+                assert!(a < 1000);
+            }
+        }
+        // Different functions give different values somewhere.
+        let c = StCell::new(1, 1);
+        let distinct: std::collections::BTreeSet<u64> = (0..16).map(|u| f.hash_base(u, c)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn theorem_1_holds_for_both_modes() {
+        // sig^i[u] <= sig^{i+1}[u] on a random-ish 3-level hierarchy.
+        let sp = SpIndex::uniform(3, &[3, 4]).unwrap();
+        let cells: Vec<StCell> = sp
+            .base_units()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(i, &unit)| StCell::new((i % 5) as u32, unit))
+            .collect();
+        let seq = CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(cells)).unwrap();
+        for mode in [HasherMode::Exhaustive, HasherMode::PathMax] {
+            let hasher = HierarchicalHasher::new(SeededHashFamily::new(32, 7, 10_000), mode);
+            let sig = SignatureList::build(&sp, &hasher, &seq);
+            for level in 1..sp.height() {
+                for u in 0..32 {
+                    assert!(
+                        sig.value(level, u) <= sig.value(level + 1, u),
+                        "Theorem 1 violated at level {level}, u {u}, mode {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_hash_never_exceeds_child_hash() {
+        let sp = SpIndex::uniform(2, &[4, 5]).unwrap();
+        for mode in [HasherMode::Exhaustive, HasherMode::PathMax] {
+            let hasher = HierarchicalHasher::new(SeededHashFamily::new(8, 3, 5_000), mode);
+            for &base in sp.base_units().iter().step_by(4) {
+                for t in 0..3u32 {
+                    let base_cell = StCell::new(t, base);
+                    for level in 1..sp.height() {
+                        let ancestor = sp.ancestor_at_level(base, level).unwrap();
+                        let coarse_cell = StCell::new(t, ancestor);
+                        for u in 0..8 {
+                            let hp = hasher.hash(&sp, u, coarse_cell);
+                            let hc = hasher.hash_base_cell(&sp, u, base_cell);
+                            assert!(
+                                hp <= hc,
+                                "h(parent)={hp} > h(child)={hc} at level {level} mode {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_absence_certificate() {
+        // If sig^i[u] > h_u(s) then s is not in the entity's base set.
+        let sp = SpIndex::uniform(2, &[3, 3]).unwrap();
+        let hasher = HierarchicalHasher::new(SeededHashFamily::new(16, 11, 2_000), HasherMode::PathMax);
+        let present: Vec<StCell> =
+            sp.base_units().iter().step_by(2).map(|&u| StCell::new(0, u)).collect();
+        let seq = CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(present.clone()))
+            .unwrap();
+        let sig = SignatureList::build(&sp, &hasher, &seq);
+        let present_set: std::collections::BTreeSet<u64> =
+            present.iter().map(|c| c.packed()).collect();
+        for &unit in sp.base_units() {
+            for t in 0..2u32 {
+                let s = StCell::new(t, unit);
+                for level in 1..=sp.height() {
+                    for u in 0..16 {
+                        if sig.value(level, u) > hasher.hash_base_cell(&sp, u, s) {
+                            assert!(
+                                !present_set.contains(&s.packed()),
+                                "Theorem 2 violated: pruned a present cell {s}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_mode_memoises_coarse_cells() {
+        let sp = SpIndex::uniform(2, &[8]).unwrap();
+        let hasher = HierarchicalHasher::new(SeededHashFamily::new(4, 5, 100), HasherMode::Exhaustive);
+        let coarse_unit = sp.top_units()[0];
+        let cell = StCell::new(3, coarse_unit);
+        assert_eq!(hasher.memo_len(), 0);
+        let first = hasher.hash(&sp, 0, cell);
+        assert_eq!(hasher.memo_len(), 1);
+        let second = hasher.hash(&sp, 0, cell);
+        assert_eq!(first, second);
+        assert_eq!(hasher.memo_len(), 1);
+    }
+
+    #[test]
+    fn empty_sequence_signature_is_all_max() {
+        let sp = SpIndex::uniform(2, &[2]).unwrap();
+        let hasher = HierarchicalHasher::new(SeededHashFamily::new(4, 5, 100), HasherMode::PathMax);
+        let seq = CellSetSequence::from_base_cells(&sp, &CellSet::new()).unwrap();
+        let sig = SignatureList::build(&sp, &hasher, &seq);
+        for level in 1..=2u8 {
+            assert!(sig.level(level).iter().all(|&v| v == u64::MAX));
+        }
+        assert_eq!(sig.routing_index(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no table entry")]
+    fn table_family_panics_on_missing_entries() {
+        let table = TableHashFamily::new(10);
+        let _ = table.hash_base(0, StCell::new(0, 0));
+    }
+
+    #[test]
+    fn splitmix_is_not_identity_and_spreads_bits() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a, 1);
+        assert!(a.count_ones() > 10, "output should look random");
+    }
+}

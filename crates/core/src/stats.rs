@@ -1,0 +1,100 @@
+//! Statistics reported by index construction and query processing.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one index build or update batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Number of entities indexed.
+    pub num_entities: usize,
+    /// Number of tree nodes (including the virtual root).
+    pub num_nodes: usize,
+    /// Estimated index size in bytes (tree only, excluding raw trace data).
+    pub index_bytes: usize,
+    /// Number of hash evaluations performed while computing signatures (the
+    /// dominant term of the Section 4.3 processor cost `O(|E|·C·m·nh)`).
+    pub hash_evaluations: u64,
+    /// Wall-clock build time in microseconds.
+    pub build_time_us: u64,
+}
+
+/// Statistics of one top-k query (Definition 5 and the complement convention used
+/// throughout the experiment harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Total number of indexed entities (`|E|`).
+    pub total_entities: usize,
+    /// Requested result size `k`.
+    pub k: usize,
+    /// Tree nodes popped from the candidate queue.
+    pub nodes_visited: usize,
+    /// Leaf nodes whose entities were evaluated exactly.
+    pub leaves_visited: usize,
+    /// Entities whose exact association degree was computed (`|E'|`).
+    pub entities_checked: usize,
+    /// Simulated I/O latency accumulated while reading candidate traces
+    /// (paged queries only), in microseconds.
+    pub simulated_io_us: u64,
+    /// Buffer-pool misses (paged queries only).
+    pub pool_misses: u64,
+    /// Wall-clock query time in microseconds.
+    pub query_time_us: u64,
+}
+
+impl SearchStats {
+    /// Definition 5: `(|E'| - k) / |E|` — the fraction of entities that had to be
+    /// checked beyond the k returned ones (lower is better).
+    pub fn fraction_checked(&self) -> f64 {
+        if self.total_entities == 0 {
+            return 0.0;
+        }
+        let extra = self.entities_checked.saturating_sub(self.k);
+        extra as f64 / self.total_entities as f64
+    }
+
+    /// The complement of [`fraction_checked`](Self::fraction_checked): the
+    /// fraction of entities pruned (higher is better).  This is the "PE" reported
+    /// by the experiment harness, matching the prose convention that high PE is
+    /// good.
+    pub fn pruning_effectiveness(&self) -> f64 {
+        (1.0 - self.fraction_checked()).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_consistent() {
+        let stats = SearchStats {
+            total_entities: 1000,
+            k: 10,
+            entities_checked: 110,
+            ..SearchStats::default()
+        };
+        assert!((stats.fraction_checked() - 0.1).abs() < 1e-12);
+        assert!((stats.pruning_effectiveness() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let empty = SearchStats::default();
+        assert_eq!(empty.fraction_checked(), 0.0);
+        assert_eq!(empty.pruning_effectiveness(), 1.0);
+        // Checking fewer than k entities (tiny datasets) never goes negative.
+        let tiny = SearchStats { total_entities: 5, k: 10, entities_checked: 5, ..SearchStats::default() };
+        assert_eq!(tiny.fraction_checked(), 0.0);
+    }
+
+    #[test]
+    fn checking_everything_gives_zero_pe() {
+        let stats = SearchStats {
+            total_entities: 100,
+            k: 0,
+            entities_checked: 100,
+            ..SearchStats::default()
+        };
+        assert!((stats.pruning_effectiveness() - 0.0).abs() < 1e-12);
+    }
+}

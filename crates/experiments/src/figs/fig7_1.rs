@@ -1,0 +1,103 @@
+//! Figure 7.1 — data distribution.
+//!
+//! For each dataset (SYN and the REAL-like substitute) and each sp-index level,
+//! the figure reports (a) how many entities form at least one AjPI with a sample
+//! query entity at that level, and (b) how those AjPIs distribute over duration
+//! buckets.  Two entities forming an AjPI at a fine level also form one at every
+//! coarser level, so the per-level counts must be non-increasing in the level —
+//! that is the shape the paper's Figure 7.1 shows and the property our test
+//! asserts.
+
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::SynDataset;
+use trace_model::{EntityId, LevelOverlap};
+
+/// Duration buckets in base temporal units (the paper uses 100-hour buckets).
+const BUCKETS: [(usize, usize); 4] = [(0, 25), (25, 50), (50, 75), (75, usize::MAX)];
+
+fn distribution_rows(table: &mut Table, name: &str, dataset: &SynDataset, queries: &[EntityId]) {
+    let sp = dataset.sp_index();
+    let seqs = dataset.traces.cell_sequences(sp).expect("sequences");
+    let m = sp.height();
+    for level in 1..=m {
+        let mut with_ajpi = 0u64;
+        let mut bucket_counts = [0u64; BUCKETS.len()];
+        for &query in queries {
+            let query_seq = &seqs[&query];
+            for (entity, seq) in &seqs {
+                if *entity == query {
+                    continue;
+                }
+                let overlap = LevelOverlap::from_sequences(query_seq, seq).level(level).overlap;
+                if overlap > 0 {
+                    with_ajpi += 1;
+                    for (i, &(lo, hi)) in BUCKETS.iter().enumerate() {
+                        if overlap >= lo && overlap < hi {
+                            bucket_counts[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let denom = queries.len().max(1) as f64;
+        let mut row: Vec<String> = vec![
+            name.to_string(),
+            format!("level {level}"),
+            format!("{:.1}", with_ajpi as f64 / denom),
+        ];
+        row.extend(bucket_counts.iter().map(|&c| format!("{:.1}", c as f64 / denom)));
+        table.push_row(row);
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.1 — data distribution",
+        "Average number of entities forming AjPIs with a query entity, per sp-index level, \
+         and their distribution over co-presence duration buckets (base temporal units).",
+        vec![
+            "dataset",
+            "level",
+            "entities with AjPI",
+            "duration 0-25",
+            "25-50",
+            "50-75",
+            "75+",
+        ],
+    );
+    for (name, config) in [("SYN", scale.syn_config()), ("REAL-like", scale.real_config())] {
+        let dataset = SynDataset::generate(config).expect("dataset generation");
+        let queries = dataset.query_entities(scale.queries, scale.seed + 1);
+        distribution_rows(&mut table, name, &dataset, &queries);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ajpi_counts_decrease_with_level() {
+        let table = run(&Scale::smoke());
+        // Rows come in per-dataset blocks of m levels; within each block the
+        // "entities with AjPI" column must be non-increasing (coarser levels see
+        // at least as many co-occurrences).
+        let mut previous: Option<(String, f64)> = None;
+        for row in table.rows() {
+            let dataset = row[0].clone();
+            let count: f64 = row[2].parse().unwrap();
+            if let Some((prev_dataset, prev_count)) = &previous {
+                if *prev_dataset == dataset {
+                    assert!(
+                        count <= *prev_count + 1e-9,
+                        "AjPI count must not grow with level: {count} > {prev_count}"
+                    );
+                }
+            }
+            previous = Some((dataset, count));
+        }
+    }
+}

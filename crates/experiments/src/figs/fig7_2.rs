@@ -1,0 +1,81 @@
+//! Figure 7.2 — association degree distribution.
+//!
+//! For ADM parameter combinations `(u, v) ∈ {2, 5}²`, the figure shows how many
+//! entities fall into each association-degree bucket with respect to a query
+//! entity.  The paper's observation — most entities bear low association degrees
+//! with any particular entity, and the `u = 2, v = 5` combination assigns high
+//! degrees to the fewest entities — is what the harness reproduces.
+
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::SynDataset;
+use trace_model::{AssociationMeasure, PaperAdm};
+
+/// Degree buckets matching the paper's 0.1-wide bars.
+const BUCKETS: usize = 8;
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.2 — association degree distribution",
+        "Average number of entities per association-degree bucket for a query entity, \
+         under ADM parameter combinations (u, v).",
+        {
+            let mut cols = vec!["dataset".to_string(), "u,v".to_string()];
+            cols.extend((0..BUCKETS).map(|b| format!("({:.1},{:.1}]", b as f64 * 0.1, (b + 1) as f64 * 0.1)));
+            cols.push("zero".to_string());
+            cols
+        },
+    );
+
+    for (name, config) in [("SYN", scale.syn_config()), ("REAL-like", scale.real_config())] {
+        let dataset = SynDataset::generate(config).expect("dataset generation");
+        let sp = dataset.sp_index();
+        let seqs = dataset.traces.cell_sequences(sp).expect("sequences");
+        let queries = dataset.query_entities(scale.queries, scale.seed + 2);
+        for (u, v) in [(2.0, 2.0), (2.0, 5.0), (5.0, 2.0), (5.0, 5.0)] {
+            let measure = PaperAdm::new(sp.height() as usize, u, v).expect("valid parameters");
+            let mut buckets = vec![0u64; BUCKETS];
+            let mut zero = 0u64;
+            for &query in &queries {
+                let query_seq = &seqs[&query];
+                for (entity, seq) in &seqs {
+                    if *entity == query {
+                        continue;
+                    }
+                    let degree = measure.degree(query_seq, seq);
+                    if degree <= f64::EPSILON {
+                        zero += 1;
+                    } else {
+                        let bucket = ((degree * 10.0).ceil() as usize).clamp(1, BUCKETS) - 1;
+                        buckets[bucket] += 1;
+                    }
+                }
+            }
+            let denom = queries.len().max(1) as f64;
+            let mut row = vec![name.to_string(), format!("{u},{v}")];
+            row.extend(buckets.iter().map(|&c| format!("{:.1}", c as f64 / denom)));
+            row.push(format!("{:.1}", zero as f64 / denom));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_entities_have_low_or_zero_degree() {
+        let table = run(&Scale::smoke());
+        for row in table.rows() {
+            let low: f64 = row[2].parse::<f64>().unwrap() + row.last().unwrap().parse::<f64>().unwrap();
+            let high: f64 = row[3..row.len() - 1].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+            assert!(
+                low >= high,
+                "the low/zero buckets should dominate the distribution ({low} vs {high})"
+            );
+        }
+    }
+}

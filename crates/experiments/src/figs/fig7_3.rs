@@ -1,0 +1,63 @@
+//! Figure 7.3 — pruning effectiveness vs. the number of hash functions,
+//! measured against the analytical prediction of Section 6.3.
+
+use crate::common::{average_pe, build_index, estimate_nc, mean_cells_per_entity};
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::{AnalyticalPeModel, SynDataset};
+use trace_model::PaperAdm;
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.3 — PE vs. number of hash functions",
+        "Measured pruning effectiveness (fraction of entities pruned, Top-10 queries) and the \
+         Section 6.3 analytical prediction, as the signature width nh grows.",
+        vec!["dataset", "hash functions", "measured PE", "predicted PE", "fraction checked"],
+    );
+    for (name, config) in [("SYN", scale.syn_config()), ("REAL-like", scale.real_config())] {
+        let dataset = SynDataset::generate(config).expect("dataset generation");
+        let queries = dataset.query_entities(scale.queries, scale.seed + 3);
+        let measure = PaperAdm::default_for(dataset.sp_index().height() as usize);
+        for &nh in scale.hash_function_sweep {
+            let index = build_index(&dataset, nh);
+            let pe = average_pe(&index, &queries, 10, &measure);
+            let cells = mean_cells_per_entity(&index).max(1.0) as u64;
+            let nc = estimate_nc(&index, &queries, 10, &measure);
+            let hash_range = index.sp_index().num_base_units() as u64
+                * (dataset.config.total_ticks() / dataset.config.ticks_per_unit).max(1);
+            let predicted =
+                AnalyticalPeModel::new(hash_range, cells, nh, nc).predict().fraction_pruned;
+            table.push_row(vec![
+                name.to_string(),
+                nh.to_string(),
+                format!("{:.4}", pe.pruning_effectiveness),
+                format!("{predicted:.4}"),
+                format!("{:.4}", pe.fraction_checked),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_does_not_degrade_with_more_hash_functions() {
+        let table = run(&Scale::smoke());
+        // Within each dataset block the measured PE with the largest nh must be at
+        // least as good as with the smallest nh (monotone up to noise).
+        for dataset in ["SYN", "REAL-like"] {
+            let rows: Vec<_> = table.rows().iter().filter(|r| r[0] == dataset).collect();
+            assert!(rows.len() >= 2);
+            let first: f64 = rows.first().unwrap()[2].parse().unwrap();
+            let last: f64 = rows.last().unwrap()[2].parse().unwrap();
+            assert!(
+                last + 0.05 >= first,
+                "{dataset}: PE should not collapse as nh grows ({first} -> {last})"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 7.4 — pruning effectiveness vs. data characteristics.
+//!
+//! Eight sub-figures, one per generator parameter (α, β, ρ, γ, ζ for mobility and
+//! a, b, m for the spatial hierarchy); each varies one parameter while holding
+//! the others at the paper's defaults and reports PE for Top-1, Top-10 and Top-50
+//! queries.
+
+use crate::common::{average_pe, build_index};
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::{SynConfig, SynDataset};
+use trace_model::PaperAdm;
+
+/// The parameter grid of one sub-figure.
+struct Sweep {
+    parameter: &'static str,
+    values: Vec<f64>,
+    apply: fn(&mut SynConfig, f64),
+}
+
+fn sweeps(scale: &Scale) -> Vec<Sweep> {
+    // At smoke scale, use two points per parameter to keep tests fast; otherwise a
+    // denser grid resembling the paper's x-axes.
+    let dense = scale.syn_entities > 500;
+    let pick = move |lo: f64, hi: f64, steps: usize| -> Vec<f64> {
+        let steps = if dense { steps } else { 2 };
+        (0..steps)
+            .map(|i| lo + (hi - lo) * i as f64 / (steps.saturating_sub(1)).max(1) as f64)
+            .collect()
+    };
+    vec![
+        Sweep { parameter: "alpha", values: pick(0.2, 2.0, 5), apply: |c, v| c.mobility.alpha = v },
+        Sweep { parameter: "beta", values: pick(0.2, 1.0, 5), apply: |c, v| c.mobility.beta = v },
+        Sweep { parameter: "rho", values: pick(0.2, 1.0, 5), apply: |c, v| c.mobility.rho = v },
+        Sweep { parameter: "gamma", values: pick(0.1, 1.0, 5), apply: |c, v| c.mobility.gamma = v },
+        Sweep { parameter: "zeta", values: pick(0.2, 2.0, 5), apply: |c, v| c.mobility.zeta = v },
+        Sweep {
+            parameter: "a (width exponent)",
+            values: pick(1.0, 2.0, 3),
+            apply: |c, v| c.hierarchy.width_exponent = v,
+        },
+        Sweep {
+            parameter: "b (density exponent)",
+            values: pick(1.0, 2.0, 3),
+            apply: |c, v| c.hierarchy.density_exponent = v,
+        },
+        Sweep {
+            parameter: "m (levels)",
+            values: if dense { vec![3.0, 4.0, 5.0] } else { vec![2.0, 3.0] },
+            apply: |c, v| c.hierarchy.levels = v as u8,
+        },
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.4 — PE vs. data characteristics",
+        "Pruning effectiveness as one generator parameter varies while the others stay at the \
+         paper's defaults (α=0.6, β=0.8, γ=0.2, ζ=1.2, ρ=0.6, a=b=2, m=4).",
+        vec!["parameter", "value", "PE top-1", "PE top-10", "PE top-50"],
+    );
+    for sweep in sweeps(scale) {
+        for &value in &sweep.values {
+            let mut config = scale.syn_config();
+            (sweep.apply)(&mut config, value);
+            let dataset = SynDataset::generate(config).expect("dataset generation");
+            let index = build_index(&dataset, scale.default_hash_functions);
+            let queries = dataset.query_entities(scale.queries, scale.seed + 4);
+            let measure = PaperAdm::default_for(dataset.sp_index().height() as usize);
+            let mut row = vec![sweep.parameter.to_string(), format!("{value:.2}")];
+            for k in [1usize, 10, 50] {
+                let pe = average_pe(&index, &queries, k, &measure);
+                row.push(format!("{:.4}", pe.pruning_effectiveness));
+            }
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_eight_parameters() {
+        let table = run(&Scale::smoke());
+        let params: std::collections::BTreeSet<String> =
+            table.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(params.len(), 8);
+        for row in table.rows() {
+            for col in 2..5 {
+                let pe: f64 = row[col].parse().unwrap();
+                assert!((0.0..=1.0).contains(&pe));
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 7.5 — pruning effectiveness vs. ADM parameters (u, v).
+//!
+//! The paper finds that a smaller level exponent `u` and a larger duration
+//! exponent `v` yield the best pruning, because the signatures encode
+//! co-presence duration (shared ST-cells) but not AjPI level.
+
+use crate::common::{average_pe, build_index};
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::SynDataset;
+use trace_model::PaperAdm;
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.5 — PE vs. ADM parameters",
+        "Pruning effectiveness of Top-10 queries under the Equation 7.1 measure for u, v in 2..=5.",
+        vec!["dataset", "u", "v", "PE", "fraction checked"],
+    );
+    let sweep: Vec<f64> =
+        if scale.syn_entities > 500 { vec![2.0, 3.0, 4.0, 5.0] } else { vec![2.0, 5.0] };
+    for (name, config) in [("SYN", scale.syn_config()), ("REAL-like", scale.real_config())] {
+        let dataset = SynDataset::generate(config).expect("dataset generation");
+        let index = build_index(&dataset, scale.default_hash_functions);
+        let queries = dataset.query_entities(scale.queries, scale.seed + 5);
+        let m = dataset.sp_index().height() as usize;
+        for &u in &sweep {
+            for &v in &sweep {
+                let measure = PaperAdm::new(m, u, v).expect("valid parameters");
+                let pe = average_pe(&index, &queries, 10, &measure);
+                table.push_row(vec![
+                    name.to_string(),
+                    format!("{u}"),
+                    format!("{v}"),
+                    format!("{:.4}", pe.pruning_effectiveness),
+                    format!("{:.4}", pe.fraction_checked),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_uv_combination_is_reported() {
+        let table = run(&Scale::smoke());
+        // 2 datasets x 2 values of u x 2 values of v at smoke scale.
+        assert_eq!(table.rows().len(), 8);
+        for row in table.rows() {
+            let pe: f64 = row[3].parse().unwrap();
+            assert!((0.0..=1.0).contains(&pe));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 7.8 — indexing cost: build time and index size vs. the number of hash
+//! functions.
+//!
+//! Build time grows almost linearly with `nh` (signature computation dominates,
+//! Section 4.3's `O(|E|·C·m·nh)`), and the index size grows with `nh` because
+//! wider signatures make entities more distinguishable, splitting leaves — but
+//! the tree stays tiny compared to the raw data.
+
+use crate::common::build_index;
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::SynDataset;
+use trace_storage::PagedTraceStore;
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.8 — indexing cost",
+        "MinSigTree construction time and index size as the number of hash functions grows, \
+         with the raw (paged) data size for comparison.",
+        vec![
+            "dataset",
+            "hash functions",
+            "build time (ms)",
+            "index size (KiB)",
+            "tree nodes",
+            "raw data (KiB)",
+            "hash evaluations",
+        ],
+    );
+    for (name, config) in [("SYN", scale.syn_config()), ("REAL-like", scale.real_config())] {
+        let dataset = SynDataset::generate(config).expect("dataset generation");
+        let store = PagedTraceStore::build(&dataset.traces, 8);
+        let raw_kib = store.data_bytes() as f64 / 1024.0;
+        for &nh in scale.hash_function_sweep {
+            let index = build_index(&dataset, nh);
+            let stats = index.stats();
+            table.push_row(vec![
+                name.to_string(),
+                nh.to_string(),
+                format!("{:.1}", stats.build_time_us as f64 / 1000.0),
+                format!("{:.1}", stats.index_bytes as f64 / 1024.0),
+                stats.num_nodes.to_string(),
+                format!("{raw_kib:.1}"),
+                stats.hash_evaluations.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_evaluations_grow_linearly_with_nh() {
+        let table = run(&Scale::smoke());
+        for dataset in ["SYN", "REAL-like"] {
+            let rows: Vec<_> = table.rows().iter().filter(|r| r[0] == dataset).collect();
+            let nh_first: f64 = rows.first().unwrap()[1].parse().unwrap();
+            let nh_last: f64 = rows.last().unwrap()[1].parse().unwrap();
+            let ev_first: f64 = rows.first().unwrap()[6].parse().unwrap();
+            let ev_last: f64 = rows.last().unwrap()[6].parse().unwrap();
+            let ratio_nh = nh_last / nh_first;
+            let ratio_ev = ev_last / ev_first;
+            assert!(
+                (ratio_ev - ratio_nh).abs() < 0.01,
+                "{dataset}: hash evaluations must scale with nh ({ratio_ev} vs {ratio_nh})"
+            );
+        }
+    }
+
+    #[test]
+    fn index_is_small_relative_to_raw_data() {
+        let table = run(&Scale::smoke());
+        for row in table.rows() {
+            let index_kib: f64 = row[3].parse().unwrap();
+            let raw_kib: f64 = row[5].parse().unwrap();
+            assert!(index_kib < raw_kib, "the tree should be smaller than the raw traces");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 7.9 — incremental update cost.
+//!
+//! A batch of entities receives new records; the figure reports the time to fold
+//! the batch into an already-built MinSigTree as a function of the number of hash
+//! functions, for batches in which 100 %, 70 % and 40 % of the updated entities
+//! already exist in the index (the paper finds inserting brand-new entities is
+//! cheaper than relocating existing ones).
+
+use crate::common::build_index;
+use crate::report::Table;
+use crate::scale::Scale;
+use mobility::SynDataset;
+use std::time::Instant;
+use trace_model::{DigitalTrace, EntityId, Period, PresenceInstance};
+
+/// Builds the update batch: `existing_fraction` of the batch are entities already
+/// in the dataset (they get additional records), the rest are new entities.
+fn update_batch(
+    dataset: &SynDataset,
+    batch_size: usize,
+    existing_fraction: f64,
+    seed: u64,
+) -> Vec<(EntityId, DigitalTrace)> {
+    let existing: Vec<EntityId> = dataset.traces.entities().collect();
+    let base_units = dataset.sp_index().base_units().to_vec();
+    let num_existing = (batch_size as f64 * existing_fraction) as usize;
+    let mut batch = Vec::with_capacity(batch_size);
+    for i in 0..batch_size {
+        let entity = if i < num_existing {
+            existing[(seed as usize + i * 7) % existing.len()]
+        } else {
+            EntityId(1_000_000 + seed * 10_000 + i as u64)
+        };
+        // A fresh burst of presence instances.
+        let mut trace = dataset.traces.get(entity).cloned().unwrap_or_default();
+        for step in 0..5u64 {
+            let unit = base_units[(i * 31 + step as usize) % base_units.len()];
+            let start = 10_000 + step * 120;
+            trace.push(PresenceInstance::new(entity, unit, Period::new(start, start + 60).unwrap()));
+        }
+        batch.push((entity, trace));
+    }
+    batch
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7.9 — update cost",
+        "Time to apply a batch of entity updates to an existing MinSigTree, by number of hash \
+         functions and by the fraction of updated entities that already exist in the index.",
+        vec!["hash functions", "existing fraction", "batch size", "update time (ms)", "per entity (us)"],
+    );
+    let dataset = SynDataset::generate(scale.syn_config()).expect("dataset generation");
+    let batch_size = (scale.syn_entities / 10).clamp(10, 5_000);
+    for &nh in scale.hash_function_sweep {
+        for existing_fraction in [1.0, 0.7, 0.4] {
+            let mut index = build_index(&dataset, nh);
+            let batch = update_batch(&dataset, batch_size, existing_fraction, scale.seed);
+            let start = Instant::now();
+            for (entity, trace) in &batch {
+                index.update_entity(*entity, trace).expect("update");
+            }
+            let elapsed = start.elapsed();
+            table.push_row(vec![
+                nh.to_string(),
+                format!("{:.0}%", existing_fraction * 100.0),
+                batch.len().to_string(),
+                format!("{:.2}", elapsed.as_secs_f64() * 1000.0),
+                format!("{:.1}", elapsed.as_micros() as f64 / batch.len() as f64),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::PaperAdm;
+
+    #[test]
+    fn updates_preserve_query_correctness() {
+        let scale = Scale::smoke();
+        let dataset = SynDataset::generate(scale.syn_config()).unwrap();
+        let mut index = build_index(&dataset, 16);
+        let batch = update_batch(&dataset, 20, 0.5, 3);
+        for (entity, trace) in &batch {
+            index.update_entity(*entity, trace).unwrap();
+        }
+        // The index must still agree with brute force after the updates.
+        let measure = PaperAdm::default_for(index.sp_index().height() as usize);
+        let query = batch[0].0;
+        let (results, _) = index.top_k(query, 5, &measure).unwrap();
+        let expect = index.brute_force(query, 5, &measure).unwrap();
+        for (r, e) in results.iter().zip(expect.iter()) {
+            assert!((r.degree - e.degree).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batches_contain_the_requested_mix() {
+        let scale = Scale::smoke();
+        let dataset = SynDataset::generate(scale.syn_config()).unwrap();
+        let batch = update_batch(&dataset, 40, 0.4, 1);
+        let existing = batch.iter().filter(|(e, _)| dataset.traces.contains(*e)).count();
+        assert!(existing >= 16 - 2 && existing <= 16 + 2, "roughly 40% existing, got {existing}");
+    }
+}

@@ -1,0 +1,23 @@
+//! One runner per figure of the paper's evaluation (Chapter 7).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig7_1`] | Figure 7.1 — data distribution (AjPI counts and durations per level) |
+//! | [`fig7_2`] | Figure 7.2 — association degree distribution under ADM parameters |
+//! | [`fig7_3`] | Figure 7.3 — PE vs. number of hash functions (measured vs. predicted) |
+//! | [`fig7_4`] | Figure 7.4 — PE vs. data characteristics (α, β, ρ, γ, ζ, a, b, m) |
+//! | [`fig7_5`] | Figure 7.5 — PE vs. ADM parameters (u, v) |
+//! | [`fig7_6`] | Figure 7.6 — search time vs. memory size |
+//! | [`fig7_7`] | Figure 7.7 — PE vs. result size k, MinSigTree vs. baseline |
+//! | [`fig7_8`] | Figure 7.8 — indexing cost (build time, index size) |
+//! | [`fig7_9`] | Figure 7.9 — update cost vs. fraction of existing entities |
+
+pub mod fig7_1;
+pub mod fig7_2;
+pub mod fig7_3;
+pub mod fig7_4;
+pub mod fig7_5;
+pub mod fig7_6;
+pub mod fig7_7;
+pub mod fig7_8;
+pub mod fig7_9;

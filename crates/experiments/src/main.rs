@@ -1,0 +1,99 @@
+//! The `experiments` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <subcommand> [--scale smoke|small|paper-shape] [--csv]
+//!
+//! Subcommands:
+//!   fig7-1 .. fig7-9   one figure
+//!   all                every figure in order
+//!   list               list available experiments
+//! ```
+
+use experiments::{figs, run_all, Scale, Table};
+use std::process::ExitCode;
+
+fn print_table(table: &Table, csv: bool) {
+    if csv {
+        println!("# {}", table.title());
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_text());
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments <fig7-1|fig7-2|...|fig7-9|all|list> [--scale smoke|small|paper-shape] [--csv]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let mut command = String::new();
+    let mut scale = Scale::small();
+    let mut csv = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().as_deref().and_then(Scale::by_name) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("unknown scale (expected smoke, small or paper-shape)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => csv = true,
+            other if command.is_empty() => command = other.to_string(),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let runners: Vec<(&str, fn(&Scale) -> Table)> = vec![
+        ("fig7-1", figs::fig7_1::run),
+        ("fig7-2", figs::fig7_2::run),
+        ("fig7-3", figs::fig7_3::run),
+        ("fig7-4", figs::fig7_4::run),
+        ("fig7-5", figs::fig7_5::run),
+        ("fig7-6", figs::fig7_6::run),
+        ("fig7-7", figs::fig7_7::run),
+        ("fig7-8", figs::fig7_8::run),
+        ("fig7-9", figs::fig7_9::run),
+    ];
+
+    match command.as_str() {
+        "list" => {
+            for (name, _) in &runners {
+                println!("{name}");
+            }
+            println!("all");
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            eprintln!("running all experiments at scale '{}'...", scale.name);
+            for table in run_all(&scale) {
+                print_table(&table, csv);
+            }
+            ExitCode::SUCCESS
+        }
+        name => match runners.iter().find(|(n, _)| *n == name) {
+            Some((_, runner)) => {
+                eprintln!("running {name} at scale '{}'...", scale.name);
+                print_table(&runner(&scale), csv);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment: {name}");
+                usage();
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

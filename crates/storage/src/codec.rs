@@ -1,0 +1,131 @@
+//! Fixed-width binary encoding of raw trace records.
+//!
+//! A raw digital-trace record is the tuple `<entity, location, start, end>` as it
+//! would arrive from a WiFi controller or check-in feed.  Records are encoded
+//! little-endian into exactly [`TraceRecord::ENCODED_LEN`] bytes so that a page
+//! holds a predictable number of records and the external sort can reason about
+//! page counts precisely.
+
+use bytes::{Buf, BufMut};
+use trace_model::{EntityId, Period, PresenceInstance, SpatialUnitId};
+
+/// A raw trace record: one presence of one entity at one spatial unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceRecord {
+    /// The entity id.
+    pub entity: u64,
+    /// The base spatial unit of the presence.
+    pub unit: SpatialUnitId,
+    /// Start tick (inclusive).
+    pub start: u64,
+    /// End tick (exclusive).
+    pub end: u64,
+}
+
+impl TraceRecord {
+    /// Encoded size in bytes: 8 (entity) + 4 (unit) + 8 (start) + 8 (end).
+    pub const ENCODED_LEN: usize = 28;
+
+    /// Creates a record, normalising an inverted period to an empty one.
+    pub fn new(entity: u64, unit: SpatialUnitId, start: u64, end: u64) -> Self {
+        TraceRecord { entity, unit, start, end: end.max(start) }
+    }
+
+    /// Builds a record from a [`PresenceInstance`].
+    pub fn from_presence(pi: &PresenceInstance) -> Self {
+        TraceRecord {
+            entity: pi.entity.raw(),
+            unit: pi.unit,
+            start: pi.period.start,
+            end: pi.period.end,
+        }
+    }
+
+    /// Converts back into a [`PresenceInstance`].
+    pub fn to_presence(&self) -> PresenceInstance {
+        PresenceInstance::new(
+            EntityId(self.entity),
+            self.unit,
+            Period::new(self.start, self.end).expect("record periods are normalised"),
+        )
+    }
+
+    /// Encodes the record into a buffer.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u64_le(self.entity);
+        buf.put_u32_le(self.unit);
+        buf.put_u64_le(self.start);
+        buf.put_u64_le(self.end);
+    }
+
+    /// Decodes a record from a buffer (which must contain at least
+    /// [`Self::ENCODED_LEN`] bytes).
+    pub fn decode<B: Buf>(buf: &mut B) -> Self {
+        let entity = buf.get_u64_le();
+        let unit = buf.get_u32_le();
+        let start = buf.get_u64_le();
+        let end = buf.get_u64_le();
+        TraceRecord { entity, unit, start, end }
+    }
+
+    /// Duration of the presence in ticks.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encoded_len_matches_constant() {
+        let mut buf = Vec::new();
+        TraceRecord::new(1, 2, 3, 4).encode(&mut buf);
+        assert_eq!(buf.len(), TraceRecord::ENCODED_LEN);
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let rec = TraceRecord::new(u64::MAX, u32::MAX, 123, 456);
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let decoded = TraceRecord::decode(&mut buf.as_slice());
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn inverted_periods_are_normalised() {
+        let rec = TraceRecord::new(1, 1, 100, 50);
+        assert_eq!(rec.end, 100);
+        assert_eq!(rec.duration(), 0);
+    }
+
+    #[test]
+    fn presence_round_trip() {
+        let pi = PresenceInstance::new(EntityId(9), 4, Period::new(10, 70).unwrap());
+        let rec = TraceRecord::from_presence(&pi);
+        assert_eq!(rec.to_presence(), pi);
+    }
+
+    #[test]
+    fn ordering_is_entity_major() {
+        let a = TraceRecord::new(1, 9, 100, 200);
+        let b = TraceRecord::new(2, 0, 0, 1);
+        assert!(a < b);
+    }
+
+    proptest! {
+        #[test]
+        fn codec_round_trip_prop(entity in any::<u64>(), unit in any::<u32>(),
+                                 start in any::<u64>(), len in 0u64..1_000_000) {
+            let rec = TraceRecord::new(entity, unit, start, start.saturating_add(len));
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            prop_assert_eq!(buf.len(), TraceRecord::ENCODED_LEN);
+            let decoded = TraceRecord::decode(&mut buf.as_slice());
+            prop_assert_eq!(decoded, rec);
+        }
+    }
+}

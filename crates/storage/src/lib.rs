@@ -1,0 +1,39 @@
+//! # trace-storage
+//!
+//! The storage substrate used by the index-construction cost analysis (Section
+//! 4.3) and the memory-size sensitivity experiment (Figure 7.6) of *Top-k Queries
+//! over Digital Traces*.
+//!
+//! Real deployments of the paper's system ingest billions of raw trace records
+//! that are not organised by entity; before the MinSigTree can be built they are
+//! sorted by entity with a B-way external merge sort, and at query time the leaf
+//! evaluation reads entity traces from disk through a bounded buffer pool.  This
+//! crate provides those pieces against a deterministic in-process "virtual disk"
+//! so that I/O behaviour (pages read/written, sort passes, buffer-pool hit rates)
+//! is measurable and reproducible without depending on the machine's actual
+//! storage hardware:
+//!
+//! * [`codec`] — the fixed-width binary trace record format;
+//! * [`page`] — 8 KiB slotted pages of records;
+//! * [`disk`] — the virtual disk with read/write accounting;
+//! * [`sort`] — B-way external merge sort with pass counting (Section 4.3);
+//! * [`pool`] — an LRU buffer pool with a byte budget and simulated miss penalty;
+//! * [`store`] — the entity-ordered [`PagedTraceStore`] used by the paged query
+//!   path of the `minsig` crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod disk;
+pub mod page;
+pub mod pool;
+pub mod sort;
+pub mod store;
+
+pub use codec::TraceRecord;
+pub use disk::{DiskStats, PageId, VirtualDisk};
+pub use page::{Page, PAGE_SIZE};
+pub use pool::{BufferPool, PoolConfig, PoolStats};
+pub use sort::{external_sort, predicted_sort_io, SortStats};
+pub use store::{PagedTraceStore, StoreStats};

@@ -1,0 +1,246 @@
+//! An LRU buffer pool with a byte budget and simulated miss latency.
+//!
+//! Figure 7.6 of the paper studies search time as the memory allocated to the
+//! system varies from 10 % to 100 % of the raw data size.  To reproduce that
+//! experiment deterministically, page misses are charged a configurable
+//! *simulated* latency; the harness reports the resulting simulated elapsed time
+//! alongside the raw hit/miss counts, so the shape of the curve does not depend on
+//! the benchmarking machine's cache hierarchy.
+
+use crate::disk::{PageId, VirtualDisk};
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a [`BufferPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Maximum amount of page data kept in memory, in bytes.
+    pub capacity_bytes: usize,
+    /// Simulated latency charged per page miss, in microseconds.
+    pub miss_latency_us: u64,
+    /// Simulated latency charged per page hit, in microseconds.
+    pub hit_latency_us: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            capacity_bytes: 64 * PAGE_SIZE,
+            // Rough HDD-era numbers: a miss is ~100x more expensive than a hit.
+            miss_latency_us: 2_000,
+            hit_latency_us: 20,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A pool sized as a fraction of a dataset of `data_bytes` bytes (the x-axis
+    /// of Figure 7.6).
+    pub fn with_memory_fraction(data_bytes: usize, fraction: f64) -> Self {
+        let capacity = ((data_bytes as f64 * fraction) as usize).max(PAGE_SIZE);
+        PoolConfig { capacity_bytes: capacity, ..PoolConfig::default() }
+    }
+
+    /// Number of whole pages that fit in the budget (at least one).
+    pub fn capacity_pages(&self) -> usize {
+        (self.capacity_bytes / PAGE_SIZE).max(1)
+    }
+}
+
+/// Counters describing buffer-pool behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that had to read the virtual disk.
+    pub misses: u64,
+    /// Pages evicted to stay within budget.
+    pub evictions: u64,
+    /// Total simulated latency in microseconds.
+    pub simulated_us: u64,
+}
+
+impl PoolStats {
+    /// Hit rate in `[0, 1]`; zero when no request has been made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Cached pages and the LRU tick at which they were last used.
+    cache: HashMap<PageId, (Page, u64)>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+/// An LRU page cache in front of a [`VirtualDisk`].
+#[derive(Debug)]
+pub struct BufferPool<'d> {
+    disk: &'d VirtualDisk,
+    config: PoolConfig,
+    inner: Mutex<PoolInner>,
+}
+
+impl<'d> BufferPool<'d> {
+    /// Creates a pool over a disk.
+    pub fn new(disk: &'d VirtualDisk, config: PoolConfig) -> Self {
+        BufferPool { disk, config, inner: Mutex::new(PoolInner::default()) }
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Fetches a page, from cache when possible.
+    pub fn get(&self, id: PageId) -> Page {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((page, last_used)) = inner.cache.get_mut(&id) {
+            *last_used = tick;
+            let page = page.clone();
+            inner.stats.hits += 1;
+            inner.stats.simulated_us += self.config.hit_latency_us;
+            return page;
+        }
+        // Miss: read from disk, possibly evicting the least recently used page.
+        let page = self.disk.read_page(id);
+        inner.stats.misses += 1;
+        inner.stats.simulated_us += self.config.miss_latency_us;
+        let capacity = self.config.capacity_pages();
+        while inner.cache.len() >= capacity {
+            if let Some((&victim, _)) =
+                inner.cache.iter().min_by_key(|(_, (_, last_used))| *last_used)
+            {
+                inner.cache.remove(&victim);
+                inner.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        inner.cache.insert(id, (page.clone(), tick));
+        page
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the statistics (cached pages are kept).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = PoolStats::default();
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::TraceRecord;
+
+    fn disk_with_pages(n: u64) -> VirtualDisk {
+        let disk = VirtualDisk::new();
+        for i in 0..n {
+            let page: Page = (0..4).map(|j| TraceRecord::new(i * 10 + j, 0, 0, 1)).collect();
+            disk.write_page(&page);
+        }
+        disk.reset_stats();
+        disk
+    }
+
+    #[test]
+    fn repeated_access_hits_the_cache() {
+        let disk = disk_with_pages(4);
+        let pool = BufferPool::new(&disk, PoolConfig::default());
+        let a = pool.get(0);
+        let b = pool.get(0);
+        assert_eq!(a.records(), b.records());
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(disk.stats().reads, 1);
+    }
+
+    #[test]
+    fn capacity_limits_cached_pages_and_evicts_lru() {
+        let disk = disk_with_pages(10);
+        let config = PoolConfig { capacity_bytes: 2 * PAGE_SIZE, miss_latency_us: 0, hit_latency_us: 0 };
+        let pool = BufferPool::new(&disk, config);
+        pool.get(0);
+        pool.get(1);
+        pool.get(2); // evicts page 0 (LRU)
+        assert_eq!(pool.cached_pages(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        // Page 1 is still cached, page 0 is not.
+        pool.get(1);
+        assert_eq!(pool.stats().hits, 1);
+        pool.get(0);
+        assert_eq!(pool.stats().misses, 4);
+    }
+
+    #[test]
+    fn simulated_latency_accumulates() {
+        let disk = disk_with_pages(3);
+        let config = PoolConfig { capacity_bytes: PAGE_SIZE, miss_latency_us: 100, hit_latency_us: 1 };
+        let pool = BufferPool::new(&disk, config);
+        pool.get(0);
+        pool.get(0);
+        pool.get(1);
+        let stats = pool.stats();
+        assert_eq!(stats.simulated_us, 100 + 1 + 100);
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn larger_budgets_never_increase_misses() {
+        let disk = disk_with_pages(32);
+        // A fixed access pattern with locality.
+        let pattern: Vec<PageId> = (0..200).map(|i| (i % 20) as PageId).collect();
+        let mut previous_misses = u64::MAX;
+        for pages in [2usize, 8, 32] {
+            let config = PoolConfig {
+                capacity_bytes: pages * PAGE_SIZE,
+                miss_latency_us: 0,
+                hit_latency_us: 0,
+            };
+            let pool = BufferPool::new(&disk, config);
+            for &p in &pattern {
+                pool.get(p);
+            }
+            let misses = pool.stats().misses;
+            assert!(misses <= previous_misses, "more memory should not miss more");
+            previous_misses = misses;
+        }
+        assert_eq!(previous_misses, 20, "full-size pool misses only cold reads");
+    }
+
+    #[test]
+    fn memory_fraction_config_is_monotone() {
+        let small = PoolConfig::with_memory_fraction(100 * PAGE_SIZE, 0.1);
+        let large = PoolConfig::with_memory_fraction(100 * PAGE_SIZE, 0.9);
+        assert!(small.capacity_pages() < large.capacity_pages());
+        assert!(small.capacity_pages() >= 1);
+    }
+
+    #[test]
+    fn hit_rate_of_untouched_pool_is_zero() {
+        let disk = disk_with_pages(1);
+        let pool = BufferPool::new(&disk, PoolConfig::default());
+        assert_eq!(pool.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! B-way external merge sort of trace records (Section 4.3).
+//!
+//! The cost model in the paper is `2N × (1 + ⌈log_B⌈N/B⌉⌉)` page I/Os, where `N`
+//! is the number of pages of raw trace data and `B` the number of buffer pages:
+//! every pass reads and writes every page once, there is one run-formation pass,
+//! and each merge pass reduces the number of runs by a factor of `B`.
+//! [`external_sort`] implements exactly that algorithm against the
+//! [`VirtualDisk`], and [`predicted_sort_io`] evaluates the closed-form formula so
+//! tests can check the implementation against the model.
+
+use crate::codec::TraceRecord;
+use crate::disk::{PageId, VirtualDisk};
+use crate::page::{pack_pages, RECORDS_PER_PAGE};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Statistics of one external sort run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortStats {
+    /// Number of input pages (`N`).
+    pub input_pages: u64,
+    /// Number of passes over the data (run formation + merge passes).
+    pub passes: u64,
+    /// Pages read during the sort.
+    pub pages_read: u64,
+    /// Pages written during the sort.
+    pub pages_written: u64,
+    /// Number of initial sorted runs.
+    pub initial_runs: u64,
+}
+
+impl SortStats {
+    /// Total page I/Os.
+    pub fn total_io(&self) -> u64 {
+        self.pages_read + self.pages_written
+    }
+}
+
+/// The paper's closed-form I/O cost: `2N × (1 + ⌈log_B⌈N/B⌉⌉)`.
+pub fn predicted_sort_io(n_pages: u64, buffer_pages: u64) -> u64 {
+    if n_pages == 0 {
+        return 0;
+    }
+    let b = buffer_pages.max(2);
+    let runs = n_pages.div_ceil(b);
+    let mut passes = 1u64;
+    let mut current = runs;
+    while current > 1 {
+        current = current.div_ceil(b - 1).min(current.div_ceil(2));
+        // Standard B-way merge uses B-1 input buffers per merge pass.
+        passes += 1;
+    }
+    2 * n_pages * passes
+}
+
+/// A sorted run stored on the virtual disk as a list of page ids.
+#[derive(Debug, Clone)]
+struct Run {
+    pages: Vec<PageId>,
+}
+
+fn write_run(disk: &VirtualDisk, records: Vec<TraceRecord>) -> Run {
+    let pages = pack_pages(records).iter().map(|p| disk.write_page(p)).collect();
+    Run { pages }
+}
+
+fn read_run(disk: &VirtualDisk, run: &Run) -> Vec<TraceRecord> {
+    run.pages.iter().flat_map(|&id| disk.read_page(id).records().to_vec()).collect()
+}
+
+/// Sorts `records` by `(entity, start, unit)` using a B-way external merge sort
+/// with `buffer_pages` pages of memory, spilling runs to `disk`.
+///
+/// Returns the sorted records and the sort statistics.  `buffer_pages` must be at
+/// least 3 (one output buffer plus at least two input buffers), mirroring the
+/// classic text-book requirement.
+pub fn external_sort(
+    disk: &VirtualDisk,
+    records: Vec<TraceRecord>,
+    buffer_pages: usize,
+) -> (Vec<TraceRecord>, SortStats) {
+    assert!(buffer_pages >= 3, "external sort needs at least 3 buffer pages");
+    let input_pages = (records.len().div_ceil(RECORDS_PER_PAGE)) as u64;
+    let mut stats = SortStats { input_pages, ..SortStats::default() };
+    if records.is_empty() {
+        return (records, stats);
+    }
+
+    let before = disk.stats();
+
+    // Pass 0: run formation. Each run holds `buffer_pages` pages worth of records.
+    let run_capacity = buffer_pages * RECORDS_PER_PAGE;
+    let mut runs: Vec<Run> = Vec::new();
+    let mut iter = records.into_iter().peekable();
+    while iter.peek().is_some() {
+        let mut chunk: Vec<TraceRecord> = Vec::with_capacity(run_capacity);
+        for _ in 0..run_capacity {
+            match iter.next() {
+                Some(r) => chunk.push(r),
+                None => break,
+            }
+        }
+        chunk.sort_unstable_by_key(|r| (r.entity, r.start, r.unit, r.end));
+        runs.push(write_run(disk, chunk));
+    }
+    stats.initial_runs = runs.len() as u64;
+    stats.passes = 1;
+
+    // Merge passes: B-1 input runs at a time.
+    let fan_in = buffer_pages - 1;
+    while runs.len() > 1 {
+        let mut next_runs = Vec::with_capacity(runs.len().div_ceil(fan_in));
+        for group in runs.chunks(fan_in) {
+            let merged = merge_runs(disk, group);
+            next_runs.push(write_run(disk, merged));
+        }
+        runs = next_runs;
+        stats.passes += 1;
+    }
+
+    let sorted = read_run(disk, &runs[0]);
+    let after = disk.stats();
+    // Exclude the final materialising read from the sort cost? The paper's model
+    // charges every pass a full read+write, and the final read here corresponds to
+    // handing the sorted data to the index builder, so we count reads up to (and
+    // including) the last merge pass only.
+    stats.pages_read = after.reads - before.reads - runs[0].pages.len() as u64;
+    stats.pages_written = after.writes - before.writes;
+    (sorted, stats)
+}
+
+/// K-way merge of sorted runs using a min-heap keyed by the sort key.
+fn merge_runs(disk: &VirtualDisk, runs: &[Run]) -> Vec<TraceRecord> {
+    type Key = (u64, u64, u32, u64);
+    fn key(r: &TraceRecord) -> Key {
+        (r.entity, r.start, r.unit, r.end)
+    }
+
+    let sources: Vec<Vec<TraceRecord>> = runs.iter().map(|r| read_run(disk, r)).collect();
+    let mut cursors = vec![0usize; sources.len()];
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    for (i, src) in sources.iter().enumerate() {
+        if let Some(first) = src.first() {
+            heap.push(Reverse((key(first), i)));
+        }
+    }
+    let total: usize = sources.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, src_idx))) = heap.pop() {
+        let cursor = cursors[src_idx];
+        out.push(sources[src_idx][cursor]);
+        cursors[src_idx] += 1;
+        if let Some(next) = sources[src_idx].get(cursors[src_idx]) {
+            heap.push(Reverse((key(next), src_idx)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_records(n: usize, seed: u64) -> Vec<TraceRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let start = rng.gen_range(0..10_000u64);
+                TraceRecord::new(
+                    rng.gen_range(0..500u64),
+                    rng.gen_range(0..100u32),
+                    start,
+                    start + rng.gen_range(0..100u64),
+                )
+            })
+            .collect()
+    }
+
+    fn is_sorted(records: &[TraceRecord]) -> bool {
+        records.windows(2).all(|w| {
+            (w[0].entity, w[0].start, w[0].unit, w[0].end)
+                <= (w[1].entity, w[1].start, w[1].unit, w[1].end)
+        })
+    }
+
+    #[test]
+    fn sorts_small_input_in_one_run() {
+        let disk = VirtualDisk::new();
+        let records = random_records(50, 1);
+        let (sorted, stats) = external_sort(&disk, records.clone(), 4);
+        assert_eq!(sorted.len(), records.len());
+        assert!(is_sorted(&sorted));
+        assert_eq!(stats.initial_runs, 1);
+        assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn sorts_multi_run_input() {
+        let disk = VirtualDisk::new();
+        // With 3 buffer pages, each run is 3 pages; make enough records for ~8 runs.
+        let n = RECORDS_PER_PAGE * 24;
+        let records = random_records(n, 2);
+        let (sorted, stats) = external_sort(&disk, records.clone(), 3);
+        assert_eq!(sorted.len(), n);
+        assert!(is_sorted(&sorted));
+        assert!(stats.initial_runs >= 8);
+        assert!(stats.passes >= 2, "multiple merge passes expected");
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let disk = VirtualDisk::new();
+        let (sorted, stats) = external_sort(&disk, Vec::new(), 3);
+        assert!(sorted.is_empty());
+        assert_eq!(stats.total_io(), 0);
+    }
+
+    #[test]
+    fn io_grows_with_fewer_buffers() {
+        // Fewer buffer pages → more passes → more I/O, as in the Section 4.3 model.
+        let n = RECORDS_PER_PAGE * 64;
+        let records = random_records(n, 3);
+        let io_small = {
+            let disk = VirtualDisk::new();
+            external_sort(&disk, records.clone(), 3).1.total_io()
+        };
+        let io_large = {
+            let disk = VirtualDisk::new();
+            external_sort(&disk, records.clone(), 16).1.total_io()
+        };
+        assert!(
+            io_small > io_large,
+            "3 buffers should cost more I/O than 16 ({io_small} vs {io_large})"
+        );
+    }
+
+    #[test]
+    fn measured_io_is_close_to_the_paper_formula() {
+        let n = RECORDS_PER_PAGE * 32;
+        let records = random_records(n, 4);
+        let disk = VirtualDisk::new();
+        let (_, stats) = external_sort(&disk, records, 4);
+        let predicted = predicted_sort_io(stats.input_pages, 4);
+        let measured = stats.total_io();
+        // The formula assumes every pass touches exactly N pages; run boundaries
+        // can add a page per run, so allow 25% slack.
+        let ratio = measured as f64 / predicted as f64;
+        assert!((0.6..=1.35).contains(&ratio), "measured {measured} vs predicted {predicted}");
+    }
+
+    #[test]
+    fn predicted_formula_basics() {
+        assert_eq!(predicted_sort_io(0, 4), 0);
+        // N <= B: single pass.
+        assert_eq!(predicted_sort_io(4, 4), 8);
+        // More pages need more passes.
+        assert!(predicted_sort_io(1000, 4) > predicted_sort_io(100, 4));
+        assert!(predicted_sort_io(1000, 4) > predicted_sort_io(1000, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 buffer pages")]
+    fn too_few_buffers_panics() {
+        let disk = VirtualDisk::new();
+        let _ = external_sort(&disk, random_records(10, 5), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn sort_is_a_permutation_and_sorted(n in 0usize..2000, seed in 0u64..100, bufs in 3usize..8) {
+            let disk = VirtualDisk::new();
+            let records = random_records(n, seed);
+            let (sorted, _) = external_sort(&disk, records.clone(), bufs);
+            prop_assert!(is_sorted(&sorted));
+            let mut expect = records;
+            expect.sort_unstable_by_key(|r| (r.entity, r.start, r.unit, r.end));
+            prop_assert_eq!(sorted, expect);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The entity-ordered paged trace store.
+//!
+//! After the external sort has organised raw records by entity (Section 4.3), the
+//! records are packed into pages and a small directory maps every entity to the
+//! pages holding its trace.  The `minsig` paged query path reads candidate
+//! entities' traces through a [`BufferPool`] over this store, which is how the
+//! memory-size experiment of Figure 7.6 measures the effect of the buffer budget.
+
+use crate::codec::TraceRecord;
+use crate::disk::{PageId, VirtualDisk};
+use crate::page::{Page, PAGE_SIZE};
+use crate::pool::{BufferPool, PoolConfig, PoolStats};
+use crate::sort::{external_sort, SortStats};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use trace_model::{DigitalTrace, EntityId, TraceSet};
+
+/// Summary statistics of a store build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of records stored.
+    pub records: u64,
+    /// Number of data pages.
+    pub pages: u64,
+    /// Statistics of the external sort that organised the data by entity.
+    pub sort: SortStats,
+}
+
+impl StoreStats {
+    /// Size of the stored data in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.pages as usize * PAGE_SIZE
+    }
+}
+
+/// An entity-ordered, paged store of raw trace records.
+#[derive(Debug)]
+pub struct PagedTraceStore {
+    disk: VirtualDisk,
+    /// Data pages in entity order.
+    data_pages: Vec<PageId>,
+    /// For each entity: the range of indices into `data_pages` that contain at
+    /// least one of its records.
+    directory: BTreeMap<EntityId, Range<u32>>,
+    stats: StoreStats,
+}
+
+impl PagedTraceStore {
+    /// Builds a store from a trace set: flattens the presence instances into raw
+    /// records, external-sorts them by entity with `buffer_pages` pages of memory,
+    /// and packs the sorted records into pages.
+    pub fn build(traces: &TraceSet, buffer_pages: usize) -> Self {
+        let records: Vec<TraceRecord> = traces
+            .iter()
+            .flat_map(|(_, trace)| trace.instances().iter().map(TraceRecord::from_presence))
+            .collect();
+        Self::build_from_records(records, buffer_pages)
+    }
+
+    /// Builds a store from raw (unsorted) records.
+    pub fn build_from_records(records: Vec<TraceRecord>, buffer_pages: usize) -> Self {
+        let disk = VirtualDisk::new();
+        let num_records = records.len() as u64;
+        let (sorted, sort_stats) = external_sort(&disk, records, buffer_pages);
+
+        let mut data_pages: Vec<PageId> = Vec::new();
+        let mut directory: BTreeMap<EntityId, Range<u32>> = BTreeMap::new();
+        let mut current = Page::new();
+        let mut current_index = 0u32;
+        let note = |entity: u64, page_index: u32, directory: &mut BTreeMap<EntityId, Range<u32>>| {
+            directory
+                .entry(EntityId(entity))
+                .and_modify(|r| r.end = page_index + 1)
+                .or_insert(page_index..page_index + 1);
+        };
+        for rec in &sorted {
+            if !current.push(*rec) {
+                data_pages.push(disk.write_page(&current));
+                current = Page::new();
+                current_index += 1;
+                assert!(current.push(*rec), "fresh page accepts a record");
+            }
+            note(rec.entity, current_index, &mut directory);
+        }
+        if !current.is_empty() {
+            data_pages.push(disk.write_page(&current));
+        }
+
+        let stats = StoreStats { records: num_records, pages: data_pages.len() as u64, sort: sort_stats };
+        disk.reset_stats();
+        PagedTraceStore { disk, data_pages, directory, stats }
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The underlying virtual disk (for I/O accounting in experiments).
+    pub fn disk(&self) -> &VirtualDisk {
+        &self.disk
+    }
+
+    /// Number of entities with stored records.
+    pub fn num_entities(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Size of the raw data in bytes (used to size buffer pools as a fraction of
+    /// the data, as in Figure 7.6).
+    pub fn data_bytes(&self) -> usize {
+        self.stats.data_bytes()
+    }
+
+    /// Creates a buffer pool over this store's disk.
+    pub fn pool(&self, config: PoolConfig) -> BufferPool<'_> {
+        BufferPool::new(&self.disk, config)
+    }
+
+    /// Reads an entity's trace through the given buffer pool, returning `None`
+    /// when the entity has no records.
+    pub fn read_trace(&self, pool: &BufferPool<'_>, entity: EntityId) -> Option<DigitalTrace> {
+        let range = self.directory.get(&entity)?.clone();
+        let mut trace = DigitalTrace::new();
+        for idx in range {
+            let page = pool.get(self.data_pages[idx as usize]);
+            for rec in page.records() {
+                if rec.entity == entity.raw() {
+                    trace.push(rec.to_presence());
+                }
+            }
+        }
+        Some(trace)
+    }
+
+    /// Reads an entity's trace without a pool (every page access is a disk read).
+    pub fn read_trace_uncached(&self, entity: EntityId) -> Option<DigitalTrace> {
+        let range = self.directory.get(&entity)?.clone();
+        let mut trace = DigitalTrace::new();
+        for idx in range {
+            let page = self.disk.read_page(self.data_pages[idx as usize]);
+            for rec in page.records() {
+                if rec.entity == entity.raw() {
+                    trace.push(rec.to_presence());
+                }
+            }
+        }
+        Some(trace)
+    }
+
+    /// Convenience: the pool statistics after a workload (simply forwards).
+    pub fn pool_stats(pool: &BufferPool<'_>) -> PoolStats {
+        pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{Period, PresenceInstance, SpIndex};
+
+    fn sample_traces(entities: u64, instances_per_entity: u64) -> (SpIndex, TraceSet) {
+        let sp = SpIndex::uniform(2, &[4]).unwrap();
+        let base = sp.base_units().to_vec();
+        let mut ts = TraceSet::new(60);
+        for e in 0..entities {
+            for i in 0..instances_per_entity {
+                let unit = base[((e + i) % base.len() as u64) as usize];
+                let start = i * 120;
+                ts.record(PresenceInstance::new(
+                    EntityId(e),
+                    unit,
+                    Period::new(start, start + 60).unwrap(),
+                ));
+            }
+        }
+        (sp, ts)
+    }
+
+    #[test]
+    fn build_and_read_back_every_entity() {
+        let (_sp, ts) = sample_traces(20, 5);
+        let store = PagedTraceStore::build(&ts, 4);
+        assert_eq!(store.num_entities(), 20);
+        assert_eq!(store.stats().records, 100);
+        let pool = store.pool(PoolConfig::default());
+        for (entity, trace) in ts.iter() {
+            let read = store.read_trace(&pool, entity).expect("entity exists");
+            assert_eq!(read.len(), trace.len());
+            assert_eq!(read.total_duration(), trace.total_duration());
+        }
+    }
+
+    #[test]
+    fn missing_entity_returns_none() {
+        let (_sp, ts) = sample_traces(3, 2);
+        let store = PagedTraceStore::build(&ts, 4);
+        let pool = store.pool(PoolConfig::default());
+        assert!(store.read_trace(&pool, EntityId(999)).is_none());
+        assert!(store.read_trace_uncached(EntityId(999)).is_none());
+    }
+
+    #[test]
+    fn cached_and_uncached_reads_agree() {
+        let (_sp, ts) = sample_traces(10, 8);
+        let store = PagedTraceStore::build(&ts, 4);
+        let pool = store.pool(PoolConfig::default());
+        for entity in ts.entities() {
+            let cached = store.read_trace(&pool, entity).unwrap();
+            let uncached = store.read_trace_uncached(entity).unwrap();
+            assert_eq!(cached.instances(), uncached.instances());
+        }
+    }
+
+    #[test]
+    fn smaller_pools_miss_more() {
+        // Enough data to span many pages.
+        let (_sp, ts) = sample_traces(500, 40);
+        let store = PagedTraceStore::build(&ts, 8);
+        assert!(store.stats().pages > 8, "need multiple pages for this test");
+        let workload: Vec<EntityId> = ts.entities().collect();
+
+        let mut misses = Vec::new();
+        for fraction in [0.05, 0.5, 1.0] {
+            let pool = store.pool(PoolConfig::with_memory_fraction(store.data_bytes(), fraction));
+            // Two sweeps: the second sweep benefits from caching when memory allows.
+            for _ in 0..2 {
+                for &e in &workload {
+                    store.read_trace(&pool, e);
+                }
+            }
+            misses.push(pool.stats().misses);
+        }
+        assert!(misses[0] >= misses[1]);
+        assert!(misses[1] >= misses[2]);
+        assert!(misses[0] > misses[2], "10x memory difference must show up in misses");
+    }
+
+    #[test]
+    fn empty_trace_set_builds_an_empty_store() {
+        let ts = TraceSet::new(60);
+        let store = PagedTraceStore::build(&ts, 4);
+        assert_eq!(store.num_entities(), 0);
+        assert_eq!(store.stats().records, 0);
+        assert_eq!(store.stats().pages, 0);
+    }
+}

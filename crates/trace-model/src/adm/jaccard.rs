@@ -1,0 +1,109 @@
+//! Weighted per-level Jaccard similarity.
+
+use super::{jaccard_ratio, AssociationMeasure};
+use crate::ajpi::LevelOverlap;
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A Jaccard-style measure: `deg = Σ_l w_l · |seq^l_a ∩ seq^l_b| / |seq^l_a ∪ seq^l_b|`.
+///
+/// Included because the paper motivates `deg` as a generalisation of a family of
+/// set-similarity functions that contains Jaccard, and because MinHash was
+/// originally designed for Jaccard similarity — this measure lets the experiments
+/// confirm the index behaves the same way under it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JaccardAdm {
+    weights: Vec<f64>,
+    name: String,
+}
+
+impl JaccardAdm {
+    /// Creates the measure from explicit per-level weights (index 0 = level 1).
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(ModelError::InvalidMeasureParameter("weights must not be empty".into()));
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(ModelError::InvalidMeasureParameter(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(ModelError::InvalidMeasureParameter(format!(
+                "weights must sum to at most 1 (got {sum})"
+            )));
+        }
+        let name = format!("jaccard-adm({} levels)", weights.len());
+        Ok(JaccardAdm { weights, name })
+    }
+
+    /// Uniform weights `1/m` over `m` levels.
+    pub fn uniform(num_levels: usize) -> Self {
+        JaccardAdm::new(vec![1.0 / num_levels as f64; num_levels])
+            .expect("uniform weights are always valid")
+    }
+
+    /// The per-level weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl AssociationMeasure for JaccardAdm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn degree_from_overlap(&self, overlap: &LevelOverlap) -> f64 {
+        debug_assert_eq!(overlap.num_levels(), self.weights.len());
+        overlap
+            .iter()
+            .map(|(level, stat)| self.weights[(level - 1) as usize] * jaccard_ratio(stat))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adm::test_support::{check_axioms, fixtures};
+    use crate::ajpi::LevelStat;
+
+    #[test]
+    fn construction_validates_weights() {
+        assert!(JaccardAdm::new(vec![]).is_err());
+        assert!(JaccardAdm::new(vec![2.0]).is_err());
+        assert!(JaccardAdm::new(vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn satisfies_section_3_2_axioms() {
+        check_axioms(&JaccardAdm::uniform(2));
+    }
+
+    #[test]
+    fn identical_entities_score_the_weight_sum() {
+        let (_sp, a, _b, _c) = fixtures();
+        let m = JaccardAdm::uniform(2);
+        assert!((m.degree(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_exceeds_dice_on_the_same_overlap() {
+        // For a non-trivial overlap, |union| <= |a| + |b|, so Jaccard >= Dice.
+        let stats = vec![LevelStat { overlap: 2, size_a: 4, size_b: 3 }];
+        let ov = LevelOverlap::from_stats(stats);
+        let j = JaccardAdm::uniform(1).degree_from_overlap(&ov);
+        let d = super::super::DiceAdm::uniform(1).degree_from_overlap(&ov);
+        assert!(j > d);
+    }
+
+    #[test]
+    fn disjoint_entities_score_zero() {
+        let m = JaccardAdm::uniform(2);
+        let ov = LevelOverlap::from_stats(vec![LevelStat { overlap: 0, size_a: 3, size_b: 9 }; 2]);
+        assert_eq!(m.degree_from_overlap(&ov), 0.0);
+    }
+}

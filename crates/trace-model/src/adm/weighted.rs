@@ -1,0 +1,151 @@
+//! A configurable measure combining a level-weighting scheme with a choice of
+//! per-level set-similarity ratio.  This is the "other ADMs" knob the paper
+//! alludes to when it says its experiments with several other measures reveal
+//! the same trends.
+
+use super::{dice_ratio, jaccard_ratio, AssociationMeasure};
+use crate::ajpi::{LevelOverlap, LevelStat};
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The per-level similarity ratio used by [`WeightedLevelAdm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LevelRatio {
+    /// `|a ∩ b| / (|a| + |b|)` — maximum 1/2.
+    Dice,
+    /// `|a ∩ b| / |a ∪ b|` — maximum 1.
+    Jaccard,
+    /// `|a ∩ b| / |b|` — containment of the other entity in the query; maximum 1.
+    Containment,
+}
+
+impl LevelRatio {
+    fn apply(self, stat: LevelStat) -> f64 {
+        match self {
+            LevelRatio::Dice => dice_ratio(stat),
+            LevelRatio::Jaccard => jaccard_ratio(stat),
+            LevelRatio::Containment => {
+                if stat.size_b == 0 {
+                    0.0
+                } else {
+                    stat.overlap as f64 / stat.size_b as f64
+                }
+            }
+        }
+    }
+
+    fn max_value(self) -> f64 {
+        match self {
+            LevelRatio::Dice => 0.5,
+            LevelRatio::Jaccard | LevelRatio::Containment => 1.0,
+        }
+    }
+}
+
+/// `deg = Σ_l l^u · ratio_l^v / max` with a selectable per-level ratio.
+///
+/// With `ratio = Dice` this coincides with [`PaperAdm`](super::PaperAdm); the
+/// other ratios are alternative members of the Section 3.2 family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedLevelAdm {
+    u: f64,
+    v: f64,
+    ratio: LevelRatio,
+    num_levels: usize,
+    max: f64,
+    name: String,
+}
+
+impl WeightedLevelAdm {
+    /// Creates the measure.
+    pub fn new(num_levels: usize, u: f64, v: f64, ratio: LevelRatio) -> Result<Self> {
+        if num_levels == 0 {
+            return Err(ModelError::InvalidMeasureParameter("num_levels must be positive".into()));
+        }
+        if !(u >= 1.0) || !(v >= 1.0) {
+            return Err(ModelError::InvalidMeasureParameter(format!(
+                "u and v must be >= 1 (got u={u}, v={v})"
+            )));
+        }
+        let per_level_max = ratio.max_value().powf(v);
+        let max: f64 = (1..=num_levels).map(|l| (l as f64).powf(u) * per_level_max).sum();
+        Ok(WeightedLevelAdm {
+            u,
+            v,
+            ratio,
+            num_levels,
+            max,
+            name: format!("weighted-adm({ratio:?},u={u},v={v})"),
+        })
+    }
+
+    /// The ratio kind in use.
+    pub fn ratio(&self) -> LevelRatio {
+        self.ratio
+    }
+}
+
+impl AssociationMeasure for WeightedLevelAdm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn degree_from_overlap(&self, overlap: &LevelOverlap) -> f64 {
+        debug_assert_eq!(overlap.num_levels(), self.num_levels);
+        let mut score = 0.0;
+        for (level, stat) in overlap.iter() {
+            let r = self.ratio.apply(stat);
+            if r > 0.0 {
+                score += (level as f64).powf(self.u) * r.powf(self.v);
+            }
+        }
+        (score / self.max).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adm::test_support::check_axioms;
+    use crate::adm::PaperAdm;
+    use crate::ajpi::LevelStat;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(WeightedLevelAdm::new(0, 2.0, 2.0, LevelRatio::Dice).is_err());
+        assert!(WeightedLevelAdm::new(2, 0.0, 2.0, LevelRatio::Dice).is_err());
+        assert!(WeightedLevelAdm::new(2, 2.0, 2.0, LevelRatio::Jaccard).is_ok());
+    }
+
+    #[test]
+    fn all_ratios_satisfy_the_axioms() {
+        for ratio in [LevelRatio::Dice, LevelRatio::Jaccard, LevelRatio::Containment] {
+            check_axioms(&WeightedLevelAdm::new(2, 2.0, 2.0, ratio).unwrap());
+        }
+    }
+
+    #[test]
+    fn dice_ratio_matches_paper_adm() {
+        let w = WeightedLevelAdm::new(3, 2.0, 3.0, LevelRatio::Dice).unwrap();
+        let p = PaperAdm::new(3, 2.0, 3.0).unwrap();
+        let ov = LevelOverlap::from_stats(vec![
+            LevelStat { overlap: 2, size_a: 5, size_b: 4 },
+            LevelStat { overlap: 1, size_a: 5, size_b: 4 },
+            LevelStat { overlap: 0, size_a: 5, size_b: 4 },
+        ]);
+        assert!((w.degree_from_overlap(&ov) - p.degree_from_overlap(&ov)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_reaches_one_when_other_entity_is_subset() {
+        let m = WeightedLevelAdm::new(1, 2.0, 2.0, LevelRatio::Containment).unwrap();
+        let ov = LevelOverlap::from_stats(vec![LevelStat { overlap: 3, size_a: 10, size_b: 3 }]);
+        assert!((m.degree_from_overlap(&ov) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_accessor_reports_kind() {
+        let m = WeightedLevelAdm::new(1, 2.0, 2.0, LevelRatio::Jaccard).unwrap();
+        assert_eq!(m.ratio(), LevelRatio::Jaccard);
+    }
+}

@@ -1,0 +1,411 @@
+//! Spatial-temporal cells (ST-cells) and per-level ST-cell set sequences
+//! (Sections 3.1 and 4.1 of the paper).
+//!
+//! An ST-cell is the combination of a base temporal unit and a spatial unit; the
+//! base-level ST-cells are the atomic units of presence.  An entity's trace is
+//! represented as a *sequence of ST-cell sets*, one set per sp-index level, where
+//! the level-`i` set contains the projections of the base-level cells onto level
+//! `i` (Example 4.1.1).
+
+use crate::error::Result;
+use crate::spatial::{Level, SpIndex, SpatialUnitId};
+use crate::time::TimeUnit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A spatial-temporal cell: one base temporal unit spent in one spatial unit.
+///
+/// Packed into a single `u64` (time in the high 32 bits) so that sorting by the
+/// packed value orders cells time-major, and so that cell sets are cache-friendly
+/// flat arrays of `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StCell(u64);
+
+impl StCell {
+    /// Creates a cell from a time unit and a spatial unit.
+    #[inline]
+    pub fn new(time: TimeUnit, unit: SpatialUnitId) -> Self {
+        StCell(((time as u64) << 32) | unit as u64)
+    }
+
+    /// The base temporal unit of this cell.
+    #[inline]
+    pub fn time(self) -> TimeUnit {
+        (self.0 >> 32) as TimeUnit
+    }
+
+    /// The spatial unit of this cell.
+    #[inline]
+    pub fn unit(self) -> SpatialUnitId {
+        self.0 as u32
+    }
+
+    /// The packed representation (useful as a hashing key).
+    #[inline]
+    pub fn packed(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a cell from its packed representation.
+    #[inline]
+    pub fn from_packed(packed: u64) -> Self {
+        StCell(packed)
+    }
+}
+
+impl fmt::Display for StCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}l{}", self.time(), self.unit())
+    }
+}
+
+/// A set of ST-cells, stored as a sorted, deduplicated vector.
+///
+/// Set operations (intersection size, union, difference) are linear merges over
+/// the sorted representation, which keeps the hot query path allocation-free and
+/// branch-predictable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSet {
+    cells: Vec<StCell>,
+}
+
+impl CellSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CellSet { cells: Vec::new() }
+    }
+
+    /// Creates a set from an arbitrary iterator of cells (sorts and deduplicates).
+    pub fn from_cells<I: IntoIterator<Item = StCell>>(iter: I) -> Self {
+        let mut cells: Vec<StCell> = iter.into_iter().collect();
+        cells.sort_unstable();
+        cells.dedup();
+        CellSet { cells }
+    }
+
+    /// Creates a set from a vector that is already sorted and deduplicated.
+    ///
+    /// Debug builds assert the precondition.
+    pub fn from_sorted_unique(cells: Vec<StCell>) -> Self {
+        debug_assert!(cells.windows(2).all(|w| w[0] < w[1]), "cells must be sorted and unique");
+        CellSet { cells }
+    }
+
+    /// Number of cells in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the set has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates the cells in ascending packed order.
+    pub fn iter(&self) -> impl Iterator<Item = StCell> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// Read-only view of the underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[StCell] {
+        &self.cells
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, cell: StCell) -> bool {
+        self.cells.binary_search(&cell).is_ok()
+    }
+
+    /// Inserts a cell, keeping the sorted-unique invariant. Returns true when the
+    /// cell was not already present.
+    pub fn insert(&mut self, cell: StCell) -> bool {
+        match self.cells.binary_search(&cell) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.cells.insert(pos, cell);
+                true
+            }
+        }
+    }
+
+    /// Size of the intersection with another set (linear merge).
+    pub fn intersection_len(&self, other: &CellSet) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.cells, &other.cells);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The intersection with another set.
+    pub fn intersection(&self, other: &CellSet) -> CellSet {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        let (a, b) = (&self.cells, &other.cells);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        CellSet { cells: out }
+    }
+
+    /// The union with another set.
+    pub fn union(&self, other: &CellSet) -> CellSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.cells, &other.cells);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        CellSet { cells: out }
+    }
+
+    /// Cells of `self` that are not in `other`.
+    pub fn difference(&self, other: &CellSet) -> CellSet {
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.cells, &other.cells);
+        while i < a.len() {
+            if j >= b.len() || a[i] < b[j] {
+                out.push(a[i]);
+                i += 1;
+            } else if a[i] > b[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        CellSet { cells: out }
+    }
+
+    /// True when every cell of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &CellSet) -> bool {
+        self.intersection_len(other) == self.len()
+    }
+}
+
+impl FromIterator<StCell> for CellSet {
+    fn from_iter<I: IntoIterator<Item = StCell>>(iter: I) -> Self {
+        CellSet::from_cells(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a CellSet {
+    type Item = StCell;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, StCell>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter().copied()
+    }
+}
+
+/// The per-level ST-cell set sequence `seq_a` of an entity (Section 4.1).
+///
+/// `sets[i - 1]` is `seq_a^i`, the set of level-`i` ST-cells.  The sequence is
+/// built from the base-level cells by projecting every cell's spatial unit to each
+/// ancestor level, exactly as in Example 4.1.1.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSetSequence {
+    sets: Vec<CellSet>,
+}
+
+impl CellSetSequence {
+    /// Builds the sequence from the base-level cells of an entity.
+    pub fn from_base_cells(sp: &SpIndex, base_cells: &CellSet) -> Result<Self> {
+        let m = sp.height() as usize;
+        let mut sets: Vec<Vec<StCell>> = vec![Vec::new(); m];
+        for cell in base_cells.iter() {
+            for level in 1..=m as Level {
+                let ancestor = sp.ancestor_at_level(cell.unit(), level)?;
+                sets[(level - 1) as usize].push(StCell::new(cell.time(), ancestor));
+            }
+        }
+        Ok(CellSetSequence { sets: sets.into_iter().map(CellSet::from_cells).collect() })
+    }
+
+    /// Builds a sequence directly from per-level sets (used by tests reproducing
+    /// the paper's worked example).
+    pub fn from_level_sets(sets: Vec<CellSet>) -> Self {
+        CellSetSequence { sets }
+    }
+
+    /// Number of levels (`m`).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The set at a given level (1-based, as in the paper).
+    pub fn level(&self, level: Level) -> &CellSet {
+        &self.sets[(level - 1) as usize]
+    }
+
+    /// The base-level set `seq^m` (all ST-cells the entity is present in).
+    pub fn base(&self) -> &CellSet {
+        self.sets.last().expect("sequence has at least one level")
+    }
+
+    /// Iterates `(level, set)` pairs from level 1 to level m.
+    pub fn iter_levels(&self) -> impl Iterator<Item = (Level, &CellSet)> {
+        self.sets.iter().enumerate().map(|(i, s)| ((i + 1) as Level, s))
+    }
+
+    /// Total number of cells across all levels (a measure of representation size).
+    pub fn total_cells(&self) -> usize {
+        self.sets.iter().map(CellSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::SpIndexBuilder;
+
+    fn cell(t: TimeUnit, u: SpatialUnitId) -> StCell {
+        StCell::new(t, u)
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        let c = cell(0xDEAD, 0xBEEF);
+        assert_eq!(c.time(), 0xDEAD);
+        assert_eq!(c.unit(), 0xBEEF);
+        assert_eq!(StCell::from_packed(c.packed()), c);
+        assert_eq!(c.to_string(), format!("t{}l{}", 0xDEAD, 0xBEEF));
+    }
+
+    #[test]
+    fn ordering_is_time_major() {
+        assert!(cell(1, 100) < cell(2, 0));
+        assert!(cell(1, 1) < cell(1, 2));
+    }
+
+    #[test]
+    fn from_cells_sorts_and_dedups() {
+        let s = CellSet::from_cells(vec![cell(2, 1), cell(1, 1), cell(2, 1), cell(1, 3)]);
+        assert_eq!(s.len(), 3);
+        let v: Vec<StCell> = s.iter().collect();
+        assert_eq!(v, vec![cell(1, 1), cell(1, 3), cell(2, 1)]);
+    }
+
+    #[test]
+    fn insert_maintains_invariants() {
+        let mut s = CellSet::new();
+        assert!(s.insert(cell(3, 3)));
+        assert!(s.insert(cell(1, 1)));
+        assert!(!s.insert(cell(3, 3)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(cell(1, 1)));
+        assert!(!s.contains(cell(2, 2)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = CellSet::from_cells(vec![cell(1, 1), cell(1, 2), cell(2, 1)]);
+        let b = CellSet::from_cells(vec![cell(1, 2), cell(2, 1), cell(3, 5)]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.intersection(&b).len(), 2);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.difference(&b).len(), 1);
+        assert_eq!(b.difference(&a).len(), 1);
+        assert!(a.intersection(&b).is_subset_of(&a));
+        assert!(a.intersection(&b).is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn empty_set_algebra_edge_cases() {
+        let a = CellSet::new();
+        let b = CellSet::from_cells(vec![cell(1, 1)]);
+        assert_eq!(a.intersection_len(&b), 0);
+        assert_eq!(a.union(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 0);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_subset_of(&a));
+        assert!(a.is_empty());
+    }
+
+    /// Example 4.1.1 from the paper: entity present at L3 at time T1 and L1 at
+    /// time T2 has seq^2 = {T1L3, T2L1}, seq^1 = {T1L6, T2L5}.
+    #[test]
+    fn paper_example_4_1_1_projection() {
+        let mut b = SpIndexBuilder::new(2);
+        let l5 = b.add_top_unit().unwrap();
+        let l6 = b.add_top_unit().unwrap();
+        let l1 = b.add_child(l5).unwrap();
+        let _l2 = b.add_child(l5).unwrap();
+        let l3 = b.add_child(l6).unwrap();
+        let _l4 = b.add_child(l6).unwrap();
+        let sp = b.build().unwrap();
+
+        let base = CellSet::from_cells(vec![cell(1, l3), cell(2, l1)]);
+        let seq = CellSetSequence::from_base_cells(&sp, &base).unwrap();
+        assert_eq!(seq.num_levels(), 2);
+        assert_eq!(seq.level(2), &base);
+        let expected_l1 = CellSet::from_cells(vec![cell(1, l6), cell(2, l5)]);
+        assert_eq!(seq.level(1), &expected_l1);
+        assert_eq!(seq.base(), &base);
+        assert_eq!(seq.total_cells(), 4);
+    }
+
+    #[test]
+    fn projection_merges_siblings_into_one_parent_cell() {
+        // Two different children of the same parent at the same time collapse into
+        // a single parent-level cell.
+        let mut b = SpIndexBuilder::new(2);
+        let top = b.add_top_unit().unwrap();
+        let c1 = b.add_child(top).unwrap();
+        let c2 = b.add_child(top).unwrap();
+        let sp = b.build().unwrap();
+        let base = CellSet::from_cells(vec![cell(5, c1), cell(5, c2)]);
+        let seq = CellSetSequence::from_base_cells(&sp, &base).unwrap();
+        assert_eq!(seq.level(2).len(), 2);
+        assert_eq!(seq.level(1).len(), 1);
+    }
+
+    #[test]
+    fn iter_levels_is_one_based_and_ordered() {
+        let sp = SpIndex::uniform(2, &[2, 2]).unwrap();
+        let base_unit = sp.base_units()[0];
+        let base = CellSet::from_cells(vec![cell(0, base_unit)]);
+        let seq = CellSetSequence::from_base_cells(&sp, &base).unwrap();
+        let levels: Vec<Level> = seq.iter_levels().map(|(l, _)| l).collect();
+        assert_eq!(levels, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Entity identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque identifier for an entity (a person, a device, ...).
+///
+/// The paper's target applications track tens of millions of entities, so the id is
+/// a `u64` newtype.  Using a newtype rather than a bare integer keeps entity ids,
+/// spatial unit ids and time units from being mixed up at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId(pub u64);
+
+impl EntityId {
+    /// Returns the raw integer value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for EntityId {
+    fn from(v: u64) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<EntityId> for u64 {
+    fn from(v: EntityId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = EntityId::from(42u64);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(id, EntityId(42));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(EntityId(7).to_string(), "e7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        let mut set = BTreeSet::new();
+        set.insert(EntityId(3));
+        set.insert(EntityId(1));
+        set.insert(EntityId(2));
+        let ordered: Vec<u64> = set.into_iter().map(|e| e.raw()).collect();
+        assert_eq!(ordered, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The worked example of Sections 4.1–4.2 (Tables 4.1–4.3, Figure 4.1), exposed
+//! as reusable fixtures so that the index crate and the documentation examples
+//! can reproduce the paper's numbers exactly.
+
+use crate::cell::{CellSet, CellSetSequence, StCell};
+use crate::entity::EntityId;
+use crate::spatial::{SpIndex, SpIndexBuilder, SpatialUnitId};
+use crate::time::TimeUnit;
+
+/// The spatial units of the example: base units `L1..L4` and their parents
+/// `L5 = {L1, L2}`, `L6 = {L3, L4}`.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperUnits {
+    /// Base unit L1 (child of L5).
+    pub l1: SpatialUnitId,
+    /// Base unit L2 (child of L5).
+    pub l2: SpatialUnitId,
+    /// Base unit L3 (child of L6).
+    pub l3: SpatialUnitId,
+    /// Base unit L4 (child of L6).
+    pub l4: SpatialUnitId,
+    /// Level-1 unit L5.
+    pub l5: SpatialUnitId,
+    /// Level-1 unit L6.
+    pub l6: SpatialUnitId,
+}
+
+/// The complete worked example: hierarchy, units, the four entities' ST-cell set
+/// sequences (Table 4.2) and the fixed hash table of Table 4.1.
+#[derive(Debug, Clone)]
+pub struct PaperExample {
+    /// The two-level sp-index.
+    pub sp: SpIndex,
+    /// Named spatial units.
+    pub units: PaperUnits,
+    /// The four entities in Table 4.2 order: `e_a, e_b, e_c, e_d`.
+    pub entities: Vec<(EntityId, CellSetSequence)>,
+}
+
+/// Time units `T1` and `T2` of the example.
+pub const T1: TimeUnit = 1;
+/// Second time unit of the example.
+pub const T2: TimeUnit = 2;
+
+impl PaperExample {
+    /// Builds the example.
+    pub fn build() -> Self {
+        let mut b = SpIndexBuilder::new(2);
+        let l5 = b.add_top_unit().expect("top unit");
+        let l6 = b.add_top_unit().expect("top unit");
+        let l1 = b.add_child(l5).expect("child");
+        let l2 = b.add_child(l5).expect("child");
+        let l3 = b.add_child(l6).expect("child");
+        let l4 = b.add_child(l6).expect("child");
+        let sp = b.build().expect("example hierarchy is valid");
+        let units = PaperUnits { l1, l2, l3, l4, l5, l6 };
+
+        // Table 4.2: the base-level ST-cell sets of the four entities.
+        let base_sets = [
+            (EntityId(0), vec![StCell::new(T1, l2), StCell::new(T2, l1)]), // e_a
+            (EntityId(1), vec![StCell::new(T1, l1), StCell::new(T2, l2)]), // e_b
+            (EntityId(2), vec![StCell::new(T1, l3), StCell::new(T2, l1)]), // e_c
+            (EntityId(3), vec![StCell::new(T1, l4), StCell::new(T2, l4)]), // e_d
+        ];
+        let entities = base_sets
+            .into_iter()
+            .map(|(e, cells)| {
+                let seq = CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(cells))
+                    .expect("example cells are valid");
+                (e, seq)
+            })
+            .collect();
+        PaperExample { sp, units, entities }
+    }
+
+    /// The hash value of Table 4.1 for hash function `h` (1 or 2) and a base-level
+    /// ST-cell; `None` for cells outside the table.
+    pub fn hash_value(&self, h: usize, cell: StCell) -> Option<u32> {
+        let u = self.units;
+        let col = |unit: SpatialUnitId| -> Option<usize> {
+            [u.l1, u.l2, u.l3, u.l4].iter().position(|&x| x == unit)
+        };
+        let row_h1 = [[2u32, 8], [5, 1], [4, 6], [7, 3]];
+        let row_h2 = [[8u32, 3], [6, 5], [4, 1], [2, 7]];
+        let t = match cell.time() {
+            T1 => 0usize,
+            T2 => 1usize,
+            _ => return None,
+        };
+        let c = col(cell.unit())?;
+        match h {
+            1 => Some(row_h1[c][t]),
+            2 => Some(row_h2[c][t]),
+            _ => None,
+        }
+    }
+
+    /// The expected signature table of Table 4.3: for each entity, the level-1 and
+    /// level-2 signatures `(sig^1, sig^2)` as `[h1, h2]` pairs.
+    ///
+    /// One correction with respect to the thesis: Table 4.3 lists `sig^2_d = ⟨3, 7⟩`,
+    /// but applying the MinHash definition of Section 4.2.1 to Table 4.1
+    /// (`h2(T1L4) = 2`, `h2(T2L4) = 7`) gives `min(2, 7) = 2`, so the faithful
+    /// value is `⟨3, 2⟩`.  Every other entry matches the thesis exactly.
+    pub fn expected_signatures(&self) -> Vec<(EntityId, [u32; 2], [u32; 2])> {
+        vec![
+            (EntityId(0), [1, 3], [5, 3]),
+            (EntityId(1), [1, 3], [1, 5]),
+            (EntityId(2), [1, 2], [4, 3]),
+            (EntityId(3), [3, 1], [3, 2]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adm::{AssociationMeasure, DiceAdm};
+
+    #[test]
+    fn example_has_four_entities_with_two_levels() {
+        let ex = PaperExample::build();
+        assert_eq!(ex.entities.len(), 4);
+        for (_, seq) in &ex.entities {
+            assert_eq!(seq.num_levels(), 2);
+            assert_eq!(seq.base().len(), 2);
+        }
+    }
+
+    /// Table 4.2: the level-1 projections match the paper's listed sequences.
+    #[test]
+    fn level_one_sets_match_table_4_2() {
+        let ex = PaperExample::build();
+        let u = ex.units;
+        let expect = [
+            vec![StCell::new(T1, u.l5), StCell::new(T2, u.l5)], // e_a
+            vec![StCell::new(T1, u.l5), StCell::new(T2, u.l5)], // e_b
+            vec![StCell::new(T1, u.l6), StCell::new(T2, u.l5)], // e_c
+            vec![StCell::new(T1, u.l6), StCell::new(T2, u.l6)], // e_d
+        ];
+        for ((_, seq), cells) in ex.entities.iter().zip(expect) {
+            assert_eq!(seq.level(1), &CellSet::from_cells(cells));
+        }
+    }
+
+    /// Table 4.1: spot-check a few hash values and the hierarchical min property
+    /// used in Example 4.2.1 (h1(T1L5) = min(h1(T1L1), h1(T1L2)) = 2, etc.).
+    #[test]
+    fn hash_table_matches_table_4_1() {
+        let ex = PaperExample::build();
+        let u = ex.units;
+        assert_eq!(ex.hash_value(1, StCell::new(T1, u.l1)), Some(2));
+        assert_eq!(ex.hash_value(1, StCell::new(T2, u.l1)), Some(8));
+        assert_eq!(ex.hash_value(2, StCell::new(T2, u.l3)), Some(1));
+        assert_eq!(ex.hash_value(1, StCell::new(T1, u.l5)), None, "only base cells are tabulated");
+        assert_eq!(ex.hash_value(3, StCell::new(T1, u.l1)), None);
+        // Derived parent-level values used in the worked example.
+        let h1_t1l5 = ex
+            .hash_value(1, StCell::new(T1, u.l1))
+            .unwrap()
+            .min(ex.hash_value(1, StCell::new(T1, u.l2)).unwrap());
+        assert_eq!(h1_t1l5, 2);
+        let h1_t2l5 = ex
+            .hash_value(1, StCell::new(T2, u.l1))
+            .unwrap()
+            .min(ex.hash_value(1, StCell::new(T2, u.l2)).unwrap());
+        assert_eq!(h1_t2l5, 1);
+    }
+
+    /// The example of Section 5.2 computes deg(e_a, e_c) = 0.15 under the
+    /// 0.1/0.9-weighted Dice measure with the convention that the level-1 overlap
+    /// counts distinct co-present periods; our set-based counting gives 0.25
+    /// (level-1 overlap of 1 — only T2 is shared under L5 — and level-2 overlap of
+    /// 1).  Verify the relationships the search relies on: e_a is e_c's closest
+    /// entity and the degree is far below the Dice maximum of 0.5.
+    #[test]
+    fn query_entity_ec_prefers_ea() {
+        let ex = PaperExample::build();
+        let measure = DiceAdm::paper_example();
+        let seq_c = &ex.entities[2].1;
+        let mut degrees: Vec<(EntityId, f64)> = ex
+            .entities
+            .iter()
+            .filter(|(e, _)| *e != EntityId(2))
+            .map(|(e, seq)| (*e, measure.degree(seq_c, seq)))
+            .collect();
+        degrees.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        assert_eq!(degrees[0].0, EntityId(0), "e_a is the top-1 answer for query e_c");
+        assert!(degrees[0].1 > degrees[1].1);
+        assert!(degrees[0].1 <= 0.5);
+        // e_d only shares the coarse unit L6 with e_c at time T1, so its degree is
+        // the level-1 weight times 1/4.
+        let d_cd = measure.degree(seq_c, &ex.entities[3].1);
+        assert!((d_cd - 0.025).abs() < 1e-12);
+        assert!(d_cd < degrees[0].1);
+    }
+}

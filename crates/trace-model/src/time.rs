@@ -1,0 +1,164 @@
+//! Temporal units and time periods.
+//!
+//! The paper discretises time into *base temporal units* (an hour by default in
+//! the experiments).  A presence instance carries a continuous time period
+//! `[start_time, end_time)`; the ST-cell representation then splits it into the
+//! base temporal units it covers.
+
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A discretised base temporal unit (e.g. "hour 17 since the epoch of the dataset").
+pub type TimeUnit = u32;
+
+/// A half-open time period `[start, end)`, measured in raw ticks (e.g. minutes or
+/// seconds — whatever resolution the source data has).
+///
+/// The mapping from raw ticks to [`TimeUnit`]s is controlled by
+/// [`Period::units`] via the `ticks_per_unit` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Period {
+    /// Inclusive start tick.
+    pub start: u64,
+    /// Exclusive end tick.
+    pub end: u64,
+}
+
+impl Period {
+    /// Creates a new period, validating that `end >= start`.
+    pub fn new(start: u64, end: u64) -> Result<Self> {
+        if end < start {
+            return Err(ModelError::InvalidPeriod { start, end });
+        }
+        Ok(Period { start, end })
+    }
+
+    /// A single-tick instantaneous period (length 1).
+    pub fn instant(at: u64) -> Self {
+        Period { start: at, end: at + 1 }
+    }
+
+    /// Length of the period in ticks.
+    #[inline]
+    pub fn length(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the period covers no ticks at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Intersection with another period; `None` when the two do not overlap.
+    ///
+    /// Definition 3 (Adjoint Presence Instance) requires `pd_a ∩ pd_b ≠ ∅`; two
+    /// periods that merely touch at a boundary do **not** overlap because the
+    /// intervals are half-open.
+    pub fn intersect(&self, other: &Period) -> Option<Period> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Period { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// True when the two periods share at least one tick.
+    #[inline]
+    pub fn overlaps(&self, other: &Period) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// The base temporal units covered by this period, given the number of raw
+    /// ticks per unit.  A period covering any fraction of a unit counts as being
+    /// present for that unit (the paper's ST-cell is an atomic presence unit).
+    pub fn units(&self, ticks_per_unit: u64) -> impl Iterator<Item = TimeUnit> {
+        assert!(ticks_per_unit > 0, "ticks_per_unit must be positive");
+        let first = self.start / ticks_per_unit;
+        // Half-open: a period ending exactly on a unit boundary does not reach the
+        // next unit.
+        let last = if self.is_empty() {
+            first
+        } else {
+            (self.end - 1) / ticks_per_unit + 1
+        };
+        (first..last).map(|u| u as TimeUnit)
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted_periods() {
+        assert!(Period::new(5, 4).is_err());
+        assert!(Period::new(5, 5).is_ok());
+        assert!(Period::new(0, 10).is_ok());
+    }
+
+    #[test]
+    fn instant_has_length_one() {
+        let p = Period::instant(7);
+        assert_eq!(p.length(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn intersection_of_overlapping_periods() {
+        let a = Period::new(0, 10).unwrap();
+        let b = Period::new(5, 15).unwrap();
+        assert_eq!(a.intersect(&b), Some(Period { start: 5, end: 10 }));
+        assert_eq!(b.intersect(&a), Some(Period { start: 5, end: 10 }));
+    }
+
+    #[test]
+    fn touching_periods_do_not_overlap() {
+        let a = Period::new(0, 5).unwrap();
+        let b = Period::new(5, 10).unwrap();
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn disjoint_periods_do_not_overlap() {
+        let a = Period::new(0, 3).unwrap();
+        let b = Period::new(7, 10).unwrap();
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn empty_period_produces_no_units() {
+        let p = Period::new(10, 10).unwrap();
+        assert_eq!(p.units(5).count(), 0);
+    }
+
+    #[test]
+    fn units_cover_partial_boundaries() {
+        // Ticks 0..=59 are unit 0, 60..=119 unit 1, ...
+        let p = Period::new(30, 130).unwrap();
+        let units: Vec<TimeUnit> = p.units(60).collect();
+        assert_eq!(units, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn units_exact_boundary_is_exclusive() {
+        let p = Period::new(0, 60).unwrap();
+        let units: Vec<TimeUnit> = p.units(60).collect();
+        assert_eq!(units, vec![0]);
+    }
+
+    #[test]
+    fn display_formats_half_open() {
+        assert_eq!(Period::new(1, 4).unwrap().to_string(), "[1, 4)");
+    }
+}

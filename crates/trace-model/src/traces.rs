@@ -1,0 +1,183 @@
+//! The collection of all entities' digital traces.
+
+use crate::cell::CellSetSequence;
+use crate::entity::EntityId;
+use crate::error::{ModelError, Result};
+use crate::presence::{DigitalTrace, PresenceInstance};
+use crate::spatial::SpIndex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// All digital traces of a dataset, keyed by entity, together with the temporal
+/// discretisation used to turn presence periods into ST-cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSet {
+    ticks_per_unit: u64,
+    traces: BTreeMap<EntityId, DigitalTrace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set with the given temporal discretisation
+    /// (`ticks_per_unit` raw ticks form one base temporal unit).
+    pub fn new(ticks_per_unit: u64) -> Self {
+        assert!(ticks_per_unit > 0, "ticks_per_unit must be positive");
+        TraceSet { ticks_per_unit, traces: BTreeMap::new() }
+    }
+
+    /// The number of raw ticks per base temporal unit.
+    #[inline]
+    pub fn ticks_per_unit(&self) -> u64 {
+        self.ticks_per_unit
+    }
+
+    /// Number of entities with at least one presence instance.
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total number of presence instances in the dataset.
+    pub fn total_presence_instances(&self) -> usize {
+        self.traces.values().map(DigitalTrace::len).sum()
+    }
+
+    /// True when no entity has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterates entity ids in ascending order.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.traces.keys().copied()
+    }
+
+    /// Iterates `(entity, trace)` pairs in ascending entity order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &DigitalTrace)> {
+        self.traces.iter().map(|(&e, t)| (e, t))
+    }
+
+    /// The trace of an entity, or an error when unknown.
+    pub fn trace(&self, entity: EntityId) -> Result<&DigitalTrace> {
+        self.traces.get(&entity).ok_or(ModelError::UnknownEntity(entity.raw()))
+    }
+
+    /// The trace of an entity, or `None` when unknown.
+    pub fn get(&self, entity: EntityId) -> Option<&DigitalTrace> {
+        self.traces.get(&entity)
+    }
+
+    /// True when the entity has a trace.
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.traces.contains_key(&entity)
+    }
+
+    /// Records a presence instance, creating the entity's trace when needed.
+    pub fn record(&mut self, pi: PresenceInstance) {
+        self.traces.entry(pi.entity).or_default().push(pi);
+    }
+
+    /// Inserts (or replaces) the complete trace of an entity, returning the
+    /// previous trace when one existed.
+    pub fn insert_trace(&mut self, entity: EntityId, trace: DigitalTrace) -> Option<DigitalTrace> {
+        self.traces.insert(entity, trace)
+    }
+
+    /// Removes an entity's trace.
+    pub fn remove(&mut self, entity: EntityId) -> Option<DigitalTrace> {
+        self.traces.remove(&entity)
+    }
+
+    /// The per-level ST-cell set sequence of one entity.
+    pub fn cell_sequence(&self, sp: &SpIndex, entity: EntityId) -> Result<CellSetSequence> {
+        self.trace(entity)?.cell_sequence(sp, self.ticks_per_unit)
+    }
+
+    /// Materialises the ST-cell set sequences of every entity.
+    ///
+    /// This is the "organise the data by entity" step of Section 4.1; index
+    /// builders consume the result.
+    pub fn cell_sequences(&self, sp: &SpIndex) -> Result<BTreeMap<EntityId, CellSetSequence>> {
+        let mut out = BTreeMap::new();
+        for (&entity, trace) in &self.traces {
+            out.insert(entity, trace.cell_sequence(sp, self.ticks_per_unit)?);
+        }
+        Ok(out)
+    }
+
+    /// Average number of base ST-cells per entity (`C` in the cost analysis of
+    /// Section 4.3).
+    pub fn mean_cells_per_entity(&self, sp: &SpIndex) -> Result<f64> {
+        if self.traces.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0usize;
+        for trace in self.traces.values() {
+            total += trace.base_cells(sp, self.ticks_per_unit)?.len();
+        }
+        Ok(total as f64 / self.traces.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::SpIndex;
+    use crate::time::Period;
+
+    fn sample() -> (SpIndex, TraceSet) {
+        let sp = SpIndex::uniform(2, &[2]).unwrap();
+        let base = sp.base_units().to_vec();
+        let mut ts = TraceSet::new(60);
+        ts.record(PresenceInstance::new(EntityId(1), base[0], Period::new(0, 120).unwrap()));
+        ts.record(PresenceInstance::new(EntityId(1), base[1], Period::new(240, 300).unwrap()));
+        ts.record(PresenceInstance::new(EntityId(2), base[0], Period::new(0, 60).unwrap()));
+        (sp, ts)
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let (_sp, ts) = sample();
+        assert_eq!(ts.num_entities(), 2);
+        assert_eq!(ts.total_presence_instances(), 3);
+        assert!(ts.contains(EntityId(1)));
+        assert!(!ts.contains(EntityId(3)));
+        assert_eq!(ts.trace(EntityId(1)).unwrap().len(), 2);
+        assert!(matches!(ts.trace(EntityId(3)), Err(ModelError::UnknownEntity(3))));
+    }
+
+    #[test]
+    fn entities_are_sorted() {
+        let (_sp, mut ts) = sample();
+        ts.record(PresenceInstance::new(EntityId(0), 0, Period::new(0, 1).unwrap()));
+        let ids: Vec<u64> = ts.entities().map(|e| e.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cell_sequences_cover_all_entities() {
+        let (sp, ts) = sample();
+        let seqs = ts.cell_sequences(&sp).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[&EntityId(1)].base().len(), 3);
+        assert_eq!(seqs[&EntityId(2)].base().len(), 1);
+    }
+
+    #[test]
+    fn mean_cells_per_entity_matches_hand_count() {
+        let (sp, ts) = sample();
+        let mean = ts.mean_cells_per_entity(&sp).unwrap();
+        assert!((mean - 2.0).abs() < 1e-9);
+        let empty = TraceSet::new(60);
+        assert_eq!(empty.mean_cells_per_entity(&sp).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn insert_and_remove_traces() {
+        let (_sp, mut ts) = sample();
+        let removed = ts.remove(EntityId(2)).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(ts.num_entities(), 1);
+        assert!(ts.insert_trace(EntityId(2), removed).is_none());
+        assert_eq!(ts.num_entities(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! # digital-traces
+//!
+//! A reproduction of *Top-k Queries over Digital Traces* (Li, Yu, Koudas;
+//! SIGMOD 2019) as a reusable Rust library.  This facade crate re-exports the
+//! workspace's public API so downstream users can depend on a single crate:
+//!
+//! * [`model`] — the trace data model: spatial hierarchies, ST-cells, presence
+//!   instances, adjoint presence instances, association degree measures;
+//! * [`index`] — the MinSigTree index and top-k query processing;
+//! * [`mobility`] — the hierarchical individual-mobility model, synthetic data
+//!   generators and the analytical pruning-effectiveness model;
+//! * [`baselines`] — brute-force scan, FP-growth and the bitmap baseline;
+//! * [`storage`] — the paged storage substrate (external sort, buffer pool);
+//! * [`experiments`] — the harness regenerating every figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use digital_traces::index::{IndexConfig, MinSigIndex};
+//! use digital_traces::model::{EntityId, PaperAdm, Period, PresenceInstance, SpIndex, TraceSet};
+//!
+//! // city -> district -> building hierarchy (2 cities, 3 districts each, 4 buildings each)
+//! let sp = SpIndex::uniform(2, &[3, 4]).unwrap();
+//! let buildings = sp.base_units().to_vec();
+//!
+//! // Record a few presences: entities 1 and 2 co-occur, entity 3 is elsewhere.
+//! let mut traces = TraceSet::new(60); // 60 ticks (minutes) per temporal unit
+//! for (who, unit, start) in [(1u64, 0usize, 0u64), (2, 0, 30), (1, 5, 300), (2, 5, 330), (3, 20, 0)] {
+//!     traces.record(PresenceInstance::new(
+//!         EntityId(who),
+//!         buildings[unit],
+//!         Period::new(start, start + 60).unwrap(),
+//!     ));
+//! }
+//!
+//! let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+//! let measure = PaperAdm::default_for(sp.height() as usize);
+//! let (top, stats) = index.top_k(EntityId(1), 1, &measure).unwrap();
+//! assert_eq!(top[0].entity, EntityId(2));
+//! assert!(stats.pruning_effectiveness() >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The trace data model (re-export of the `trace-model` crate).
+pub mod model {
+    pub use trace_model::*;
+}
+
+/// The MinSigTree index (re-export of the `minsig` crate).
+pub mod index {
+    pub use minsig::*;
+}
+
+/// Mobility models and data generators (re-export of the `mobility` crate).
+pub mod mobility_models {
+    pub use mobility::*;
+}
+
+/// Baseline approaches (re-export of the `baseline` crate).
+pub mod baselines {
+    pub use baseline::*;
+}
+
+/// The paged storage substrate (re-export of the `trace-storage` crate).
+pub mod storage {
+    pub use trace_storage::*;
+}
+
+/// The experiment harness (re-export of the `experiments` crate).
+pub mod harness {
+    pub use experiments::*;
+}
+
+pub use minsig::{IndexConfig, MinSigIndex, QueryOptions, SearchStats};
+pub use trace_model::{
+    AssociationMeasure, DiceAdm, DigitalTrace, EntityId, JaccardAdm, PaperAdm, Period,
+    PresenceInstance, SpIndex, SpIndexBuilder, TraceSet,
+};

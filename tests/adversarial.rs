@@ -1,0 +1,160 @@
+//! Adversarial and degenerate workloads for the index: duplicated entities,
+//! empty traces, single-cell traces, heavily skewed populations, and every
+//! entity piled into one ST-cell.  Exactness and termination must hold on all of
+//! them.
+
+use digital_traces::index::{IndexConfig, MinSigIndex};
+use digital_traces::{
+    DiceAdm, DigitalTrace, EntityId, PaperAdm, Period, PresenceInstance, SpIndex, TraceSet,
+};
+
+fn assert_exact(index: &MinSigIndex, k: usize, measure: &PaperAdm) {
+    for query in index.sequences().keys().copied().collect::<Vec<_>>() {
+        let (got, _) = index.top_k(query, k, measure).unwrap();
+        let expect = index.brute_force(query, k, measure).unwrap();
+        assert_eq!(got.len(), expect.len(), "query {query}");
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g.degree - e.degree).abs() < 1e-9, "query {query}");
+        }
+    }
+}
+
+#[test]
+fn all_entities_identical() {
+    // Every entity has exactly the same trace: every degree ties, and the search
+    // must still terminate after checking at most the whole population.
+    let sp = SpIndex::uniform(2, &[3]).unwrap();
+    let base = sp.base_units().to_vec();
+    let mut traces = TraceSet::new(60);
+    for e in 0..30u64 {
+        for (i, &unit) in base.iter().enumerate() {
+            traces.record(PresenceInstance::new(
+                EntityId(e),
+                unit,
+                Period::new(i as u64 * 60, i as u64 * 60 + 60).unwrap(),
+            ));
+        }
+    }
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+    let measure = PaperAdm::default_for(2);
+    assert_exact(&index, 5, &measure);
+    let (results, stats) = index.top_k(EntityId(0), 5, &measure).unwrap();
+    assert_eq!(results.len(), 5);
+    assert!(results.iter().all(|r| (r.degree - results[0].degree).abs() < 1e-12));
+    assert!(stats.entities_checked <= 30);
+}
+
+#[test]
+fn everyone_in_one_cell_plus_one_hermit() {
+    // 49 entities share a single ST-cell; one entity lives alone elsewhere.
+    let sp = SpIndex::uniform(2, &[4]).unwrap();
+    let base = sp.base_units().to_vec();
+    let mut traces = TraceSet::new(60);
+    for e in 0..49u64 {
+        traces.record(PresenceInstance::new(EntityId(e), base[0], Period::new(0, 60).unwrap()));
+    }
+    traces.record(PresenceInstance::new(EntityId(49), base[7], Period::new(0, 60).unwrap()));
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(8)).unwrap();
+    let measure = PaperAdm::default_for(2);
+    assert_exact(&index, 3, &measure);
+    // The hermit's best association degree is zero.
+    let (results, _) = index.top_k(EntityId(49), 1, &measure).unwrap();
+    assert!(results.is_empty() || results[0].degree == 0.0);
+}
+
+#[test]
+fn empty_and_single_cell_traces_coexist() {
+    let sp = SpIndex::uniform(3, &[3, 3]).unwrap();
+    let base = sp.base_units().to_vec();
+    let mut traces = TraceSet::new(60);
+    // A normal pair.
+    for e in [0u64, 1] {
+        for i in 0..5u64 {
+            traces.record(PresenceInstance::new(
+                EntityId(e),
+                base[i as usize],
+                Period::new(i * 60, i * 60 + 60).unwrap(),
+            ));
+        }
+    }
+    // A single-cell entity and an entity with an empty (zero-length) presence.
+    traces.record(PresenceInstance::new(EntityId(2), base[0], Period::new(0, 60).unwrap()));
+    traces.insert_trace(EntityId(3), DigitalTrace::new());
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+    let measure = PaperAdm::default_for(3);
+    assert_exact(&index, 3, &measure);
+    // The empty-trace entity is never associated with anyone.
+    let (results, _) = index.top_k(EntityId(3), 2, &measure).unwrap();
+    assert!(results.iter().all(|r| r.degree == 0.0));
+    // The single-cell entity's best match is one of the pair (they cover its cell).
+    let (results, _) = index.top_k(EntityId(2), 1, &measure).unwrap();
+    assert!(results[0].degree > 0.0);
+    assert!(results[0].entity == EntityId(0) || results[0].entity == EntityId(1));
+}
+
+#[test]
+fn heavily_skewed_population() {
+    // One "celebrity" entity visits everything; many tiny entities visit one cell
+    // each.  The celebrity must not crowd out the tiny entities' true partners.
+    let sp = SpIndex::uniform(2, &[8]).unwrap();
+    let base = sp.base_units().to_vec();
+    let mut traces = TraceSet::new(60);
+    for (i, &unit) in base.iter().enumerate() {
+        for t in 0..10u64 {
+            traces.record(PresenceInstance::new(
+                EntityId(0),
+                unit,
+                Period::new((i as u64 * 10 + t) * 60, (i as u64 * 10 + t) * 60 + 60).unwrap(),
+            ));
+        }
+    }
+    // Pairs of tiny entities sharing one specific cell each.
+    for p in 0..10u64 {
+        let unit = base[(p % base.len() as u64) as usize];
+        let start = p * 600;
+        for member in 0..2u64 {
+            traces.record(PresenceInstance::new(
+                EntityId(1 + 2 * p + member),
+                unit,
+                Period::new(start, start + 60).unwrap(),
+            ));
+        }
+    }
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(32)).unwrap();
+    let measure = PaperAdm::default_for(2);
+    assert_exact(&index, 2, &measure);
+    // A tiny entity's top-1 is its partner, not the celebrity (the celebrity's
+    // huge trace dilutes its Dice-style ratio).
+    let (results, _) = index.top_k(EntityId(1), 1, &measure).unwrap();
+    assert_eq!(results[0].entity, EntityId(2));
+}
+
+#[test]
+fn dice_and_paper_measures_agree_on_rankings_for_single_level() {
+    // With a single-level hierarchy both measures are monotone transforms of the
+    // same per-level ratio, so the top-1 answer must coincide.
+    let sp = SpIndex::uniform(6, &[]).unwrap();
+    let base = sp.base_units().to_vec();
+    let mut traces = TraceSet::new(60);
+    for e in 0..12u64 {
+        for i in 0..(e % 4 + 1) {
+            traces.record(PresenceInstance::new(
+                EntityId(e),
+                base[((e / 2 + i) % 6) as usize],
+                Period::new(i * 60, i * 60 + 60).unwrap(),
+            ));
+        }
+    }
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+    let paper = PaperAdm::default_for(1);
+    let dice = DiceAdm::uniform(1);
+    for query in 0..12u64 {
+        let (a, _) = index.top_k(EntityId(query), 1, &paper).unwrap();
+        let (b, _) = index.top_k(EntityId(query), 1, &dice).unwrap();
+        if let (Some(x), Some(y)) = (a.first(), b.first()) {
+            // Degrees differ (different normalisation) but a zero/non-zero answer
+            // must agree, and non-zero answers must rank the same entity or tie.
+            assert_eq!(x.degree == 0.0, y.degree == 0.0, "query {query}");
+        }
+    }
+}
