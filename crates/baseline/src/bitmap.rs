@@ -60,10 +60,8 @@ impl BitmapIndex {
         config: BitmapIndexConfig,
     ) -> Self {
         let num_levels = sequences.values().next().map(|s| s.num_levels()).unwrap_or(1);
-        let transactions: Vec<Vec<u64>> = sequences
-            .values()
-            .map(|seq| seq.base().iter().map(|c| c.packed()).collect())
-            .collect();
+        let transactions: Vec<Vec<u64>> =
+            sequences.values().map(|seq| seq.base().iter().map(|c| c.packed()).collect()).collect();
         let clustering = cluster_cells(&transactions, config.min_support, config.num_clusters);
         let words = clustering.num_clusters().div_ceil(64).max(1);
 
@@ -200,7 +198,10 @@ mod tests {
                 let mut cells: Vec<StCell> = (0..6u32)
                     .map(|step| StCell::new(step, base[(i * 11 + step as usize) % base.len()]))
                     .collect();
-                cells.push(StCell::new(100 + member as u32, base[(i + member as usize * 37) % base.len()]));
+                cells.push(StCell::new(
+                    100 + member as u32,
+                    base[(i + member as usize * 37) % base.len()],
+                ));
                 let seq =
                     CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(cells)).unwrap();
                 out.insert(entity, seq);
@@ -212,7 +213,8 @@ mod tests {
     #[test]
     fn bitmap_results_match_the_exact_scan() {
         let (sp, seqs) = paired_sequences(20);
-        let index = BitmapIndex::build(&seqs, BitmapIndexConfig { min_support: 2, num_clusters: 64 });
+        let index =
+            BitmapIndex::build(&seqs, BitmapIndexConfig { min_support: 2, num_clusters: 64 });
         let measure = PaperAdm::default_for(sp.height() as usize);
         for query in [0u64, 7, 15, 33] {
             for k in [1usize, 5] {

@@ -159,7 +159,7 @@ mod tests {
         // Every transaction has disjoint cells → no frequent pair → singletons.
         let txns: Vec<Vec<u64>> = (0..20).map(|i| vec![2 * i, 2 * i + 1]).collect();
         let clustering = cluster_cells(&txns, 2, 64);
-        assert_eq!(clustering.num_clusters(), 40.min(64));
+        assert_eq!(clustering.num_clusters(), 40);
         let sizes = clustering.cluster_sizes();
         assert!(sizes.iter().all(|&s| s >= 1));
     }

@@ -162,10 +162,8 @@ impl FpGrowth {
                 *counts.entry(item).or_default() += weight;
             }
         }
-        let frequent: Vec<(u64, usize)> = counts
-            .into_iter()
-            .filter(|&(_, c)| c >= self.min_support)
-            .collect();
+        let frequent: Vec<(u64, usize)> =
+            counts.into_iter().filter(|&(_, c)| c >= self.min_support).collect();
         for &(item, support) in &frequent {
             let mut items = suffix.to_vec();
             items.push(item);
@@ -204,7 +202,7 @@ pub fn naive_frequent_itemsets(
     // Breadth-first enumeration with pruning.
     let mut frontier: Vec<Vec<u64>> = vec![Vec::new()];
     while let Some(itemset) = frontier.pop() {
-        let start = itemset.last().map(|&i| i).unwrap_or(0);
+        let start = itemset.last().copied().unwrap_or(0);
         for &candidate in universe.iter().filter(|&&i| i > start || itemset.is_empty()) {
             if itemset.contains(&candidate) {
                 continue;
@@ -212,8 +210,7 @@ pub fn naive_frequent_itemsets(
             let mut extended = itemset.clone();
             extended.push(candidate);
             extended.sort_unstable();
-            let support =
-                sets.iter().filter(|s| extended.iter().all(|i| s.contains(i))).count();
+            let support = sets.iter().filter(|s| extended.iter().all(|i| s.contains(i))).count();
             if support >= min_support {
                 results.push(FrequentItemset { items: extended.clone(), support });
                 if max_len == 0 || extended.len() < max_len {

@@ -68,7 +68,8 @@ mod tests {
 
     #[test]
     fn stats_fractions() {
-        let s = BaselineStats { total_entities: 100, k: 5, entities_checked: 55, groups_examined: 3 };
+        let s =
+            BaselineStats { total_entities: 100, k: 5, entities_checked: 55, groups_examined: 3 };
         assert!((s.fraction_checked() - 0.5).abs() < 1e-12);
         assert!((s.pruning_effectiveness() - 0.5).abs() < 1e-12);
         let empty = BaselineStats::default();

@@ -21,9 +21,7 @@ fn hasher_modes(c: &mut Criterion) {
             b.iter(|| {
                 let config =
                     IndexConfig { hasher_mode: mode, ..IndexConfig::with_hash_functions(64) };
-                black_box(
-                    MinSigIndex::build(dataset.sp_index(), &dataset.traces, config).unwrap(),
-                )
+                black_box(MinSigIndex::build(dataset.sp_index(), &dataset.traces, config).unwrap())
             })
         });
     }

@@ -1,0 +1,74 @@
+//! Serving-throughput baseline for the unified query engine: queries per
+//! second of `top_k_batch` over one shared snapshot, across batch sizes
+//! {1, 16, 256} at 1 thread (sequential `top_k_join`) and N threads (the
+//! rayon-parallel batch path).
+//!
+//! The `Throughput::Elements(batch)` declaration makes the harness report
+//! elem/s — i.e. queries/s — directly, so future PRs can compare serving
+//! throughput against this baseline without post-processing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minsig::{JoinOptions, MinSigIndex};
+use minsig_bench::{bench_dataset, bench_measure, bench_queries};
+use mobility::SynDataset;
+use std::hint::black_box;
+use trace_model::EntityId;
+
+const BATCH_SIZES: [usize; 3] = [1, 16, 256];
+const K: usize = 10;
+
+fn fixture() -> (SynDataset, MinSigIndex) {
+    let dataset = bench_dataset();
+    let index = minsig_bench::bench_index(&dataset, 64);
+    (dataset, index)
+}
+
+fn batch_of(dataset: &SynDataset, size: usize) -> Vec<EntityId> {
+    // Deterministic probe set; entities repeat once the pool is exhausted so
+    // every batch size is exactly `size` queries.
+    let pool = bench_queries(dataset, size.min(dataset.traces.num_entities()));
+    (0..size).map(|i| pool[i % pool.len()]).collect()
+}
+
+fn sequential_qps(c: &mut Criterion) {
+    let (dataset, index) = fixture();
+    let measure = bench_measure(&dataset);
+    let snapshot = index.snapshot();
+    let mut group = c.benchmark_group("batch_throughput/threads_1");
+    group.sample_size(10);
+    for size in BATCH_SIZES {
+        let queries = batch_of(&dataset, size);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_function(BenchmarkId::new("batch", size), |b| {
+            b.iter(|| {
+                let options = JoinOptions { k: K, threads: 1, ..JoinOptions::default() };
+                black_box(snapshot.top_k_join(&queries, &measure, options).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn parallel_qps(c: &mut Criterion) {
+    let (dataset, index) = fixture();
+    let measure = bench_measure(&dataset);
+    let snapshot = index.snapshot();
+    let threads = rayon::current_num_threads();
+    let mut group = c.benchmark_group(format!("batch_throughput/threads_{threads}"));
+    group.sample_size(10);
+    for size in BATCH_SIZES {
+        let queries = batch_of(&dataset, size);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_function(BenchmarkId::new("batch", size), |b| {
+            b.iter(|| black_box(snapshot.top_k_batch(&queries, K, &measure).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = batch_throughput;
+    config = Criterion::default();
+    targets = sequential_qps, parallel_qps
+);
+criterion_main!(batch_throughput);

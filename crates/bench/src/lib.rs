@@ -25,12 +25,8 @@ pub fn bench_dataset() -> SynDataset {
 
 /// Builds an index over the benchmark dataset with `nh` hash functions.
 pub fn bench_index(dataset: &SynDataset, nh: u32) -> MinSigIndex {
-    MinSigIndex::build(
-        dataset.sp_index(),
-        &dataset.traces,
-        IndexConfig::with_hash_functions(nh),
-    )
-    .expect("bench index builds")
+    MinSigIndex::build(dataset.sp_index(), &dataset.traces, IndexConfig::with_hash_functions(nh))
+        .expect("bench index builds")
 }
 
 /// The default association measure for the benchmark dataset.

@@ -16,10 +16,12 @@
 //! scores only the bucket collisions and returns the best `k`, reporting how many
 //! candidates were touched so experiments can trade recall against work.
 
+use crate::engine;
 use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::query::TopKResult;
 use crate::signature::{CellHashFamily, HierarchicalHasher, SignatureList};
+use crate::snapshot::IndexSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
@@ -50,7 +52,9 @@ impl BandingConfig {
     /// Validates the configuration against a signature width.
     pub fn validate(&self, num_hash_functions: u32) -> Result<()> {
         if self.bands == 0 || self.rows_per_band == 0 {
-            return Err(IndexError::InvalidConfig("bands and rows_per_band must be positive".into()));
+            return Err(IndexError::InvalidConfig(
+                "bands and rows_per_band must be positive".into(),
+            ));
         }
         if self.bands * self.rows_per_band > num_hash_functions {
             return Err(IndexError::InvalidConfig(format!(
@@ -153,7 +157,7 @@ impl BandedIndex {
     }
 }
 
-impl MinSigIndex {
+impl IndexSnapshot {
     /// Builds a banded LSH companion index over the already-indexed entities.
     pub fn banded(&self, config: BandingConfig) -> Result<BandedIndex> {
         BandedIndex::build(self.sp_index(), self.hasher(), self.sequences(), config)
@@ -163,6 +167,11 @@ impl MinSigIndex {
     /// at least one LSH band.  Recall is below 1 by design; the returned
     /// statistics let callers measure the recall/work trade-off (see the
     /// `approximate_search` example).
+    ///
+    /// Candidate scoring runs through the same shared
+    /// [`TopKHeap`](crate::engine::TopKHeap) selection as the exact executor
+    /// and the brute-force ground truth, so result ordering and tie-breaking
+    /// agree across all query paths.
     pub fn approximate_top_k<M: AssociationMeasure + ?Sized>(
         &self,
         banded: &BandedIndex,
@@ -170,9 +179,7 @@ impl MinSigIndex {
         k: usize,
         measure: &M,
     ) -> Result<(Vec<TopKResult>, ApproximateStats)> {
-        let query_seq = self
-            .sequence(query)
-            .ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        let query_seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
         let sig = SignatureList::build(self.sp_index(), self.hasher(), query_seq);
         let candidates = banded.candidates(&sig, self.sp_index().height());
         let mut stats = ApproximateStats {
@@ -180,18 +187,30 @@ impl MinSigIndex {
             total_entities: self.num_entities(),
             ..ApproximateStats::default()
         };
-        let mut scored: Vec<TopKResult> = Vec::with_capacity(candidates.len());
-        for entity in candidates {
-            if entity == query {
-                continue;
-            }
-            let Some(seq) = self.sequence(entity) else { continue };
-            stats.entities_checked += 1;
-            scored.push(TopKResult { entity, degree: measure.degree(query_seq, seq) });
-        }
-        scored.sort_by(|a, b| b.degree.total_cmp(&a.degree).then(a.entity.cmp(&b.entity)));
-        scored.truncate(k);
+        let pairs =
+            candidates.iter().filter_map(|&entity| self.sequence(entity).map(|seq| (entity, seq)));
+        let (scored, checked) = engine::scan_top_k(pairs, query_seq, Some(query), k, measure);
+        stats.entities_checked = checked;
         Ok((scored, stats))
+    }
+}
+
+impl MinSigIndex {
+    /// Builds a banded LSH companion index over the already-indexed entities.
+    pub fn banded(&self, config: BandingConfig) -> Result<BandedIndex> {
+        self.snapshot().banded(config)
+    }
+
+    /// Approximate top-k on the current snapshot.  See
+    /// [`IndexSnapshot::approximate_top_k`].
+    pub fn approximate_top_k<M: AssociationMeasure + ?Sized>(
+        &self,
+        banded: &BandedIndex,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<(Vec<TopKResult>, ApproximateStats)> {
+        self.snapshot().approximate_top_k(banded, query, k, measure)
     }
 }
 
@@ -206,7 +225,11 @@ pub fn recall(exact: &[TopKResult], approximate: &[TopKResult]) -> f64 {
     let approx_ids: BTreeSet<EntityId> = approximate.iter().map(|r| r.entity).collect();
     let hits = exact
         .iter()
-        .filter(|r| approx_ids.contains(&r.entity) || r.degree <= threshold && approximate.iter().any(|a| (a.degree - r.degree).abs() < 1e-12))
+        .filter(|r| {
+            approx_ids.contains(&r.entity)
+                || r.degree <= threshold
+                    && approximate.iter().any(|a| (a.degree - r.degree).abs() < 1e-12)
+        })
         .count();
     hits as f64 / exact.len() as f64
 }
@@ -254,16 +277,14 @@ mod tests {
     #[test]
     fn identical_partners_are_always_candidates() {
         let (sp, traces) = paired_dataset(20);
-        let index =
-            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(64)).unwrap();
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(64)).unwrap();
         let banded = index.banded(BandingConfig { bands: 16, rows_per_band: 4 }).unwrap();
         assert_eq!(banded.num_entities(), 40);
         assert!(banded.num_buckets() > 0);
         let measure = PaperAdm::default_for(2);
         for query in [0u64, 8, 23] {
-            let (approx, stats) = index
-                .approximate_top_k(&banded, EntityId(query), 1, &measure)
-                .unwrap();
+            let (approx, stats) =
+                index.approximate_top_k(&banded, EntityId(query), 1, &measure).unwrap();
             let partner = if query % 2 == 0 { query + 1 } else { query - 1 };
             assert_eq!(approx[0].entity, EntityId(partner), "query {query}");
             assert!(stats.candidates < index.num_entities(), "banding should filter candidates");
@@ -273,8 +294,7 @@ mod tests {
     #[test]
     fn approximate_answers_are_a_subset_of_exact_work() {
         let (sp, traces) = paired_dataset(30);
-        let index =
-            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(64)).unwrap();
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(64)).unwrap();
         let banded = index.banded(BandingConfig::default()).unwrap();
         let measure = PaperAdm::default_for(2);
         let (exact, exact_stats) = index.top_k(EntityId(0), 5, &measure).unwrap();

@@ -90,7 +90,9 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(IndexConfig { num_hash_functions: 0, ..IndexConfig::default() }.validate().is_err());
+        assert!(IndexConfig { num_hash_functions: 0, ..IndexConfig::default() }
+            .validate()
+            .is_err());
         assert!(IndexConfig { hash_range: Some(1), ..IndexConfig::default() }.validate().is_err());
         assert!(IndexConfig { hash_range: Some(100), ..IndexConfig::default() }.validate().is_ok());
     }

@@ -1,0 +1,483 @@
+//! The shared best-first top-k executor (Algorithm 2, Section 5.1).
+//!
+//! Every query path of the crate — exact in-memory ([`crate::index::MinSigIndex::top_k`]),
+//! paged ([`crate::paged`]), joins and batches ([`crate::join`]) — is a thin
+//! driver over the single [`execute`] function in this module.  The executor
+//! separates the *logical* search from its *data source*:
+//!
+//! * the logical search walks the [`MinSigTree`] with a max-heap of candidate
+//!   subtrees ordered by an upper bound on the association degree achievable
+//!   inside each subtree, gradually tightening per-level overlap caps down
+//!   every branch and terminating as soon as the current k-th best exact
+//!   answer matches the best remaining bound (Theorem 4 / Section 5.1);
+//! * the data source — the [`TraceSource`] trait — only answers "give me the
+//!   ST-cell set sequence of this entity" during leaf evaluation.
+//!   [`InMemorySource`] borrows the index snapshot's sequence map;
+//!   [`PagedSource`] reads raw traces through a `trace-storage` buffer pool,
+//!   charging simulated I/O.
+//!
+//! The executor takes `&self`-style shared references only, so any number of
+//! threads may run searches against one snapshot concurrently; batch drivers
+//! fan independent queries out over rayon and collect results in input order.
+//!
+//! The bound for a node at depth `d` with routing index `u` and stored value
+//! `v` combines two sound constraints:
+//!
+//! * **level-`d` constraint** — every member entity's level-`d` signature at
+//!   `u` is at least `v`, so query level-`d` cells whose hash under `u` is
+//!   below `v` cannot be shared (the MinHash minimum property);
+//! * **base-level constraint (Theorem 2)** — query *base* cells whose hash
+//!   under `u` is below `v` cannot be in any member's trace.
+//!
+//! Constraints accumulate down a branch (the per-level caps of a child are
+//! never larger than its parent's); the caps are turned into a degree bound by
+//! instantiating Theorem 4's artificial entity per level (see
+//! [`AssociationMeasure::upper_bound`]).
+
+use crate::error::{IndexError, Result};
+use crate::query::{QueryOptions, TopKResult};
+use crate::signature::{CellHashFamily, HierarchicalHasher};
+use crate::stats::SearchStats;
+use crate::tree::{MinSigTree, NodeId, ROOT};
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId, Level, SpIndex};
+use trace_storage::{BufferPool, PagedTraceStore};
+
+/// Where candidate entities' ST-cell set sequences come from during leaf
+/// evaluation.
+///
+/// Implementations must be cheap to query repeatedly and safe to share across
+/// threads (`&self` access only): a batch executor may drive many concurrent
+/// searches against one source.
+pub trait TraceSource {
+    /// The sequence of an entity, or `None` when it cannot be found.
+    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>>;
+}
+
+/// A [`TraceSource`] borrowing the materialised sequence map of an index
+/// snapshot (or any other entity-keyed map).
+pub struct InMemorySource<'a> {
+    sequences: &'a std::collections::BTreeMap<EntityId, CellSetSequence>,
+}
+
+impl<'a> InMemorySource<'a> {
+    /// Creates a source over a sequence map.
+    pub fn new(sequences: &'a std::collections::BTreeMap<EntityId, CellSetSequence>) -> Self {
+        InMemorySource { sequences }
+    }
+}
+
+impl TraceSource for InMemorySource<'_> {
+    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
+        self.sequences.get(&entity).map(Cow::Borrowed)
+    }
+}
+
+/// A [`TraceSource`] that materialises candidate sequences from a paged trace
+/// store, charging buffer-pool I/O for every page touched.
+///
+/// The buffer pool synchronises internally, so one `PagedSource` (or several
+/// over the same pool) can serve concurrent searches from multiple threads.
+pub struct PagedSource<'a> {
+    store: &'a PagedTraceStore,
+    pool: &'a BufferPool<'a>,
+    sp: &'a SpIndex,
+    ticks_per_unit: u64,
+}
+
+impl<'a> PagedSource<'a> {
+    /// Creates a source over a store and a pool.
+    pub fn new(
+        store: &'a PagedTraceStore,
+        pool: &'a BufferPool<'a>,
+        sp: &'a SpIndex,
+        ticks_per_unit: u64,
+    ) -> Self {
+        PagedSource { store, pool, sp, ticks_per_unit }
+    }
+}
+
+impl TraceSource for PagedSource<'_> {
+    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
+        let trace = self.store.read_trace(self.pool, entity)?;
+        trace.cell_sequence(self.sp, self.ticks_per_unit).ok().map(Cow::Owned)
+    }
+}
+
+/// An `f64` wrapper with a total order, used as a heap priority.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub(crate) f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A bounded top-k accumulator: the *single* place where "keep the k best
+/// (degree, entity) pairs" is implemented.
+///
+/// The exact executor's leaf evaluation, the brute-force ground truth
+/// ([`crate::query::brute_force_top_k`]) and the approximate candidate scorer
+/// ([`crate::approximate`]) all push through this type, so their tie-breaking
+/// and result ordering cannot drift apart.
+///
+/// Semantics: candidates are ranked under the total order *(degree
+/// descending, entity id ascending)*, and the accumulator keeps the exact
+/// top-`k` under that order — an offer displaces the current worst answer
+/// whenever it ranks strictly higher, including an equal-degree offer with a
+/// smaller entity id.  Because the order is total, the kept set does not
+/// depend on the order in which candidates are offered, and it equals what
+/// sorting all candidates and truncating to `k` would produce.
+/// [`TopKHeap::into_sorted`] returns the answers in that same order.
+#[derive(Debug, Clone)]
+pub struct TopKHeap {
+    k: usize,
+    /// Min-heap under the ranking order: the root is the worst kept answer —
+    /// smallest degree, largest entity id among equal degrees (hence the
+    /// inner `Reverse` on the id).
+    heap: BinaryHeap<std::cmp::Reverse<(OrdF64, std::cmp::Reverse<EntityId>)>>,
+}
+
+impl TopKHeap {
+    /// Creates an accumulator for the best `k` answers.
+    pub fn new(k: usize) -> Self {
+        TopKHeap { k, heap: BinaryHeap::with_capacity(k.saturating_add(1)) }
+    }
+
+    /// Number of answers currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no answer is held yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th best degree, or `-inf` while fewer than `k` answers
+    /// are held (any candidate can still enter).
+    pub fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::NEG_INFINITY
+        } else {
+            self.heap.peek().map(|r| r.0 .0 .0).unwrap_or(f64::NEG_INFINITY)
+        }
+    }
+
+    /// True when `k` answers are held and `bound` cannot beat the k-th best —
+    /// the early-termination test of Section 5.1.
+    pub fn is_saturated_against(&self, bound: f64) -> bool {
+        self.k > 0 && self.heap.len() >= self.k && self.threshold() >= bound
+    }
+
+    /// Offers one scored entity.
+    pub fn offer(&mut self, entity: EntityId, degree: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let ranked = (OrdF64(degree), std::cmp::Reverse(entity));
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(ranked));
+        } else if self.heap.peek().is_some_and(|worst| ranked > worst.0) {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(ranked));
+        }
+    }
+
+    /// Consumes the accumulator, returning answers sorted by descending degree
+    /// (ties by ascending entity id).
+    pub fn into_sorted(self) -> Vec<TopKResult> {
+        let mut results: Vec<TopKResult> = self
+            .heap
+            .into_iter()
+            .map(|std::cmp::Reverse((OrdF64(degree), std::cmp::Reverse(entity)))| TopKResult {
+                entity,
+                degree,
+            })
+            .collect();
+        results.sort_by(|a, b| b.degree.total_cmp(&a.degree).then(a.entity.cmp(&b.entity)));
+        results
+    }
+}
+
+/// Scores an explicit candidate set against a query sequence through the
+/// shared [`TopKHeap`]; the common tail of the brute-force and approximate
+/// paths.  Returns the sorted top-k and the number of entities scored.
+pub(crate) fn scan_top_k<'a, M, I>(
+    candidates: I,
+    query: &CellSetSequence,
+    exclude: Option<EntityId>,
+    k: usize,
+    measure: &M,
+) -> (Vec<TopKResult>, usize)
+where
+    M: AssociationMeasure + ?Sized,
+    I: IntoIterator<Item = (EntityId, &'a CellSetSequence)>,
+{
+    let mut top = TopKHeap::new(k);
+    let mut checked = 0usize;
+    for (entity, seq) in candidates {
+        if Some(entity) == exclude {
+            continue;
+        }
+        checked += 1;
+        top.offer(entity, measure.degree(query, seq));
+    }
+    (top.into_sorted(), checked)
+}
+
+/// A candidate subtree in the best-first queue.
+#[derive(Debug, Clone)]
+struct Candidate {
+    upper_bound: OrdF64,
+    node: NodeId,
+    /// Per-level caps on the overlap with the query (index 0 = level 1).
+    caps: Vec<usize>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.upper_bound == other.upper_bound && self.node == other.node
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.upper_bound.cmp(&other.upper_bound).then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Lazily computed, sorted hash values of the query's cells per (level, function).
+struct QueryHashes<'a, F: CellHashFamily> {
+    sp: &'a SpIndex,
+    hasher: &'a HierarchicalHasher<F>,
+    query: &'a CellSetSequence,
+    cache: HashMap<(Level, u32), Vec<u64>>,
+}
+
+impl<'a, F: CellHashFamily> QueryHashes<'a, F> {
+    fn new(sp: &'a SpIndex, hasher: &'a HierarchicalHasher<F>, query: &'a CellSetSequence) -> Self {
+        QueryHashes { sp, hasher, query, cache: HashMap::new() }
+    }
+
+    /// Number of query level-`level` cells whose hash under function `u` is at
+    /// least `value` (i.e. cells that *survive* the pruned set of a node with
+    /// routing index `u` and stored value `value`).
+    fn surviving(&mut self, level: Level, u: u32, value: u64) -> usize {
+        let sp = self.sp;
+        let hasher = self.hasher;
+        let query = self.query;
+        let hashes = self.cache.entry((level, u)).or_insert_with(|| {
+            let mut v: Vec<u64> =
+                query.level(level).iter().map(|cell| hasher.hash(sp, u, cell)).collect();
+            v.sort_unstable();
+            v
+        });
+        let below = hashes.partition_point(|&h| h < value);
+        hashes.len() - below
+    }
+}
+
+/// The best-first top-k search of Algorithm 2 over an arbitrary
+/// [`TraceSource`].
+///
+/// `exclude` removes the query entity itself from the answer set.  The
+/// function is exact for every measure satisfying the Section 3.2 axioms: it
+/// returns the same multiset of degrees as a brute-force scan over the same
+/// source.  Given identical inputs the result is bit-for-bit deterministic
+/// (only the wall-clock fields of [`SearchStats`] vary), which is what lets
+/// the parallel batch drivers promise sequential-equivalent output.
+#[allow(clippy::too_many_arguments)]
+pub fn execute<F, S, M>(
+    sp: &SpIndex,
+    hasher: &HierarchicalHasher<F>,
+    tree: &MinSigTree,
+    query: &CellSetSequence,
+    exclude: Option<EntityId>,
+    k: usize,
+    measure: &M,
+    source: &S,
+    options: QueryOptions,
+) -> Result<(Vec<TopKResult>, SearchStats)>
+where
+    F: CellHashFamily,
+    S: TraceSource + ?Sized,
+    M: AssociationMeasure + ?Sized,
+{
+    if query.num_levels() != tree.levels() as usize {
+        return Err(IndexError::LevelMismatch {
+            index_levels: tree.levels(),
+            query_levels: query.num_levels() as u8,
+        });
+    }
+    let start = Instant::now();
+    let m = tree.levels();
+    let query_sizes: Vec<usize> = (1..=m).map(|l| query.level(l).len()).collect();
+
+    let mut stats =
+        SearchStats { total_entities: tree.num_entities(), k, ..SearchStats::default() };
+    let mut hashes = QueryHashes::new(sp, hasher, query);
+
+    // Current top-k; its threshold is the k-th best degree so far.
+    let mut top = TopKHeap::new(k);
+
+    let mut queue: BinaryHeap<Candidate> = BinaryHeap::new();
+    queue.push(Candidate {
+        upper_bound: OrdF64(measure.upper_bound(&query_sizes, &query_sizes)),
+        node: ROOT,
+        caps: query_sizes.clone(),
+    });
+
+    while let Some(candidate) = queue.pop() {
+        // Early termination (Section 5.1): the best remaining subtree cannot
+        // beat the current k-th answer.
+        if top.is_saturated_against(candidate.upper_bound.0) {
+            break;
+        }
+        stats.nodes_visited += 1;
+        let node = tree.node(candidate.node);
+
+        if node.depth == m {
+            // Leaf: evaluate every contained entity exactly.
+            stats.leaves_visited += 1;
+            for &entity in &node.entities {
+                if Some(entity) == exclude {
+                    continue;
+                }
+                let Some(seq) = source.sequence(entity) else { continue };
+                stats.entities_checked += 1;
+                top.offer(entity, measure.degree(query, seq.as_ref()));
+            }
+            continue;
+        }
+
+        // Internal node (or root): push its children with tightened bounds.
+        for (&routing_index, &child_id) in &node.children {
+            let child = tree.node(child_id);
+            let mut caps = if options.accumulate_down_branch {
+                candidate.caps.clone()
+            } else {
+                query_sizes.clone()
+            };
+            let depth_idx = (child.depth - 1) as usize;
+            let base_idx = (m - 1) as usize;
+            if options.use_level_constraints {
+                let surviving = hashes.surviving(child.depth, routing_index, child.routing_value);
+                caps[depth_idx] = caps[depth_idx].min(surviving);
+            }
+            // Theorem-2 constraint over base cells (the "partial pruned set").
+            let surviving_base = hashes.surviving(m, routing_index, child.routing_value);
+            caps[base_idx] = caps[base_idx].min(surviving_base);
+
+            let ub = measure.upper_bound(&query_sizes, &caps);
+            // A subtree whose bound cannot beat the current threshold can still
+            // be pushed; it will be discarded by the termination check when
+            // popped.
+            queue.push(Candidate { upper_bound: OrdF64(ub), node: child_id, caps });
+        }
+    }
+
+    let results = top.into_sorted();
+    stats.query_time_us = start.elapsed().as_micros() as u64;
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_orders_like_floats_and_handles_nan() {
+        let mut v = [OrdF64(0.5), OrdF64(-1.0), OrdF64(2.0), OrdF64(f64::NAN)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(-1.0));
+        assert_eq!(v[1], OrdF64(0.5));
+        assert_eq!(v[2], OrdF64(2.0));
+        assert!(v[3].0.is_nan());
+    }
+
+    #[test]
+    fn candidates_order_by_upper_bound() {
+        let a = Candidate { upper_bound: OrdF64(0.9), node: 1, caps: vec![] };
+        let b = Candidate { upper_bound: OrdF64(0.3), node: 2, caps: vec![] };
+        let mut heap = BinaryHeap::new();
+        heap.push(b);
+        heap.push(a);
+        assert_eq!(heap.pop().unwrap().node, 1);
+    }
+
+    #[test]
+    fn top_k_heap_keeps_the_best_k_with_stable_ties() {
+        let mut top = TopKHeap::new(2);
+        assert!(top.is_empty());
+        assert_eq!(top.threshold(), f64::NEG_INFINITY);
+        top.offer(EntityId(1), 0.5);
+        top.offer(EntityId(2), 0.9);
+        assert_eq!(top.len(), 2);
+        // An equal-degree late-comer with a larger id ranks below the
+        // incumbent and is rejected.
+        top.offer(EntityId(3), 0.5);
+        // Strictly better degrees displace the worst answer.
+        top.offer(EntityId(4), 0.7);
+        let results = top.into_sorted();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].entity, EntityId(2));
+        assert!((results[0].degree - 0.9).abs() < 1e-12);
+        assert_eq!(results[1].entity, EntityId(4));
+    }
+
+    #[test]
+    fn selection_is_independent_of_offer_order() {
+        // The k-boundary is a three-way degree tie; whatever order candidates
+        // arrive in, the kept set must be the sort-and-truncate answer:
+        // {e9 (0.7), e1 (0.0)} — smallest id among the tied.
+        let candidates = [(1u64, 0.0), (2, 0.0), (9, 0.7), (5, 0.0)];
+        let mut orders = vec![candidates];
+        orders.push([candidates[2], candidates[0], candidates[3], candidates[1]]);
+        orders.push([candidates[3], candidates[2], candidates[1], candidates[0]]);
+        for order in orders {
+            let mut top = TopKHeap::new(2);
+            for (entity, degree) in order {
+                top.offer(EntityId(entity), degree);
+            }
+            let results = top.into_sorted();
+            assert_eq!(results[0].entity, EntityId(9), "order {order:?}");
+            assert_eq!(results[1].entity, EntityId(1), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_heap_with_k_zero_accepts_nothing() {
+        let mut top = TopKHeap::new(0);
+        top.offer(EntityId(1), 1.0);
+        assert!(top.is_empty());
+        assert!(top.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn saturation_test_matches_early_termination_semantics() {
+        let mut top = TopKHeap::new(1);
+        assert!(!top.is_saturated_against(0.1), "nothing held yet");
+        top.offer(EntityId(7), 0.5);
+        assert!(top.is_saturated_against(0.5), "equal bound cannot improve");
+        assert!(top.is_saturated_against(0.4));
+        assert!(!top.is_saturated_against(0.6));
+    }
+}

@@ -1,32 +1,37 @@
 //! The [`MinSigIndex`]: the public entry point tying together signatures, the
 //! MinSigTree, query processing and incremental maintenance.
+//!
+//! The index is a thin mutable handle around an [`Arc`]-shared
+//! [`IndexSnapshot`]: queries only ever touch the snapshot (so they can run
+//! from any number of threads against one consistent version of the index),
+//! while [`update_entity`](MinSigIndex::update_entity) and
+//! [`remove_entity`](MinSigIndex::remove_entity) go through
+//! [`Arc::make_mut`] — in-place when the handle is the sole owner,
+//! copy-on-write when readers still hold older snapshots.
 
 use crate::config::IndexConfig;
-use crate::error::{IndexError, Result};
-use crate::query::{self, MapProvider, QueryOptions, TopKResult};
+use crate::error::Result;
+use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
+use crate::snapshot::IndexSnapshot;
 use crate::stats::{IndexStats, SearchStats};
 use crate::tree::MinSigTree;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
-use trace_model::{
-    AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, SpIndex, TraceSet,
-};
+use trace_model::{AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, SpIndex, TraceSet};
 
 /// The MinSigTree index over a set of digital traces.
 ///
 /// The index owns a copy of the spatial hierarchy, the hash family, the tree and
-/// the materialised ST-cell set sequences of every indexed entity (the latter are
-/// what leaf evaluation needs to compute exact association degrees; the paged
-/// query path of [`crate::paged`] reads them from a disk-backed store instead).
+/// the materialised ST-cell set sequences of every indexed entity, packaged as
+/// an immutable [`IndexSnapshot`] (the paged query path of [`crate::paged`]
+/// reads raw traces from a disk-backed store instead).  Call
+/// [`snapshot`](MinSigIndex::snapshot) to share the current version with other
+/// threads; updates on the handle never disturb snapshots already handed out.
 #[derive(Debug)]
 pub struct MinSigIndex {
-    sp: SpIndex,
-    config: IndexConfig,
-    ticks_per_unit: u64,
-    hasher: HierarchicalHasher<SeededHashFamily>,
-    tree: MinSigTree,
-    sequences: BTreeMap<EntityId, CellSetSequence>,
+    snapshot: Arc<IndexSnapshot>,
     stats: IndexStats,
 }
 
@@ -79,12 +84,25 @@ impl MinSigIndex {
             hash_evaluations,
             build_time_us: start.elapsed().as_micros() as u64,
         };
-        Ok(MinSigIndex { sp: sp.clone(), config, ticks_per_unit, hasher, tree, sequences, stats })
+        let snapshot =
+            IndexSnapshot { sp: sp.clone(), config, ticks_per_unit, hasher, tree, sequences };
+        Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats })
+    }
+
+    /// The current immutable version of the index, shareable across threads.
+    ///
+    /// The returned snapshot never changes: subsequent
+    /// [`update_entity`](Self::update_entity) / [`remove_entity`](Self::remove_entity)
+    /// calls copy the index state before mutating it (copy-on-write), so
+    /// concurrent readers keep a consistent view for as long as they hold the
+    /// `Arc`.  Dropping all snapshot clones makes later updates in-place again.
+    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.snapshot)
     }
 
     /// The configuration the index was built with.
     pub fn config(&self) -> IndexConfig {
-        self.config
+        self.snapshot.config()
     }
 
     /// Build statistics (updated by incremental maintenance).
@@ -94,68 +112,82 @@ impl MinSigIndex {
 
     /// The spatial hierarchy of the index.
     pub fn sp_index(&self) -> &SpIndex {
-        &self.sp
+        self.snapshot.sp_index()
     }
 
     /// The underlying tree (read-only).
     pub fn tree(&self) -> &MinSigTree {
-        &self.tree
+        self.snapshot.tree()
     }
 
     /// The hierarchical hasher (used by the paged query path and by ablations).
     pub fn hasher(&self) -> &HierarchicalHasher<SeededHashFamily> {
-        &self.hasher
+        self.snapshot.hasher()
     }
 
     /// The temporal discretisation (raw ticks per base temporal unit).
     pub fn ticks_per_unit(&self) -> u64 {
-        self.ticks_per_unit
+        self.snapshot.ticks_per_unit()
     }
 
     /// Number of indexed entities.
     pub fn num_entities(&self) -> usize {
-        self.tree.num_entities()
+        self.snapshot.num_entities()
     }
 
     /// True when the entity is indexed.
     pub fn contains(&self, entity: EntityId) -> bool {
-        self.sequences.contains_key(&entity)
+        self.snapshot.contains(entity)
     }
 
     /// The materialised sequence of an indexed entity.
     pub fn sequence(&self, entity: EntityId) -> Option<&CellSetSequence> {
-        self.sequences.get(&entity)
+        self.snapshot.sequence(entity)
     }
 
     /// The materialised sequences of all indexed entities (used by baselines and
     /// ground-truth comparisons).
     pub fn sequences(&self) -> &BTreeMap<EntityId, CellSetSequence> {
-        &self.sequences
+        self.snapshot.sequences()
     }
 
     /// Incrementally inserts a new entity or replaces an existing entity's trace
     /// (Section 4.2.3): only the signature of the affected entity is recomputed
     /// and only its root-to-leaf path is touched.
+    ///
+    /// If snapshots are currently shared with readers, the update first clones
+    /// the index state (copy-on-write) so those readers stay on their old,
+    /// consistent version.
     pub fn update_entity(&mut self, entity: EntityId, trace: &DigitalTrace) -> Result<()> {
         let start = Instant::now();
-        let seq = trace.cell_sequence(&self.sp, self.ticks_per_unit)?;
-        let sig = SignatureList::build(&self.sp, &self.hasher, &seq);
+        // Materialise the sequence before the copy-on-write so a bad trace
+        // leaves the index (and its stats) untouched.
+        let seq = trace.cell_sequence(self.snapshot.sp_index(), self.snapshot.ticks_per_unit())?;
+        let snap = Arc::make_mut(&mut self.snapshot);
+        let sig = SignatureList::build(&snap.sp, &snap.hasher, &seq);
         self.stats.hash_evaluations +=
-            seq.total_cells() as u64 * self.config.num_hash_functions as u64;
-        self.tree.insert(entity, &sig);
-        self.sequences.insert(entity, seq);
-        self.stats.num_entities = self.sequences.len();
-        self.stats.num_nodes = self.tree.num_nodes();
-        self.stats.index_bytes = self.tree.size_bytes();
+            seq.total_cells() as u64 * snap.config.num_hash_functions as u64;
+        snap.tree.insert(entity, &sig);
+        snap.sequences.insert(entity, seq);
+        self.stats.num_entities = snap.sequences.len();
+        self.stats.num_nodes = snap.tree.num_nodes();
+        self.stats.index_bytes = snap.tree.size_bytes();
         self.stats.build_time_us += start.elapsed().as_micros() as u64;
         Ok(())
     }
 
     /// Removes an entity from the index; returns `true` when it was present.
+    ///
+    /// Copy-on-write like [`update_entity`](Self::update_entity): readers
+    /// holding snapshots still see the entity.
     pub fn remove_entity(&mut self, entity: EntityId) -> bool {
-        let removed = self.tree.remove(entity);
-        self.sequences.remove(&entity);
-        self.stats.num_entities = self.sequences.len();
+        if !self.snapshot.contains(entity) && self.snapshot.tree().leaf_of(entity).is_none() {
+            return false;
+        }
+        let snap = Arc::make_mut(&mut self.snapshot);
+        let removed = snap.tree.remove(entity);
+        snap.sequences.remove(&entity);
+        self.stats.num_entities = snap.sequences.len();
         removed
     }
 
@@ -166,7 +198,7 @@ impl MinSigIndex {
         k: usize,
         measure: &M,
     ) -> Result<(Vec<TopKResult>, SearchStats)> {
-        self.top_k_with_options(query, k, measure, QueryOptions::default())
+        self.snapshot.top_k(query, k, measure)
     }
 
     /// Answers a top-k query for an indexed entity with explicit options.
@@ -177,12 +209,7 @@ impl MinSigIndex {
         measure: &M,
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, SearchStats)> {
-        let seq = self
-            .sequences
-            .get(&query)
-            .ok_or(IndexError::UnknownQueryEntity(query.raw()))?
-            .clone();
-        self.top_k_for_sequence(&seq, Some(query), k, measure, options)
+        self.snapshot.top_k_with_options(query, k, measure, options)
     }
 
     /// Answers a top-k query for an arbitrary (possibly external) query sequence.
@@ -194,18 +221,7 @@ impl MinSigIndex {
         measure: &M,
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, SearchStats)> {
-        let provider = MapProvider::new(&self.sequences);
-        query::search(
-            &self.sp,
-            &self.hasher,
-            &self.tree,
-            query,
-            exclude,
-            k,
-            measure,
-            &provider,
-            options,
-        )
+        self.snapshot.top_k_for_sequence(query, exclude, k, measure, options)
     }
 
     /// Ground-truth brute force over the indexed sequences (used by tests,
@@ -216,11 +232,7 @@ impl MinSigIndex {
         k: usize,
         measure: &M,
     ) -> Result<Vec<TopKResult>> {
-        let seq = self
-            .sequences
-            .get(&query)
-            .ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-        Ok(query::brute_force_top_k(&self.sequences, seq, Some(query), k, measure))
+        self.snapshot.brute_force(query, k, measure)
     }
 }
 
@@ -238,6 +250,7 @@ fn default_hash_range(sp: &SpIndex, sequences: &BTreeMap<EntityId, CellSetSequen
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::IndexError;
     use trace_model::{DiceAdm, PaperAdm, Period, PresenceInstance};
 
     /// A small deterministic dataset with obvious associations: entities come in
@@ -458,15 +471,12 @@ mod tests {
         let (sp, traces) = paired_dataset(2);
         let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
         let other_sp = SpIndex::uniform(2, &[2]).unwrap();
-        let seq = trace_model::CellSetSequence::from_base_cells(
-            &other_sp,
-            &trace_model::CellSet::new(),
-        )
-        .unwrap();
+        let seq =
+            trace_model::CellSetSequence::from_base_cells(&other_sp, &trace_model::CellSet::new())
+                .unwrap();
         let measure = DiceAdm::uniform(2);
-        let err = index
-            .top_k_for_sequence(&seq, None, 1, &measure, QueryOptions::default())
-            .unwrap_err();
+        let err =
+            index.top_k_for_sequence(&seq, None, 1, &measure, QueryOptions::default()).unwrap_err();
         assert!(matches!(err, IndexError::LevelMismatch { .. }));
     }
 

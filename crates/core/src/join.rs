@@ -2,19 +2,20 @@
 //! Section 8.2).
 //!
 //! A *top-k join* answers the top-k query for every entity of a probe set in one
-//! call.  Each probe reuses the same MinSigTree and the same early-termination
-//! machinery as a single query; the batch API adds two things on top:
-//!
-//! * **parallel evaluation** — probes are independent, so they are spread over a
-//!   configurable number of worker threads (scoped threads, no unsafe, no extra
-//!   dependencies);
-//! * **aggregate statistics** — the mean pruning effectiveness over the batch,
-//!   which is what the experiment harness reports.
+//! call; [`IndexSnapshot::top_k_batch`] is the same idea with the `top_k`
+//! result shape.  Each probe runs the shared best-first executor of
+//! [`crate::engine`] against the same immutable snapshot, so probes are
+//! trivially independent and are fanned out over the rayon thread pool.  The
+//! executor is deterministic given its inputs, which yields the batch API's
+//! contract: **parallel evaluation returns exactly the sequential results, in
+//! probe order** (only wall-clock timing fields differ).
 
-use crate::error::Result;
+use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::query::{QueryOptions, TopKResult};
+use crate::snapshot::IndexSnapshot;
 use crate::stats::SearchStats;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use trace_model::{AssociationMeasure, EntityId};
 
@@ -47,7 +48,10 @@ pub struct JoinStats {
 pub struct JoinOptions {
     /// Number of result entities per probe.
     pub k: usize,
-    /// Worker threads (1 = sequential).
+    /// `1` evaluates probes sequentially on the calling thread; any larger
+    /// value fans the probes out over the rayon worker pool (whose size is
+    /// global, so this acts as an on/off switch rather than an exact thread
+    /// count).  Results are identical either way.
     pub threads: usize,
     /// Per-probe query options.
     pub query: QueryOptions,
@@ -59,44 +63,55 @@ impl Default for JoinOptions {
     }
 }
 
-impl MinSigIndex {
+impl IndexSnapshot {
+    /// Answers the top-k query for every query entity of a batch, in parallel,
+    /// returning per-query `(results, stats)` pairs **in input order**.
+    ///
+    /// Equivalent to calling [`top_k`](IndexSnapshot::top_k) once per entry:
+    /// the first unknown query entity fails the whole batch with
+    /// [`IndexError::UnknownQueryEntity`], exactly as its sequential
+    /// counterpart would.
+    pub fn top_k_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        self.top_k_batch_with_options(queries, k, measure, QueryOptions::default())
+    }
+
+    /// [`top_k_batch`](IndexSnapshot::top_k_batch) with explicit query options.
+    pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        let answers: Vec<Result<(Vec<TopKResult>, SearchStats)>> = queries
+            .par_iter()
+            .map(|&query| self.top_k_with_options(query, k, measure, options))
+            .collect();
+        // Surface the first error in input order, matching sequential
+        // evaluation (later probes were computed speculatively and dropped).
+        answers.into_iter().collect()
+    }
+
     /// Answers the top-k query for every probe entity, optionally in parallel.
     ///
     /// Probes that are not indexed are skipped (and counted in
-    /// [`JoinStats::skipped`]); the output preserves the probe order.
+    /// [`JoinStats::skipped`]); the output preserves the probe order and is
+    /// identical for sequential and parallel evaluation.
     pub fn top_k_join<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         probes: &[EntityId],
         measure: &M,
         options: JoinOptions,
     ) -> Result<(Vec<JoinRow>, JoinStats)> {
-        let threads = options.threads.max(1).min(probes.len().max(1));
-        let rows: Vec<Option<JoinRow>> = if threads <= 1 {
+        let rows: Vec<Option<JoinRow>> = if options.threads <= 1 || probes.len() <= 1 {
             probes.iter().map(|&probe| self.join_one(probe, measure, options)).collect()
         } else {
-            let mut rows: Vec<Option<JoinRow>> = vec![None; probes.len()];
-            let chunk = probes.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (chunk_index, probe_chunk) in probes.chunks(chunk).enumerate() {
-                    handles.push((
-                        chunk_index,
-                        scope.spawn(move || {
-                            probe_chunk
-                                .iter()
-                                .map(|&probe| self.join_one(probe, measure, options))
-                                .collect::<Vec<_>>()
-                        }),
-                    ));
-                }
-                for (chunk_index, handle) in handles {
-                    let chunk_rows = handle.join().expect("join worker never panics");
-                    for (offset, row) in chunk_rows.into_iter().enumerate() {
-                        rows[chunk_index * chunk + offset] = row;
-                    }
-                }
-            });
-            rows
+            probes.par_iter().map(|&probe| self.join_one(probe, measure, options)).collect()
         };
 
         let mut stats = JoinStats::default();
@@ -125,9 +140,48 @@ impl MinSigIndex {
         measure: &M,
         options: JoinOptions,
     ) -> Option<JoinRow> {
-        let (matches, stats) =
-            self.top_k_with_options(probe, options.k, measure, options.query).ok()?;
-        Some(JoinRow { probe, matches, stats })
+        match self.top_k_with_options(probe, options.k, measure, options.query) {
+            Ok((matches, stats)) => Some(JoinRow { probe, matches, stats }),
+            Err(IndexError::UnknownQueryEntity(_)) => None,
+            // Any other error class would indicate a malformed snapshot; the
+            // join API predates fallible rows, so fold it into "skipped" too.
+            Err(_) => None,
+        }
+    }
+}
+
+impl MinSigIndex {
+    /// Answers the top-k query for every query entity of a batch, in parallel,
+    /// on the current snapshot.  See [`IndexSnapshot::top_k_batch`].
+    pub fn top_k_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        self.snapshot().top_k_batch(queries, k, measure)
+    }
+
+    /// [`top_k_batch`](MinSigIndex::top_k_batch) with explicit query options.
+    pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        self.snapshot().top_k_batch_with_options(queries, k, measure, options)
+    }
+
+    /// Answers the top-k query for every probe entity, optionally in parallel,
+    /// on the current snapshot.  See [`IndexSnapshot::top_k_join`].
+    pub fn top_k_join<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probes: &[EntityId],
+        measure: &M,
+        options: JoinOptions,
+    ) -> Result<(Vec<JoinRow>, JoinStats)> {
+        self.snapshot().top_k_join(probes, measure, options)
     }
 }
 
@@ -160,8 +214,7 @@ mod tests {
     #[test]
     fn join_answers_every_probe_and_finds_partners() {
         let (sp, traces) = dataset(20);
-        let index =
-            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
         let measure = PaperAdm::default_for(2);
         let probes: Vec<EntityId> = (0..10u64).map(EntityId).collect();
         let (rows, stats) = index
@@ -182,15 +235,22 @@ mod tests {
     #[test]
     fn parallel_join_matches_sequential_join() {
         let (sp, traces) = dataset(25);
-        let index =
-            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
         let measure = PaperAdm::default_for(2);
         let probes: Vec<EntityId> = (0..30u64).map(EntityId).collect();
         let (seq_rows, _) = index
-            .top_k_join(&probes, &measure, JoinOptions { k: 3, threads: 1, ..JoinOptions::default() })
+            .top_k_join(
+                &probes,
+                &measure,
+                JoinOptions { k: 3, threads: 1, ..JoinOptions::default() },
+            )
             .unwrap();
         let (par_rows, _) = index
-            .top_k_join(&probes, &measure, JoinOptions { k: 3, threads: 4, ..JoinOptions::default() })
+            .top_k_join(
+                &probes,
+                &measure,
+                JoinOptions { k: 3, threads: 4, ..JoinOptions::default() },
+            )
             .unwrap();
         assert_eq!(seq_rows.len(), par_rows.len());
         for (a, b) in seq_rows.iter().zip(par_rows.iter()) {

@@ -2,7 +2,8 @@
 //!
 //! The MinSigTree index of *Top-k Queries over Digital Traces* (Li, Yu, Koudas;
 //! SIGMOD 2019): hierarchy-aware MinHash signatures, an m-level grouping tree, and
-//! a best-first top-k search with early termination.
+//! a best-first top-k search with early termination — behind a unified, parallel
+//! query engine.
 //!
 //! ## How the pieces fit together
 //!
@@ -17,15 +18,37 @@
 //!    their per-level signatures (the *routing index*), producing the
 //!    [`tree::MinSigTree`]; each node stores only its routing index and the group
 //!    minimum at that index (Section 4.2.2).
-//! 4. A top-k query walks the tree best-first, bounding the association degree
-//!    achievable inside each subtree from the node's routing value (Theorem 4 /
-//!    Section 5.1) and terminating as soon as the k-th best exact answer matches
-//!    the best remaining bound ([`query`]).
 //!
-//! The [`index::MinSigIndex`] type wires all of this together and additionally
-//! supports incremental updates (Section 4.2.3) and a paged query mode that reads
-//! candidate traces through a bounded buffer pool (`trace-storage`), which is what
-//! the memory-sensitivity experiment of Figure 7.6 measures.
+//! ## The query engine
+//!
+//! All query processing funnels through **one** best-first executor
+//! ([`engine::execute`]): a candidate frontier ordered by Theorem-4 upper
+//! bounds, per-level overlap caps tightened down each branch, and k-th-best
+//! early termination (Section 5.1).  The executor is generic over a
+//! [`engine::TraceSource`] — where candidate sequences come from during leaf
+//! evaluation:
+//!
+//! * [`engine::InMemorySource`] borrows the snapshot's sequence map (the exact
+//!   path of [`MinSigIndex::top_k`]);
+//! * [`engine::PagedSource`] reads raw traces through a `trace-storage` buffer
+//!   pool, charging simulated I/O (the Figure 7.6 path of [`paged`]).
+//!
+//! The remaining query modules are thin drivers over the executor: [`join`]
+//! fans probe sets out over rayon ([`IndexSnapshot::top_k_batch`] /
+//! [`IndexSnapshot::top_k_join`]), and [`approximate`] scores LSH band
+//! collisions through the executor's shared [`engine::TopKHeap`].
+//!
+//! ## Snapshots and concurrency
+//!
+//! The index state lives in an immutable, `Arc`-shareable
+//! [`snapshot::IndexSnapshot`]; [`index::MinSigIndex`] is a mutable handle
+//! around it.  [`MinSigIndex::snapshot`] hands a consistent version of the
+//! index to any number of reader threads, while
+//! [`MinSigIndex::update_entity`] / [`MinSigIndex::remove_entity`]
+//! (Section 4.2.3) keep working on the handle via copy-on-write — readers are
+//! never blocked and never observe a half-applied update.  Batch evaluation is
+//! deterministic: parallel results equal sequential results exactly, in input
+//! order.
 //!
 //! ```
 //! use minsig::{IndexConfig, MinSigIndex};
@@ -40,9 +63,16 @@
 //! }
 //! let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
 //! let measure = DiceAdm::uniform(2);
+//!
+//! // Single query...
 //! let (results, stats) = index.top_k(EntityId(0), 1, &measure).unwrap();
 //! assert_eq!(results[0].entity, EntityId(1));
 //! assert!(stats.entities_checked <= 3);
+//!
+//! // ...or a parallel batch over a shared snapshot: same answers, in order.
+//! let snapshot = index.snapshot();
+//! let batch = snapshot.top_k_batch(&[EntityId(0), EntityId(1)], 1, &measure).unwrap();
+//! assert_eq!(batch[0].0, results);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,21 +80,27 @@
 
 pub mod approximate;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod join;
 pub mod paged;
 pub mod query;
 pub mod signature;
+pub mod snapshot;
 pub mod stats;
 pub mod tree;
 
 pub use approximate::{BandedIndex, BandingConfig};
 pub use config::{HasherMode, IndexConfig};
+pub use engine::{InMemorySource, PagedSource, TopKHeap, TraceSource};
 pub use error::{IndexError, Result};
 pub use index::MinSigIndex;
 pub use join::{JoinOptions, JoinRow, JoinStats};
 pub use query::{QueryOptions, TopKResult};
-pub use signature::{CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily};
+pub use signature::{
+    CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily,
+};
+pub use snapshot::IndexSnapshot;
 pub use stats::{IndexStats, SearchStats};
 pub use tree::MinSigTree;

@@ -7,48 +7,29 @@
 //! compute exact association degrees at the leaves live on the (virtual) disk, so
 //! a smaller buffer budget translates into more page misses and a longer
 //! simulated search time.
+//!
+//! The walk itself is the shared best-first executor of [`crate::engine`]; the
+//! only difference from the in-memory path is the [`PagedSource`] handed to it.
+//! The buffer pool synchronises internally, so paged queries may also run from
+//! several threads against one snapshot, pool and store.
 
+use crate::engine::{self, PagedSource};
 use crate::error::Result;
 use crate::index::MinSigIndex;
-use crate::query::{self, QueryOptions, SequenceProvider, TopKResult};
+use crate::query::{QueryOptions, TopKResult};
+use crate::snapshot::IndexSnapshot;
 use crate::stats::SearchStats;
-use std::borrow::Cow;
-use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
+use trace_model::{AssociationMeasure, EntityId};
 use trace_storage::{BufferPool, PagedTraceStore};
 
-/// A [`SequenceProvider`] that materialises candidate sequences from a paged
-/// trace store, charging buffer-pool I/O for every page touched.
-pub struct PagedProvider<'a> {
-    store: &'a PagedTraceStore,
-    pool: &'a BufferPool<'a>,
-    sp: &'a SpIndex,
-    ticks_per_unit: u64,
-}
-
-impl<'a> PagedProvider<'a> {
-    /// Creates a provider over a store and a pool.
-    pub fn new(
-        store: &'a PagedTraceStore,
-        pool: &'a BufferPool<'a>,
-        sp: &'a SpIndex,
-        ticks_per_unit: u64,
-    ) -> Self {
-        PagedProvider { store, pool, sp, ticks_per_unit }
-    }
-}
-
-impl SequenceProvider for PagedProvider<'_> {
-    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
-        let trace = self.store.read_trace(self.pool, entity)?;
-        trace.cell_sequence(self.sp, self.ticks_per_unit).ok().map(Cow::Owned)
-    }
-}
-
-impl MinSigIndex {
+impl IndexSnapshot {
     /// Answers a top-k query reading candidate traces through `pool` over `store`.
     ///
     /// The returned [`SearchStats`] additionally report the buffer-pool misses and
-    /// the simulated I/O latency accumulated during this query.
+    /// the simulated I/O latency accumulated during this query.  When several
+    /// threads share one pool, those two deltas are approximate: the pool's
+    /// counters are global, so concurrent queries' I/O may be attributed to
+    /// each other (results themselves are unaffected).
     pub fn top_k_paged<M: AssociationMeasure + ?Sized>(
         &self,
         query: EntityId,
@@ -70,8 +51,8 @@ impl MinSigIndex {
             }
         };
         let before = pool.stats();
-        let provider = PagedProvider::new(store, pool, self.sp_index(), self.ticks_per_unit());
-        let (results, mut stats) = query::search(
+        let source = PagedSource::new(store, pool, self.sp_index(), self.ticks_per_unit());
+        let (results, mut stats) = engine::execute(
             self.sp_index(),
             self.hasher(),
             self.tree(),
@@ -79,13 +60,30 @@ impl MinSigIndex {
             Some(query),
             k,
             measure,
-            &provider,
+            &source,
             options,
         )?;
         let after = pool.stats();
         stats.pool_misses = after.misses - before.misses;
         stats.simulated_io_us = after.simulated_us - before.simulated_us;
         Ok((results, stats))
+    }
+}
+
+impl MinSigIndex {
+    /// Answers a top-k query reading candidate traces through `pool` over `store`.
+    ///
+    /// Delegates to [`IndexSnapshot::top_k_paged`] on the current snapshot.
+    pub fn top_k_paged<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        store: &PagedTraceStore,
+        pool: &BufferPool<'_>,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.snapshot().top_k_paged(query, k, measure, store, pool, options)
     }
 }
 

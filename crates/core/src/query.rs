@@ -1,33 +1,16 @@
-//! Top-k query processing (Chapter 5): upper bounds, best-first search and early
-//! termination.
+//! Top-k query results, options and the brute-force ground truth.
 //!
-//! The search walks the MinSigTree with a max-heap of candidate nodes ordered by
-//! an upper bound on the association degree achievable inside each subtree
-//! (Algorithm 2).  The bound for a node at depth `d` with routing index `u` and
-//! stored value `v` combines two sound constraints:
-//!
-//! * **level-`d` constraint** — every member entity's level-`d` signature at `u`
-//!   is at least `v`, so query level-`d` cells whose hash under `u` is below `v`
-//!   cannot be shared (the MinHash minimum property);
-//! * **base-level constraint (Theorem 2)** — query *base* cells whose hash under
-//!   `u` is below `v` cannot be in any member's trace.
-//!
-//! Constraints accumulate down a branch (the per-level caps of a child are never
-//! larger than its parent's), which is the "gradually tightened upper bound" of
-//! Section 5.1.  The caps are turned into a degree bound by instantiating
-//! Theorem 4's artificial entity per level (see
-//! [`AssociationMeasure::upper_bound`]).
+//! The best-first search itself (Algorithm 2, Section 5.1) lives in
+//! [`crate::engine`]; this module holds the vocabulary types shared by every
+//! query path — [`TopKResult`] and [`QueryOptions`] — plus the brute-force
+//! evaluator that tests and baselines compare against.  Both the executor's
+//! leaf evaluation and [`brute_force_top_k`] select their answers through the
+//! same [`TopKHeap`](crate::engine::TopKHeap), so exact-verification logic
+//! exists once.
 
-use crate::error::{IndexError, Result};
-use crate::signature::{CellHashFamily, HierarchicalHasher};
-use crate::stats::SearchStats;
-use crate::tree::{MinSigTree, NodeId, ROOT};
+use crate::engine;
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
-use trace_model::{AssociationMeasure, CellSetSequence, EntityId, Level, SpIndex};
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId};
 
 /// One answer of a top-k query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,229 +39,11 @@ impl Default for QueryOptions {
     }
 }
 
-/// Where candidate entities' ST-cell set sequences come from during leaf
-/// evaluation: the in-memory map of the index, or a paged store that charges
-/// simulated I/O.
-pub trait SequenceProvider {
-    /// The sequence of an entity, or `None` when it cannot be found.
-    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>>;
-}
-
-/// In-memory provider backed by a map of materialised sequences.
-pub struct MapProvider<'a> {
-    sequences: &'a std::collections::BTreeMap<EntityId, CellSetSequence>,
-}
-
-impl<'a> MapProvider<'a> {
-    /// Creates a provider over the index's sequence map.
-    pub fn new(sequences: &'a std::collections::BTreeMap<EntityId, CellSetSequence>) -> Self {
-        MapProvider { sequences }
-    }
-}
-
-impl SequenceProvider for MapProvider<'_> {
-    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
-        self.sequences.get(&entity).map(Cow::Borrowed)
-    }
-}
-
-/// An `f64` wrapper with a total order, used as the heap priority.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// A candidate subtree in the best-first queue.
-#[derive(Debug, Clone)]
-struct Candidate {
-    upper_bound: OrdF64,
-    node: NodeId,
-    /// Per-level caps on the overlap with the query (index 0 = level 1).
-    caps: Vec<usize>,
-}
-
-impl PartialEq for Candidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.upper_bound == other.upper_bound && self.node == other.node
-    }
-}
-impl Eq for Candidate {}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.upper_bound.cmp(&other.upper_bound).then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-/// Lazily computed, sorted hash values of the query's cells per (level, function).
-struct QueryHashes<'a, F: CellHashFamily> {
-    sp: &'a SpIndex,
-    hasher: &'a HierarchicalHasher<F>,
-    query: &'a CellSetSequence,
-    cache: HashMap<(Level, u32), Vec<u64>>,
-}
-
-impl<'a, F: CellHashFamily> QueryHashes<'a, F> {
-    fn new(sp: &'a SpIndex, hasher: &'a HierarchicalHasher<F>, query: &'a CellSetSequence) -> Self {
-        QueryHashes { sp, hasher, query, cache: HashMap::new() }
-    }
-
-    /// Number of query level-`level` cells whose hash under function `u` is at
-    /// least `value` (i.e. cells that *survive* the pruned set of a node with
-    /// routing index `u` and stored value `value`).
-    fn surviving(&mut self, level: Level, u: u32, value: u64) -> usize {
-        let sp = self.sp;
-        let hasher = self.hasher;
-        let query = self.query;
-        let hashes = self.cache.entry((level, u)).or_insert_with(|| {
-            let mut v: Vec<u64> =
-                query.level(level).iter().map(|cell| hasher.hash(sp, u, cell)).collect();
-            v.sort_unstable();
-            v
-        });
-        let below = hashes.partition_point(|&h| h < value);
-        hashes.len() - below
-    }
-}
-
-/// The top-k search of Algorithm 2.
-///
-/// `exclude` removes the query entity itself from the answer set.  The function
-/// is exact for every measure satisfying the Section 3.2 axioms: it returns the
-/// same multiset of degrees as a brute-force scan.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn search<F, P, M>(
-    sp: &SpIndex,
-    hasher: &HierarchicalHasher<F>,
-    tree: &MinSigTree,
-    query: &CellSetSequence,
-    exclude: Option<EntityId>,
-    k: usize,
-    measure: &M,
-    provider: &P,
-    options: QueryOptions,
-) -> Result<(Vec<TopKResult>, SearchStats)>
-where
-    F: CellHashFamily,
-    P: SequenceProvider,
-    M: AssociationMeasure + ?Sized,
-{
-    if query.num_levels() != tree.levels() as usize {
-        return Err(IndexError::LevelMismatch {
-            index_levels: tree.levels(),
-            query_levels: query.num_levels() as u8,
-        });
-    }
-    let start = Instant::now();
-    let m = tree.levels();
-    let query_sizes: Vec<usize> = (1..=m).map(|l| query.level(l).len()).collect();
-
-    let mut stats = SearchStats {
-        total_entities: tree.num_entities(),
-        k,
-        ..SearchStats::default()
-    };
-    let mut hashes = QueryHashes::new(sp, hasher, query);
-
-    // Current top-k kept as a min-heap keyed by (degree, entity); `threshold()` is
-    // the k-th best degree so far.
-    let mut top: BinaryHeap<std::cmp::Reverse<(OrdF64, EntityId)>> = BinaryHeap::new();
-    let threshold = |top: &BinaryHeap<std::cmp::Reverse<(OrdF64, EntityId)>>| -> f64 {
-        if top.len() < k {
-            f64::NEG_INFINITY
-        } else {
-            top.peek().map(|r| r.0 .0 .0).unwrap_or(f64::NEG_INFINITY)
-        }
-    };
-
-    let mut queue: BinaryHeap<Candidate> = BinaryHeap::new();
-    queue.push(Candidate {
-        upper_bound: OrdF64(measure.upper_bound(&query_sizes, &query_sizes)),
-        node: ROOT,
-        caps: query_sizes.clone(),
-    });
-
-    while let Some(candidate) = queue.pop() {
-        // Early termination (Section 5.1): the best remaining subtree cannot beat
-        // the current k-th answer.
-        if k > 0 && top.len() >= k && threshold(&top) >= candidate.upper_bound.0 {
-            break;
-        }
-        stats.nodes_visited += 1;
-        let node = tree.node(candidate.node);
-
-        if node.depth == m {
-            // Leaf: evaluate every contained entity exactly.
-            stats.leaves_visited += 1;
-            for &entity in &node.entities {
-                if Some(entity) == exclude {
-                    continue;
-                }
-                let Some(seq) = provider.sequence(entity) else { continue };
-                stats.entities_checked += 1;
-                let degree = measure.degree(query, seq.as_ref());
-                if top.len() < k {
-                    top.push(std::cmp::Reverse((OrdF64(degree), entity)));
-                } else if k > 0 && degree > threshold(&top) {
-                    top.pop();
-                    top.push(std::cmp::Reverse((OrdF64(degree), entity)));
-                }
-            }
-            continue;
-        }
-
-        // Internal node (or root): push its children with tightened bounds.
-        for (&routing_index, &child_id) in &node.children {
-            let child = tree.node(child_id);
-            let mut caps = if options.accumulate_down_branch {
-                candidate.caps.clone()
-            } else {
-                query_sizes.clone()
-            };
-            let depth_idx = (child.depth - 1) as usize;
-            let base_idx = (m - 1) as usize;
-            if options.use_level_constraints {
-                let surviving = hashes.surviving(child.depth, routing_index, child.routing_value);
-                caps[depth_idx] = caps[depth_idx].min(surviving);
-            }
-            // Theorem-2 constraint over base cells (the "partial pruned set").
-            let surviving_base = hashes.surviving(m, routing_index, child.routing_value);
-            caps[base_idx] = caps[base_idx].min(surviving_base);
-
-            let ub = measure.upper_bound(&query_sizes, &caps);
-            // A subtree whose bound cannot beat the current threshold can still be
-            // pushed; it will be discarded by the termination check when popped.
-            queue.push(Candidate { upper_bound: OrdF64(ub), node: child_id, caps });
-        }
-    }
-
-    let mut results: Vec<TopKResult> = top
-        .into_iter()
-        .map(|std::cmp::Reverse((OrdF64(degree), entity))| TopKResult { entity, degree })
-        .collect();
-    results.sort_by(|a, b| b.degree.total_cmp(&a.degree).then(a.entity.cmp(&b.entity)));
-    stats.query_time_us = start.elapsed().as_micros() as u64;
-    Ok((results, stats))
-}
-
 /// Brute-force evaluation of a top-k query over an explicit collection of
 /// sequences; the ground truth used by tests and by the scan baseline.
+///
+/// Shares its top-k selection (tie-breaking included) with the best-first
+/// executor via [`TopKHeap`](crate::engine::TopKHeap).
 pub fn brute_force_top_k<M: AssociationMeasure + ?Sized>(
     sequences: &std::collections::BTreeMap<EntityId, CellSetSequence>,
     query: &CellSetSequence,
@@ -286,14 +51,9 @@ pub fn brute_force_top_k<M: AssociationMeasure + ?Sized>(
     k: usize,
     measure: &M,
 ) -> Vec<TopKResult> {
-    let mut all: Vec<TopKResult> = sequences
-        .iter()
-        .filter(|(e, _)| Some(**e) != exclude)
-        .map(|(e, seq)| TopKResult { entity: *e, degree: measure.degree(query, seq) })
-        .collect();
-    all.sort_by(|a, b| b.degree.total_cmp(&a.degree).then(a.entity.cmp(&b.entity)));
-    all.truncate(k);
-    all
+    let (results, _) =
+        engine::scan_top_k(sequences.iter().map(|(e, s)| (*e, s)), query, exclude, k, measure);
+    results
 }
 
 #[cfg(test)]
@@ -301,29 +61,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ordf64_orders_like_floats_and_handles_nan() {
-        let mut v = vec![OrdF64(0.5), OrdF64(-1.0), OrdF64(2.0), OrdF64(f64::NAN)];
-        v.sort();
-        assert_eq!(v[0], OrdF64(-1.0));
-        assert_eq!(v[1], OrdF64(0.5));
-        assert_eq!(v[2], OrdF64(2.0));
-        assert!(v[3].0.is_nan());
-    }
-
-    #[test]
-    fn candidates_order_by_upper_bound() {
-        let a = Candidate { upper_bound: OrdF64(0.9), node: 1, caps: vec![] };
-        let b = Candidate { upper_bound: OrdF64(0.3), node: 2, caps: vec![] };
-        let mut heap = BinaryHeap::new();
-        heap.push(b);
-        heap.push(a);
-        assert_eq!(heap.pop().unwrap().node, 1);
-    }
-
-    #[test]
     fn default_options_enable_all_constraints() {
         let o = QueryOptions::default();
         assert!(o.use_level_constraints);
         assert!(o.accumulate_down_branch);
+    }
+
+    #[test]
+    fn brute_force_of_empty_map_is_empty() {
+        let sequences = std::collections::BTreeMap::new();
+        let sp = trace_model::SpIndex::uniform(2, &[2]).unwrap();
+        let query =
+            trace_model::CellSetSequence::from_base_cells(&sp, &trace_model::CellSet::new())
+                .unwrap();
+        let measure = trace_model::DiceAdm::uniform(2);
+        assert!(brute_force_top_k(&sequences, &query, None, 5, &measure).is_empty());
     }
 }

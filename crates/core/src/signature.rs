@@ -45,7 +45,9 @@ impl SeededHashFamily {
     pub fn new(nh: u32, seed: u64, range: u64) -> Self {
         assert!(nh > 0, "need at least one hash function");
         assert!(range >= 2, "hash range must be at least 2");
-        let seeds = (0..nh as u64).map(|i| splitmix64(seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15)))).collect();
+        let seeds = (0..nh as u64)
+            .map(|i| splitmix64(seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15))))
+            .collect();
         SeededHashFamily { seeds, range }
     }
 }
@@ -125,6 +127,16 @@ pub struct HierarchicalHasher<F> {
     mode: HasherMode,
     /// Memo for the exhaustive mode: packed coarse cell → per-function values.
     memo: RwLock<HashMap<u64, Vec<u64>>>,
+}
+
+impl<F: Clone> Clone for HierarchicalHasher<F> {
+    fn clone(&self) -> Self {
+        HierarchicalHasher {
+            family: self.family.clone(),
+            mode: self.mode,
+            memo: RwLock::new(self.memo.read().clone()),
+        }
+    }
 }
 
 impl<F: std::fmt::Debug> std::fmt::Debug for HierarchicalHasher<F> {
@@ -305,7 +317,16 @@ mod tests {
         let ex = PaperExample::build();
         let mut table = TableHashFamily::new(10);
         let u = ex.units;
-        for (t, unit) in [(T1, u.l1), (T2, u.l1), (T1, u.l2), (T2, u.l2), (T1, u.l3), (T2, u.l3), (T1, u.l4), (T2, u.l4)] {
+        for (t, unit) in [
+            (T1, u.l1),
+            (T2, u.l1),
+            (T1, u.l2),
+            (T2, u.l2),
+            (T1, u.l3),
+            (T2, u.l3),
+            (T1, u.l4),
+            (T2, u.l4),
+        ] {
             for h in [1u32, 2] {
                 let cell = StCell::new(t, unit);
                 let value = ex.hash_value(h as usize, cell).unwrap() as u64;
@@ -323,8 +344,16 @@ mod tests {
         for ((entity, seq), (expected_entity, sig1, sig2)) in ex.entities.iter().zip(expected) {
             assert_eq!(*entity, expected_entity);
             let sig = SignatureList::build(&ex.sp, &hasher, seq);
-            assert_eq!(sig.level(1), &[sig1[0] as u64, sig1[1] as u64], "level-1 signature of {entity}");
-            assert_eq!(sig.level(2), &[sig2[0] as u64, sig2[1] as u64], "level-2 signature of {entity}");
+            assert_eq!(
+                sig.level(1),
+                &[sig1[0] as u64, sig1[1] as u64],
+                "level-1 signature of {entity}"
+            );
+            assert_eq!(
+                sig.level(2),
+                &[sig2[0] as u64, sig2[1] as u64],
+                "level-2 signature of {entity}"
+            );
         }
     }
 
@@ -356,7 +385,8 @@ mod tests {
         }
         // Different functions give different values somewhere.
         let c = StCell::new(1, 1);
-        let distinct: std::collections::BTreeSet<u64> = (0..16).map(|u| f.hash_base(u, c)).collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..16).map(|u| f.hash_base(u, c)).collect();
         assert!(distinct.len() > 1);
     }
 
@@ -415,11 +445,12 @@ mod tests {
     fn theorem_2_absence_certificate() {
         // If sig^i[u] > h_u(s) then s is not in the entity's base set.
         let sp = SpIndex::uniform(2, &[3, 3]).unwrap();
-        let hasher = HierarchicalHasher::new(SeededHashFamily::new(16, 11, 2_000), HasherMode::PathMax);
+        let hasher =
+            HierarchicalHasher::new(SeededHashFamily::new(16, 11, 2_000), HasherMode::PathMax);
         let present: Vec<StCell> =
             sp.base_units().iter().step_by(2).map(|&u| StCell::new(0, u)).collect();
-        let seq = CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(present.clone()))
-            .unwrap();
+        let seq =
+            CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(present.clone())).unwrap();
         let sig = SignatureList::build(&sp, &hasher, &seq);
         let present_set: std::collections::BTreeSet<u64> =
             present.iter().map(|c| c.packed()).collect();
@@ -443,7 +474,8 @@ mod tests {
     #[test]
     fn exhaustive_mode_memoises_coarse_cells() {
         let sp = SpIndex::uniform(2, &[8]).unwrap();
-        let hasher = HierarchicalHasher::new(SeededHashFamily::new(4, 5, 100), HasherMode::Exhaustive);
+        let hasher =
+            HierarchicalHasher::new(SeededHashFamily::new(4, 5, 100), HasherMode::Exhaustive);
         let coarse_unit = sp.top_units()[0];
         let cell = StCell::new(3, coarse_unit);
         assert_eq!(hasher.memo_len(), 0);

@@ -1,0 +1,155 @@
+//! The immutable, shareable state of a built index.
+//!
+//! [`IndexSnapshot`] owns everything a query needs — the spatial hierarchy,
+//! the hash family, the [`MinSigTree`](crate::tree::MinSigTree) and the
+//! materialised ST-cell set sequences — and exposes only `&self` query
+//! methods, so an `Arc<IndexSnapshot>` can be handed to any number of worker
+//! threads which all see one consistent version of the index.
+//!
+//! Mutation lives in [`MinSigIndex`](crate::index::MinSigIndex), which wraps
+//! an `Arc<IndexSnapshot>` with copy-on-write semantics: while no reader holds
+//! a second reference, `update_entity`/`remove_entity` mutate the snapshot in
+//! place (the common single-owner case costs nothing); once a reader has
+//! cloned the `Arc`, the next update first clones the snapshot, so in-flight
+//! readers keep an unchanging view — snapshot isolation by immutability.
+
+use crate::config::IndexConfig;
+use crate::engine::{self, InMemorySource};
+use crate::error::{IndexError, Result};
+use crate::query::{QueryOptions, TopKResult};
+use crate::signature::{HierarchicalHasher, SeededHashFamily};
+use crate::stats::SearchStats;
+use crate::tree::MinSigTree;
+use std::collections::BTreeMap;
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
+
+/// One immutable version of the MinSigTree index: the unit of sharing between
+/// concurrent readers.
+///
+/// Obtained from [`MinSigIndex::snapshot`](crate::index::MinSigIndex::snapshot);
+/// every query entry point of the crate is available directly on the snapshot
+/// (the `MinSigIndex` methods are thin delegates).
+#[derive(Debug, Clone)]
+pub struct IndexSnapshot {
+    pub(crate) sp: SpIndex,
+    pub(crate) config: IndexConfig,
+    pub(crate) ticks_per_unit: u64,
+    pub(crate) hasher: HierarchicalHasher<SeededHashFamily>,
+    pub(crate) tree: MinSigTree,
+    pub(crate) sequences: BTreeMap<EntityId, CellSetSequence>,
+}
+
+impl IndexSnapshot {
+    /// The configuration the index was built with.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// The spatial hierarchy of the index.
+    pub fn sp_index(&self) -> &SpIndex {
+        &self.sp
+    }
+
+    /// The underlying tree (read-only).
+    pub fn tree(&self) -> &MinSigTree {
+        &self.tree
+    }
+
+    /// The hierarchical hasher (used by the paged query path and by ablations).
+    pub fn hasher(&self) -> &HierarchicalHasher<SeededHashFamily> {
+        &self.hasher
+    }
+
+    /// The temporal discretisation (raw ticks per base temporal unit).
+    pub fn ticks_per_unit(&self) -> u64 {
+        self.ticks_per_unit
+    }
+
+    /// Number of indexed entities.
+    pub fn num_entities(&self) -> usize {
+        self.tree.num_entities()
+    }
+
+    /// True when the entity is indexed.
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.sequences.contains_key(&entity)
+    }
+
+    /// The materialised sequence of an indexed entity.
+    pub fn sequence(&self, entity: EntityId) -> Option<&CellSetSequence> {
+        self.sequences.get(&entity)
+    }
+
+    /// The materialised sequences of all indexed entities (used by baselines
+    /// and ground-truth comparisons).
+    pub fn sequences(&self) -> &BTreeMap<EntityId, CellSetSequence> {
+        &self.sequences
+    }
+
+    /// Answers a top-k query for an indexed entity with default options.
+    pub fn top_k<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.top_k_with_options(query, k, measure, QueryOptions::default())
+    }
+
+    /// Answers a top-k query for an indexed entity with explicit options.
+    pub fn top_k_with_options<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        let seq = self.sequences.get(&query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        self.top_k_for_sequence(seq, Some(query), k, measure, options)
+    }
+
+    /// Answers a top-k query for an arbitrary (possibly external) query
+    /// sequence through the shared best-first executor over an in-memory
+    /// source.
+    pub fn top_k_for_sequence<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        let source = InMemorySource::new(&self.sequences);
+        engine::execute(
+            &self.sp,
+            &self.hasher,
+            &self.tree,
+            query,
+            exclude,
+            k,
+            measure,
+            &source,
+            options,
+        )
+    }
+
+    /// Ground-truth brute force over the indexed sequences (used by tests,
+    /// baselines and the experiment harness); shares its top-k selection with
+    /// the executor's leaf evaluation.
+    pub fn brute_force<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<TopKResult>> {
+        let seq = self.sequences.get(&query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        let (results, _) = engine::scan_top_k(
+            self.sequences.iter().map(|(e, s)| (*e, s)),
+            seq,
+            Some(query),
+            k,
+            measure,
+        );
+        Ok(results)
+    }
+}

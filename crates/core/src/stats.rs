@@ -83,7 +83,8 @@ mod tests {
         assert_eq!(empty.fraction_checked(), 0.0);
         assert_eq!(empty.pruning_effectiveness(), 1.0);
         // Checking fewer than k entities (tiny datasets) never goes negative.
-        let tiny = SearchStats { total_entities: 5, k: 10, entities_checked: 5, ..SearchStats::default() };
+        let tiny =
+            SearchStats { total_entities: 5, k: 10, entities_checked: 5, ..SearchStats::default() };
         assert_eq!(tiny.fraction_checked(), 0.0);
     }
 

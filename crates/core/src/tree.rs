@@ -37,7 +37,13 @@ pub struct Node {
 
 impl Node {
     fn new(depth: Level, routing_index: u32, routing_value: u64) -> Self {
-        Node { depth, routing_index, routing_value, children: BTreeMap::new(), entities: Vec::new() }
+        Node {
+            depth,
+            routing_index,
+            routing_value,
+            children: BTreeMap::new(),
+            entities: Vec::new(),
+        }
     }
 }
 
@@ -57,11 +63,7 @@ impl MinSigTree {
     /// Creates an empty tree for an sp-index of the given height.
     pub fn new(levels: Level) -> Self {
         assert!(levels >= 1, "tree needs at least one level");
-        MinSigTree {
-            levels,
-            nodes: vec![Node::new(0, 0, u64::MAX)],
-            leaf_of: BTreeMap::new(),
-        }
+        MinSigTree { levels, nodes: vec![Node::new(0, 0, u64::MAX)], leaf_of: BTreeMap::new() }
     }
 
     /// Builds the tree from the signatures of all entities (Algorithm 1).
@@ -220,9 +222,16 @@ mod tests {
         let ex = PaperExample::build();
         let mut table = TableHashFamily::new(10);
         let u = ex.units;
-        for (t, unit) in
-            [(T1, u.l1), (T2, u.l1), (T1, u.l2), (T2, u.l2), (T1, u.l3), (T2, u.l3), (T1, u.l4), (T2, u.l4)]
-        {
+        for (t, unit) in [
+            (T1, u.l1),
+            (T2, u.l1),
+            (T1, u.l2),
+            (T2, u.l2),
+            (T1, u.l3),
+            (T2, u.l3),
+            (T1, u.l4),
+            (T2, u.l4),
+        ] {
             for h in [1u32, 2] {
                 let cell = StCell::new(t, unit);
                 table.set(h - 1, cell, ex.hash_value(h as usize, cell).unwrap() as u64);
@@ -278,11 +287,14 @@ mod tests {
     }
 
     fn random_signatures(n: usize, sp: &SpIndex, nh: u32) -> Vec<(EntityId, SignatureList)> {
-        let hasher = HierarchicalHasher::new(SeededHashFamily::new(nh, 1, 100_000), HasherMode::PathMax);
+        let hasher =
+            HierarchicalHasher::new(SeededHashFamily::new(nh, 1, 100_000), HasherMode::PathMax);
         (0..n)
             .map(|i| {
                 let cells: Vec<StCell> = (0..(i % 7 + 1))
-                    .map(|j| StCell::new(j as u32, sp.base_units()[(i * 3 + j) % sp.num_base_units()]))
+                    .map(|j| {
+                        StCell::new(j as u32, sp.base_units()[(i * 3 + j) % sp.num_base_units()])
+                    })
                     .collect();
                 let seq =
                     CellSetSequence::from_base_cells(sp, &CellSet::from_cells(cells)).unwrap();

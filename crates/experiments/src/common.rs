@@ -78,29 +78,20 @@ pub fn estimate_nc<M: AssociationMeasure + ?Sized>(
     for &query in queries {
         let Ok(results) = index.brute_force(query, k, measure) else { continue };
         let Some(kth) = results.last() else { continue };
-        let (Some(query_seq), Some(kth_seq)) =
-            (index.sequence(query), index.sequence(kth.entity))
+        let (Some(query_seq), Some(kth_seq)) = (index.sequence(query), index.sequence(kth.entity))
         else {
             continue;
         };
         total += query_seq.base().intersection_len(kth_seq.base()) as u64;
         count += 1;
     }
-    if count == 0 {
-        1
-    } else {
-        (total / count).max(1)
-    }
+    total.checked_div(count).map_or(1, |mean| mean.max(1))
 }
 
 /// Builds the MinSigTree index for a generated dataset with `nh` hash functions.
 pub fn build_index(dataset: &SynDataset, nh: u32) -> MinSigIndex {
-    MinSigIndex::build(
-        dataset.sp_index(),
-        &dataset.traces,
-        IndexConfig::with_hash_functions(nh),
-    )
-    .expect("index build over generated data cannot fail")
+    MinSigIndex::build(dataset.sp_index(), &dataset.traces, IndexConfig::with_hash_functions(nh))
+        .expect("index build over generated data cannot fail")
 }
 
 /// Mean number of base ST-cells per entity in an index (the `C` of Section 4.3

@@ -57,15 +57,7 @@ pub fn run(scale: &Scale) -> Table {
         "Figure 7.1 — data distribution",
         "Average number of entities forming AjPIs with a query entity, per sp-index level, \
          and their distribution over co-presence duration buckets (base temporal units).",
-        vec![
-            "dataset",
-            "level",
-            "entities with AjPI",
-            "duration 0-25",
-            "25-50",
-            "50-75",
-            "75+",
-        ],
+        vec!["dataset", "level", "entities with AjPI", "duration 0-25", "25-50", "50-75", "75+"],
     );
     for (name, config) in [("SYN", scale.syn_config()), ("REAL-like", scale.real_config())] {
         let dataset = SynDataset::generate(config).expect("dataset generation");

@@ -22,7 +22,10 @@ pub fn run(scale: &Scale) -> Table {
          under ADM parameter combinations (u, v).",
         {
             let mut cols = vec!["dataset".to_string(), "u,v".to_string()];
-            cols.extend((0..BUCKETS).map(|b| format!("({:.1},{:.1}]", b as f64 * 0.1, (b + 1) as f64 * 0.1)));
+            cols.extend(
+                (0..BUCKETS)
+                    .map(|b| format!("({:.1},{:.1}]", b as f64 * 0.1, (b + 1) as f64 * 0.1)),
+            );
             cols.push("zero".to_string());
             cols
         },
@@ -35,7 +38,7 @@ pub fn run(scale: &Scale) -> Table {
         let queries = dataset.query_entities(scale.queries, scale.seed + 2);
         for (u, v) in [(2.0, 2.0), (2.0, 5.0), (5.0, 2.0), (5.0, 5.0)] {
             let measure = PaperAdm::new(sp.height() as usize, u, v).expect("valid parameters");
-            let mut buckets = vec![0u64; BUCKETS];
+            let mut buckets = [0u64; BUCKETS];
             let mut zero = 0u64;
             for &query in &queries {
                 let query_seq = &seqs[&query];
@@ -70,7 +73,8 @@ mod tests {
     fn most_entities_have_low_or_zero_degree() {
         let table = run(&Scale::smoke());
         for row in table.rows() {
-            let low: f64 = row[2].parse::<f64>().unwrap() + row.last().unwrap().parse::<f64>().unwrap();
+            let low: f64 =
+                row[2].parse::<f64>().unwrap() + row.last().unwrap().parse::<f64>().unwrap();
             let high: f64 = row[3..row.len() - 1].iter().map(|c| c.parse::<f64>().unwrap()).sum();
             assert!(
                 low >= high,

@@ -90,8 +90,8 @@ mod tests {
             table.rows().iter().map(|r| r[0].clone()).collect();
         assert_eq!(params.len(), 8);
         for row in table.rows() {
-            for col in 2..5 {
-                let pe: f64 = row[col].parse().unwrap();
+            for cell in row.iter().take(5).skip(2) {
+                let pe: f64 = cell.parse().unwrap();
                 assert!((0.0..=1.0).contains(&pe));
             }
         }

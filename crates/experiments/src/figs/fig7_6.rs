@@ -80,6 +80,9 @@ mod tests {
     fn more_memory_never_increases_pool_misses() {
         let table = run(&Scale::smoke());
         let misses: Vec<u64> = table.rows().iter().map(|r| r[4].parse().unwrap()).collect();
-        assert!(misses.windows(2).all(|w| w[1] <= w[0]), "misses must be non-increasing: {misses:?}");
+        assert!(
+            misses.windows(2).all(|w| w[1] <= w[0]),
+            "misses must be non-increasing: {misses:?}"
+        );
     }
 }

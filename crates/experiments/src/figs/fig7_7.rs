@@ -31,10 +31,8 @@ pub fn run(scale: &Scale) -> Table {
         let index_small = build_index(&dataset, small_nh);
         let index_large = build_index(&dataset, large_nh);
         let sequences = index_large.sequences().clone();
-        let bitmap = BitmapIndex::build(
-            &sequences,
-            BitmapIndexConfig { min_support: 3, num_clusters: 256 },
-        );
+        let bitmap =
+            BitmapIndex::build(&sequences, BitmapIndexConfig { min_support: 3, num_clusters: 256 });
 
         for &k in scale.k_sweep {
             let pe_small = average_pe(&index_small, &queries, k, &measure);

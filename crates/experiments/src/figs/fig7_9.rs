@@ -36,7 +36,11 @@ fn update_batch(
         for step in 0..5u64 {
             let unit = base_units[(i * 31 + step as usize) % base_units.len()];
             let start = 10_000 + step * 120;
-            trace.push(PresenceInstance::new(entity, unit, Period::new(start, start + 60).unwrap()));
+            trace.push(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(start, start + 60).unwrap(),
+            ));
         }
         batch.push((entity, trace));
     }
@@ -49,7 +53,13 @@ pub fn run(scale: &Scale) -> Table {
         "Figure 7.9 — update cost",
         "Time to apply a batch of entity updates to an existing MinSigTree, by number of hash \
          functions and by the fraction of updated entities that already exist in the index.",
-        vec!["hash functions", "existing fraction", "batch size", "update time (ms)", "per entity (us)"],
+        vec![
+            "hash functions",
+            "existing fraction",
+            "batch size",
+            "update time (ms)",
+            "per entity (us)",
+        ],
     );
     let dataset = SynDataset::generate(scale.syn_config()).expect("dataset generation");
     let batch_size = (scale.syn_entities / 10).clamp(10, 5_000);
@@ -104,6 +114,6 @@ mod tests {
         let dataset = SynDataset::generate(scale.syn_config()).unwrap();
         let batch = update_batch(&dataset, 40, 0.4, 1);
         let existing = batch.iter().filter(|(e, _)| dataset.traces.contains(*e)).count();
-        assert!(existing >= 16 - 2 && existing <= 16 + 2, "roughly 40% existing, got {existing}");
+        assert!((16 - 2..=16 + 2).contains(&existing), "roughly 40% existing, got {existing}");
     }
 }

@@ -56,7 +56,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let runners: Vec<(&str, fn(&Scale) -> Table)> = vec![
+    type Runner = fn(&Scale) -> Table;
+    let runners: Vec<(&str, Runner)> = vec![
         ("fig7-1", figs::fig7_1::run),
         ("fig7-2", figs::fig7_2::run),
         ("fig7-3", figs::fig7_3::run),

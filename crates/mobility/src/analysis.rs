@@ -235,9 +235,8 @@ mod tests {
     fn harder_queries_prune_less() {
         // A smaller nc (fewer shared cells needed to be a contender) means more
         // leaves must be checked.
-        let pe = |nc: u64| {
-            AnalyticalPeModel::new(10_000 * 720, 300, 1000, nc).predict().fraction_pruned
-        };
+        let pe =
+            |nc: u64| AnalyticalPeModel::new(10_000 * 720, 300, 1000, nc).predict().fraction_pruned;
         assert!(pe(200) < pe(290));
         assert!(pe(290) < pe(299));
     }

@@ -152,8 +152,7 @@ impl SynDataset {
         // (most devices are seen rarely; a few are seen constantly).
         for e in 0..num_independent {
             let start = rng.gen_range(0..num_base);
-            let trace =
-                sim.simulate_entity(&mut rng, EntityId(e as u64), start, total_ticks);
+            let trace = sim.simulate_entity(&mut rng, EntityId(e as u64), start, total_ticks);
             let observe_probability = if config.observation_skew <= 0.0 {
                 1.0
             } else {
@@ -240,11 +239,8 @@ mod tests {
             assert_eq!(ea.1.instances(), eb.1.instances());
         }
         let c = SynDataset::generate(SynConfig { seed: 7, ..SynConfig::tiny() }).unwrap();
-        let differs = a
-            .traces
-            .iter()
-            .zip(c.traces.iter())
-            .any(|(x, y)| x.1.instances() != y.1.instances());
+        let differs =
+            a.traces.iter().zip(c.traces.iter()).any(|(x, y)| x.1.instances() != y.1.instances());
         assert!(differs, "different seeds should differ");
     }
 
@@ -274,7 +270,10 @@ mod tests {
         }
         let mean = sum / count as f64;
         assert!(best > 0.0, "the co-mover must be associated with someone");
-        assert!(best > 5.0 * mean, "co-mover association should stand out: best {best} mean {mean}");
+        assert!(
+            best > 5.0 * mean,
+            "co-mover association should stand out: best {best} mean {mean}"
+        );
     }
 
     #[test]

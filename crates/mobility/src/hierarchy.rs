@@ -142,7 +142,8 @@ impl HierarchySpec {
 /// `n_base` units, clamped to be strictly increasing and at least 1.
 pub fn level_widths(n_base: usize, m: usize, a: f64) -> Vec<usize> {
     let q = n_base as f64 / (m as f64).powf(a);
-    let mut widths: Vec<usize> = (1..=m).map(|l| ((q * (l as f64).powf(a)) as usize).max(1)).collect();
+    let mut widths: Vec<usize> =
+        (1..=m).map(|l| ((q * (l as f64).powf(a)) as usize).max(1)).collect();
     widths[m - 1] = n_base;
     // Enforce monotone non-decreasing widths (the tree cannot widen upward) and
     // that every level has at least as many units as the one above it.
@@ -166,7 +167,8 @@ pub fn partition_sizes(total: usize, parts: usize, b: f64) -> Vec<usize> {
     let weights: Vec<f64> = (1..=parts).map(|i| (i as f64).powf(b)).collect();
     let weight_sum: f64 = weights.iter().sum();
     let spare = total - parts;
-    let mut sizes: Vec<usize> = weights.iter().map(|w| 1 + (w / weight_sum * spare as f64) as usize).collect();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| 1 + (w / weight_sum * spare as f64) as usize).collect();
     // Distribute rounding leftovers to the largest groups first.
     let mut assigned: usize = sizes.iter().sum();
     let mut i = parts;

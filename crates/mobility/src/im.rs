@@ -369,7 +369,8 @@ mod tests {
     fn preferential_and_zipf_return_models_both_work() {
         let spec = spec();
         for model in [ReturnModel::Preferential, ReturnModel::ZipfRank] {
-            let sim = ImSimulator::new(&spec, ImConfig { return_model: model, ..ImConfig::default() });
+            let sim =
+                ImSimulator::new(&spec, ImConfig { return_model: model, ..ImConfig::default() });
             let mut rng = StdRng::seed_from_u64(5);
             let trace = sim.simulate_entity(&mut rng, EntityId(9), 0, WEEK_MINUTES);
             assert!(!trace.is_empty());

@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn capacity_is_derived_from_sizes() {
         assert_eq!(RECORDS_PER_PAGE, (PAGE_SIZE - 4) / TraceRecord::ENCODED_LEN);
-        assert!(RECORDS_PER_PAGE > 200, "a page should hold a few hundred records");
+        const { assert!(RECORDS_PER_PAGE > 200, "a page should hold a few hundred records") };
     }
 
     #[test]

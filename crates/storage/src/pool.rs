@@ -148,6 +148,14 @@ impl<'d> BufferPool<'d> {
     }
 }
 
+// The parallel query engine hands one pool to many worker threads; this
+// compile-time assertion keeps the pool (and, transitively, the disk and its
+// frozen pages) shareable by `&` reference.
+const _: fn() = || {
+    fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<BufferPool<'static>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,7 +187,8 @@ mod tests {
     #[test]
     fn capacity_limits_cached_pages_and_evicts_lru() {
         let disk = disk_with_pages(10);
-        let config = PoolConfig { capacity_bytes: 2 * PAGE_SIZE, miss_latency_us: 0, hit_latency_us: 0 };
+        let config =
+            PoolConfig { capacity_bytes: 2 * PAGE_SIZE, miss_latency_us: 0, hit_latency_us: 0 };
         let pool = BufferPool::new(&disk, config);
         pool.get(0);
         pool.get(1);
@@ -196,7 +205,8 @@ mod tests {
     #[test]
     fn simulated_latency_accumulates() {
         let disk = disk_with_pages(3);
-        let config = PoolConfig { capacity_bytes: PAGE_SIZE, miss_latency_us: 100, hit_latency_us: 1 };
+        let config =
+            PoolConfig { capacity_bytes: PAGE_SIZE, miss_latency_us: 100, hit_latency_us: 1 };
         let pool = BufferPool::new(&disk, config);
         pool.get(0);
         pool.get(0);
@@ -242,5 +252,30 @@ mod tests {
         let disk = disk_with_pages(1);
         let pool = BufferPool::new(&disk, PoolConfig::default());
         assert_eq!(pool.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_pool() {
+        let disk = disk_with_pages(16);
+        let pool = BufferPool::new(&disk, PoolConfig::default());
+        let threads = 8;
+        let reads_per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..reads_per_thread {
+                        let id = (t + i) % 16;
+                        let page = pool.get(id);
+                        // Every record of page `id` carries entity `id * 10 + j`.
+                        assert!(page.records().iter().all(|r| r.entity / 10 == id));
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, threads * reads_per_thread);
+        // All 16 pages fit in the default budget: every page misses exactly once.
+        assert_eq!(stats.misses, 16);
     }
 }

@@ -68,12 +68,13 @@ impl PagedTraceStore {
         let mut directory: BTreeMap<EntityId, Range<u32>> = BTreeMap::new();
         let mut current = Page::new();
         let mut current_index = 0u32;
-        let note = |entity: u64, page_index: u32, directory: &mut BTreeMap<EntityId, Range<u32>>| {
-            directory
-                .entry(EntityId(entity))
-                .and_modify(|r| r.end = page_index + 1)
-                .or_insert(page_index..page_index + 1);
-        };
+        let note =
+            |entity: u64, page_index: u32, directory: &mut BTreeMap<EntityId, Range<u32>>| {
+                directory
+                    .entry(EntityId(entity))
+                    .and_modify(|r| r.end = page_index + 1)
+                    .or_insert(page_index..page_index + 1);
+            };
         for rec in &sorted {
             if !current.push(*rec) {
                 data_pages.push(disk.write_page(&current));
@@ -87,7 +88,8 @@ impl PagedTraceStore {
             data_pages.push(disk.write_page(&current));
         }
 
-        let stats = StoreStats { records: num_records, pages: data_pages.len() as u64, sort: sort_stats };
+        let stats =
+            StoreStats { records: num_records, pages: data_pages.len() as u64, sort: sort_stats };
         disk.reset_stats();
         PagedTraceStore { disk, data_pages, directory, stats }
     }

@@ -34,7 +34,7 @@ impl PaperAdm {
         if num_levels == 0 {
             return Err(ModelError::InvalidMeasureParameter("num_levels must be positive".into()));
         }
-        if !(u >= 1.0) || !(v >= 1.0) {
+        if u < 1.0 || v < 1.0 || u.is_nan() || v.is_nan() {
             return Err(ModelError::InvalidMeasureParameter(format!(
                 "u and v must be >= 1 (got u={u}, v={v})"
             )));
@@ -155,10 +155,7 @@ mod tests {
     #[test]
     fn degree_is_zero_for_disjoint_entities() {
         let m = PaperAdm::default_for(3);
-        let ov = LevelOverlap::from_stats(vec![
-            LevelStat { overlap: 0, size_a: 5, size_b: 7 };
-            3
-        ]);
+        let ov = LevelOverlap::from_stats(vec![LevelStat { overlap: 0, size_a: 5, size_b: 7 }; 3]);
         assert_eq!(m.degree_from_overlap(&ov), 0.0);
     }
 }

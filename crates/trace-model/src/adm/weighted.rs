@@ -62,7 +62,7 @@ impl WeightedLevelAdm {
         if num_levels == 0 {
             return Err(ModelError::InvalidMeasureParameter("num_levels must be positive".into()));
         }
-        if !(u >= 1.0) || !(v >= 1.0) {
+        if u < 1.0 || v < 1.0 || u.is_nan() || v.is_nan() {
             return Err(ModelError::InvalidMeasureParameter(format!(
                 "u and v must be >= 1 (got u={u}, v={v})"
             )));

@@ -89,11 +89,7 @@ impl LevelOverlap {
     /// Computes the overlap summary of two sequences (which must have the same
     /// number of levels).
     pub fn from_sequences(a: &CellSetSequence, b: &CellSetSequence) -> Self {
-        assert_eq!(
-            a.num_levels(),
-            b.num_levels(),
-            "sequences must come from the same sp-index"
-        );
+        assert_eq!(a.num_levels(), b.num_levels(), "sequences must come from the same sp-index");
         let stats = a
             .iter_levels()
             .zip(b.iter_levels())
@@ -246,16 +242,12 @@ mod tests {
     #[test]
     fn disjoint_sequences_have_zero_overlap() {
         let (sp, u) = sp2();
-        let seq_a = CellSetSequence::from_base_cells(
-            &sp,
-            &CellSet::from_cells(vec![StCell::new(0, u[0])]),
-        )
-        .unwrap();
-        let seq_b = CellSetSequence::from_base_cells(
-            &sp,
-            &CellSet::from_cells(vec![StCell::new(0, u[2])]),
-        )
-        .unwrap();
+        let seq_a =
+            CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(vec![StCell::new(0, u[0])]))
+                .unwrap();
+        let seq_b =
+            CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(vec![StCell::new(0, u[2])]))
+                .unwrap();
         let ov = LevelOverlap::from_sequences(&seq_a, &seq_b);
         assert!(ov.is_disjoint());
     }

@@ -86,9 +86,7 @@ impl SpIndex {
     }
 
     fn meta(&self, unit: SpatialUnitId) -> Result<&UnitMeta> {
-        self.units
-            .get(unit as usize)
-            .ok_or(ModelError::UnknownSpatialUnit(unit))
+        self.units.get(unit as usize).ok_or(ModelError::UnknownSpatialUnit(unit))
     }
 
     /// Level of a unit.
@@ -157,9 +155,7 @@ impl SpIndex {
 
     /// All units at a given level, in id order.
     pub fn units_at_level(&self, level: Level) -> Vec<SpatialUnitId> {
-        (0..self.units.len() as u32)
-            .filter(|&u| self.units[u as usize].level == level)
-            .collect()
+        (0..self.units.len() as u32).filter(|&u| self.units[u as usize].level == level).collect()
     }
 
     /// Number of units at each level, indexed by `level - 1`.
@@ -260,11 +256,8 @@ impl SpIndexBuilder {
 
     /// Adds a child of an existing unit and returns its id.
     pub fn add_child(&mut self, parent: SpatialUnitId) -> Result<SpatialUnitId> {
-        let parent_level = self
-            .units
-            .get(parent as usize)
-            .ok_or(ModelError::UnknownSpatialUnit(parent))?
-            .level;
+        let parent_level =
+            self.units.get(parent as usize).ok_or(ModelError::UnknownSpatialUnit(parent))?.level;
         let level = parent_level + 1;
         if level > self.height {
             return Err(ModelError::InvalidLevel { level, height: self.height });

@@ -80,11 +80,7 @@ impl Period {
         let first = self.start / ticks_per_unit;
         // Half-open: a period ending exactly on a unit boundary does not reach the
         // next unit.
-        let last = if self.is_empty() {
-            first
-        } else {
-            (self.end - 1) / ticks_per_unit + 1
-        };
+        let last = if self.is_empty() { first } else { (self.end - 1) / ticks_per_unit + 1 };
         (first..last).map(|u| u as TimeUnit)
     }
 }

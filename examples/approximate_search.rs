@@ -7,10 +7,10 @@
 //!
 //! Run with `cargo run --release --example approximate_search`.
 
-use digital_traces::index::{BandingConfig, IndexConfig, JoinOptions, MinSigIndex};
 use digital_traces::index::approximate::recall;
-use digital_traces::model::PaperAdm;
+use digital_traces::index::{BandingConfig, IndexConfig, JoinOptions, MinSigIndex};
 use digital_traces::mobility_models::{HierarchyConfig, SynConfig, SynDataset};
+use digital_traces::model::PaperAdm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic population with planted co-movers.
@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    one (few, wide bands → few candidates, lower recall) and a permissive
     //    one (many, narrow bands → more candidates, higher recall).  Recall is
     //    measured on the top-3 strongest associations.
-    println!("{:<28} {:>10} {:>12} {:>8}", "configuration", "recall@3", "checked/query", "of total");
+    println!(
+        "{:<28} {:>10} {:>12} {:>8}",
+        "configuration", "recall@3", "checked/query", "of total"
+    );
     for (label, config) in [
         ("exact MinSigTree", None),
         ("banding b=8,  r=8 (strict)", Some(BandingConfig { bands: 8, rows_per_band: 8 })),

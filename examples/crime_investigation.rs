@@ -10,8 +10,8 @@
 //! Run with `cargo run --release --example crime_investigation`.
 
 use digital_traces::index::{IndexConfig, MinSigIndex};
-use digital_traces::model::{EntityId, PaperAdm, Period, PresenceInstance};
 use digital_traces::mobility_models::{HierarchyConfig, SynConfig, SynDataset};
+use digital_traces::model::{EntityId, PaperAdm, Period, PresenceInstance};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic city: ~1.5k devices moving for a week over a 3-level
@@ -35,9 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gang: Vec<EntityId> = (0..4).map(|i| EntityId(100_000 + i)).collect();
     let venues = sp.base_units().to_vec();
     let incidents = [
-        (venues[42], 1 * 24 * 60 + 20 * 60),  // day 1, 20:00
-        (venues[137], 3 * 24 * 60 + 1 * 60),  // day 3, 01:00
-        (venues[58], 5 * 24 * 60 + 21 * 60),  // day 5, 21:00
+        (venues[42], 24 * 60 + 20 * 60),     // day 1, 20:00
+        (venues[137], 3 * 24 * 60 + 60),     // day 3, 01:00
+        (venues[58], 5 * 24 * 60 + 21 * 60), // day 5, 21:00
     ];
     // Around each incident the gang spends a long evening together with the person
     // of interest (planning, the incident itself, dispersal), and they also share a

@@ -5,8 +5,8 @@
 //! Run with `cargo run --release --example location_recommender`.
 
 use digital_traces::index::{IndexConfig, MinSigIndex};
-use digital_traces::model::PaperAdm;
 use digital_traces::mobility_models::{HierarchyConfig, SynConfig, SynDataset};
+use digital_traces::model::PaperAdm;
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,13 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Score venues the user has NOT visited by the association-weighted visit
     //    counts of the neighbours.
-    let user_venues: std::collections::BTreeSet<u32> = dataset
-        .traces
-        .trace(user)?
-        .instances()
-        .iter()
-        .map(|pi| pi.unit)
-        .collect();
+    let user_venues: std::collections::BTreeSet<u32> =
+        dataset.traces.trace(user)?.instances().iter().map(|pi| pi.unit).collect();
     let mut venue_scores: BTreeMap<u32, f64> = BTreeMap::new();
     for neighbour in &neighbours {
         if neighbour.degree <= 0.0 {
@@ -67,9 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let district = sp.ancestor_at_level(*venue, 1)?;
         println!("  venue #{venue:<6} in district #{district:<4} score {score:.1}");
     }
-    assert!(
-        !ranked.is_empty(),
-        "associated users should contribute at least one unseen venue"
-    );
+    assert!(!ranked.is_empty(), "associated users should contribute at least one unseen venue");
     Ok(())
 }

@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example streaming_updates`.
 
 use digital_traces::index::{IndexConfig, MinSigIndex, QueryOptions};
-use digital_traces::model::{EntityId, PaperAdm, Period, PresenceInstance};
 use digital_traces::mobility_models::{HierarchyConfig, SynConfig, SynDataset};
+use digital_traces::model::{EntityId, PaperAdm, Period, PresenceInstance};
 use digital_traces::storage::{PagedTraceStore, PoolConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

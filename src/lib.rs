@@ -6,12 +6,29 @@
 //!
 //! * [`model`] — the trace data model: spatial hierarchies, ST-cells, presence
 //!   instances, adjoint presence instances, association degree measures;
-//! * [`index`] — the MinSigTree index and top-k query processing;
+//! * [`index`] — the MinSigTree index and its unified query engine;
 //! * [`mobility`] — the hierarchical individual-mobility model, synthetic data
 //!   generators and the analytical pruning-effectiveness model;
 //! * [`baselines`] — brute-force scan, FP-growth and the bitmap baseline;
 //! * [`storage`] — the paged storage substrate (external sort, buffer pool);
 //! * [`experiments`] — the harness regenerating every figure of the paper.
+//!
+//! ## Architecture: one executor, many drivers
+//!
+//! Every query path — exact, paged, join/batch and approximate — runs through
+//! a single best-first executor (`minsig::engine`), parameterised over a
+//! `TraceSource` that says where candidate trace sequences come from during
+//! leaf evaluation: `InMemorySource` borrows the index snapshot's sequence
+//! map, `PagedSource` reads raw traces through the `storage` buffer pool.
+//!
+//! The index itself is split into an immutable, `Arc`-shareable
+//! [`IndexSnapshot`] and the mutable [`MinSigIndex`] handle around it:
+//! `MinSigIndex::snapshot()` hands a consistent version of the index to any
+//! number of reader threads, while `update_entity`/`remove_entity` keep
+//! working on the handle via copy-on-write.  Batch entry points
+//! (`top_k_batch`, `top_k_join`) fan independent queries out over a thread
+//! pool with a hard determinism contract: parallel results equal sequential
+//! results exactly, in input order.
 //!
 //! ## Quickstart
 //!
@@ -72,7 +89,10 @@ pub mod harness {
     pub use experiments::*;
 }
 
-pub use minsig::{IndexConfig, MinSigIndex, QueryOptions, SearchStats};
+pub use minsig::{
+    IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, QueryOptions, SearchStats, TopKResult,
+    TraceSource,
+};
 pub use trace_model::{
     AssociationMeasure, DiceAdm, DigitalTrace, EntityId, JaccardAdm, PaperAdm, Period,
     PresenceInstance, SpIndex, SpIndexBuilder, TraceSet,

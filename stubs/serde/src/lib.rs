@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace never serialises anything at runtime (there is no
+//! `serde_json`/`bincode` in the dependency tree); `serde` appears only in
+//! `#[derive(Serialize, Deserialize)]` attributes that keep the public types
+//! ready for a real serialisation backend.  This stub keeps those derives
+//! compiling offline: the traits are markers with blanket implementations and
+//! the derive macros expand to nothing.  Swapping the path dependency for the
+//! crates.io release restores full serialisation support without touching any
+//! other file.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stub gives [`Serialize`]/[`Deserialize`] blanket
+//! implementations, so the derives only need to exist — expanding to nothing
+//! keeps every `#[derive(Serialize, Deserialize)]` in the codebase compiling
+//! unchanged until the real crates.io dependency can be restored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the trait is blanket-implemented by the
+/// workspace's `serde` stub.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the trait is blanket-implemented by the
+/// workspace's `serde` stub.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -167,12 +167,8 @@ fn incremental_updates_match_full_rebuild_on_generated_data() {
 fn removal_then_reinsertion_restores_answers() {
     let dataset = small_dataset(6);
     let sp = dataset.sp_index();
-    let mut index = MinSigIndex::build(
-        sp,
-        &dataset.traces,
-        IndexConfig::with_hash_functions(32),
-    )
-    .unwrap();
+    let mut index =
+        MinSigIndex::build(sp, &dataset.traces, IndexConfig::with_hash_functions(32)).unwrap();
     let measure = PaperAdm::default_for(sp.height() as usize);
     let query = dataset.query_entities(1, 8)[0];
     let (before, _) = index.top_k(query, 5, &measure).unwrap();

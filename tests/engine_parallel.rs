@@ -1,0 +1,199 @@
+//! Concurrency contract of the unified query engine: N threads querying one
+//! `Arc<IndexSnapshot>` produce results identical to sequential execution,
+//! batch evaluation equals per-entity evaluation, and snapshots are isolated
+//! from subsequent updates on the index handle.
+
+use digital_traces::index::{IndexConfig, JoinOptions, MinSigIndex, TopKResult};
+use digital_traces::{EntityId, PaperAdm, Period, PresenceInstance, SpIndex, TraceSet};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic paired dataset: entities (2i, 2i+1) share an itinerary.
+fn paired_dataset(pairs: usize) -> (SpIndex, TraceSet) {
+    let sp = SpIndex::uniform(3, &[4, 4]).unwrap();
+    let base = sp.base_units().to_vec();
+    let mut traces = TraceSet::new(60);
+    for i in 0..pairs {
+        for member in 0..2u64 {
+            let entity = EntityId(2 * i as u64 + member);
+            for step in 0..6u64 {
+                let unit = base[(i * 7 + step as usize) % base.len()];
+                let start = step * 180;
+                traces.record(PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + 60).unwrap(),
+                ));
+            }
+            let noise = base[(i * 13 + member as usize * 29 + 5) % base.len()];
+            traces.record(PresenceInstance::new(
+                entity,
+                noise,
+                Period::new(2000 + member * 120, 2060 + member * 120).unwrap(),
+            ));
+        }
+    }
+    (sp, traces)
+}
+
+fn assert_same_results(a: &[TopKResult], b: &[TopKResult], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: result lengths differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.entity, y.entity, "{context}: entities differ");
+        assert!(
+            (x.degree - y.degree).abs() < 1e-15,
+            "{context}: degrees differ ({} vs {})",
+            x.degree,
+            y.degree
+        );
+    }
+}
+
+#[test]
+fn n_threads_over_one_snapshot_match_sequential_execution() {
+    let (sp, traces) = paired_dataset(30);
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(64)).unwrap();
+    let measure = PaperAdm::default_for(sp.height() as usize);
+    let queries: Vec<EntityId> = (0..60u64).map(EntityId).collect();
+    let k = 5;
+
+    // Ground truth: sequential evaluation on the handle.
+    let sequential: Vec<Vec<TopKResult>> =
+        queries.iter().map(|&q| index.top_k(q, k, &measure).unwrap().0).collect();
+
+    // 8 worker threads share one snapshot; each evaluates a stripe of the
+    // query set.
+    let snapshot = index.snapshot();
+    let threads = 8;
+    let mut parallel: Vec<Option<Vec<TopKResult>>> = vec![None; queries.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let snapshot = Arc::clone(&snapshot);
+                let queries = &queries;
+                let measure = &measure;
+                scope.spawn(move || {
+                    (t..queries.len())
+                        .step_by(threads)
+                        .map(|i| (i, snapshot.top_k(queries[i], k, measure).unwrap().0))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, results) in handle.join().unwrap() {
+                parallel[i] = Some(results);
+            }
+        }
+    });
+
+    for (i, (seq, par)) in sequential.iter().zip(parallel.iter()).enumerate() {
+        let par = par.as_ref().expect("every query index was covered");
+        assert_same_results(seq, par, &format!("query {i}"));
+    }
+}
+
+#[test]
+fn batch_and_parallel_join_match_sequential_join_exactly() {
+    let (sp, traces) = paired_dataset(25);
+    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(48)).unwrap();
+    let measure = PaperAdm::default_for(sp.height() as usize);
+    let probes: Vec<EntityId> = (0..50u64).map(EntityId).collect();
+    let snapshot = index.snapshot();
+
+    let (seq_rows, _) = snapshot
+        .top_k_join(&probes, &measure, JoinOptions { k: 4, threads: 1, ..JoinOptions::default() })
+        .unwrap();
+    let (par_rows, _) = snapshot
+        .top_k_join(&probes, &measure, JoinOptions { k: 4, threads: 8, ..JoinOptions::default() })
+        .unwrap();
+    let batch = snapshot.top_k_batch(&probes, 4, &measure).unwrap();
+
+    assert_eq!(seq_rows.len(), par_rows.len());
+    assert_eq!(seq_rows.len(), batch.len());
+    for ((s, p), (b, _)) in seq_rows.iter().zip(par_rows.iter()).zip(batch.iter()) {
+        assert_eq!(s.probe, p.probe);
+        assert_same_results(&s.matches, &p.matches, "join parallel vs sequential");
+        assert_same_results(&s.matches, b, "batch vs sequential join");
+    }
+}
+
+#[test]
+fn snapshots_are_isolated_from_later_updates() {
+    let (sp, traces) = paired_dataset(10);
+    let mut index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(32)).unwrap();
+    let measure = PaperAdm::default_for(sp.height() as usize);
+
+    let before = index.snapshot();
+    let (top_before, _) = before.top_k(EntityId(0), 1, &measure).unwrap();
+    assert_eq!(top_before[0].entity, EntityId(1));
+
+    // Remove entity 0's partner on the handle; the old snapshot must not move.
+    assert!(index.remove_entity(EntityId(1)));
+    assert!(!before.contains(EntityId(999)));
+    assert!(before.contains(EntityId(1)), "snapshot still holds the removed entity");
+    assert_eq!(before.num_entities(), 20);
+    assert_eq!(index.num_entities(), 19);
+
+    let (old_view, _) = before.top_k(EntityId(0), 1, &measure).unwrap();
+    assert_eq!(old_view[0].entity, EntityId(1), "reads on the old snapshot are stable");
+    let (new_view, _) = index.top_k(EntityId(0), 1, &measure).unwrap();
+    assert_ne!(new_view[0].entity, EntityId(1), "the handle sees the removal");
+
+    // And concurrent readers on the old snapshot while the handle keeps
+    // mutating: every thread must see the pre-update answer throughout.
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            for _ in 0..50 {
+                let (r, _) = before.top_k(EntityId(0), 1, &measure).unwrap();
+                assert_eq!(r[0].entity, EntityId(1));
+            }
+        });
+        for victim in [2u64, 3, 4] {
+            index.remove_entity(EntityId(victim));
+        }
+        reader.join().unwrap();
+    });
+    assert_eq!(index.num_entities(), 16);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `top_k_batch` equals per-entity `top_k` for every entity, for arbitrary
+    /// workloads and k.
+    #[test]
+    fn batch_equals_per_entity_top_k(
+        workload in proptest::collection::vec((0u64..10, 0usize..16, 0u64..48, 1u64..4), 1..80),
+        k in 1usize..6,
+    ) {
+        let sp = SpIndex::uniform(2, &[4, 4]).unwrap();
+        let base = sp.base_units().to_vec();
+        let mut traces = TraceSet::new(60);
+        for &(entity, unit, start_hour, hours) in &workload {
+            let start = start_hour * 60;
+            traces.record(PresenceInstance::new(
+                EntityId(entity),
+                base[unit % base.len()],
+                Period::new(start, start + hours * 60).unwrap(),
+            ));
+        }
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        let entities: Vec<EntityId> = traces.entities().collect();
+
+        let batch = index.top_k_batch(&entities, k, &measure).unwrap();
+        prop_assert_eq!(batch.len(), entities.len());
+        for (&entity, (results, stats)) in entities.iter().zip(batch.iter()) {
+            let (single, single_stats) = index.top_k(entity, k, &measure).unwrap();
+            prop_assert_eq!(results.len(), single.len());
+            for (b, s) in results.iter().zip(single.iter()) {
+                prop_assert_eq!(b.entity, s.entity);
+                prop_assert!((b.degree - s.degree).abs() < 1e-15);
+            }
+            // Work accounting is deterministic too, not just the answers.
+            prop_assert_eq!(stats.entities_checked, single_stats.entities_checked);
+            prop_assert_eq!(stats.nodes_visited, single_stats.nodes_visited);
+        }
+    }
+}

@@ -36,20 +36,15 @@ fn store_round_trips_every_generated_trace() {
 fn paged_queries_match_in_memory_queries_on_mobility_data() {
     let dataset = dataset();
     let sp = dataset.sp_index();
-    let index = MinSigIndex::build(
-        sp,
-        &dataset.traces,
-        IndexConfig::with_hash_functions(64),
-    )
-    .unwrap();
+    let index =
+        MinSigIndex::build(sp, &dataset.traces, IndexConfig::with_hash_functions(64)).unwrap();
     let store = PagedTraceStore::build(&dataset.traces, 6);
     let pool = store.pool(PoolConfig::with_memory_fraction(store.data_bytes(), 0.3));
     let measure = PaperAdm::default_for(sp.height() as usize);
     for query in dataset.query_entities(5, 13) {
         let (memory, _) = index.top_k(query, 10, &measure).unwrap();
-        let (paged, stats) = index
-            .top_k_paged(query, 10, &measure, &store, &pool, QueryOptions::default())
-            .unwrap();
+        let (paged, stats) =
+            index.top_k_paged(query, 10, &measure, &store, &pool, QueryOptions::default()).unwrap();
         assert_eq!(memory.len(), paged.len());
         for (a, b) in memory.iter().zip(paged.iter()) {
             assert!((a.degree - b.degree).abs() < 1e-9);
@@ -62,12 +57,8 @@ fn paged_queries_match_in_memory_queries_on_mobility_data() {
 fn tighter_memory_budgets_cost_more_simulated_io() {
     let dataset = dataset();
     let sp = dataset.sp_index();
-    let index = MinSigIndex::build(
-        sp,
-        &dataset.traces,
-        IndexConfig::with_hash_functions(64),
-    )
-    .unwrap();
+    let index =
+        MinSigIndex::build(sp, &dataset.traces, IndexConfig::with_hash_functions(64)).unwrap();
     let store = PagedTraceStore::build(&dataset.traces, 6);
     let measure = PaperAdm::default_for(sp.height() as usize);
     let queries = dataset.query_entities(10, 21);

@@ -4,8 +4,8 @@
 
 use digital_traces::index::{HasherMode, IndexConfig, MinSigIndex};
 use digital_traces::{
-    AssociationMeasure, DiceAdm, EntityId, JaccardAdm, PaperAdm, Period, PresenceInstance,
-    SpIndex, TraceSet,
+    AssociationMeasure, DiceAdm, EntityId, JaccardAdm, PaperAdm, Period, PresenceInstance, SpIndex,
+    TraceSet,
 };
 use proptest::prelude::*;
 
