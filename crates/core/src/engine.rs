@@ -33,6 +33,45 @@
 //! never larger than its parent's); the caps are turned into a degree bound by
 //! instantiating Theorem 4's artificial entity per level (see
 //! [`AssociationMeasure::upper_bound`]).
+//!
+//! Driving the executor directly (what [`MinSigIndex::top_k`] does for you)
+//! takes the index's parts plus any [`TraceSource`]:
+//!
+//! ```
+//! use minsig::engine::{self, InMemorySource};
+//! use minsig::{IndexConfig, MinSigIndex, QueryOptions};
+//! use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
+//!
+//! let sp = SpIndex::uniform(2, &[3]).unwrap();
+//! let base = sp.base_units().to_vec();
+//! let mut traces = TraceSet::new(60);
+//! for (e, unit) in [(0u64, base[0]), (1, base[0]), (2, base[4])] {
+//!     traces.record(PresenceInstance::new(EntityId(e), unit, Period::new(0, 120).unwrap()));
+//! }
+//! let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+//! let measure = DiceAdm::uniform(2);
+//!
+//! // Swap `InMemorySource` for `PagedSource` and the same call answers from
+//! // a disk-backed store instead; the logical search does not change.
+//! let source = InMemorySource::new(index.sequences());
+//! let query = index.sequence(EntityId(0)).unwrap();
+//! let (results, stats) = engine::execute(
+//!     index.sp_index(),
+//!     index.hasher(),
+//!     index.tree(),
+//!     query,
+//!     Some(EntityId(0)), // exclude the query entity itself
+//!     1,
+//!     &measure,
+//!     &source,
+//!     QueryOptions::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(results[0].entity, EntityId(1));
+//! assert!(stats.entities_checked <= 2);
+//! ```
+//!
+//! [`MinSigIndex::top_k`]: crate::index::MinSigIndex::top_k
 
 use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};

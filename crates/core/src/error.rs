@@ -20,8 +20,24 @@ pub enum IndexError {
     },
     /// The query entity is not part of the index and no explicit sequence was given.
     UnknownQueryEntity(u64),
+    /// An update or removal addressed an entity that is not in the index.
+    ///
+    /// [`update_entity`](crate::index::MinSigIndex::update_entity) and
+    /// [`remove_entity`](crate::index::MinSigIndex::remove_entity) refuse to
+    /// silently succeed on absent entities; use
+    /// [`upsert_entity`](crate::index::MinSigIndex::upsert_entity) when
+    /// insert-or-replace semantics are wanted.
+    UnknownEntity(u64),
     /// The index configuration is invalid.
     InvalidConfig(String),
+    /// An I/O error while saving or opening a persisted index.
+    Io(String),
+    /// A persisted index file is corrupt (bad magic, failed checksum,
+    /// truncation, or structurally invalid contents).
+    Corrupt(String),
+    /// A persisted index file is intact but was written in a newer format
+    /// version than this build understands — upgrade, don't rebuild.
+    UnsupportedVersion(String),
 }
 
 impl fmt::Display for IndexError {
@@ -35,7 +51,16 @@ impl fmt::Display for IndexError {
             IndexError::UnknownQueryEntity(id) => {
                 write!(f, "query entity e{id} is not present in the index")
             }
+            IndexError::UnknownEntity(id) => {
+                write!(
+                    f,
+                    "entity e{id} is not present in the index (use upsert_entity to insert)"
+                )
+            }
             IndexError::InvalidConfig(msg) => write!(f, "invalid index configuration: {msg}"),
+            IndexError::Io(msg) => write!(f, "i/o error: {msg}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt index file: {msg}"),
+            IndexError::UnsupportedVersion(msg) => write!(f, "unsupported index file: {msg}"),
         }
     }
 }
@@ -52,6 +77,20 @@ impl std::error::Error for IndexError {
 impl From<ModelError> for IndexError {
     fn from(e: ModelError) -> Self {
         IndexError::Model(e)
+    }
+}
+
+impl From<trace_storage::SegmentError> for IndexError {
+    fn from(e: trace_storage::SegmentError) -> Self {
+        match e {
+            trace_storage::SegmentError::Io(msg) => IndexError::Io(msg),
+            // A newer-format file is not corrupt: telling the operator to
+            // delete and rebuild would destroy a perfectly good index.
+            e @ trace_storage::SegmentError::UnsupportedVersion { .. } => {
+                IndexError::UnsupportedVersion(e.to_string())
+            }
+            other => IndexError::Corrupt(other.to_string()),
+        }
     }
 }
 

@@ -4,13 +4,16 @@
 //! The index is a thin mutable handle around an [`Arc`]-shared
 //! [`IndexSnapshot`]: queries only ever touch the snapshot (so they can run
 //! from any number of threads against one consistent version of the index),
-//! while [`update_entity`](MinSigIndex::update_entity) and
+//! while [`update_entity`](MinSigIndex::update_entity),
+//! [`upsert_entity`](MinSigIndex::upsert_entity) and
 //! [`remove_entity`](MinSigIndex::remove_entity) go through
 //! [`Arc::make_mut`] — in-place when the handle is the sole owner,
-//! copy-on-write when readers still hold older snapshots.
+//! copy-on-write when readers still hold older snapshots.  Batched mutation
+//! lives in [`crate::ingest`]; durability (`save`/`open`) in
+//! [`crate::persist`].
 
 use crate::config::IndexConfig;
-use crate::error::Result;
+use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::snapshot::IndexSnapshot;
@@ -31,8 +34,12 @@ use trace_model::{AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, S
 /// threads; updates on the handle never disturb snapshots already handed out.
 #[derive(Debug)]
 pub struct MinSigIndex {
-    snapshot: Arc<IndexSnapshot>,
-    stats: IndexStats,
+    pub(crate) snapshot: Arc<IndexSnapshot>,
+    pub(crate) stats: IndexStats,
+    /// Number of successful mutations applied to this handle since it was
+    /// built or opened; bumped once per `update`/`upsert`/`remove` call and
+    /// once per ingest batch, regardless of the batch's size.
+    pub(crate) epoch: u64,
 }
 
 impl MinSigIndex {
@@ -70,11 +77,13 @@ impl MinSigIndex {
         let hasher = HierarchicalHasher::new(family, config.hasher_mode);
 
         let mut tree = MinSigTree::new(sp.height());
+        let mut signatures = BTreeMap::new();
         let mut hash_evaluations = 0u64;
         for (&entity, seq) in &sequences {
             let sig = SignatureList::build(sp, &hasher, seq);
             hash_evaluations += seq.total_cells() as u64 * config.num_hash_functions as u64;
             tree.insert(entity, &sig);
+            signatures.insert(entity, sig);
         }
 
         let stats = IndexStats {
@@ -84,9 +93,16 @@ impl MinSigIndex {
             hash_evaluations,
             build_time_us: start.elapsed().as_micros() as u64,
         };
-        let snapshot =
-            IndexSnapshot { sp: sp.clone(), config, ticks_per_unit, hasher, tree, sequences };
-        Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats })
+        let snapshot = IndexSnapshot {
+            sp: sp.clone(),
+            config,
+            ticks_per_unit,
+            hasher,
+            tree,
+            sequences,
+            signatures,
+        };
+        Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats, epoch: 0 })
     }
 
     /// The current immutable version of the index, shareable across threads.
@@ -98,6 +114,23 @@ impl MinSigIndex {
     /// `Arc`.  Dropping all snapshot clones makes later updates in-place again.
     pub fn snapshot(&self) -> Arc<IndexSnapshot> {
         Arc::clone(&self.snapshot)
+    }
+
+    /// Promotes a shared snapshot into a fresh mutable handle (epoch 0).
+    ///
+    /// The snapshot's data is **not** copied here: the first mutation on the
+    /// returned handle triggers the usual copy-on-write if other `Arc`
+    /// references are still alive, so existing readers of the snapshot are
+    /// unaffected by whatever the new handle does.
+    pub fn from_snapshot(snapshot: Arc<IndexSnapshot>) -> MinSigIndex {
+        let stats = IndexStats {
+            num_entities: snapshot.sequences.len(),
+            num_nodes: snapshot.tree.num_nodes(),
+            index_bytes: snapshot.tree.size_bytes(),
+            hash_evaluations: 0,
+            build_time_us: 0,
+        };
+        MinSigIndex { snapshot, stats, epoch: 0 }
     }
 
     /// The configuration the index was built with.
@@ -151,14 +184,39 @@ impl MinSigIndex {
         self.snapshot.sequences()
     }
 
-    /// Incrementally inserts a new entity or replaces an existing entity's trace
-    /// (Section 4.2.3): only the signature of the affected entity is recomputed
-    /// and only its root-to-leaf path is touched.
+    /// Number of successful mutations applied to this handle (one per
+    /// `update`/`upsert`/`remove` call, one per ingest batch).  Fresh builds
+    /// and freshly opened indexes start at epoch 0.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Replaces an **existing** entity's trace (Section 4.2.3): only the
+    /// signature of the affected entity is recomputed and only its
+    /// root-to-leaf path is touched.
+    ///
+    /// Returns [`IndexError::UnknownEntity`] when the entity is not indexed —
+    /// a silent insert here usually hides an id-mapping bug in the caller.
+    /// Use [`upsert_entity`](Self::upsert_entity) for insert-or-replace
+    /// semantics, and [`crate::ingest::IngestBuffer`] to apply many additions
+    /// as one batch.
     ///
     /// If snapshots are currently shared with readers, the update first clones
     /// the index state (copy-on-write) so those readers stay on their old,
     /// consistent version.
     pub fn update_entity(&mut self, entity: EntityId, trace: &DigitalTrace) -> Result<()> {
+        if !self.snapshot.contains(entity) {
+            return Err(IndexError::UnknownEntity(entity.raw()));
+        }
+        self.upsert_entity(entity, trace).map(|_| ())
+    }
+
+    /// Inserts a new entity or replaces an existing entity's trace; returns
+    /// `true` when the entity was newly inserted.
+    ///
+    /// Copy-on-write like [`update_entity`](Self::update_entity): readers
+    /// holding snapshots keep their old, consistent version.
+    pub fn upsert_entity(&mut self, entity: EntityId, trace: &DigitalTrace) -> Result<bool> {
         let start = Instant::now();
         // Materialise the sequence before the copy-on-write so a bad trace
         // leaves the index (and its stats) untouched.
@@ -168,27 +226,34 @@ impl MinSigIndex {
         self.stats.hash_evaluations +=
             seq.total_cells() as u64 * snap.config.num_hash_functions as u64;
         snap.tree.insert(entity, &sig);
-        snap.sequences.insert(entity, seq);
+        let inserted = snap.sequences.insert(entity, seq).is_none();
+        snap.signatures.insert(entity, sig);
         self.stats.num_entities = snap.sequences.len();
         self.stats.num_nodes = snap.tree.num_nodes();
         self.stats.index_bytes = snap.tree.size_bytes();
         self.stats.build_time_us += start.elapsed().as_micros() as u64;
-        Ok(())
+        self.epoch += 1;
+        Ok(inserted)
     }
 
-    /// Removes an entity from the index; returns `true` when it was present.
+    /// Removes an entity from the index.
+    ///
+    /// Returns [`IndexError::UnknownEntity`] when the entity is not indexed,
+    /// so a misdirected removal cannot silently succeed.
     ///
     /// Copy-on-write like [`update_entity`](Self::update_entity): readers
     /// holding snapshots still see the entity.
-    pub fn remove_entity(&mut self, entity: EntityId) -> bool {
+    pub fn remove_entity(&mut self, entity: EntityId) -> Result<()> {
         if !self.snapshot.contains(entity) && self.snapshot.tree().leaf_of(entity).is_none() {
-            return false;
+            return Err(IndexError::UnknownEntity(entity.raw()));
         }
         let snap = Arc::make_mut(&mut self.snapshot);
-        let removed = snap.tree.remove(entity);
+        snap.tree.remove(entity);
         snap.sequences.remove(&entity);
+        snap.signatures.remove(&entity);
         self.stats.num_entities = snap.sequences.len();
-        removed
+        self.epoch += 1;
+        Ok(())
     }
 
     /// Answers a top-k query for an indexed entity with default options.
@@ -411,7 +476,7 @@ mod tests {
             base[0],
             Period::new(0, 120).unwrap(),
         )]);
-        index.update_entity(new_entity, &trace).unwrap();
+        assert!(index.upsert_entity(new_entity, &trace).unwrap(), "entity is new");
         assert_eq!(index.num_entities(), 11);
         assert!(index.contains(new_entity));
         let measure = DiceAdm::uniform(3);
@@ -427,11 +492,38 @@ mod tests {
         let measure = PaperAdm::default_for(3);
         let (before, _) = index.top_k(EntityId(0), 1, &measure).unwrap();
         assert_eq!(before[0].entity, EntityId(1));
-        assert!(index.remove_entity(EntityId(1)));
-        assert!(!index.remove_entity(EntityId(1)));
+        index.remove_entity(EntityId(1)).unwrap();
+        assert!(matches!(index.remove_entity(EntityId(1)), Err(IndexError::UnknownEntity(1))));
         let (after, _) = index.top_k(EntityId(0), 1, &measure).unwrap();
         assert_ne!(after[0].entity, EntityId(1));
         assert_eq!(index.num_entities(), 9);
+    }
+
+    /// Regression test: `update_entity` and `remove_entity` must error — not
+    /// silently succeed — when the addressed entity is absent from the index.
+    #[test]
+    fn update_and_remove_of_absent_entities_are_errors() {
+        let (sp, traces) = paired_dataset(3);
+        let mut index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let ghost = EntityId(4242);
+        let trace = DigitalTrace::from_instances(vec![PresenceInstance::new(
+            ghost,
+            sp.base_units()[0],
+            Period::new(0, 60).unwrap(),
+        )]);
+        let epoch_before = index.epoch();
+        assert!(matches!(index.update_entity(ghost, &trace), Err(IndexError::UnknownEntity(4242))));
+        assert!(matches!(index.remove_entity(ghost), Err(IndexError::UnknownEntity(4242))));
+        // Failed mutations leave the index (and its epoch) untouched.
+        assert_eq!(index.epoch(), epoch_before);
+        assert_eq!(index.num_entities(), 6);
+        assert!(!index.contains(ghost));
+        // Upsert is the explicit insert-or-replace path.
+        assert!(index.upsert_entity(ghost, &trace).unwrap());
+        assert!(!index.upsert_entity(ghost, &trace).unwrap(), "second upsert replaces");
+        index.update_entity(ghost, &trace).unwrap();
+        index.remove_entity(ghost).unwrap();
+        assert!(!index.contains(ghost));
     }
 
     #[test]

@@ -50,6 +50,18 @@
 //! deterministic: parallel results equal sequential results exactly, in input
 //! order.
 //!
+//! ## Streaming ingestion and durability
+//!
+//! A stream of new presence records is applied through an
+//! [`ingest::IngestBuffer`]: the whole batch becomes **one** copy-on-write
+//! delta (only the new cells are hashed — signatures merge by element-wise
+//! minimum, tree paths are re-routed incrementally) and publishes **one** new
+//! snapshot epoch ([`MinSigIndex::epoch`]); a snapshot taken before the flush
+//! never observes a partial batch.  [`MinSigIndex::save`] persists the index
+//! to a versioned, checksummed segment file and [`MinSigIndex::open`] reloads
+//! it without re-hashing anything, answering bit-identically — see
+//! [`persist`] for the on-disk format.
+//!
 //! ```
 //! use minsig::{IndexConfig, MinSigIndex};
 //! use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
@@ -83,8 +95,10 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod ingest;
 pub mod join;
 pub mod paged;
+pub mod persist;
 pub mod query;
 pub mod signature;
 pub mod snapshot;
@@ -96,7 +110,9 @@ pub use config::{HasherMode, IndexConfig};
 pub use engine::{InMemorySource, PagedSource, TopKHeap, TraceSource};
 pub use error::{IndexError, Result};
 pub use index::MinSigIndex;
+pub use ingest::{IngestBuffer, IngestReport};
 pub use join::{JoinOptions, JoinRow, JoinStats};
+pub use persist::{INDEX_MAGIC, INDEX_VERSION};
 pub use query::{QueryOptions, TopKResult};
 pub use signature::{
     CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily,

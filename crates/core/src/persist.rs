@@ -1,0 +1,600 @@
+//! Durability for the MinSigTree index: [`IndexSnapshot::save`] /
+//! [`IndexSnapshot::open`] and their [`MinSigIndex`] delegates.
+//!
+//! A persisted index is one segment file in the checksummed, length-prefixed
+//! format of [`trace_storage::segment`] (magic [`INDEX_MAGIC`], version
+//! [`INDEX_VERSION`]).  The file stores everything a restarted process needs
+//! to answer queries **bit-identically** to the index that was saved, without
+//! re-hashing a single cell:
+//!
+//! | segment | contents |
+//! |---------|----------|
+//! | `META`  | temporal discretisation, [`IndexConfig`], the *resolved* hash range, hierarchy height, tree level count, and the expected entity / node / unit counts |
+//! | `SP`    | the spatial hierarchy as a parent list (units were created parent-before-child, so replaying the list through [`SpIndexBuilder`] reproduces the exact same dense unit ids) |
+//! | `TREE`  | the [`MinSigTree`] node arena, structurally (chunked) |
+//! | `ENT`   | per entity: its base-level ST-cells and its full signature list (chunked) |
+//!
+//! Per-level sequences are *not* stored: they are cheap, deterministic
+//! projections of the base cells ([`CellSetSequence::from_base_cells`]), so
+//! [`open`](IndexSnapshot::open) recomputes them in one linear pass.  The
+//! signatures — the only expensive-to-recompute state — are stored verbatim,
+//! and the tree is stored structurally rather than rebuilt so that lower-bound
+//! routing values left behind by [`remove_entity`] survive a restart exactly.
+//!
+//! Writes are atomic (temp file + rename, [`segment::atomic_write`]); a crash
+//! mid-save leaves any previous file untouched.  Reads verify the magic, the
+//! version, every segment checksum, the segment count, the announced entity /
+//! node counts and the structural invariants of the reassembled tree; any
+//! mismatch is reported as [`IndexError::Corrupt`] (or [`IndexError::Io`]),
+//! never as silently wrong query answers.
+//!
+//! [`remove_entity`]: crate::index::MinSigIndex::remove_entity
+//! [`SpIndexBuilder`]: trace_model::SpIndexBuilder
+
+use crate::config::{HasherMode, IndexConfig};
+use crate::error::{IndexError, Result};
+use crate::index::MinSigIndex;
+use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
+use crate::snapshot::IndexSnapshot;
+use crate::stats::IndexStats;
+use crate::tree::{MinSigTree, Node, NodeId};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use trace_model::{CellSet, CellSetSequence, EntityId, SpIndexBuilder, StCell};
+use trace_storage::segment::{self, Cursor, SegmentError};
+
+/// Magic bytes of a persisted index file ("MinSig IndeX").
+pub const INDEX_MAGIC: [u8; 4] = *b"MSIX";
+/// Newest index file format version this build reads and writes.
+pub const INDEX_VERSION: u16 = 1;
+
+const TAG_META: u32 = 1;
+const TAG_SP: u32 = 2;
+const TAG_TREE: u32 = 3;
+const TAG_ENT: u32 = 4;
+
+/// Entities per `ENT` segment and nodes per `TREE` segment: keeps individual
+/// segments small enough to checksum incrementally while amortising the
+/// per-segment header over many records.
+const ENTITIES_PER_SEGMENT: usize = 256;
+const NODES_PER_SEGMENT: usize = 4096;
+
+/// Sentinel parent id marking a level-1 unit in the `SP` parent list.
+const NO_PARENT: u32 = u32::MAX;
+
+impl IndexSnapshot {
+    /// Persists this snapshot to `path` in the versioned, checksummed segment
+    /// format described in [the module docs](crate::persist).
+    ///
+    /// The write is atomic: the file is produced as a temporary sibling and
+    /// renamed into place, so a crash mid-save never clobbers an existing
+    /// file.  A saved-then-[`open`](IndexSnapshot::open)ed snapshot answers
+    /// every query bit-identically to this one.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        segment::atomic_write(path, INDEX_MAGIC, INDEX_VERSION, |writer| {
+            writer.write_segment(TAG_META, &self.encode_meta())?;
+            writer.write_segment(TAG_SP, &self.encode_sp())?;
+            for chunk in self.tree.nodes().chunks(NODES_PER_SEGMENT) {
+                writer.write_segment(TAG_TREE, &encode_tree_chunk(chunk))?;
+            }
+            let entities: Vec<EntityId> = self.sequences.keys().copied().collect();
+            for chunk in entities.chunks(ENTITIES_PER_SEGMENT) {
+                writer.write_segment(TAG_ENT, &self.encode_entity_chunk(chunk))?;
+            }
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Loads a snapshot previously written by [`save`](IndexSnapshot::save).
+    ///
+    /// The load is a cheap linear pass — signatures are read back verbatim and
+    /// no cell is re-hashed; only the per-level sequence projections are
+    /// recomputed from the stored base cells.  Every checksum, count and
+    /// structural invariant is verified: a truncated, bit-flipped or
+    /// otherwise damaged file yields [`IndexError::Corrupt`] (or
+    /// [`IndexError::Io`]), never a partially loaded index.
+    pub fn open(path: &Path) -> Result<IndexSnapshot> {
+        let mut reader = segment::open_file(path, INDEX_MAGIC, INDEX_VERSION)?;
+        let mut meta: Option<Meta> = None;
+        let mut sp = None;
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut sequences = BTreeMap::new();
+        let mut signatures = BTreeMap::new();
+
+        while let Some((tag, payload)) = reader.next_segment()? {
+            match tag {
+                TAG_META => {
+                    if meta.is_some() {
+                        return Err(corrupt("duplicate META segment"));
+                    }
+                    meta = Some(Meta::decode(&payload)?);
+                }
+                TAG_SP => {
+                    let meta = meta.as_ref().ok_or_else(|| corrupt("SP segment before META"))?;
+                    if sp.is_some() {
+                        return Err(corrupt("duplicate SP segment"));
+                    }
+                    sp = Some(decode_sp(meta, &payload)?);
+                }
+                TAG_TREE => {
+                    let meta = meta.as_ref().ok_or_else(|| corrupt("TREE segment before META"))?;
+                    decode_tree_chunk(&payload, meta, &mut nodes)?;
+                }
+                TAG_ENT => {
+                    let meta = meta.as_ref().ok_or_else(|| corrupt("ENT segment before META"))?;
+                    let sp = sp.as_ref().ok_or_else(|| corrupt("ENT segment before SP"))?;
+                    decode_entity_chunk(&payload, meta, sp, &mut sequences, &mut signatures)?;
+                }
+                other => return Err(corrupt(&format!("unknown segment tag {other}"))),
+            }
+        }
+
+        let meta = meta.ok_or_else(|| corrupt("missing META segment"))?;
+        let sp = sp.ok_or_else(|| corrupt("missing SP segment"))?;
+        if nodes.len() as u64 != meta.num_nodes {
+            return Err(corrupt(&format!(
+                "META announces {} tree nodes but {} were stored",
+                meta.num_nodes,
+                nodes.len()
+            )));
+        }
+        if sequences.len() as u64 != meta.num_entities {
+            return Err(corrupt(&format!(
+                "META announces {} entities but {} were stored",
+                meta.num_entities,
+                sequences.len()
+            )));
+        }
+        let tree = MinSigTree::from_nodes(meta.tree_levels, nodes).map_err(|e| corrupt(&e))?;
+        if tree.num_entities() != sequences.len() {
+            return Err(corrupt(&format!(
+                "tree indexes {} entities but {} sequences were stored",
+                tree.num_entities(),
+                sequences.len()
+            )));
+        }
+        for entity in tree.entities() {
+            if !sequences.contains_key(&entity) {
+                return Err(corrupt(&format!("tree holds {entity} but its trace is missing")));
+            }
+        }
+
+        let family = SeededHashFamily::new(
+            meta.config.num_hash_functions,
+            meta.config.hash_seed,
+            meta.resolved_range,
+        );
+        let hasher = HierarchicalHasher::new(family, meta.config.hasher_mode);
+        Ok(IndexSnapshot {
+            sp,
+            config: meta.config,
+            ticks_per_unit: meta.ticks_per_unit,
+            hasher,
+            tree,
+            sequences,
+            signatures,
+        })
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.ticks_per_unit.to_le_bytes());
+        out.extend_from_slice(&self.config.num_hash_functions.to_le_bytes());
+        out.extend_from_slice(&self.config.hash_seed.to_le_bytes());
+        out.push(self.config.hash_range.is_some() as u8);
+        out.extend_from_slice(&self.config.hash_range.unwrap_or(0).to_le_bytes());
+        out.push(match self.config.hasher_mode {
+            HasherMode::Exhaustive => 0,
+            HasherMode::PathMax => 1,
+        });
+        out.extend_from_slice(&self.hasher.range().to_le_bytes());
+        out.push(self.sp.height());
+        out.push(self.tree.levels());
+        out.extend_from_slice(&(self.sequences.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.tree.num_nodes() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.sp.num_units() as u64).to_le_bytes());
+        out
+    }
+
+    fn encode_sp(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.sp.num_units() * 4);
+        for unit in 0..self.sp.num_units() as u32 {
+            let parent = self.sp.parent(unit).expect("unit exists").unwrap_or(NO_PARENT);
+            out.extend_from_slice(&parent.to_le_bytes());
+        }
+        out
+    }
+
+    fn encode_entity_chunk(&self, entities: &[EntityId]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(entities.len() as u32).to_le_bytes());
+        for &entity in entities {
+            let seq = &self.sequences[&entity];
+            let sig = &self.signatures[&entity];
+            out.extend_from_slice(&entity.raw().to_le_bytes());
+            let base = seq.base();
+            out.extend_from_slice(&(base.len() as u32).to_le_bytes());
+            for cell in base.iter() {
+                out.extend_from_slice(&cell.packed().to_le_bytes());
+            }
+            for level in sig.levels() {
+                for &value in level {
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MinSigIndex {
+    /// Persists the current snapshot of the index to `path`; see
+    /// [`IndexSnapshot::save`].
+    pub fn save(&self, path: &Path) -> Result<()> {
+        self.snapshot.save(path)
+    }
+
+    /// Opens a previously [`save`](MinSigIndex::save)d index as a fresh
+    /// mutable handle (epoch 0, build statistics describing the load rather
+    /// than the original build); see [`IndexSnapshot::open`].
+    pub fn open(path: &Path) -> Result<MinSigIndex> {
+        let start = Instant::now();
+        let snapshot = IndexSnapshot::open(path)?;
+        let stats = IndexStats {
+            num_entities: snapshot.sequences.len(),
+            num_nodes: snapshot.tree.num_nodes(),
+            index_bytes: snapshot.tree.size_bytes(),
+            hash_evaluations: 0,
+            build_time_us: start.elapsed().as_micros() as u64,
+        };
+        Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats, epoch: 0 })
+    }
+}
+
+/// Decoded `META` segment.
+struct Meta {
+    ticks_per_unit: u64,
+    config: IndexConfig,
+    resolved_range: u64,
+    sp_height: u8,
+    tree_levels: u8,
+    num_entities: u64,
+    num_nodes: u64,
+    num_sp_units: u64,
+}
+
+impl Meta {
+    fn decode(payload: &[u8]) -> Result<Meta> {
+        let mut c = Cursor::new(payload);
+        let ticks_per_unit = c.u64()?;
+        let num_hash_functions = c.u32()?;
+        let hash_seed = c.u64()?;
+        let has_range = c.u8()?;
+        let raw_range = c.u64()?;
+        let hasher_mode = match c.u8()? {
+            0 => HasherMode::Exhaustive,
+            1 => HasherMode::PathMax,
+            other => return Err(corrupt(&format!("unknown hasher mode {other}"))),
+        };
+        let resolved_range = c.u64()?;
+        let sp_height = c.u8()?;
+        let tree_levels = c.u8()?;
+        let num_entities = c.u64()?;
+        let num_nodes = c.u64()?;
+        let num_sp_units = c.u64()?;
+        c.expect_end().map_err(IndexError::from)?;
+        if ticks_per_unit == 0 {
+            return Err(corrupt("ticks_per_unit must be positive"));
+        }
+        if num_hash_functions == 0 {
+            return Err(corrupt("num_hash_functions must be positive"));
+        }
+        if resolved_range < 2 {
+            return Err(corrupt("resolved hash range must be at least 2"));
+        }
+        if sp_height == 0 || tree_levels != sp_height {
+            return Err(corrupt(&format!(
+                "hierarchy height {sp_height} and tree level count {tree_levels} are inconsistent"
+            )));
+        }
+        let hash_range = match has_range {
+            0 => None,
+            1 => Some(raw_range),
+            other => return Err(corrupt(&format!("invalid hash_range flag {other}"))),
+        };
+        let config = IndexConfig { num_hash_functions, hash_seed, hash_range, hasher_mode };
+        config.validate()?;
+        Ok(Meta {
+            ticks_per_unit,
+            config,
+            resolved_range,
+            sp_height,
+            tree_levels,
+            num_entities,
+            num_nodes,
+            num_sp_units,
+        })
+    }
+}
+
+fn decode_sp(meta: &Meta, payload: &[u8]) -> Result<trace_model::SpIndex> {
+    if payload.len() as u64 != meta.num_sp_units * 4 {
+        return Err(corrupt(&format!(
+            "SP segment holds {} bytes for {} units",
+            payload.len(),
+            meta.num_sp_units
+        )));
+    }
+    let mut builder = SpIndexBuilder::new(meta.sp_height);
+    let mut c = Cursor::new(payload);
+    for unit in 0..meta.num_sp_units as u32 {
+        let parent = c.u32()?;
+        let id = if parent == NO_PARENT {
+            builder.add_top_unit()?
+        } else {
+            if parent >= unit {
+                return Err(corrupt(&format!("unit {unit} lists later unit {parent} as parent")));
+            }
+            builder.add_child(parent)?
+        };
+        debug_assert_eq!(id, unit, "builder assigns dense ids in replay order");
+    }
+    Ok(builder.build()?)
+}
+
+fn encode_tree_chunk(nodes: &[Node]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    for node in nodes {
+        out.push(node.depth);
+        out.extend_from_slice(&node.routing_index.to_le_bytes());
+        out.extend_from_slice(&node.routing_value.to_le_bytes());
+        out.extend_from_slice(&(node.children.len() as u32).to_le_bytes());
+        for (&routing_index, &child) in &node.children {
+            out.extend_from_slice(&routing_index.to_le_bytes());
+            out.extend_from_slice(&child.to_le_bytes());
+        }
+        out.extend_from_slice(&(node.entities.len() as u32).to_le_bytes());
+        for entity in &node.entities {
+            out.extend_from_slice(&entity.raw().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_tree_chunk(payload: &[u8], meta: &Meta, nodes: &mut Vec<Node>) -> Result<()> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    for _ in 0..count {
+        if nodes.len() as u64 >= meta.num_nodes {
+            return Err(corrupt("more tree nodes than META announced"));
+        }
+        let depth = c.u8()?;
+        let routing_index = c.u32()?;
+        let routing_value = c.u64()?;
+        let num_children = c.u32()? as usize;
+        let mut children = BTreeMap::new();
+        for _ in 0..num_children {
+            let key = c.u32()?;
+            let child: NodeId = c.u32()?;
+            if children.insert(key, child).is_some() {
+                return Err(corrupt(&format!("duplicate child routing index {key}")));
+            }
+        }
+        let num_entities = c.u32()? as usize;
+        let mut entities = Vec::with_capacity(num_entities.min(1 << 20));
+        for _ in 0..num_entities {
+            entities.push(EntityId(c.u64()?));
+        }
+        nodes.push(Node { depth, routing_index, routing_value, children, entities });
+    }
+    c.expect_end().map_err(IndexError::from)
+}
+
+fn decode_entity_chunk(
+    payload: &[u8],
+    meta: &Meta,
+    sp: &trace_model::SpIndex,
+    sequences: &mut BTreeMap<EntityId, CellSetSequence>,
+    signatures: &mut BTreeMap<EntityId, SignatureList>,
+) -> Result<()> {
+    let width = meta.config.num_hash_functions as usize;
+    let levels = meta.tree_levels as usize;
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    for _ in 0..count {
+        if sequences.len() as u64 >= meta.num_entities {
+            return Err(corrupt("more entities than META announced"));
+        }
+        let entity = EntityId(c.u64()?);
+        let num_cells = c.u32()? as usize;
+        let mut cells = Vec::with_capacity(num_cells.min(1 << 20));
+        for _ in 0..num_cells {
+            cells.push(StCell::from_packed(c.u64()?));
+        }
+        let base = CellSet::from_cells(cells);
+        if base.len() != num_cells {
+            return Err(corrupt(&format!("base cells of {entity} are not sorted-unique")));
+        }
+        let seq = CellSetSequence::from_base_cells(sp, &base)?;
+        let mut sig_levels = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let mut level = Vec::with_capacity(width);
+            for _ in 0..width {
+                level.push(c.u64()?);
+            }
+            sig_levels.push(level);
+        }
+        let sig = SignatureList::from_levels(sig_levels);
+        if sequences.insert(entity, seq).is_some() {
+            return Err(corrupt(&format!("{entity} stored twice")));
+        }
+        signatures.insert(entity, sig);
+    }
+    c.expect_end().map_err(IndexError::from)
+}
+
+fn corrupt(msg: &str) -> IndexError {
+    IndexError::from(SegmentError::Malformed(msg.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{Period, PresenceInstance, SpIndex, TraceSet};
+
+    fn sample_index(entities: u64) -> (SpIndex, TraceSet, MinSigIndex) {
+        let sp = SpIndex::uniform(3, &[4, 4]).unwrap();
+        let base = sp.base_units().to_vec();
+        let mut traces = TraceSet::new(60);
+        for e in 0..entities {
+            for step in 0..5u64 {
+                let unit = base[((e * 11 + step * 3) % base.len() as u64) as usize];
+                let start = step * 240 + e % 7 * 30;
+                traces.record(PresenceInstance::new(
+                    EntityId(e),
+                    unit,
+                    Period::new(start, start + 60).unwrap(),
+                ));
+            }
+        }
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(24)).unwrap();
+        (sp, traces, index)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("persist-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_open_round_trips_structure_and_answers() {
+        let (sp, _traces, index) = sample_index(40);
+        let path = temp_path("round-trip.msix");
+        index.save(&path).unwrap();
+        let reopened = MinSigIndex::open(&path).unwrap();
+
+        assert_eq!(reopened.num_entities(), index.num_entities());
+        assert_eq!(reopened.tree().num_nodes(), index.tree().num_nodes());
+        assert_eq!(reopened.config(), index.config());
+        assert_eq!(reopened.ticks_per_unit(), index.ticks_per_unit());
+        assert_eq!(reopened.hasher().range(), index.hasher().range());
+        assert_eq!(reopened.epoch(), 0);
+        for entity in index.sequences().keys() {
+            assert_eq!(reopened.sequence(*entity), index.sequence(*entity));
+            assert_eq!(reopened.snapshot().signature(*entity), index.snapshot().signature(*entity));
+        }
+
+        let measure = trace_model::PaperAdm::default_for(sp.height() as usize);
+        for query in [0u64, 7, 19, 33] {
+            let (a, _) = index.top_k(EntityId(query), 5, &measure).unwrap();
+            let (b, _) = reopened.top_k(EntityId(query), 5, &measure).unwrap();
+            assert_eq!(a, b, "answers must be bit-identical after reload");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reload_preserves_post_removal_tree_state() {
+        let (sp, _traces, mut index) = sample_index(20);
+        index.remove_entity(EntityId(3)).unwrap();
+        index.remove_entity(EntityId(12)).unwrap();
+        let path = temp_path("post-removal.msix");
+        index.save(&path).unwrap();
+        let reopened = MinSigIndex::open(&path).unwrap();
+        // Stale lower-bound routing values and empty leaves survive verbatim.
+        assert_eq!(reopened.tree().num_nodes(), index.tree().num_nodes());
+        assert_eq!(reopened.num_entities(), 18);
+        assert!(!reopened.contains(EntityId(3)));
+        let measure = trace_model::PaperAdm::default_for(sp.height() as usize);
+        let (a, _) = index.top_k(EntityId(0), 4, &measure).unwrap();
+        let (b, _) = reopened.top_k(EntityId(0), 4, &measure).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let sp = SpIndex::uniform(2, &[2]).unwrap();
+        let traces = TraceSet::new(60);
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let path = temp_path("empty.msix");
+        index.save(&path).unwrap();
+        let reopened = MinSigIndex::open(&path).unwrap();
+        assert_eq!(reopened.num_entities(), 0);
+        assert_eq!(reopened.tree().num_nodes(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_reported() {
+        let (_sp, _traces, index) = sample_index(30);
+        let path = temp_path("corrupt.msix");
+        index.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncation at every interesting boundary.
+        for cut in [0, 4, 8, bytes.len() / 2, bytes.len() - 5] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = MinSigIndex::open(&path).unwrap_err();
+            assert!(
+                matches!(err, IndexError::Corrupt(_)),
+                "cut at {cut} gave {err:?} instead of Corrupt"
+            );
+        }
+
+        // A flipped payload bit fails its segment checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(MinSigIndex::open(&path).unwrap_err(), IndexError::Corrupt(_)));
+
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] = b'Z';
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(MinSigIndex::open(&path).unwrap_err(), IndexError::Corrupt(_)));
+
+        // The intact file still opens.
+        std::fs::write(&path, &bytes).unwrap();
+        MinSigIndex::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = temp_path("does-not-exist.msix");
+        assert!(matches!(MinSigIndex::open(&path).unwrap_err(), IndexError::Io(_)));
+    }
+
+    #[test]
+    fn newer_format_versions_are_not_reported_as_corruption() {
+        let path = temp_path("future-version.msix");
+        segment::atomic_write(&path, INDEX_MAGIC, INDEX_VERSION + 1, |w| {
+            w.write_segment(TAG_META, b"whatever a future build writes")?;
+            Ok(())
+        })
+        .unwrap();
+        let err = MinSigIndex::open(&path).unwrap_err();
+        assert!(
+            matches!(err, IndexError::UnsupportedVersion(_)),
+            "a newer-format file must say 'upgrade', not 'corrupt': {err:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resident_bytes_exceeds_tree_only_accounting() {
+        let (_sp, _traces, index) = sample_index(20);
+        let snapshot = index.snapshot();
+        assert!(
+            snapshot.resident_bytes() > index.stats().index_bytes,
+            "signatures + sequences must be counted on top of the tree"
+        );
+    }
+}

@@ -278,6 +278,50 @@ impl SignatureList {
         SignatureList { levels }
     }
 
+    /// Reassembles a signature list from raw per-level vectors (the inverse of
+    /// [`SignatureList::levels`]; used by the persistence layer).
+    ///
+    /// # Panics
+    /// Panics when the level vectors do not all share one width.
+    pub fn from_levels(levels: Vec<Vec<u64>>) -> Self {
+        if let Some(first) = levels.first() {
+            assert!(
+                levels.iter().all(|l| l.len() == first.len()),
+                "all levels of a signature must have the same width"
+            );
+        }
+        SignatureList { levels }
+    }
+
+    /// The raw per-level signature vectors (`levels()[i - 1][u]` is `sig^i[u]`).
+    pub fn levels(&self) -> &[Vec<u64>] {
+        &self.levels
+    }
+
+    /// Element-wise minimum with another signature of the same shape.
+    ///
+    /// Because a signature is an element-wise minimum over the cells of each
+    /// level set, and level sets distribute over unions
+    /// (`level_i(A ∪ B) = level_i(A) ∪ level_i(B)`), the signature of a merged
+    /// trace is exactly `min(sig(old), sig(delta))`.  This is what makes
+    /// streaming ingestion incremental: only the *new* cells of a batch are
+    /// hashed, and the result is bit-identical to rebuilding the signature
+    /// from the full merged sequence.
+    ///
+    /// # Panics
+    /// Panics when the two signatures have different shapes.
+    pub fn merge_min(&mut self, other: &SignatureList) {
+        assert_eq!(self.levels.len(), other.levels.len(), "level count mismatch in merge");
+        for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
+            assert_eq!(mine.len(), theirs.len(), "signature width mismatch in merge");
+            for (m, &t) in mine.iter_mut().zip(theirs.iter()) {
+                if t < *m {
+                    *m = t;
+                }
+            }
+        }
+    }
+
     /// Number of levels.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
@@ -503,6 +547,47 @@ mod tests {
     fn table_family_panics_on_missing_entries() {
         let table = TableHashFamily::new(10);
         let _ = table.hash_base(0, StCell::new(0, 0));
+    }
+
+    #[test]
+    fn merge_min_equals_rebuild_from_union() {
+        // sig(A ∪ B) == min(sig(A), sig(B)), the property streaming ingestion
+        // relies on for incremental signature maintenance.
+        let sp = SpIndex::uniform(3, &[3, 3]).unwrap();
+        let hasher =
+            HierarchicalHasher::new(SeededHashFamily::new(16, 42, 10_000), HasherMode::PathMax);
+        let cells_a: Vec<StCell> =
+            sp.base_units().iter().step_by(3).map(|&u| StCell::new(1, u)).collect();
+        let cells_b: Vec<StCell> =
+            sp.base_units().iter().step_by(4).map(|&u| StCell::new(2, u)).collect();
+        let set_a = CellSet::from_cells(cells_a.clone());
+        let set_b = CellSet::from_cells(cells_b.clone());
+        let union = set_a.union(&set_b);
+
+        let seq_a = CellSetSequence::from_base_cells(&sp, &set_a).unwrap();
+        let seq_b = CellSetSequence::from_base_cells(&sp, &set_b).unwrap();
+        let seq_union = CellSetSequence::from_base_cells(&sp, &union).unwrap();
+
+        let mut merged = SignatureList::build(&sp, &hasher, &seq_a);
+        merged.merge_min(&SignatureList::build(&sp, &hasher, &seq_b));
+        let rebuilt = SignatureList::build(&sp, &hasher, &seq_union);
+        assert_eq!(merged, rebuilt);
+    }
+
+    #[test]
+    fn from_levels_round_trips() {
+        let levels = vec![vec![3u64, 9], vec![5, 12]];
+        let sig = SignatureList::from_levels(levels.clone());
+        assert_eq!(sig.levels(), levels.as_slice());
+        assert_eq!(sig.num_levels(), 2);
+        assert_eq!(sig.value(1, 1), 9);
+        assert_eq!(sig.routing_index(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn from_levels_rejects_ragged_input() {
+        let _ = SignatureList::from_levels(vec![vec![1], vec![1, 2]]);
     }
 
     #[test]

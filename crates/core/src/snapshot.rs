@@ -1,7 +1,7 @@
 //! The immutable, shareable state of a built index.
 //!
 //! [`IndexSnapshot`] owns everything a query needs — the spatial hierarchy,
-//! the hash family, the [`MinSigTree`](crate::tree::MinSigTree) and the
+//! the hash family, the [`MinSigTree`] and the
 //! materialised ST-cell set sequences — and exposes only `&self` query
 //! methods, so an `Arc<IndexSnapshot>` can be handed to any number of worker
 //! threads which all see one consistent version of the index.
@@ -17,7 +17,7 @@ use crate::config::IndexConfig;
 use crate::engine::{self, InMemorySource};
 use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};
-use crate::signature::{HierarchicalHasher, SeededHashFamily};
+use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::stats::SearchStats;
 use crate::tree::MinSigTree;
 use std::collections::BTreeMap;
@@ -29,6 +29,36 @@ use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
 /// Obtained from [`MinSigIndex::snapshot`](crate::index::MinSigIndex::snapshot);
 /// every query entry point of the crate is available directly on the snapshot
 /// (the `MinSigIndex` methods are thin delegates).
+///
+/// A snapshot is also the unit of *epoch publication* during streaming
+/// ingestion ([`crate::ingest`]) and the unit of persistence
+/// ([`save`](IndexSnapshot::save)/[`open`](IndexSnapshot::open)):
+///
+/// ```
+/// use minsig::{IndexConfig, MinSigIndex};
+/// use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
+///
+/// let sp = SpIndex::uniform(2, &[2]).unwrap();
+/// let mut traces = TraceSet::new(60);
+/// for e in 0..4u64 {
+///     traces.record(PresenceInstance::new(
+///         EntityId(e),
+///         sp.base_units()[(e % 2) as usize],
+///         Period::new(0, 120).unwrap(),
+///     ));
+/// }
+/// let mut index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+/// let snapshot = index.snapshot();
+///
+/// // The handle keeps mutating; the held snapshot never moves.
+/// index.remove_entity(EntityId(2)).unwrap();
+/// assert!(snapshot.contains(EntityId(2)));
+/// assert!(!index.contains(EntityId(2)));
+///
+/// // Queries run directly on the snapshot, from any number of threads.
+/// let (results, _) = snapshot.top_k(EntityId(0), 1, &DiceAdm::uniform(2)).unwrap();
+/// assert_eq!(results[0].entity, EntityId(2));
+/// ```
 #[derive(Debug, Clone)]
 pub struct IndexSnapshot {
     pub(crate) sp: SpIndex,
@@ -37,6 +67,11 @@ pub struct IndexSnapshot {
     pub(crate) hasher: HierarchicalHasher<SeededHashFamily>,
     pub(crate) tree: MinSigTree,
     pub(crate) sequences: BTreeMap<EntityId, CellSetSequence>,
+    /// Per-entity signature lists, kept alongside the tree so that streaming
+    /// ingestion can merge a batch's *delta* signature into an entity's
+    /// existing one (`min(sig_old, sig_delta)`) instead of re-hashing the full
+    /// trace, and so that a persisted index reloads without re-hashing at all.
+    pub(crate) signatures: BTreeMap<EntityId, SignatureList>,
 }
 
 impl IndexSnapshot {
@@ -80,10 +115,35 @@ impl IndexSnapshot {
         self.sequences.get(&entity)
     }
 
+    /// The signature list of an indexed entity (what the tree grouped it by).
+    pub fn signature(&self, entity: EntityId) -> Option<&SignatureList> {
+        self.signatures.get(&entity)
+    }
+
     /// The materialised sequences of all indexed entities (used by baselines
     /// and ground-truth comparisons).
     pub fn sequences(&self) -> &BTreeMap<EntityId, CellSetSequence> {
         &self.sequences
+    }
+
+    /// Estimated resident heap footprint of this snapshot in bytes: the tree
+    /// (what [`IndexStats::index_bytes`](crate::stats::IndexStats) reports,
+    /// the paper's Section 7.8 accounting) **plus** the per-entity signature
+    /// lists and materialised sequences.
+    ///
+    /// This is the number to use for capacity planning — it is what a
+    /// copy-on-write clone duplicates while readers hold an older snapshot —
+    /// and it is dominated by the signatures (`entities × m × nh × 8` bytes)
+    /// and sequences, not the tree.
+    pub fn resident_bytes(&self) -> usize {
+        let sig_bytes: usize = self
+            .signatures
+            .values()
+            .map(|s| s.levels().iter().map(|l| l.len() * std::mem::size_of::<u64>()).sum::<usize>())
+            .sum();
+        let seq_bytes: usize =
+            self.sequences.values().map(|s| s.total_cells() * std::mem::size_of::<u64>()).sum();
+        self.tree.size_bytes() + sig_bytes + seq_bytes
     }
 
     /// Answers a top-k query for an indexed entity with default options.

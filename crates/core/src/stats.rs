@@ -9,7 +9,10 @@ pub struct IndexStats {
     pub num_entities: usize,
     /// Number of tree nodes (including the virtual root).
     pub num_nodes: usize,
-    /// Estimated index size in bytes (tree only, excluding raw trace data).
+    /// Estimated index size in bytes — **tree only**, the paper's Section 7.8
+    /// accounting (what Figure 7.8 plots).  For the full resident footprint
+    /// including per-entity signatures and sequences, use
+    /// [`IndexSnapshot::resident_bytes`](crate::snapshot::IndexSnapshot::resident_bytes).
     pub index_bytes: usize,
     /// Number of hash evaluations performed while computing signatures (the
     /// dominant term of the Section 4.3 processor cost `O(|E|·C·m·nh)`).

@@ -103,6 +103,44 @@ impl MinSigTree {
         &self.nodes[id as usize]
     }
 
+    /// All nodes in id order, the virtual root first (used by the persistence
+    /// layer to serialise the tree structurally).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Reassembles a tree from its node arena (the inverse of
+    /// [`MinSigTree::nodes`]).  The entity → leaf map is rebuilt from the leaf
+    /// entity lists, and the structural invariants are re-checked; any
+    /// inconsistency (duplicate entities, dangling children, wrong depths) is
+    /// reported as an error instead of producing a broken tree.
+    pub fn from_nodes(levels: Level, nodes: Vec<Node>) -> std::result::Result<Self, String> {
+        if levels < 1 {
+            return Err("tree needs at least one level".into());
+        }
+        if nodes.is_empty() {
+            return Err("node arena is empty (missing virtual root)".into());
+        }
+        for node in &nodes {
+            for &child in node.children.values() {
+                if child as usize >= nodes.len() {
+                    return Err(format!("child id {child} out of range ({})", nodes.len()));
+                }
+            }
+        }
+        let mut leaf_of = BTreeMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            for &entity in &node.entities {
+                if leaf_of.insert(entity, id as NodeId).is_some() {
+                    return Err(format!("{entity} appears in more than one leaf"));
+                }
+            }
+        }
+        let tree = MinSigTree { levels, nodes, leaf_of };
+        tree.check_invariants()?;
+        Ok(tree)
+    }
+
     /// The leaf node currently holding an entity, if indexed.
     pub fn leaf_of(&self, entity: EntityId) -> Option<NodeId> {
         self.leaf_of.get(&entity).copied()
@@ -372,6 +410,36 @@ mod tests {
         assert_ne!(before, after);
         assert_eq!(tree.num_entities(), 20);
         tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_nodes_round_trips_and_validates() {
+        let sp = SpIndex::uniform(3, &[4, 4]).unwrap();
+        let sigs = random_signatures(50, &sp, 8);
+        let tree = MinSigTree::build(3, sigs.iter().map(|(e, s)| (*e, s)));
+
+        let rebuilt = MinSigTree::from_nodes(tree.levels(), tree.nodes().to_vec()).unwrap();
+        assert_eq!(rebuilt.num_nodes(), tree.num_nodes());
+        assert_eq!(rebuilt.num_entities(), tree.num_entities());
+        for (e, _) in &sigs {
+            assert_eq!(rebuilt.leaf_of(*e), tree.leaf_of(*e));
+        }
+
+        // A duplicated entity is rejected.
+        let mut nodes = tree.nodes().to_vec();
+        let victim = nodes
+            .iter()
+            .position(|n| {
+                n.depth == 3 && !n.entities.is_empty() && !n.entities.contains(&EntityId(0))
+            })
+            .unwrap();
+        nodes[victim].entities.push(EntityId(0));
+        assert!(MinSigTree::from_nodes(3, nodes).is_err());
+
+        // A dangling child id is rejected.
+        let mut nodes = tree.nodes().to_vec();
+        nodes[0].children.insert(999, 10_000);
+        assert!(MinSigTree::from_nodes(3, nodes).is_err());
     }
 
     #[test]

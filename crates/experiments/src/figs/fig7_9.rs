@@ -69,7 +69,9 @@ pub fn run(scale: &Scale) -> Table {
             let batch = update_batch(&dataset, batch_size, existing_fraction, scale.seed);
             let start = Instant::now();
             for (entity, trace) in &batch {
-                index.update_entity(*entity, trace).expect("update");
+                // Upsert: the batch deliberately mixes existing and never-seen
+                // entities (the "existing fraction" axis of the figure).
+                index.upsert_entity(*entity, trace).expect("upsert");
             }
             let elapsed = start.elapsed();
             table.push_row(vec![
@@ -96,7 +98,7 @@ mod tests {
         let mut index = build_index(&dataset, 16);
         let batch = update_batch(&dataset, 20, 0.5, 3);
         for (entity, trace) in &batch {
-            index.update_entity(*entity, trace).unwrap();
+            index.upsert_entity(*entity, trace).unwrap();
         }
         // The index must still agree with brute force after the updates.
         let measure = PaperAdm::default_for(index.sp_index().height() as usize);

@@ -19,7 +19,10 @@
 //! * [`sort`] — B-way external merge sort with pass counting (Section 4.3);
 //! * [`pool`] — an LRU buffer pool with a byte budget and simulated miss penalty;
 //! * [`store`] — the entity-ordered [`PagedTraceStore`] used by the paged query
-//!   path of the `minsig` crate.
+//!   path of the `minsig` crate;
+//! * [`segment`] — the checksummed, length-prefixed segment file format that
+//!   backs every on-disk artefact ([`save_trace_set`]/[`load_trace_set`] here,
+//!   the persisted index snapshot in `minsig::persist`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +31,7 @@ pub mod codec;
 pub mod disk;
 pub mod page;
 pub mod pool;
+pub mod segment;
 pub mod sort;
 pub mod store;
 
@@ -35,5 +39,8 @@ pub use codec::TraceRecord;
 pub use disk::{DiskStats, PageId, VirtualDisk};
 pub use page::{Page, PAGE_SIZE};
 pub use pool::{BufferPool, PoolConfig, PoolStats};
+pub use segment::{crc32, SegmentError, SegmentReader, SegmentWriter};
 pub use sort::{external_sort, predicted_sort_io, SortStats};
-pub use store::{PagedTraceStore, StoreStats};
+pub use store::{
+    load_trace_set, save_trace_set, PagedTraceStore, StoreStats, TRACE_SET_MAGIC, TRACE_SET_VERSION,
+};

@@ -6,6 +6,27 @@
 //! *simulated* latency; the harness reports the resulting simulated elapsed time
 //! alongside the raw hit/miss counts, so the shape of the curve does not depend on
 //! the benchmarking machine's cache hierarchy.
+//!
+//! ```
+//! use trace_storage::{BufferPool, Page, PoolConfig, VirtualDisk, PAGE_SIZE};
+//!
+//! let disk = VirtualDisk::new();
+//! let pages: Vec<_> = (0..4).map(|_| disk.write_page(&Page::new())).collect();
+//!
+//! // Budget for exactly two pages: the third distinct page evicts the LRU one.
+//! let pool = BufferPool::new(&disk, PoolConfig {
+//!     capacity_bytes: 2 * PAGE_SIZE,
+//!     ..PoolConfig::default()
+//! });
+//! pool.get(pages[0]); // miss
+//! pool.get(pages[1]); // miss
+//! pool.get(pages[0]); // hit
+//! pool.get(pages[2]); // miss, evicts pages[1]
+//! pool.get(pages[1]); // miss again
+//! let stats = pool.stats();
+//! assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 4, 2));
+//! assert!(stats.hit_rate() > 0.19 && stats.hit_rate() < 0.21);
+//! ```
 
 use crate::disk::{PageId, VirtualDisk};
 use crate::page::{Page, PAGE_SIZE};

@@ -2,7 +2,7 @@
 //!
 //! Implements the subset this workspace's property tests use: the
 //! [`proptest!`] macro over `name in strategy` arguments, range / tuple /
-//! [`collection::vec`] / [`any`] strategies, `ProptestConfig::with_cases` and
+//! [`collection::vec`] / [`any()`](prelude::any) strategies, `ProptestConfig::with_cases` and
 //! the `prop_assert*` macros.  Unlike real proptest there is no shrinking and
 //! no persisted failure seeds — each test runs a fixed number of cases from a
 //! generator seeded deterministically by the test's name, so failures are
@@ -201,7 +201,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -175,11 +175,11 @@ fn removal_then_reinsertion_restores_answers() {
     let victim = before[0].entity;
     let victim_trace = dataset.traces.trace(victim).unwrap().clone();
 
-    assert!(index.remove_entity(victim));
+    index.remove_entity(victim).unwrap();
     let (without, _) = index.top_k(query, 5, &measure).unwrap();
     assert!(without.iter().all(|r| r.entity != victim));
 
-    index.update_entity(victim, &victim_trace).unwrap();
+    assert!(index.upsert_entity(victim, &victim_trace).unwrap(), "victim was removed");
     let (after, _) = index.top_k(query, 5, &measure).unwrap();
     for (x, y) in before.iter().zip(after.iter()) {
         assert!((x.degree - y.degree).abs() < 1e-9);

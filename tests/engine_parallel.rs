@@ -129,7 +129,7 @@ fn snapshots_are_isolated_from_later_updates() {
     assert_eq!(top_before[0].entity, EntityId(1));
 
     // Remove entity 0's partner on the handle; the old snapshot must not move.
-    assert!(index.remove_entity(EntityId(1)));
+    index.remove_entity(EntityId(1)).unwrap();
     assert!(!before.contains(EntityId(999)));
     assert!(before.contains(EntityId(1)), "snapshot still holds the removed entity");
     assert_eq!(before.num_entities(), 20);
@@ -150,7 +150,7 @@ fn snapshots_are_isolated_from_later_updates() {
             }
         });
         for victim in [2u64, 3, 4] {
-            index.remove_entity(EntityId(victim));
+            index.remove_entity(EntityId(victim)).unwrap();
         }
         reader.join().unwrap();
     });

@@ -107,7 +107,9 @@ proptest! {
             for pi in trace.instances() {
                 merged.push(*pi);
             }
-            index.update_entity(entity, &merged).unwrap();
+            // `upsert`, not `update`: the extra workload may introduce
+            // entities the seed workload never mentioned.
+            index.upsert_entity(entity, &merged).unwrap();
             traces.insert_trace(entity, merged);
         }
         let rebuilt = MinSigIndex::build(&sp, &traces, config).unwrap();
