@@ -1,0 +1,68 @@
+//! Shard-scaling baseline: queries per second of the sharded index across
+//! shard counts {1, 2, 4, 8}, against the same dataset and query batch.
+//!
+//! Two axes per shard count: single-query latency-path QPS (`top_k`, the
+//! rayon per-query shard fan-out) and batch-path QPS (`top_k_batch`, parallel
+//! over queries with sequential per-query fan-out).  `Throughput::Elements`
+//! makes the harness report queries/s directly, so future PRs can compare
+//! shard-count scaling against this baseline without post-processing.
+//!
+//! Expect QPS to *fall* with shard count at this bench's small population:
+//! every query still touches all N trees, each with weaker pruning than the
+//! single big tree, plus per-shard fan-out overhead.  Sharding buys parallel
+//! ingest / persistence / maintenance and per-machine population scale — this
+//! bench exists to keep the query-side cost of that trade visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minsig::IndexConfig;
+use minsig::ShardedMinSigIndex;
+use minsig_bench::{bench_dataset, bench_measure, bench_queries};
+use std::hint::black_box;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 64;
+const K: usize = 10;
+
+fn shard_scaling_qps(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let measure = bench_measure(&dataset);
+    let queries = bench_queries(&dataset, BATCH);
+    let config = IndexConfig::with_hash_functions(64);
+
+    let mut group = c.benchmark_group("shard_scaling/batch");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let index = ShardedMinSigIndex::build(dataset.sp_index(), &dataset.traces, config, shards)
+            .expect("sharded bench index builds");
+        let snapshot = index.snapshot();
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| black_box(snapshot.top_k_batch(&queries, K, &measure).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("shard_scaling/single_query");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let index = ShardedMinSigIndex::build(dataset.sp_index(), &dataset.traces, config, shards)
+            .expect("sharded bench index builds");
+        let snapshot = index.snapshot();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                for &query in &queries {
+                    black_box(snapshot.top_k(query, K, &measure).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = shard_scaling;
+    config = Criterion::default();
+    targets = shard_scaling_qps
+);
+criterion_main!(shard_scaling);

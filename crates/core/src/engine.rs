@@ -277,6 +277,28 @@ where
     (top.into_sorted(), checked)
 }
 
+/// Merges independently computed exact top-k result lists into one global
+/// top-k under the engine's ranking order *(degree descending, entity id
+/// ascending)*.
+///
+/// Sound whenever the parts cover disjoint candidate sets that together form
+/// the whole population — the situation of [`crate::shard`], where every part
+/// is one shard's exact answer: the union of per-shard top-k sets is a
+/// superset of the global top-k, so re-selecting through the shared
+/// [`TopKHeap`] reproduces exactly what a single unsharded index returns.
+pub fn merge_top_k<I>(k: usize, parts: I) -> Vec<TopKResult>
+where
+    I: IntoIterator<Item = Vec<TopKResult>>,
+{
+    let mut top = TopKHeap::new(k);
+    for part in parts {
+        for result in part {
+            top.offer(result.entity, result.degree);
+        }
+    }
+    top.into_sorted()
+}
+
 /// A candidate subtree in the best-first queue.
 #[derive(Debug, Clone)]
 struct Candidate {
@@ -500,6 +522,48 @@ mod tests {
             assert_eq!(results[0].entity, EntityId(9), "order {order:?}");
             assert_eq!(results[1].entity, EntityId(1), "order {order:?}");
         }
+    }
+
+    #[test]
+    fn merge_top_k_equals_offering_everything_to_one_heap() {
+        let offers = [(1u64, 0.3), (2, 0.9), (3, 0.9), (4, 0.1), (5, 0.5), (6, 0.5)];
+        let mut all = TopKHeap::new(3);
+        let mut left = TopKHeap::new(3);
+        let mut right = TopKHeap::new(3);
+        for (i, &(entity, degree)) in offers.iter().enumerate() {
+            all.offer(EntityId(entity), degree);
+            if i % 2 == 0 {
+                left.offer(EntityId(entity), degree);
+            } else {
+                right.offer(EntityId(entity), degree);
+            }
+        }
+        let merged = merge_top_k(3, vec![left.into_sorted(), right.into_sorted()]);
+        assert_eq!(merged, all.into_sorted());
+    }
+
+    #[test]
+    fn merge_top_k_equals_global_sort_and_truncate() {
+        let parts = vec![
+            vec![
+                TopKResult { entity: EntityId(3), degree: 0.7 },
+                TopKResult { entity: EntityId(9), degree: 0.2 },
+            ],
+            vec![],
+            vec![
+                TopKResult { entity: EntityId(1), degree: 0.7 },
+                TopKResult { entity: EntityId(5), degree: 0.4 },
+            ],
+        ];
+        let merged = merge_top_k(3, parts);
+        // Ties resolve by ascending entity id, exactly like a single heap.
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].entity, EntityId(1));
+        assert_eq!(merged[1].entity, EntityId(3));
+        assert_eq!(merged[2].entity, EntityId(5));
+        assert!(
+            merge_top_k(0, vec![vec![TopKResult { entity: EntityId(1), degree: 1.0 }]]).is_empty()
+        );
     }
 
     #[test]

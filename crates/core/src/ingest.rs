@@ -122,6 +122,13 @@ impl IngestBuffer {
         self.pending.clear();
     }
 
+    /// The buffered records, in arrival order (used by the sharded flush in
+    /// [`crate::shard`] to validate and route a batch before any shard is
+    /// touched).
+    pub(crate) fn records(&self) -> &[PresenceInstance] {
+        &self.pending
+    }
+
     /// Applies every buffered record to `index` as one copy-on-write batch
     /// and empties the buffer.
     ///

@@ -114,24 +114,7 @@ impl IndexSnapshot {
             probes.par_iter().map(|&probe| self.join_one(probe, measure, options)).collect()
         };
 
-        let mut stats = JoinStats::default();
-        let mut out = Vec::with_capacity(probes.len());
-        for row in rows {
-            match row {
-                Some(row) => {
-                    stats.probes += 1;
-                    stats.mean_entities_checked += row.stats.entities_checked as f64;
-                    stats.mean_pruning_effectiveness += row.stats.pruning_effectiveness();
-                    out.push(row);
-                }
-                None => stats.skipped += 1,
-            }
-        }
-        if stats.probes > 0 {
-            stats.mean_entities_checked /= stats.probes as f64;
-            stats.mean_pruning_effectiveness /= stats.probes as f64;
-        }
-        Ok((out, stats))
+        Ok(collect_join_rows(rows))
     }
 
     fn join_one<M: AssociationMeasure + ?Sized>(
@@ -148,6 +131,30 @@ impl IndexSnapshot {
             Err(_) => None,
         }
     }
+}
+
+/// Folds per-probe rows (`None` = skipped probe) into the join output and its
+/// aggregate statistics; shared by the unsharded and sharded join drivers so
+/// their accounting cannot drift apart.
+pub(crate) fn collect_join_rows(rows: Vec<Option<JoinRow>>) -> (Vec<JoinRow>, JoinStats) {
+    let mut stats = JoinStats::default();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        match row {
+            Some(row) => {
+                stats.probes += 1;
+                stats.mean_entities_checked += row.stats.entities_checked as f64;
+                stats.mean_pruning_effectiveness += row.stats.pruning_effectiveness();
+                out.push(row);
+            }
+            None => stats.skipped += 1,
+        }
+    }
+    if stats.probes > 0 {
+        stats.mean_entities_checked /= stats.probes as f64;
+        stats.mean_pruning_effectiveness /= stats.probes as f64;
+    }
+    (out, stats)
 }
 
 impl MinSigIndex {

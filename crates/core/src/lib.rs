@@ -62,6 +62,17 @@
 //! it without re-hashing anything, answering bit-identically — see
 //! [`persist`] for the on-disk format.
 //!
+//! ## Sharding
+//!
+//! [`shard::ShardedMinSigIndex`] hash-partitions the entity population across
+//! `N` independent shards (one `MinSigIndex` each, with its own snapshot,
+//! epoch and `MSIX` file): ingest, persistence and maintenance parallelise
+//! per shard while every query fans out over all shards and merges the
+//! per-shard exact top-k heaps — answers keep the exact degree vector and
+//! ordering of an unsharded index over the same traces.  The deterministic
+//! workload generators and conformance oracles behind the test suites live
+//! in [`testkit`].
+//!
 //! ```
 //! use minsig::{IndexConfig, MinSigIndex};
 //! use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
@@ -100,9 +111,11 @@ pub mod join;
 pub mod paged;
 pub mod persist;
 pub mod query;
+pub mod shard;
 pub mod signature;
 pub mod snapshot;
 pub mod stats;
+pub mod testkit;
 pub mod tree;
 
 pub use approximate::{BandedIndex, BandingConfig};
@@ -114,6 +127,10 @@ pub use ingest::{IngestBuffer, IngestReport};
 pub use join::{JoinOptions, JoinRow, JoinStats};
 pub use persist::{INDEX_MAGIC, INDEX_VERSION};
 pub use query::{QueryOptions, TopKResult};
+pub use shard::{
+    shard_of, ShardedIngestReport, ShardedMinSigIndex, ShardedSnapshot, PARTITION_VERSION,
+    SHARD_MANIFEST_MAGIC, SHARD_MANIFEST_VERSION,
+};
 pub use signature::{
     CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily,
 };

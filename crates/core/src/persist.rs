@@ -74,17 +74,37 @@ impl IndexSnapshot {
     /// every query bit-identically to this one.
     pub fn save(&self, path: &Path) -> Result<()> {
         segment::atomic_write(path, INDEX_MAGIC, INDEX_VERSION, |writer| {
-            writer.write_segment(TAG_META, &self.encode_meta())?;
-            writer.write_segment(TAG_SP, &self.encode_sp())?;
-            for chunk in self.tree.nodes().chunks(NODES_PER_SEGMENT) {
-                writer.write_segment(TAG_TREE, &encode_tree_chunk(chunk))?;
-            }
-            let entities: Vec<EntityId> = self.sequences.keys().copied().collect();
-            for chunk in entities.chunks(ENTITIES_PER_SEGMENT) {
-                writer.write_segment(TAG_ENT, &self.encode_entity_chunk(chunk))?;
-            }
-            Ok(())
+            self.write_segments(writer)
         })?;
+        Ok(())
+    }
+
+    /// Serialises this snapshot into an in-memory buffer holding exactly the
+    /// bytes [`save`](IndexSnapshot::save) would write to disk.
+    ///
+    /// Used by the sharded save ([`crate::shard`]) to digest each shard file
+    /// without writing it first and reading it back; pair with
+    /// [`open_from_bytes`](IndexSnapshot::open_from_bytes).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut writer = segment::SegmentWriter::new(Vec::new(), INDEX_MAGIC, INDEX_VERSION)
+            .map_err(IndexError::from)?;
+        self.write_segments(&mut writer).map_err(IndexError::from)?;
+        writer.finish().map_err(IndexError::from)
+    }
+
+    fn write_segments<W: std::io::Write>(
+        &self,
+        writer: &mut segment::SegmentWriter<W>,
+    ) -> trace_storage::segment::Result<()> {
+        writer.write_segment(TAG_META, &self.encode_meta())?;
+        writer.write_segment(TAG_SP, &self.encode_sp())?;
+        for chunk in self.tree.nodes().chunks(NODES_PER_SEGMENT) {
+            writer.write_segment(TAG_TREE, &encode_tree_chunk(chunk))?;
+        }
+        let entities: Vec<EntityId> = self.sequences.keys().copied().collect();
+        for chunk in entities.chunks(ENTITIES_PER_SEGMENT) {
+            writer.write_segment(TAG_ENT, &self.encode_entity_chunk(chunk))?;
+        }
         Ok(())
     }
 
@@ -97,7 +117,24 @@ impl IndexSnapshot {
     /// otherwise damaged file yields [`IndexError::Corrupt`] (or
     /// [`IndexError::Io`]), never a partially loaded index.
     pub fn open(path: &Path) -> Result<IndexSnapshot> {
-        let mut reader = segment::open_file(path, INDEX_MAGIC, INDEX_VERSION)?;
+        Self::open_reader(segment::open_file(path, INDEX_MAGIC, INDEX_VERSION)?)
+    }
+
+    /// Loads a snapshot from an in-memory buffer previously produced by
+    /// [`to_bytes`](IndexSnapshot::to_bytes) (or read verbatim from a
+    /// [`save`](IndexSnapshot::save)d file), with exactly the same
+    /// verification as [`open`](IndexSnapshot::open).
+    ///
+    /// Lets a caller that must authenticate the bytes first (the sharded
+    /// open's manifest digest check) parse the *verified* buffer instead of
+    /// re-reading the file — no window for the file to change in between.
+    pub fn open_from_bytes(bytes: &[u8]) -> Result<IndexSnapshot> {
+        Self::open_reader(segment::SegmentReader::new(bytes, INDEX_MAGIC, INDEX_VERSION)?)
+    }
+
+    fn open_reader<R: std::io::Read>(
+        mut reader: segment::SegmentReader<R>,
+    ) -> Result<IndexSnapshot> {
         let mut meta: Option<Meta> = None;
         let mut sp = None;
         let mut nodes: Vec<Node> = Vec::new();

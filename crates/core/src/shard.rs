@@ -1,0 +1,1158 @@
+//! Sharding: hash-partitioning the entity population across independent
+//! [`MinSigIndex`] shards with exact cross-shard top-k fan-out.
+//!
+//! One in-memory MinSigTree per process stops scaling once the population (or
+//! the ingest rate) outgrows a single snapshot: every copy-on-write clone, every
+//! flush and every save serialises on one handle.  A [`ShardedMinSigIndex`]
+//! instead assigns each entity to one of `N` shards by a **stable hash of its
+//! id** ([`shard_of`]) and keeps a completely independent `MinSigIndex` per
+//! shard — independent snapshots, independent epochs, independent `MSIX` files —
+//! so ingest, persistence and maintenance all parallelise per shard.
+//!
+//! ## Exactness of the fan-out
+//!
+//! Shards *partition* the entity population, so for any query sequence the
+//! global top-k is the top-k of the union of per-shard answer sets.  Every
+//! query fans the existing best-first executor ([`crate::engine::execute`])
+//! out across the shards (over rayon) and merges the per-shard exact top-k
+//! answers through the engine's shared ranking order
+//! ([`engine::merge_top_k`]): *(degree descending, entity id ascending)*.  The
+//! merged answer carries the **bitwise-identical degree vector** of a single
+//! unsharded index over the same traces, identical entities at every rank
+//! whose degree is strictly above the k-th (boundary) degree, and canonical
+//! ordering — i.e. it is fully bit-identical whenever the boundary degree is
+//! untied.  The one degree of freedom is shared by *all* exact paths of this
+//! crate (unsharded search vs brute force included): best-first pruning skips
+//! subtrees that cannot improve the k-th degree, so entities **tied exactly
+//! at the boundary** may be represented by different members per strategy.
+//! The conformance suite (`tests/shard_conformance.rs`) checks this contract
+//! against both the unsharded index and the brute-force oracle.  (Each shard
+//! derives its own hash range when the config leaves it data-driven; that is
+//! fine, because leaf evaluation computes degrees exactly from the sequences —
+//! signatures only ever *prune*.)
+//!
+//! ## Epoch vectors and snapshot consistency
+//!
+//! Each shard keeps its own epoch counter (one per mutation batch, exactly as
+//! on the unsharded handle).  [`ShardedMinSigIndex::snapshot`] captures all
+//! shard snapshots **and** the epoch vector under one `&self` borrow, so a
+//! reader's [`ShardedSnapshot`] is always a consistent cross-shard set: a
+//! mutation needs `&mut self` and therefore cannot interleave with the
+//! capture.  Readers holding a `ShardedSnapshot` are isolated from all later
+//! flushes, shard by shard, exactly like unsharded snapshot readers.
+//!
+//! ## Ingest routing
+//!
+//! [`IngestBuffer::flush_sharded`] (and the [`ShardedMinSigIndex::ingest_batch`]
+//! shorthand) routes a buffered batch to the shards that own each record's
+//! entity and flushes **one sub-batch per touched shard**, advancing each
+//! touched shard's epoch by exactly 1.  The whole cross-shard batch is
+//! validated before any shard is mutated, so a bad record leaves every shard
+//! (and the buffer) untouched — the same all-or-nothing contract as the
+//! unsharded flush.
+//!
+//! ## Durability (`MSHD` v1)
+//!
+//! [`ShardedMinSigIndex::save`] writes a directory: one standard `MSIX` file
+//! per shard plus a checksummed manifest ([`SHARD_MANIFEST_FILE`], magic
+//! [`SHARD_MANIFEST_MAGIC`]) recording the partitioner version, the shard
+//! count and — per shard — the expected entity count and a content digest of
+//! the shard file, binding every shard file to the one save that produced
+//! it.  [`ShardedMinSigIndex::open`] verifies the manifest, each shard
+//! file's digest, every shard file's own checksums, the per-shard entity
+//! counts, that all shards agree on the hierarchy and discretisation, and
+//! that **every loaded entity routes to the shard that holds it** — so a
+//! renamed, swapped, truncated or bit-flipped shard file, or a crash midway
+//! through re-saving over an existing directory, is always detected, never
+//! silently mis-answered.
+
+use crate::config::IndexConfig;
+use crate::engine;
+use crate::error::{IndexError, Result};
+use crate::index::MinSigIndex;
+use crate::ingest::IngestBuffer;
+use crate::join::{collect_join_rows, JoinOptions, JoinRow, JoinStats};
+use crate::query::{QueryOptions, TopKResult};
+use crate::snapshot::IndexSnapshot;
+use crate::stats::SearchStats;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use trace_model::{
+    AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, PresenceInstance, SpIndex,
+    TraceSet,
+};
+use trace_storage::segment::{self, Cursor};
+
+/// Magic bytes of a sharded-index manifest file ("MinSig sHarD").
+pub const SHARD_MANIFEST_MAGIC: [u8; 4] = *b"MSHD";
+/// Newest manifest format version this build reads and writes.
+pub const SHARD_MANIFEST_VERSION: u16 = 1;
+/// File name of the manifest inside a sharded-index directory.
+pub const SHARD_MANIFEST_FILE: &str = "manifest.mshd";
+/// Version of the [`shard_of`] partitioning function recorded in the
+/// manifest.  Bump it if the hash ever changes; `open` refuses a manifest
+/// written under a different partitioner rather than silently mis-routing.
+pub const PARTITION_VERSION: u32 = 1;
+
+const TAG_MANIFEST: u32 = 1;
+
+/// The stable partitioning function: which shard owns `entity` among
+/// `num_shards`.
+///
+/// A SplitMix64 finalizer over the raw id, reduced modulo the shard count —
+/// sequential ids (the common assignment scheme upstream) spread evenly
+/// instead of striping.  The mapping is part of the on-disk contract
+/// ([`PARTITION_VERSION`]): every build of this crate must route an entity to
+/// the same shard, or a reopened sharded index would look up entities in the
+/// wrong shard.
+pub fn shard_of(entity: EntityId, num_shards: usize) -> usize {
+    debug_assert!(num_shards > 0, "a sharded index has at least one shard");
+    let mut z = entity.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % num_shards as u64) as usize
+}
+
+/// A MinSigTree index hash-partitioned across `N` independent shards.
+///
+/// Mutations (`update_entity` / `upsert_entity` / `remove_entity` /
+/// [`ingest_batch`](Self::ingest_batch)) route to the owning shard; queries
+/// fan out across all shards and merge exactly.  See the
+/// [module docs](crate::shard) for the exactness, epoch and durability
+/// contracts.
+///
+/// ```
+/// use minsig::shard::ShardedMinSigIndex;
+/// use minsig::IndexConfig;
+/// use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
+///
+/// let sp = SpIndex::uniform(2, &[2]).unwrap();
+/// let base = sp.base_units().to_vec();
+/// let mut traces = TraceSet::new(60);
+/// for (e, unit) in [(0u64, base[0]), (1, base[0]), (2, base[3])] {
+///     traces.record(PresenceInstance::new(EntityId(e), unit, Period::new(0, 120).unwrap()));
+/// }
+/// let sharded = ShardedMinSigIndex::build(&sp, &traces, IndexConfig::default(), 4).unwrap();
+/// assert_eq!(sharded.num_shards(), 4);
+/// assert_eq!(sharded.num_entities(), 3);
+///
+/// // Identical answers to an unsharded index over the same traces.
+/// let (results, _) = sharded.top_k(EntityId(0), 1, &DiceAdm::uniform(2)).unwrap();
+/// assert_eq!(results[0].entity, EntityId(1));
+/// ```
+#[derive(Debug)]
+pub struct ShardedMinSigIndex {
+    shards: Vec<MinSigIndex>,
+}
+
+/// One consistent cross-shard version of a [`ShardedMinSigIndex`]: all shard
+/// snapshots plus the epoch vector, captured atomically under one `&self`
+/// borrow.
+///
+/// Cheap to clone around (each shard contributes one `Arc` bump) and safe to
+/// query from any number of threads.  All query entry points of the sharded
+/// index are available directly on the snapshot; the handle methods are thin
+/// delegates.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    shards: Vec<Arc<IndexSnapshot>>,
+    epochs: Vec<u64>,
+}
+
+/// What one sharded ingest flush did across the shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedIngestReport {
+    /// Presence records applied by this flush.
+    pub records: usize,
+    /// Distinct entities whose signature / tree path was updated.
+    pub entities_touched: usize,
+    /// How many of the touched entities were new to their shard.
+    pub entities_inserted: usize,
+    /// Number of shards that received a non-empty sub-batch (each advanced
+    /// its epoch by exactly 1).
+    pub shards_touched: usize,
+    /// The per-shard epoch vector after the flush.
+    pub epochs: Vec<u64>,
+    /// Wall-clock time of the whole routed flush, in microseconds.
+    pub flush_time_us: u64,
+}
+
+impl ShardedMinSigIndex {
+    /// Builds a sharded index: partitions the traces by [`shard_of`] and
+    /// builds every shard's `MinSigIndex` in parallel over rayon.
+    ///
+    /// `num_shards` must be at least 1; a 1-shard index behaves exactly like
+    /// (and answers bit-identically to) an unsharded [`MinSigIndex`].
+    pub fn build(
+        sp: &SpIndex,
+        traces: &TraceSet,
+        config: IndexConfig,
+        num_shards: usize,
+    ) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(IndexError::InvalidConfig("num_shards must be at least 1".into()));
+        }
+        config.validate()?;
+        let mut parts: Vec<TraceSet> =
+            (0..num_shards).map(|_| TraceSet::new(traces.ticks_per_unit())).collect();
+        for (entity, trace) in traces.iter() {
+            parts[shard_of(entity, num_shards)].insert_trace(entity, trace.clone());
+        }
+        let shards: Vec<Result<MinSigIndex>> =
+            parts.par_iter().map(|part| MinSigIndex::build(sp, part, config)).collect();
+        Ok(ShardedMinSigIndex { shards: shards.into_iter().collect::<Result<_>>()? })
+    }
+
+    /// Wraps already-built shards (used by `open`); the caller guarantees the
+    /// entities inside each shard route to it.
+    fn from_shards(shards: Vec<MinSigIndex>) -> Self {
+        debug_assert!(!shards.is_empty());
+        ShardedMinSigIndex { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's handle (diagnostics, tests, stats).
+    pub fn shard(&self, shard: usize) -> &MinSigIndex {
+        &self.shards[shard]
+    }
+
+    /// The shard owning `entity` under this index's shard count.
+    pub fn shard_of_entity(&self, entity: EntityId) -> usize {
+        shard_of(entity, self.shards.len())
+    }
+
+    /// Total number of indexed entities across all shards.
+    pub fn num_entities(&self) -> usize {
+        self.shards.iter().map(|s| s.num_entities()).sum()
+    }
+
+    /// True when the entity is indexed (in its home shard — an entity can
+    /// never legally live anywhere else).
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.shards[self.shard_of_entity(entity)].contains(entity)
+    }
+
+    /// The materialised sequence of an indexed entity.
+    pub fn sequence(&self, entity: EntityId) -> Option<&CellSetSequence> {
+        self.shards[self.shard_of_entity(entity)].sequence(entity)
+    }
+
+    /// The configuration the shards were built with (shared across shards by
+    /// [`build`](Self::build); shards opened from disk carry it per `MSIX`
+    /// file).
+    pub fn config(&self) -> IndexConfig {
+        self.shards[0].config()
+    }
+
+    /// The per-shard epoch vector: element `i` counts the mutation batches
+    /// shard `i` has applied since this handle was built or opened.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch()).collect()
+    }
+
+    /// Total mutation batches applied across all shards (the sum of
+    /// [`epochs`](Self::epochs)); a convenient single staleness number.
+    pub fn epoch(&self) -> u64 {
+        self.shards.iter().map(|s| s.epoch()).sum()
+    }
+
+    /// Captures one consistent cross-shard snapshot: every shard's current
+    /// `Arc<IndexSnapshot>` plus the epoch vector, atomically with respect to
+    /// mutations (which require `&mut self`).  Readers holding the snapshot
+    /// never observe a torn epoch set or any later flush.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+            epochs: self.epochs(),
+        }
+    }
+
+    /// Replaces an **existing** entity's trace, routed to its home shard.
+    ///
+    /// Returns [`IndexError::UnknownEntity`] when the entity is not indexed —
+    /// the routing is by [`shard_of`], so "not in its home shard" *is* "not in
+    /// the index"; no other shard is consulted (or could legally hold it).
+    /// Use [`upsert_entity`](Self::upsert_entity) for insert-or-replace.
+    pub fn update_entity(&mut self, entity: EntityId, trace: &DigitalTrace) -> Result<()> {
+        let home = self.shard_of_entity(entity);
+        self.shards[home].update_entity(entity, trace)
+    }
+
+    /// Inserts a new entity into — or replaces an existing entity's trace in —
+    /// its home shard; returns `true` when the entity was newly inserted.
+    pub fn upsert_entity(&mut self, entity: EntityId, trace: &DigitalTrace) -> Result<bool> {
+        let home = self.shard_of_entity(entity);
+        self.shards[home].upsert_entity(entity, trace)
+    }
+
+    /// Removes an entity from its home shard.
+    ///
+    /// Returns [`IndexError::UnknownEntity`] when the entity is not indexed,
+    /// exactly like the unsharded handle — a misrouted or repeated removal
+    /// cannot silently succeed on some other shard.
+    pub fn remove_entity(&mut self, entity: EntityId) -> Result<()> {
+        let home = self.shard_of_entity(entity);
+        self.shards[home].remove_entity(entity)
+    }
+
+    /// Applies a batch of presence records, routed per shard, in one
+    /// validated flush — shorthand for filling an [`IngestBuffer`] and calling
+    /// [`flush_sharded`](IngestBuffer::flush_sharded).  On a validation error
+    /// no shard is touched, but the records are dropped with the temporary
+    /// buffer; manage an `IngestBuffer` yourself to retry a repaired batch.
+    pub fn ingest_batch<I: IntoIterator<Item = PresenceInstance>>(
+        &mut self,
+        records: I,
+    ) -> Result<ShardedIngestReport> {
+        let mut buffer: IngestBuffer = records.into_iter().collect();
+        buffer.flush_sharded(self)
+    }
+
+    /// Answers a top-k query with default options; see
+    /// [`ShardedSnapshot::top_k`].
+    pub fn top_k<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.snapshot().top_k(query, k, measure)
+    }
+
+    /// Answers a top-k query with explicit options; see
+    /// [`ShardedSnapshot::top_k_with_options`].
+    pub fn top_k_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.snapshot().top_k_with_options(query, k, measure, options)
+    }
+
+    /// Answers every query of a batch; see [`ShardedSnapshot::top_k_batch`].
+    pub fn top_k_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        self.snapshot().top_k_batch(queries, k, measure)
+    }
+
+    /// [`top_k_batch`](Self::top_k_batch) with explicit query options.
+    pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        self.snapshot().top_k_batch_with_options(queries, k, measure, options)
+    }
+
+    /// Answers the top-k query for every probe entity; see
+    /// [`ShardedSnapshot::top_k_join`].
+    pub fn top_k_join<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probes: &[EntityId],
+        measure: &M,
+        options: JoinOptions,
+    ) -> Result<(Vec<JoinRow>, JoinStats)> {
+        self.snapshot().top_k_join(probes, measure, options)
+    }
+
+    /// Ground-truth brute force over all shards' sequences; see
+    /// [`ShardedSnapshot::brute_force`].
+    pub fn brute_force<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<TopKResult>> {
+        self.snapshot().brute_force(query, k, measure)
+    }
+}
+
+impl ShardedSnapshot {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's snapshot.
+    pub fn shard(&self, shard: usize) -> &Arc<IndexSnapshot> {
+        &self.shards[shard]
+    }
+
+    /// The per-shard epoch vector as of the capture — one consistent set,
+    /// never torn across a flush (capture happens under one `&self` borrow of
+    /// the handle).
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// Total number of indexed entities across all shards.
+    pub fn num_entities(&self) -> usize {
+        self.shards.iter().map(|s| s.num_entities()).sum()
+    }
+
+    /// True when the entity is indexed in its home shard.
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.shards[shard_of(entity, self.shards.len())].contains(entity)
+    }
+
+    /// The materialised sequence of an indexed entity.
+    pub fn sequence(&self, entity: EntityId) -> Option<&CellSetSequence> {
+        self.shards[shard_of(entity, self.shards.len())].sequence(entity)
+    }
+
+    /// Answers a top-k query for an indexed entity with default options,
+    /// fanning out across all shards in parallel and merging exactly.
+    pub fn top_k<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.top_k_with_options(query, k, measure, QueryOptions::default())
+    }
+
+    /// Answers a top-k query for an indexed entity with explicit options.
+    ///
+    /// The query entity is looked up in its home shard only
+    /// ([`IndexError::UnknownQueryEntity`] when absent); its sequence is then
+    /// probed against **every** shard through the shared best-first executor
+    /// and the per-shard exact answers are merged under the engine's total
+    /// order.  The merged results equal the unsharded answer — same degree
+    /// vector bitwise, same entities at every strictly-separated rank (see
+    /// the [module docs](crate::shard) for the boundary-tie caveat); the
+    /// stats sum the per-shard search work.
+    pub fn top_k_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        self.fan_out(seq, Some(query), k, measure, options, true)
+    }
+
+    /// Answers a top-k query for an arbitrary (possibly external) query
+    /// sequence across all shards.
+    pub fn top_k_for_sequence<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        self.fan_out(query, exclude, k, measure, options, true)
+    }
+
+    /// Answers the top-k query for every query entity of a batch, in
+    /// parallel, returning per-query `(results, stats)` pairs **in input
+    /// order** — the same contract as [`IndexSnapshot::top_k_batch`]: the
+    /// first unknown query entity (in input order) fails the whole batch.
+    pub fn top_k_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        self.top_k_batch_with_options(queries, k, measure, QueryOptions::default())
+    }
+
+    /// [`top_k_batch`](Self::top_k_batch) with explicit query options.
+    ///
+    /// Parallelism is over the *queries* (the batch is the wider axis); each
+    /// query's shard fan-out runs sequentially on its worker to avoid nested
+    /// thread fan-out.  Results are identical either way.
+    pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+        let answers: Vec<Result<(Vec<TopKResult>, SearchStats)>> = queries
+            .par_iter()
+            .map(|&query| {
+                let seq =
+                    self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+                self.fan_out(seq, Some(query), k, measure, options, false)
+            })
+            .collect();
+        answers.into_iter().collect()
+    }
+
+    /// Answers the top-k query for every probe entity, optionally in
+    /// parallel, with the same skip/ordering semantics as
+    /// [`IndexSnapshot::top_k_join`]: unindexed probes are counted in
+    /// [`JoinStats::skipped`], output preserves probe order, and sequential
+    /// and parallel evaluation return identical rows.
+    pub fn top_k_join<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probes: &[EntityId],
+        measure: &M,
+        options: JoinOptions,
+    ) -> Result<(Vec<JoinRow>, JoinStats)> {
+        let rows: Vec<Option<JoinRow>> = if options.threads <= 1 || probes.len() <= 1 {
+            probes.iter().map(|&probe| self.join_one(probe, measure, options)).collect()
+        } else {
+            probes.par_iter().map(|&probe| self.join_one(probe, measure, options)).collect()
+        };
+        Ok(collect_join_rows(rows))
+    }
+
+    fn join_one<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probe: EntityId,
+        measure: &M,
+        options: JoinOptions,
+    ) -> Option<JoinRow> {
+        let seq = self.sequence(probe)?;
+        match self.fan_out(seq, Some(probe), options.k, measure, options.query, false) {
+            Ok((matches, stats)) => Some(JoinRow { probe, matches, stats }),
+            Err(_) => None,
+        }
+    }
+
+    /// Ground-truth brute force over all shards' sequences, merged under the
+    /// shared ranking order — the sharded oracle used by conformance tests.
+    pub fn brute_force<M: AssociationMeasure + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<TopKResult>> {
+        let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        let parts = self.shards.iter().map(|shard| {
+            engine::scan_top_k(
+                shard.sequences().iter().map(|(e, s)| (*e, s)),
+                seq,
+                Some(query),
+                k,
+                measure,
+            )
+            .0
+        });
+        Ok(engine::merge_top_k(k, parts))
+    }
+
+    /// The cross-shard fan-out and exact merge shared by every query path.
+    fn fan_out<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        parallel: bool,
+    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        let start = Instant::now();
+        let per_shard: Vec<Result<(Vec<TopKResult>, SearchStats)>> =
+            if parallel && self.shards.len() > 1 {
+                self.shards
+                    .par_iter()
+                    .map(|shard| shard.top_k_for_sequence(query, exclude, k, measure, options))
+                    .collect()
+            } else {
+                self.shards
+                    .iter()
+                    .map(|shard| shard.top_k_for_sequence(query, exclude, k, measure, options))
+                    .collect()
+            };
+
+        let mut stats = SearchStats { k, ..SearchStats::default() };
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for answer in per_shard {
+            let (results, shard_stats) = answer?;
+            stats.total_entities += shard_stats.total_entities;
+            stats.nodes_visited += shard_stats.nodes_visited;
+            stats.leaves_visited += shard_stats.leaves_visited;
+            stats.entities_checked += shard_stats.entities_checked;
+            stats.simulated_io_us += shard_stats.simulated_io_us;
+            stats.pool_misses += shard_stats.pool_misses;
+            parts.push(results);
+        }
+        let results = engine::merge_top_k(k, parts);
+        stats.query_time_us = start.elapsed().as_micros() as u64;
+        Ok((results, stats))
+    }
+}
+
+impl IngestBuffer {
+    /// Applies every buffered record to `index`, routed to each record's home
+    /// shard, and empties the buffer.
+    ///
+    /// The whole cross-shard batch is validated **before any shard is
+    /// mutated** (each entity's delta is materialised against the shared
+    /// hierarchy once, up front), so a bad record leaves every shard and the
+    /// buffer's records intact — the caller can drop the bad record and
+    /// retry.  Each shard that receives a non-empty sub-batch applies it as
+    /// one copy-on-write flush and advances its epoch by exactly 1; shards
+    /// without records keep their epoch.  An empty buffer is a no-op.
+    pub fn flush_sharded(&mut self, index: &mut ShardedMinSigIndex) -> Result<ShardedIngestReport> {
+        let start = Instant::now();
+        if self.is_empty() {
+            return Ok(ShardedIngestReport { epochs: index.epochs(), ..Default::default() });
+        }
+
+        // Validate the whole batch against the shared hierarchy before
+        // touching any shard: cross-shard all-or-nothing.  (The per-shard
+        // flush re-materialises its deltas — one extra linear pass; hashing,
+        // which dominates, still happens once.)
+        {
+            let probe = &index.shards[0];
+            let (sp, ticks) = (probe.sp_index(), probe.ticks_per_unit());
+            let mut by_entity: BTreeMap<EntityId, DigitalTrace> = BTreeMap::new();
+            for record in self.records() {
+                by_entity.entry(record.entity).or_default().push(*record);
+            }
+            for delta in by_entity.values() {
+                delta.cell_sequence(sp, ticks)?;
+            }
+        }
+
+        let num_shards = index.num_shards();
+        let mut per_shard: Vec<IngestBuffer> = vec![IngestBuffer::new(); num_shards];
+        for record in self.records() {
+            per_shard[shard_of(record.entity, num_shards)].push(*record);
+        }
+
+        let mut report = ShardedIngestReport::default();
+        for (shard, mut buffer) in per_shard.into_iter().enumerate() {
+            if buffer.is_empty() {
+                continue;
+            }
+            // Invariant: the whole batch was validated above against the
+            // shared hierarchy, which is the only thing a flush validates —
+            // so a failure here is a logic bug (the two validations drifted
+            // apart), and continuing would break the documented cross-shard
+            // all-or-nothing contract with earlier shards already flushed.
+            let shard_report = buffer
+                .flush(&mut index.shards[shard])
+                .expect("per-shard flush failed after whole-batch validation");
+            report.records += shard_report.records;
+            report.entities_touched += shard_report.entities_touched;
+            report.entities_inserted += shard_report.entities_inserted;
+            report.shards_touched += 1;
+        }
+        self.clear();
+        report.epochs = index.epochs();
+        report.flush_time_us = start.elapsed().as_micros() as u64;
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: the MSHD v1 manifest + per-shard MSIX files.
+// ---------------------------------------------------------------------------
+
+impl ShardedMinSigIndex {
+    /// File name of shard `shard` inside a sharded-index directory.
+    pub fn shard_file_name(shard: usize) -> String {
+        format!("shard-{shard:05}.msix")
+    }
+
+    /// Persists the sharded index into directory `dir` (created if missing):
+    /// one `MSIX` file per shard plus the checksummed `MSHD` manifest, written
+    /// last.  Every file write is individually atomic (temp-file + rename),
+    /// and the manifest records a content digest of every shard file it
+    /// describes, so *any* crash point leaves a detectable directory: a crash
+    /// before the manifest write leaves the old manifest whose digests no
+    /// longer match the partially re-saved shard files ([`open`](Self::open)
+    /// reports [`IndexError::Corrupt`]), never a silently served mix of old
+    /// and new shards.  To re-save without ever invalidating the previous
+    /// copy, save into a fresh directory and swap directories afterwards.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| IndexError::Io(e.to_string()))?;
+        let mut payload = Vec::with_capacity(8 + self.shards.len() * 16);
+        payload.extend_from_slice(&PARTITION_VERSION.to_le_bytes());
+        payload.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for (i, shard) in self.shards.iter().enumerate() {
+            // Serialise in memory, digest, then commit atomically: the
+            // manifest digests the exact bytes that hit the disk, with no
+            // write-then-read-back round trip.
+            let bytes = shard.snapshot().to_bytes()?;
+            segment::atomic_write_bytes(&dir.join(Self::shard_file_name(i)), &bytes)?;
+            payload.extend_from_slice(&(shard.num_entities() as u64).to_le_bytes());
+            payload.extend_from_slice(&file_digest(&bytes).to_le_bytes());
+        }
+        segment::atomic_write(
+            &dir.join(SHARD_MANIFEST_FILE),
+            SHARD_MANIFEST_MAGIC,
+            SHARD_MANIFEST_VERSION,
+            |writer| writer.write_segment(TAG_MANIFEST, &payload),
+        )?;
+        Ok(())
+    }
+
+    /// Opens a previously [`save`](Self::save)d sharded index.
+    ///
+    /// Verified before any answer is served: the manifest's magic, version,
+    /// checksum and partitioner version; every shard file's content digest
+    /// against the manifest (so a crash while re-saving over an existing
+    /// directory can never serve a mix of old and new shard files); every
+    /// shard file's own `MSIX` checksums and invariants; the per-shard entity
+    /// counts announced by the manifest; that all shards agree on the spatial
+    /// hierarchy and temporal discretisation; and that every loaded entity
+    /// actually routes to the shard holding it — a renamed or swapped shard
+    /// file is reported as [`IndexError::Corrupt`], never served.
+    pub fn open(dir: &Path) -> Result<ShardedMinSigIndex> {
+        let mut reader = segment::open_file(
+            &dir.join(SHARD_MANIFEST_FILE),
+            SHARD_MANIFEST_MAGIC,
+            SHARD_MANIFEST_VERSION,
+        )?;
+        let mut manifest: Option<(u32, Vec<(u64, u64)>)> = None;
+        while let Some((tag, payload)) = reader.next_segment()? {
+            match tag {
+                TAG_MANIFEST => {
+                    if manifest.is_some() {
+                        return Err(corrupt("duplicate manifest segment"));
+                    }
+                    let mut c = Cursor::new(&payload);
+                    let partition_version = c.u32()?;
+                    let num_shards = c.u32()? as usize;
+                    if num_shards == 0 {
+                        return Err(corrupt("manifest announces zero shards"));
+                    }
+                    let mut entries = Vec::with_capacity(num_shards);
+                    for _ in 0..num_shards {
+                        let count = c.u64()?;
+                        let digest = c.u64()?;
+                        entries.push((count, digest));
+                    }
+                    c.expect_end().map_err(IndexError::from)?;
+                    manifest = Some((partition_version, entries));
+                }
+                other => return Err(corrupt(&format!("unknown manifest segment tag {other}"))),
+            }
+        }
+        let (partition_version, entries) =
+            manifest.ok_or_else(|| corrupt("missing manifest segment"))?;
+        if partition_version != PARTITION_VERSION {
+            return Err(IndexError::UnsupportedVersion(format!(
+                "sharded index was written under partitioner version {partition_version}, \
+                 this build implements version {PARTITION_VERSION}"
+            )));
+        }
+
+        let num_shards = entries.len();
+        let mut shards = Vec::with_capacity(num_shards);
+        for (i, &(expected, digest)) in entries.iter().enumerate() {
+            let path = dir.join(Self::shard_file_name(i));
+            let bytes = std::fs::read(&path).map_err(|e| IndexError::Io(e.to_string()))?;
+            if file_digest(&bytes) != digest {
+                return Err(corrupt(&format!(
+                    "shard {i} does not match the manifest that describes it (interrupted \
+                     re-save over an existing directory, or a damaged/replaced shard file)"
+                )));
+            }
+            // Parse the *verified* buffer — re-reading the file here would
+            // open a window for a concurrent re-save to swap it after the
+            // digest check.
+            let shard =
+                MinSigIndex::from_snapshot(Arc::new(IndexSnapshot::open_from_bytes(&bytes)?));
+            if shard.num_entities() as u64 != expected {
+                return Err(corrupt(&format!(
+                    "shard {i} holds {} entities but the manifest announces {expected}",
+                    shard.num_entities()
+                )));
+            }
+            for &entity in shard.sequences().keys() {
+                let home = shard_of(entity, num_shards);
+                if home != i {
+                    return Err(corrupt(&format!(
+                        "shard {i} holds {entity}, which routes to shard {home} — shard files \
+                         renamed or partitioner changed"
+                    )));
+                }
+            }
+            shards.push(shard);
+        }
+        for (i, shard) in shards.iter().enumerate().skip(1) {
+            if shard.ticks_per_unit() != shards[0].ticks_per_unit()
+                || !same_hierarchy(shard.sp_index(), shards[0].sp_index())
+            {
+                return Err(corrupt(&format!(
+                    "shard {i} disagrees with shard 0 on the hierarchy or discretisation"
+                )));
+            }
+        }
+        Ok(ShardedMinSigIndex::from_shards(shards))
+    }
+}
+
+/// 64-bit FNV-1a digest of a shard file's exact bytes.
+///
+/// Stored in the manifest to bind every shard file to the one save that
+/// produced it.  Per-file `MSIX` checksums cannot catch a crash while
+/// re-saving over an existing directory — each file is individually intact,
+/// but the directory mixes old and new shard files; the manifest's digests
+/// (written last, atomically) detect exactly that.
+fn file_digest(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Structural equality of two spatial hierarchies: same height, same dense
+/// unit ids, same parent list.
+fn same_hierarchy(a: &SpIndex, b: &SpIndex) -> bool {
+    if a.height() != b.height() || a.num_units() != b.num_units() {
+        return false;
+    }
+    (0..a.num_units() as u32)
+        .all(|unit| a.parent(unit).ok().flatten() == b.parent(unit).ok().flatten())
+}
+
+fn corrupt(msg: &str) -> IndexError {
+    IndexError::Corrupt(format!("sharded index: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{PairedConfig, StreamConfig, Workload};
+    use trace_model::Period;
+
+    fn workload() -> Workload {
+        Workload::paired(PairedConfig { pairs: 24, ..PairedConfig::default() })
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("shard-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn partitioner_is_stable_and_covers_all_shards() {
+        // Pinned values: the manifest's PARTITION_VERSION contract.  If this
+        // test fails, shard files written by older builds will mis-route.
+        assert_eq!(shard_of(EntityId(0), 8), shard_of(EntityId(0), 8));
+        for shards in [1usize, 2, 3, 8] {
+            let mut seen = vec![false; shards];
+            for e in 0..256u64 {
+                let s = shard_of(EntityId(e), shards);
+                assert!(s < shards);
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{shards} shards all receive entities");
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let w = workload();
+        assert!(matches!(
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::default(), 0),
+            Err(IndexError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_answers_match_unsharded_answers_exactly() {
+        let w = workload();
+        let config = IndexConfig::with_hash_functions(32);
+        let unsharded = w.build_index(config);
+        let measure = w.measure();
+        for shards in [1usize, 3, 7] {
+            let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+            assert_eq!(sharded.num_entities(), unsharded.num_entities());
+            for query in [0u64, 5, 17, 40] {
+                let (a, _) = sharded.top_k(EntityId(query), 5, &measure).unwrap();
+                let (b, _) = unsharded.top_k(EntityId(query), 5, &measure).unwrap();
+                crate::testkit::assert_equivalent_answers(
+                    &a,
+                    &b,
+                    &format!("{shards} shards, query {query}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_query_entity_is_an_error_on_every_path() {
+        let w = workload();
+        let sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::default(), 4).unwrap();
+        let measure = w.measure();
+        let ghost = EntityId(999_999);
+        assert!(matches!(
+            sharded.top_k(ghost, 1, &measure),
+            Err(IndexError::UnknownQueryEntity(999_999))
+        ));
+        assert!(matches!(
+            sharded.top_k_batch(&[EntityId(0), ghost], 1, &measure),
+            Err(IndexError::UnknownQueryEntity(999_999))
+        ));
+        assert!(sharded.brute_force(ghost, 1, &measure).is_err());
+        // Joins skip, not fail.
+        let (rows, stats) =
+            sharded.top_k_join(&[EntityId(0), ghost], &measure, JoinOptions::default()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.skipped, 1);
+    }
+
+    /// `UnknownEntity` must route correctly: for **every** shard, an absent
+    /// entity whose id hashes to that shard errors out of `update_entity` and
+    /// `remove_entity` without touching any epoch, and `upsert_entity`
+    /// inserts it into exactly that shard.
+    #[test]
+    fn absent_entity_mutations_error_on_every_shard() {
+        let w = workload();
+        let mut sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::default(), 5).unwrap();
+        let trace_for = |entity: EntityId| {
+            DigitalTrace::from_instances(vec![PresenceInstance::new(
+                entity,
+                w.sp.base_units()[0],
+                Period::new(0, 60).unwrap(),
+            )])
+        };
+        for shard in 0..sharded.num_shards() {
+            // Find an absent id routing to this shard.
+            let ghost = (10_000..)
+                .map(EntityId)
+                .find(|&e| shard_of(e, sharded.num_shards()) == shard && !sharded.contains(e))
+                .unwrap();
+            let epochs_before = sharded.epochs();
+            let raw = ghost.raw();
+            assert!(
+                matches!(sharded.update_entity(ghost, &trace_for(ghost)),
+                    Err(IndexError::UnknownEntity(id)) if id == raw),
+                "shard {shard}"
+            );
+            assert!(
+                matches!(sharded.remove_entity(ghost),
+                    Err(IndexError::UnknownEntity(id)) if id == raw),
+                "shard {shard}"
+            );
+            assert_eq!(sharded.epochs(), epochs_before, "failed mutations must not epoch-bump");
+            // Upsert inserts into exactly the home shard.
+            assert!(sharded.upsert_entity(ghost, &trace_for(ghost)).unwrap());
+            assert!(sharded.shard(shard).contains(ghost));
+            assert_eq!(
+                sharded.epochs()[shard],
+                epochs_before[shard] + 1,
+                "only the home shard advances"
+            );
+            sharded.remove_entity(ghost).unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_routes_batches_and_advances_touched_epochs_only() {
+        let w = workload();
+        let mut sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), 4)
+                .unwrap();
+        let records = w.stream(StreamConfig {
+            records: 120,
+            existing_entities: 48,
+            ..StreamConfig::default()
+        });
+        let touched_shards: std::collections::BTreeSet<usize> =
+            records.iter().map(|r| shard_of(r.entity, 4)).collect();
+        let report = sharded.ingest_batch(records).unwrap();
+        assert_eq!(report.records, 120);
+        assert_eq!(report.shards_touched, touched_shards.len());
+        for shard in 0..4 {
+            let expected = u64::from(touched_shards.contains(&shard));
+            assert_eq!(report.epochs[shard], expected, "shard {shard}");
+        }
+        assert_eq!(sharded.epochs(), report.epochs);
+    }
+
+    #[test]
+    fn invalid_record_rejects_the_whole_cross_shard_batch() {
+        let w = workload();
+        let mut sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), 3)
+                .unwrap();
+        let mut buffer = IngestBuffer::new();
+        for e in 0..6u64 {
+            buffer.push(PresenceInstance::new(
+                EntityId(e),
+                w.sp.base_units()[0],
+                Period::new(0, 60).unwrap(),
+            ));
+        }
+        // Spatial unit 9999 exists in no hierarchy of this size.
+        buffer.push(PresenceInstance::new(EntityId(7), 9999, Period::new(0, 60).unwrap()));
+        let entities_before = sharded.num_entities();
+        let err = buffer.flush_sharded(&mut sharded).unwrap_err();
+        assert!(matches!(err, IndexError::Model(_)), "got {err:?}");
+        assert_eq!(sharded.epochs(), vec![0, 0, 0], "no shard may be touched");
+        assert_eq!(sharded.num_entities(), entities_before);
+        assert_eq!(buffer.len(), 7, "the buffer keeps every record for repair");
+    }
+
+    #[test]
+    fn empty_sharded_flush_is_a_no_op() {
+        let w = workload();
+        let mut sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::default(), 2).unwrap();
+        let report = IngestBuffer::new().flush_sharded(&mut sharded).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.shards_touched, 0);
+        assert_eq!(report.epochs, vec![0, 0]);
+    }
+
+    #[test]
+    fn snapshot_isolates_readers_from_later_flushes() {
+        let w = workload();
+        let mut sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), 3)
+                .unwrap();
+        let measure = w.measure();
+        let reader = sharded.snapshot();
+        let before = reader.top_k(EntityId(0), 3, &measure).unwrap().0;
+        assert_eq!(reader.epochs(), &[0, 0, 0]);
+
+        sharded.ingest_batch(w.stream(StreamConfig::default())).unwrap();
+        assert!(sharded.epoch() > 0);
+        // The held snapshot is frozen: old epoch vector, old answers.
+        assert_eq!(reader.epochs(), &[0, 0, 0]);
+        assert_eq!(reader.top_k(EntityId(0), 3, &measure).unwrap().0, before);
+    }
+
+    #[test]
+    fn save_open_round_trips_and_detects_damage() {
+        let w = workload();
+        let sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(24), 3)
+                .unwrap();
+        let dir = temp_dir("round-trip");
+        sharded.save(&dir).unwrap();
+
+        let reopened = ShardedMinSigIndex::open(&dir).unwrap();
+        assert_eq!(reopened.num_shards(), 3);
+        assert_eq!(reopened.num_entities(), sharded.num_entities());
+        assert_eq!(reopened.epochs(), vec![0, 0, 0]);
+        let measure = w.measure();
+        for query in [0u64, 9, 31] {
+            let (a, _) = sharded.top_k(EntityId(query), 4, &measure).unwrap();
+            let (b, _) = reopened.top_k(EntityId(query), 4, &measure).unwrap();
+            assert_eq!(a, b);
+        }
+
+        // A flipped bit in ANY shard file is detected at open.
+        for shard in 0..3 {
+            let path = dir.join(ShardedMinSigIndex::shard_file_name(shard));
+            let original = std::fs::read(&path).unwrap();
+            let mut damaged = original.clone();
+            let mid = damaged.len() / 2;
+            damaged[mid] ^= 0x40;
+            std::fs::write(&path, &damaged).unwrap();
+            assert!(
+                matches!(ShardedMinSigIndex::open(&dir), Err(IndexError::Corrupt(_))),
+                "damage in shard {shard} must be detected"
+            );
+            std::fs::write(&path, &original).unwrap();
+        }
+
+        // Swapping two shard files mis-routes entities: detected, not served.
+        let a = dir.join(ShardedMinSigIndex::shard_file_name(0));
+        let b = dir.join(ShardedMinSigIndex::shard_file_name(1));
+        let (bytes_a, bytes_b) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::write(&a, &bytes_b).unwrap();
+        std::fs::write(&b, &bytes_a).unwrap();
+        assert!(matches!(ShardedMinSigIndex::open(&dir), Err(IndexError::Corrupt(_))));
+        std::fs::write(&a, &bytes_a).unwrap();
+        std::fs::write(&b, &bytes_b).unwrap();
+
+        // A missing shard file is an I/O error, a missing manifest too.
+        std::fs::remove_file(&b).unwrap();
+        assert!(matches!(ShardedMinSigIndex::open(&dir), Err(IndexError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression test for the re-save crash window: an interrupted save
+    /// over an existing directory leaves the OLD manifest next to a mix of
+    /// old and new shard files.  Every individual file is intact (entity
+    /// counts and routing unchanged by an update), so only the manifest's
+    /// content digests can catch the mix — `open` must refuse, never serve
+    /// pre- and post-mutation shards together.
+    #[test]
+    fn interrupted_resave_over_existing_directory_is_detected() {
+        let w = workload();
+        let mut sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), 3)
+                .unwrap();
+        let dir = temp_dir("resave");
+        sharded.save(&dir).unwrap();
+
+        // Mutate without changing any entity count (replace an existing
+        // entity's trace), then save elsewhere to obtain the "new" shard
+        // bytes a crashed re-save would have partially written.
+        let victim = w.entities()[0];
+        let moved = DigitalTrace::from_instances(vec![PresenceInstance::new(
+            victim,
+            w.sp.base_units()[1],
+            Period::new(0, 60).unwrap(),
+        )]);
+        sharded.update_entity(victim, &moved).unwrap();
+        let dir_new = temp_dir("resave-new");
+        sharded.save(&dir_new).unwrap();
+
+        // Simulate the crash: the victim's home shard file was replaced, the
+        // manifest (and the other shards) still belong to the old save.
+        let home = shard_of(victim, 3);
+        let partial = ShardedMinSigIndex::shard_file_name(home);
+        std::fs::copy(dir_new.join(&partial), dir.join(&partial)).unwrap();
+        let err = ShardedMinSigIndex::open(&dir).unwrap_err();
+        assert!(
+            matches!(err, IndexError::Corrupt(_)),
+            "mixed-save directory must be refused, got {err:?}"
+        );
+
+        // Both complete directories still open fine.
+        ShardedMinSigIndex::open(&dir_new).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir_new).unwrap();
+    }
+
+    #[test]
+    fn future_partitioner_versions_are_not_served() {
+        let w = workload();
+        let sharded =
+            ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::default(), 2).unwrap();
+        let dir = temp_dir("partitioner");
+        sharded.save(&dir).unwrap();
+        // Rewrite the manifest with a newer partitioner version.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(PARTITION_VERSION + 1).to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for shard in 0..2 {
+            payload.extend_from_slice(&(sharded.shard(shard).num_entities() as u64).to_le_bytes());
+            payload.extend_from_slice(&0u64.to_le_bytes()); // digest (never reached)
+        }
+        segment::atomic_write(
+            &dir.join(SHARD_MANIFEST_FILE),
+            SHARD_MANIFEST_MAGIC,
+            SHARD_MANIFEST_VERSION,
+            |writer| writer.write_segment(TAG_MANIFEST, &payload),
+        )
+        .unwrap();
+        assert!(matches!(ShardedMinSigIndex::open(&dir), Err(IndexError::UnsupportedVersion(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,637 @@
+//! Deterministic workload generation for tests and benchmarks.
+//!
+//! Every integration suite of the workspace needs the same three things: a
+//! spatial hierarchy, a population of digital traces with *known* association
+//! structure, and a stream of presence records to feed the ingest path.
+//! Before this module existed each test file grew its own ad-hoc builder; the
+//! testkit centralises them so the exactness, persistence, sharding and
+//! concurrency suites all draw from one seeded, reproducible generator.
+//!
+//! A [`Workload`] bundles the hierarchy with the generated [`TraceSet`] and
+//! offers index construction, probe sampling and record-stream helpers.
+//! Populations come in three families:
+//!
+//! * **uniform** ([`Workload::uniform`]) — every entity visits uniformly
+//!   random ST-cells; no planted structure, the general-purpose conformance
+//!   population;
+//! * **skewed** ([`Workload::paired`], [`Workload::skewed`]) — planted
+//!   associations: itinerary-sharing pairs, and celebrity heavy-hitters over
+//!   tiny single-cell pairs;
+//! * **adversarial** ([`Workload::all_identical`],
+//!   [`Workload::one_cell_pileup`], [`Workload::degenerate_mix`]) — the
+//!   degenerate shapes that historically break top-k indexes: all-ties
+//!   populations, one massively shared cell, empty and single-cell traces.
+//!
+//! Generation is fully deterministic: the same config (including its `seed`)
+//! produces the same workload on every machine and every run, so a failing
+//! case reported by CI reproduces locally without any artefact exchange.
+//!
+//! The oracle helpers ([`assert_matches_brute_force`],
+//! [`assert_exact_for_all`]) compare an index's answers against the
+//! brute-force ground truth — the black-box conformance check every query
+//! path must pass.
+
+use crate::config::IndexConfig;
+use crate::index::MinSigIndex;
+use crate::query::TopKResult;
+use trace_model::{
+    AssociationMeasure, DigitalTrace, EntityId, PaperAdm, Period, PresenceInstance, SpIndex,
+    TraceSet,
+};
+
+/// Raw ticks per base temporal unit used by every generated workload.
+pub const TICKS_PER_UNIT: u64 = 60;
+
+/// A small deterministic generator (SplitMix64) so workload generation does
+/// not depend on any external randomness crate.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sample space");
+        self.next_u64() % bound
+    }
+}
+
+/// Shape of the spatial hierarchy a workload is generated over.
+#[derive(Debug, Clone)]
+pub struct HierarchySpec {
+    /// Number of level-1 (top) units.
+    pub top_units: usize,
+    /// Branching factor per subsequent level; empty means a flat one-level
+    /// hierarchy.
+    pub branching: Vec<usize>,
+}
+
+impl Default for HierarchySpec {
+    /// The three-level `3 × 4 × 4` hierarchy most suites use.
+    fn default() -> Self {
+        HierarchySpec { top_units: 3, branching: vec![4, 4] }
+    }
+}
+
+impl HierarchySpec {
+    /// A flat single-level hierarchy of `units` base units.
+    pub fn flat(units: usize) -> Self {
+        HierarchySpec { top_units: units, branching: Vec::new() }
+    }
+
+    /// A hierarchy with explicit top-unit count and branching factors.
+    pub fn new(top_units: usize, branching: &[usize]) -> Self {
+        HierarchySpec { top_units, branching: branching.to_vec() }
+    }
+
+    /// Materialises the hierarchy.
+    pub fn build(&self) -> SpIndex {
+        SpIndex::uniform(self.top_units, &self.branching).expect("valid hierarchy spec")
+    }
+}
+
+/// Configuration of [`Workload::uniform`].
+#[derive(Debug, Clone)]
+pub struct UniformConfig {
+    /// Number of generated entities (ids `0..entities`).
+    pub entities: u64,
+    /// Visits per entity.
+    pub visits: u64,
+    /// Number of base temporal units the visits are spread over.
+    pub time_slots: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        UniformConfig {
+            entities: 60,
+            visits: 6,
+            time_slots: 48,
+            hierarchy: HierarchySpec::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Configuration of [`Workload::paired`].
+#[derive(Debug, Clone)]
+pub struct PairedConfig {
+    /// Number of entity pairs; pair `i` is entities `(2i, 2i+1)`.
+    pub pairs: u64,
+    /// Shared itinerary length per pair.
+    pub steps: u64,
+    /// Individual noise visits per member on top of the shared itinerary.
+    pub noise_visits: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for PairedConfig {
+    fn default() -> Self {
+        PairedConfig {
+            pairs: 20,
+            steps: 6,
+            noise_visits: 1,
+            hierarchy: HierarchySpec::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Configuration of [`Workload::skewed`].
+#[derive(Debug, Clone)]
+pub struct SkewedConfig {
+    /// Number of celebrity entities visiting every base unit repeatedly
+    /// (ids `0..celebrities`).
+    pub celebrities: u64,
+    /// Visits per base unit per celebrity.
+    pub celebrity_visits_per_unit: u64,
+    /// Number of tiny pairs sharing one ST-cell each (ids
+    /// `celebrities..celebrities + 2 * pairs`).
+    pub pairs: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SkewedConfig {
+    fn default() -> Self {
+        SkewedConfig {
+            celebrities: 1,
+            celebrity_visits_per_unit: 10,
+            pairs: 10,
+            hierarchy: HierarchySpec::new(2, &[8]),
+            seed: 0,
+        }
+    }
+}
+
+/// Configuration of [`Workload::stream`] — a batch of presence records to
+/// feed the ingest path, mixing visits of existing entities with brand-new
+/// entity ids.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of generated records.
+    pub records: usize,
+    /// Existing entities are drawn from `0..existing_entities`.
+    pub existing_entities: u64,
+    /// New entities are drawn from `new_entity_base..new_entity_base + new_entity_span`.
+    pub new_entity_base: u64,
+    /// Size of the new-entity id pool.
+    pub new_entity_span: u64,
+    /// Percentage (0–100) of records addressed to new entities.
+    pub new_entity_percent: u8,
+    /// First tick of the stream's time window (put it after the seed
+    /// workload's window to model fresh detections).
+    pub start_tick: u64,
+    /// Number of base temporal units the stream spans.
+    pub time_slots: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            records: 200,
+            existing_entities: 20,
+            new_entity_base: 1_000,
+            new_entity_span: 16,
+            new_entity_percent: 25,
+            start_tick: 10_000,
+            time_slots: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated population: the hierarchy it lives in plus its trace set.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The spatial hierarchy the traces were generated over.
+    pub sp: SpIndex,
+    /// The generated traces.
+    pub traces: TraceSet,
+}
+
+impl Workload {
+    /// Uniformly random visits — no planted structure.
+    pub fn uniform(config: UniformConfig) -> Workload {
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+        for e in 0..config.entities {
+            for _ in 0..config.visits {
+                let unit = base[rng.below(base.len() as u64) as usize];
+                let start = rng.below(config.time_slots) * TICKS_PER_UNIT;
+                traces.record(PresenceInstance::new(
+                    EntityId(e),
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+        Workload { sp, traces }
+    }
+
+    /// Itinerary-sharing pairs: entities `(2i, 2i+1)` visit the same random
+    /// ST-cells, plus per-member noise visits in a disjoint time window —
+    /// each entity's strongest association is its partner.
+    pub fn paired(config: PairedConfig) -> Workload {
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+        // The shared itineraries live strictly before `noise_start`, so noise
+        // can never accidentally strengthen a cross-pair association above a
+        // partner's.
+        let noise_start = config.steps * 3 * TICKS_PER_UNIT;
+        for i in 0..config.pairs {
+            let shared: Vec<(u32, u64)> = (0..config.steps)
+                .map(|step| {
+                    let unit = base[rng.below(base.len() as u64) as usize];
+                    (unit, step * 3 * TICKS_PER_UNIT)
+                })
+                .collect();
+            for member in 0..2u64 {
+                let entity = EntityId(2 * i + member);
+                for &(unit, start) in &shared {
+                    traces.record(PresenceInstance::new(
+                        entity,
+                        unit,
+                        Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                    ));
+                }
+                for n in 0..config.noise_visits {
+                    let unit = base[rng.below(base.len() as u64) as usize];
+                    let start = noise_start + (i * 7 + member * 3 + n) % 29 * 2 * TICKS_PER_UNIT;
+                    traces.record(PresenceInstance::new(
+                        entity,
+                        unit,
+                        Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                    ));
+                }
+            }
+        }
+        Workload { sp, traces }
+    }
+
+    /// Celebrity heavy-hitters over tiny pairs: a few entities visit every
+    /// base unit repeatedly while many pairs share one specific ST-cell each.
+    /// The celebrities' huge traces dilute their ratio-style degrees, so a
+    /// tiny entity's top-1 must still be its partner.
+    pub fn skewed(config: SkewedConfig) -> Workload {
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+        for c in 0..config.celebrities {
+            for (i, &unit) in base.iter().enumerate() {
+                for t in 0..config.celebrity_visits_per_unit {
+                    let start = (i as u64 * config.celebrity_visits_per_unit + t) * TICKS_PER_UNIT;
+                    traces.record(PresenceInstance::new(
+                        EntityId(c),
+                        unit,
+                        Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                    ));
+                }
+            }
+        }
+        let pair_slots = base.len() as u64 * config.celebrity_visits_per_unit;
+        for p in 0..config.pairs {
+            let unit = base[rng.below(base.len() as u64) as usize];
+            let start = (pair_slots + p * 3) * TICKS_PER_UNIT;
+            for member in 0..2u64 {
+                traces.record(PresenceInstance::new(
+                    EntityId(config.celebrities + 2 * p + member),
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+        Workload { sp, traces }
+    }
+
+    /// Adversarial: every entity has exactly the same trace (all base units,
+    /// same times) — every degree ties, and search must still terminate.
+    pub fn all_identical(entities: u64, hierarchy: HierarchySpec) -> Workload {
+        let sp = hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+        for e in 0..entities {
+            for (i, &unit) in base.iter().enumerate() {
+                let start = i as u64 * TICKS_PER_UNIT;
+                traces.record(PresenceInstance::new(
+                    EntityId(e),
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+        Workload { sp, traces }
+    }
+
+    /// Adversarial: `crowd` entities (ids `0..crowd`) share one single
+    /// ST-cell; one hermit (id `crowd`) lives alone in the last base unit.
+    /// The hermit's best association degree is zero.
+    pub fn one_cell_pileup(crowd: u64, hierarchy: HierarchySpec) -> Workload {
+        let sp = hierarchy.build();
+        let base = sp.base_units().to_vec();
+        assert!(base.len() >= 2, "pileup needs somewhere for the hermit to hide");
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+        for e in 0..crowd {
+            traces.record(PresenceInstance::new(
+                EntityId(e),
+                base[0],
+                Period::new(0, TICKS_PER_UNIT).unwrap(),
+            ));
+        }
+        traces.record(PresenceInstance::new(
+            EntityId(crowd),
+            *base.last().unwrap(),
+            Period::new(0, TICKS_PER_UNIT).unwrap(),
+        ));
+        Workload { sp, traces }
+    }
+
+    /// Adversarial: a normal pair (entities 0 and 1 sharing five cells), a
+    /// single-cell entity (2, covered by the pair's first cell) and an
+    /// empty-trace entity (3) coexist in one index.
+    pub fn degenerate_mix(hierarchy: HierarchySpec) -> Workload {
+        let sp = hierarchy.build();
+        let base = sp.base_units().to_vec();
+        assert!(base.len() >= 5, "degenerate mix wants five distinct base units");
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+        for e in [0u64, 1] {
+            for i in 0..5u64 {
+                traces.record(PresenceInstance::new(
+                    EntityId(e),
+                    base[i as usize],
+                    Period::new(i * TICKS_PER_UNIT, (i + 1) * TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+        traces.record(PresenceInstance::new(
+            EntityId(2),
+            base[0],
+            Period::new(0, TICKS_PER_UNIT).unwrap(),
+        ));
+        traces.insert_trace(EntityId(3), DigitalTrace::new());
+        Workload { sp, traces }
+    }
+
+    /// Builds a [`MinSigIndex`] over this workload.
+    pub fn build_index(&self, config: IndexConfig) -> MinSigIndex {
+        MinSigIndex::build(&self.sp, &self.traces, config).expect("workload index builds")
+    }
+
+    /// The paper's association measure at this workload's hierarchy height.
+    pub fn measure(&self) -> PaperAdm {
+        PaperAdm::default_for(self.sp.height() as usize)
+    }
+
+    /// All entity ids of the workload, ascending.
+    pub fn entities(&self) -> Vec<EntityId> {
+        self.traces.entities().collect()
+    }
+
+    /// A deterministic sample of `n` query entities (repeats once the
+    /// population is exhausted, so the sample always has exactly `n` probes).
+    pub fn sample_entities(&self, n: usize, seed: u64) -> Vec<EntityId> {
+        let pool = self.entities();
+        assert!(!pool.is_empty(), "cannot sample from an empty workload");
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| pool[rng.below(pool.len() as u64) as usize]).collect()
+    }
+
+    /// A deterministic stream of presence records over this workload's
+    /// hierarchy — the input of one ingest batch.
+    pub fn stream(&self, config: StreamConfig) -> Vec<PresenceInstance> {
+        let base = self.sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        (0..config.records)
+            .map(|_| {
+                let entity = if rng.below(100) < config.new_entity_percent as u64 {
+                    EntityId(config.new_entity_base + rng.below(config.new_entity_span.max(1)))
+                } else {
+                    EntityId(rng.below(config.existing_entities.max(1)))
+                };
+                let unit = base[rng.below(base.len() as u64) as usize];
+                let start = config.start_tick + rng.below(config.time_slots) * TICKS_PER_UNIT;
+                PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Asserts that two *exact* top-k answers are equivalent.
+///
+/// Exactness in this codebase pins the answer almost everywhere, with one
+/// documented degree of freedom: a best-first search prunes subtrees whose
+/// upper bound cannot **improve** the current k-th degree, which includes
+/// subtrees tying it — so when several entities tie exactly at the k-th
+/// (boundary) degree, different execution strategies (unsharded vs sharded
+/// vs brute force) may legitimately return different members of the tied set.
+/// Everything else is fully determined.  Concretely this asserts:
+///
+/// * identical lengths and **bitwise-identical degree vectors** (the top-k
+///   degree multiset is unique, and degrees are computed exactly from the
+///   sequences on every path);
+/// * identical entities at every rank whose degree is strictly above the
+///   boundary degree — when the boundary is untied the answers are therefore
+///   fully bit-identical;
+/// * canonical *(degree descending, entity id ascending)* ordering within
+///   each answer.
+pub fn assert_equivalent_answers(a: &[TopKResult], b: &[TopKResult], context: &str) {
+    assert_canonical_order(a, context);
+    assert_canonical_order(b, context);
+    assert_eq!(a.len(), b.len(), "{context}: result lengths differ");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            x.degree.to_bits() == y.degree.to_bits(),
+            "{context}: degree at rank {i} differs ({} vs {})",
+            x.degree,
+            y.degree
+        );
+    }
+    let Some(boundary) = a.last().map(|r| r.degree) else { return };
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x.degree > boundary {
+            assert_eq!(x.entity, y.entity, "{context}: entity at strictly-separated rank {i}");
+        }
+    }
+}
+
+/// Asserts that `answer` is a *valid* exact top-k selection against a full
+/// ground-truth table (`truth` must rank **every** candidate, canonically —
+/// e.g. `index.brute_force(query, num_entities, measure)`): right length,
+/// the canonical top-k degree vector, every reported entity carrying its true
+/// degree, no duplicates, canonical ordering.
+pub fn assert_valid_top_k(answer: &[TopKResult], truth: &[TopKResult], k: usize, context: &str) {
+    assert_canonical_order(answer, context);
+    assert_eq!(answer.len(), k.min(truth.len()), "{context}: result length");
+    let table: std::collections::BTreeMap<EntityId, u64> =
+        truth.iter().map(|r| (r.entity, r.degree.to_bits())).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, (a, t)) in answer.iter().zip(truth.iter()).enumerate() {
+        assert!(
+            a.degree.to_bits() == t.degree.to_bits(),
+            "{context}: degree at rank {i} is {}, canonical is {}",
+            a.degree,
+            t.degree
+        );
+        assert_eq!(
+            Some(&a.degree.to_bits()),
+            table.get(&a.entity),
+            "{context}: reported degree of {} is not its true degree",
+            a.entity
+        );
+        assert!(seen.insert(a.entity), "{context}: {} reported twice", a.entity);
+    }
+}
+
+fn assert_canonical_order(answer: &[TopKResult], context: &str) {
+    for pair in answer.windows(2) {
+        let ordered = pair[0].degree > pair[1].degree
+            || (pair[0].degree == pair[1].degree && pair[0].entity < pair[1].entity);
+        assert!(
+            ordered,
+            "{context}: answer is not in canonical (degree desc, id asc) order: {pair:?}"
+        );
+    }
+}
+
+/// Asserts that an index's `top_k` answer for one query equals the
+/// brute-force ground truth: same length, and degrees within `1e-9` pairwise
+/// (ties may legitimately rank different entities, so ids are not compared).
+pub fn assert_matches_brute_force<M: AssociationMeasure + ?Sized>(
+    index: &MinSigIndex,
+    query: EntityId,
+    k: usize,
+    measure: &M,
+) {
+    let (got, _) = index.top_k(query, k, measure).expect("indexed query succeeds");
+    let expect = index.brute_force(query, k, measure).expect("brute force succeeds");
+    assert_eq!(got.len(), expect.len(), "result size for query {query}, k {k}");
+    for (g, e) in got.iter().zip(expect.iter()) {
+        assert!(
+            (g.degree - e.degree).abs() < 1e-9,
+            "degree mismatch for query {query}, k {k}: {} vs {}",
+            g.degree,
+            e.degree
+        );
+    }
+}
+
+/// [`assert_matches_brute_force`] for **every** indexed entity — the
+/// exhaustive conformance sweep the adversarial suites run.
+pub fn assert_exact_for_all<M: AssociationMeasure + ?Sized>(
+    index: &MinSigIndex,
+    k: usize,
+    measure: &M,
+) {
+    for query in index.sequences().keys().copied().collect::<Vec<_>>() {
+        assert_matches_brute_force(index, query, k, measure);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::uniform(UniformConfig::default());
+        let b = Workload::uniform(UniformConfig::default());
+        assert_eq!(a.traces.num_entities(), b.traces.num_entities());
+        for e in a.entities() {
+            assert_eq!(a.traces.get(e).map(|t| t.len()), b.traces.get(e).map(|t| t.len()));
+        }
+        let c = Workload::uniform(UniformConfig { seed: 7, ..UniformConfig::default() });
+        assert_eq!(c.traces.num_entities(), a.traces.num_entities());
+        // Streams are reproducible too.
+        assert_eq!(a.stream(StreamConfig::default()), a.stream(StreamConfig::default()));
+    }
+
+    #[test]
+    fn paired_population_plants_partners() {
+        let w = Workload::paired(PairedConfig::default());
+        let index = w.build_index(IndexConfig::with_hash_functions(48));
+        let measure = w.measure();
+        for query in [0u64, 7, 16, 33] {
+            let (results, _) = index.top_k(EntityId(query), 1, &measure).unwrap();
+            let partner = if query % 2 == 0 { query + 1 } else { query - 1 };
+            assert_eq!(results[0].entity, EntityId(partner), "query {query}");
+        }
+    }
+
+    #[test]
+    fn skewed_population_keeps_tiny_partners_on_top() {
+        let config = SkewedConfig::default();
+        let w = Workload::skewed(config.clone());
+        let index = w.build_index(IndexConfig::with_hash_functions(32));
+        let measure = w.measure();
+        let first_tiny = config.celebrities;
+        let (results, _) = index.top_k(EntityId(first_tiny), 1, &measure).unwrap();
+        assert_eq!(results[0].entity, EntityId(first_tiny + 1));
+    }
+
+    #[test]
+    fn adversarial_shapes_have_their_documented_structure() {
+        let pileup = Workload::one_cell_pileup(9, HierarchySpec::new(2, &[4]));
+        assert_eq!(pileup.traces.num_entities(), 10);
+        let mix = Workload::degenerate_mix(HierarchySpec::new(3, &[3, 3]));
+        assert!(mix.traces.get(EntityId(3)).unwrap().is_empty());
+        let same = Workload::all_identical(5, HierarchySpec::new(2, &[3]));
+        let lens: Vec<usize> =
+            same.entities().iter().map(|&e| same.traces.get(e).unwrap().len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sample_entities_draws_from_the_population() {
+        let w = Workload::uniform(UniformConfig { entities: 10, ..UniformConfig::default() });
+        let sample = w.sample_entities(25, 3);
+        assert_eq!(sample.len(), 25);
+        assert!(sample.iter().all(|e| w.traces.contains(*e)));
+        assert_eq!(sample, w.sample_entities(25, 3));
+    }
+
+    #[test]
+    fn oracle_helpers_accept_an_exact_index() {
+        let w = Workload::uniform(UniformConfig {
+            entities: 20,
+            visits: 4,
+            ..UniformConfig::default()
+        });
+        let index = w.build_index(IndexConfig::with_hash_functions(16));
+        assert_exact_for_all(&index, 3, &w.measure());
+    }
+}

@@ -410,6 +410,29 @@ where
     result
 }
 
+/// Atomically writes pre-serialised segment-file `bytes` — a complete file
+/// image produced by a [`SegmentWriter`] over an in-memory buffer — with the
+/// same temp-sibling + fsync + rename + directory-fsync protocol as
+/// [`atomic_write`].  Lets callers digest or inspect the exact bytes before
+/// committing them, without reading the file back.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = sibling_tmp_path(path);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);

@@ -90,8 +90,8 @@ pub mod harness {
 }
 
 pub use minsig::{
-    IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, QueryOptions, SearchStats, TopKResult,
-    TraceSource,
+    IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, QueryOptions, SearchStats,
+    ShardedMinSigIndex, ShardedSnapshot, TopKResult, TraceSource,
 };
 pub use trace_model::{
     AssociationMeasure, DiceAdm, DigitalTrace, EntityId, JaccardAdm, PaperAdm, Period,

@@ -1,43 +1,27 @@
 //! Adversarial and degenerate workloads for the index: duplicated entities,
 //! empty traces, single-cell traces, heavily skewed populations, and every
 //! entity piled into one ST-cell.  Exactness and termination must hold on all of
-//! them.
+//! them — on the unsharded index *and* behind the sharded fan-out.
+//!
+//! The populations come from the shared `minsig::testkit` generator, so the
+//! shapes exercised here are exactly the ones the conformance and stress
+//! suites draw from.
 
-use digital_traces::index::{IndexConfig, MinSigIndex};
-use digital_traces::{
-    DiceAdm, DigitalTrace, EntityId, PaperAdm, Period, PresenceInstance, SpIndex, TraceSet,
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, assert_exact_for_all, HierarchySpec, SkewedConfig, UniformConfig,
+    Workload,
 };
-
-fn assert_exact(index: &MinSigIndex, k: usize, measure: &PaperAdm) {
-    for query in index.sequences().keys().copied().collect::<Vec<_>>() {
-        let (got, _) = index.top_k(query, k, measure).unwrap();
-        let expect = index.brute_force(query, k, measure).unwrap();
-        assert_eq!(got.len(), expect.len(), "query {query}");
-        for (g, e) in got.iter().zip(expect.iter()) {
-            assert!((g.degree - e.degree).abs() < 1e-9, "query {query}");
-        }
-    }
-}
+use digital_traces::index::{IndexConfig, ShardedMinSigIndex};
+use digital_traces::{DiceAdm, EntityId, PaperAdm};
 
 #[test]
 fn all_entities_identical() {
     // Every entity has exactly the same trace: every degree ties, and the search
     // must still terminate after checking at most the whole population.
-    let sp = SpIndex::uniform(2, &[3]).unwrap();
-    let base = sp.base_units().to_vec();
-    let mut traces = TraceSet::new(60);
-    for e in 0..30u64 {
-        for (i, &unit) in base.iter().enumerate() {
-            traces.record(PresenceInstance::new(
-                EntityId(e),
-                unit,
-                Period::new(i as u64 * 60, i as u64 * 60 + 60).unwrap(),
-            ));
-        }
-    }
-    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+    let w = Workload::all_identical(30, HierarchySpec::new(2, &[3]));
+    let index = w.build_index(IndexConfig::with_hash_functions(16));
     let measure = PaperAdm::default_for(2);
-    assert_exact(&index, 5, &measure);
+    assert_exact_for_all(&index, 5, &measure);
     let (results, stats) = index.top_k(EntityId(0), 5, &measure).unwrap();
     assert_eq!(results.len(), 5);
     assert!(results.iter().all(|r| (r.degree - results[0].degree).abs() < 1e-12));
@@ -47,16 +31,10 @@ fn all_entities_identical() {
 #[test]
 fn everyone_in_one_cell_plus_one_hermit() {
     // 49 entities share a single ST-cell; one entity lives alone elsewhere.
-    let sp = SpIndex::uniform(2, &[4]).unwrap();
-    let base = sp.base_units().to_vec();
-    let mut traces = TraceSet::new(60);
-    for e in 0..49u64 {
-        traces.record(PresenceInstance::new(EntityId(e), base[0], Period::new(0, 60).unwrap()));
-    }
-    traces.record(PresenceInstance::new(EntityId(49), base[7], Period::new(0, 60).unwrap()));
-    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(8)).unwrap();
+    let w = Workload::one_cell_pileup(49, HierarchySpec::new(2, &[4]));
+    let index = w.build_index(IndexConfig::with_hash_functions(8));
     let measure = PaperAdm::default_for(2);
-    assert_exact(&index, 3, &measure);
+    assert_exact_for_all(&index, 3, &measure);
     // The hermit's best association degree is zero.
     let (results, _) = index.top_k(EntityId(49), 1, &measure).unwrap();
     assert!(results.is_empty() || results[0].degree == 0.0);
@@ -64,25 +42,10 @@ fn everyone_in_one_cell_plus_one_hermit() {
 
 #[test]
 fn empty_and_single_cell_traces_coexist() {
-    let sp = SpIndex::uniform(3, &[3, 3]).unwrap();
-    let base = sp.base_units().to_vec();
-    let mut traces = TraceSet::new(60);
-    // A normal pair.
-    for e in [0u64, 1] {
-        for i in 0..5u64 {
-            traces.record(PresenceInstance::new(
-                EntityId(e),
-                base[i as usize],
-                Period::new(i * 60, i * 60 + 60).unwrap(),
-            ));
-        }
-    }
-    // A single-cell entity and an entity with an empty (zero-length) presence.
-    traces.record(PresenceInstance::new(EntityId(2), base[0], Period::new(0, 60).unwrap()));
-    traces.insert_trace(EntityId(3), DigitalTrace::new());
-    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+    let w = Workload::degenerate_mix(HierarchySpec::new(3, &[3, 3]));
+    let index = w.build_index(IndexConfig::with_hash_functions(16));
     let measure = PaperAdm::default_for(3);
-    assert_exact(&index, 3, &measure);
+    assert_exact_for_all(&index, 3, &measure);
     // The empty-trace entity is never associated with anyone.
     let (results, _) = index.top_k(EntityId(3), 2, &measure).unwrap();
     assert!(results.iter().all(|r| r.degree == 0.0));
@@ -96,33 +59,17 @@ fn empty_and_single_cell_traces_coexist() {
 fn heavily_skewed_population() {
     // One "celebrity" entity visits everything; many tiny entities visit one cell
     // each.  The celebrity must not crowd out the tiny entities' true partners.
-    let sp = SpIndex::uniform(2, &[8]).unwrap();
-    let base = sp.base_units().to_vec();
-    let mut traces = TraceSet::new(60);
-    for (i, &unit) in base.iter().enumerate() {
-        for t in 0..10u64 {
-            traces.record(PresenceInstance::new(
-                EntityId(0),
-                unit,
-                Period::new((i as u64 * 10 + t) * 60, (i as u64 * 10 + t) * 60 + 60).unwrap(),
-            ));
-        }
-    }
-    // Pairs of tiny entities sharing one specific cell each.
-    for p in 0..10u64 {
-        let unit = base[(p % base.len() as u64) as usize];
-        let start = p * 600;
-        for member in 0..2u64 {
-            traces.record(PresenceInstance::new(
-                EntityId(1 + 2 * p + member),
-                unit,
-                Period::new(start, start + 60).unwrap(),
-            ));
-        }
-    }
-    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(32)).unwrap();
+    let config = SkewedConfig {
+        celebrities: 1,
+        celebrity_visits_per_unit: 10,
+        pairs: 10,
+        hierarchy: HierarchySpec::new(2, &[8]),
+        seed: 5,
+    };
+    let w = Workload::skewed(config);
+    let index = w.build_index(IndexConfig::with_hash_functions(32));
     let measure = PaperAdm::default_for(2);
-    assert_exact(&index, 2, &measure);
+    assert_exact_for_all(&index, 2, &measure);
     // A tiny entity's top-1 is its partner, not the celebrity (the celebrity's
     // huge trace dilutes its Dice-style ratio).
     let (results, _) = index.top_k(EntityId(1), 1, &measure).unwrap();
@@ -130,22 +77,42 @@ fn heavily_skewed_population() {
 }
 
 #[test]
-fn dice_and_paper_measures_agree_on_rankings_for_single_level() {
-    // With a single-level hierarchy both measures are monotone transforms of the
-    // same per-level ratio, so the top-1 answer must coincide.
-    let sp = SpIndex::uniform(6, &[]).unwrap();
-    let base = sp.base_units().to_vec();
-    let mut traces = TraceSet::new(60);
-    for e in 0..12u64 {
-        for i in 0..(e % 4 + 1) {
-            traces.record(PresenceInstance::new(
-                EntityId(e),
-                base[((e / 2 + i) % 6) as usize],
-                Period::new(i * 60, i * 60 + 60).unwrap(),
-            ));
+fn adversarial_shapes_survive_the_sharded_fan_out() {
+    // The same degenerate populations, served through shards: the sharded
+    // fan-out must keep the exact degree vector and ordering of the unsharded
+    // index — these shapes maximise boundary ties, the one legitimate degree
+    // of freedom between execution strategies.
+    let workloads = [
+        Workload::all_identical(30, HierarchySpec::new(2, &[3])),
+        Workload::one_cell_pileup(49, HierarchySpec::new(2, &[4])),
+        Workload::degenerate_mix(HierarchySpec::new(3, &[3, 3])),
+        Workload::skewed(SkewedConfig::default()),
+    ];
+    for w in workloads {
+        let config = IndexConfig::with_hash_functions(16);
+        let unsharded = w.build_index(config);
+        let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, 4).unwrap();
+        let measure = w.measure();
+        for query in w.entities() {
+            let (a, _) = unsharded.top_k(query, 5, &measure).unwrap();
+            let (b, _) = sharded.top_k(query, 5, &measure).unwrap();
+            assert_equivalent_answers(&b, &a, &format!("sharded fan-out for query {query}"));
         }
     }
-    let index = MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+}
+
+#[test]
+fn dice_and_paper_measures_agree_on_rankings_for_single_level() {
+    // With a single-level hierarchy both measures are monotone transforms of the
+    // same per-level ratio, so a zero/non-zero top answer must coincide.
+    let w = Workload::uniform(UniformConfig {
+        entities: 12,
+        visits: 3,
+        time_slots: 6,
+        hierarchy: HierarchySpec::flat(6),
+        seed: 11,
+    });
+    let index = w.build_index(IndexConfig::with_hash_functions(16));
     let paper = PaperAdm::default_for(1);
     let dice = DiceAdm::uniform(1);
     for query in 0..12u64 {
@@ -153,7 +120,7 @@ fn dice_and_paper_measures_agree_on_rankings_for_single_level() {
         let (b, _) = index.top_k(EntityId(query), 1, &dice).unwrap();
         if let (Some(x), Some(y)) = (a.first(), b.first()) {
             // Degrees differ (different normalisation) but a zero/non-zero answer
-            // must agree, and non-zero answers must rank the same entity or tie.
+            // must agree.
             assert_eq!(x.degree == 0.0, y.degree == 0.0, "query {query}");
         }
     }

@@ -1,47 +1,50 @@
 //! End-to-end integration tests: generated datasets → MinSigTree index → top-k
 //! queries, cross-checked against the brute-force scan and the bitmap baseline.
+//!
+//! Populations come from the shared `minsig::testkit` generator (plus one
+//! mobility-model dataset to keep the synthetic generator covered); the
+//! brute-force comparisons run through the testkit's oracle helpers.
 
 use digital_traces::baselines::{scan_top_k, BitmapIndex, BitmapIndexConfig};
+use digital_traces::index::testkit::{
+    assert_matches_brute_force, PairedConfig, UniformConfig, Workload,
+};
 use digital_traces::index::{HasherMode, IndexConfig, MinSigIndex, QueryOptions};
 use digital_traces::mobility_models::{HierarchyConfig, SynConfig, SynDataset};
-use digital_traces::{AssociationMeasure, DiceAdm, EntityId, JaccardAdm, PaperAdm};
+use digital_traces::{DiceAdm, JaccardAdm, PaperAdm};
 
-fn small_dataset(seed: u64) -> SynDataset {
-    SynDataset::generate(SynConfig {
-        num_entities: 300,
-        days: 3,
-        hierarchy: HierarchyConfig { grid_side: 16, levels: 3, ..HierarchyConfig::default() },
-        seed,
-        ..SynConfig::default()
-    })
-    .expect("generation succeeds")
+fn uniform_workload(seed: u64) -> Workload {
+    Workload::uniform(UniformConfig { entities: 120, visits: 8, seed, ..UniformConfig::default() })
 }
 
-/// Compares the degree multiset of the index answer with the brute-force answer
-/// (ties may be resolved differently, so entity ids are only compared when the
-/// degrees are strictly separated).
-fn assert_matches_brute_force<M: AssociationMeasure>(
-    index: &MinSigIndex,
-    query: EntityId,
-    k: usize,
-    measure: &M,
-) {
-    let (got, _) = index.top_k(query, k, measure).expect("query succeeds");
-    let expect = index.brute_force(query, k, measure).expect("brute force succeeds");
-    assert_eq!(got.len(), expect.len(), "query {query}, k {k}");
-    for (g, e) in got.iter().zip(expect.iter()) {
-        assert!(
-            (g.degree - e.degree).abs() < 1e-9,
-            "degree mismatch for query {query}, k {k}: {} vs {}",
-            g.degree,
-            e.degree
-        );
+#[test]
+fn index_is_exact_on_generated_workloads() {
+    for w in [
+        uniform_workload(1),
+        Workload::paired(PairedConfig { pairs: 60, ..PairedConfig::default() }),
+    ] {
+        let index = w.build_index(IndexConfig::with_hash_functions(64));
+        let measure = w.measure();
+        for query in w.sample_entities(6, 99) {
+            for k in [1usize, 5, 25] {
+                assert_matches_brute_force(&index, query, k, &measure);
+            }
+        }
     }
 }
 
 #[test]
 fn index_is_exact_on_generated_mobility_data() {
-    let dataset = small_dataset(1);
+    // The hierarchical mobility model produces clustered, bursty traces the
+    // uniform generator cannot; keep it covered end to end.
+    let dataset = SynDataset::generate(SynConfig {
+        num_entities: 300,
+        days: 3,
+        hierarchy: HierarchyConfig { grid_side: 16, levels: 3, ..HierarchyConfig::default() },
+        seed: 1,
+        ..SynConfig::default()
+    })
+    .expect("generation succeeds");
     let index = MinSigIndex::build(
         dataset.sp_index(),
         &dataset.traces,
@@ -58,15 +61,10 @@ fn index_is_exact_on_generated_mobility_data() {
 
 #[test]
 fn index_is_exact_under_different_measures() {
-    let dataset = small_dataset(2);
-    let m = dataset.sp_index().height() as usize;
-    let index = MinSigIndex::build(
-        dataset.sp_index(),
-        &dataset.traces,
-        IndexConfig::with_hash_functions(48),
-    )
-    .unwrap();
-    let queries = dataset.query_entities(4, 3);
+    let w = uniform_workload(2);
+    let m = w.sp.height() as usize;
+    let index = w.build_index(IndexConfig::with_hash_functions(48));
+    let queries = w.sample_entities(4, 3);
     let dice = DiceAdm::uniform(m);
     let jaccard = JaccardAdm::uniform(m);
     let skewed = PaperAdm::new(m, 3.0, 4.0).unwrap();
@@ -79,12 +77,12 @@ fn index_is_exact_under_different_measures() {
 
 #[test]
 fn both_hasher_modes_and_all_query_options_are_exact() {
-    let dataset = small_dataset(3);
-    let measure = PaperAdm::default_for(dataset.sp_index().height() as usize);
-    let queries = dataset.query_entities(3, 5);
+    let w = uniform_workload(3);
+    let measure = w.measure();
+    let queries = w.sample_entities(3, 5);
     for mode in [HasherMode::PathMax, HasherMode::Exhaustive] {
         let config = IndexConfig { hasher_mode: mode, ..IndexConfig::with_hash_functions(32) };
-        let index = MinSigIndex::build(dataset.sp_index(), &dataset.traces, config).unwrap();
+        let index = w.build_index(config);
         for options in [
             QueryOptions::default(),
             QueryOptions { use_level_constraints: false, accumulate_down_branch: true },
@@ -107,15 +105,13 @@ fn both_hasher_modes_and_all_query_options_are_exact() {
 
 #[test]
 fn baseline_and_index_agree_on_answers() {
-    let dataset = small_dataset(4);
-    let sp = dataset.sp_index();
-    let measure = PaperAdm::default_for(sp.height() as usize);
-    let index =
-        MinSigIndex::build(sp, &dataset.traces, IndexConfig::with_hash_functions(64)).unwrap();
+    let w = uniform_workload(4);
+    let measure = w.measure();
+    let index = w.build_index(IndexConfig::with_hash_functions(64));
     let sequences = index.sequences().clone();
     let bitmap =
         BitmapIndex::build(&sequences, BitmapIndexConfig { min_support: 2, num_clusters: 128 });
-    for query in dataset.query_entities(4, 17) {
+    for query in w.sample_entities(4, 17) {
         let (tree_answers, tree_stats) = index.top_k(query, 5, &measure).unwrap();
         let (bitmap_answers, _) = bitmap.top_k(&sequences, query, 5, &measure);
         let (scan_answers, _) = scan_top_k(&sequences, query, 5, &measure);
@@ -131,14 +127,13 @@ fn baseline_and_index_agree_on_answers() {
 
 #[test]
 fn incremental_updates_match_full_rebuild_on_generated_data() {
-    let dataset = small_dataset(5);
-    let sp = dataset.sp_index();
+    let w = uniform_workload(5);
     let config = IndexConfig::with_hash_functions(48);
-    let mut incremental = MinSigIndex::build(sp, &dataset.traces, config).unwrap();
-    let mut traces = dataset.traces.clone();
+    let mut incremental = w.build_index(config);
+    let mut traces = w.traces.clone();
 
-    // Move 30 entities: each adopts the (slightly shifted) trace of another entity.
-    let entities: Vec<EntityId> = traces.entities().collect();
+    // Move 30 entities: each adopts the (re-attributed) trace of another entity.
+    let entities = w.entities();
     for i in 0..30usize {
         let target = entities[i * 7 % entities.len()];
         let donor = entities[(i * 13 + 5) % entities.len()];
@@ -151,9 +146,9 @@ fn incremental_updates_match_full_rebuild_on_generated_data() {
         incremental.update_entity(target, &new_trace).unwrap();
         traces.insert_trace(target, new_trace);
     }
-    let rebuilt = MinSigIndex::build(sp, &traces, config).unwrap();
-    let measure = PaperAdm::default_for(sp.height() as usize);
-    for query in dataset.query_entities(5, 31) {
+    let rebuilt = MinSigIndex::build(&w.sp, &traces, config).unwrap();
+    let measure = w.measure();
+    for query in w.sample_entities(5, 31) {
         let (a, _) = incremental.top_k(query, 10, &measure).unwrap();
         let (b, _) = rebuilt.top_k(query, 10, &measure).unwrap();
         assert_eq!(a.len(), b.len());
@@ -165,15 +160,13 @@ fn incremental_updates_match_full_rebuild_on_generated_data() {
 
 #[test]
 fn removal_then_reinsertion_restores_answers() {
-    let dataset = small_dataset(6);
-    let sp = dataset.sp_index();
-    let mut index =
-        MinSigIndex::build(sp, &dataset.traces, IndexConfig::with_hash_functions(32)).unwrap();
-    let measure = PaperAdm::default_for(sp.height() as usize);
-    let query = dataset.query_entities(1, 8)[0];
+    let w = uniform_workload(6);
+    let mut index = w.build_index(IndexConfig::with_hash_functions(32));
+    let measure = w.measure();
+    let query = w.sample_entities(1, 8)[0];
     let (before, _) = index.top_k(query, 5, &measure).unwrap();
     let victim = before[0].entity;
-    let victim_trace = dataset.traces.trace(victim).unwrap().clone();
+    let victim_trace = w.traces.trace(victim).unwrap().clone();
 
     index.remove_entity(victim).unwrap();
     let (without, _) = index.top_k(query, 5, &measure).unwrap();

@@ -1,0 +1,190 @@
+//! Black-box conformance of the sharded index: for random populations and
+//! arbitrary shard counts, every sharded query path must answer exactly like
+//! the single unsharded index and the brute-force oracle — bitwise-identical
+//! degree vectors, identical entities at every strictly-separated rank,
+//! canonical ordering (full bit-identity whenever the k-th degree is untied;
+//! see `minsig::testkit::assert_equivalent_answers` for why boundary *ties*
+//! are the one legitimate degree of freedom shared by all exact paths) — and
+//! a saved/reopened sharded index must answer **fully bit-identically** to
+//! the one that was saved.
+//!
+//! This is the sharding analogue of checking snapshot isolation from the
+//! outside: no internal invariant is trusted, only observable answers
+//! compared against oracles.
+
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, assert_valid_top_k, StreamConfig, UniformConfig, Workload,
+};
+use digital_traces::index::{IndexConfig, JoinOptions, MinSigIndex, ShardedMinSigIndex};
+use digital_traces::EntityId;
+use proptest::prelude::*;
+
+/// Builds the sharded index and its unsharded twin over one random workload.
+fn build_pair(
+    entities: u64,
+    visits: u64,
+    seed: u64,
+    nh: u32,
+    shards: usize,
+) -> (Workload, MinSigIndex, ShardedMinSigIndex) {
+    let w = Workload::uniform(UniformConfig {
+        entities,
+        visits,
+        time_slots: 48,
+        seed,
+        ..UniformConfig::default()
+    });
+    let config = IndexConfig { num_hash_functions: nh, ..IndexConfig::default() };
+    let unsharded = w.build_index(config);
+    let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+    (w, unsharded, sharded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `top_k` conformance: sharded == unsharded == brute force for every
+    /// entity (degrees exactly — well within the 1e-9 bar — identical
+    /// ordering), and every sharded answer is a *valid* top-k selection
+    /// against the full ground-truth degree table.
+    #[test]
+    fn sharded_top_k_equals_unsharded_and_brute_force(
+        entities in 2u64..40,
+        visits in 1u64..8,
+        seed in 0u64..1_000,
+        nh in 4u32..32,
+        shards in 1usize..9,
+        k in 1usize..7,
+    ) {
+        let (w, unsharded, sharded) = build_pair(entities, visits, seed, nh, shards);
+        let measure = w.measure();
+        prop_assert_eq!(sharded.num_entities(), unsharded.num_entities());
+        let population = unsharded.num_entities();
+        for query in w.entities() {
+            let (exact, _) = unsharded.top_k(query, k, &measure).unwrap();
+            let (fanned, _) = sharded.top_k(query, k, &measure).unwrap();
+            assert_equivalent_answers(&fanned, &exact, &format!("sharded vs unsharded, {query}"));
+
+            // Oracles: the canonical brute-force top-k (both flavours agree
+            // fully — scans are tie-complete) and the full degree table.
+            let oracle = unsharded.brute_force(query, k, &measure).unwrap();
+            let sharded_oracle = sharded.brute_force(query, k, &measure).unwrap();
+            prop_assert_eq!(&oracle, &sharded_oracle, "the two oracles must agree, {}", query);
+            assert_equivalent_answers(&fanned, &oracle, &format!("sharded vs oracle, {query}"));
+
+            let truth = unsharded.brute_force(query, population, &measure).unwrap();
+            assert_valid_top_k(&fanned, &truth, k, &format!("validity for {query}"));
+        }
+    }
+
+    /// `top_k_batch` and `top_k_join` conformance: same rows, same order,
+    /// same skip behaviour as the unsharded drivers.
+    #[test]
+    fn sharded_batch_and_join_equal_unsharded(
+        entities in 2u64..30,
+        seed in 0u64..1_000,
+        shards in 1usize..7,
+        k in 1usize..5,
+    ) {
+        let (w, unsharded, sharded) = build_pair(entities, 4, seed, 16, shards);
+        let measure = w.measure();
+        // Probe set with a guaranteed-unindexed ghost in the middle.
+        let mut probes = w.entities();
+        probes.insert(probes.len() / 2, EntityId(1_000_000));
+
+        let options = JoinOptions { k, threads: 4, ..JoinOptions::default() };
+        let (rows_a, stats_a) = unsharded.top_k_join(&probes, &measure, options).unwrap();
+        let (rows_b, stats_b) = sharded.top_k_join(&probes, &measure, options).unwrap();
+        prop_assert_eq!(rows_a.len(), rows_b.len());
+        prop_assert_eq!(stats_a.probes, stats_b.probes);
+        prop_assert_eq!(stats_a.skipped, stats_b.skipped);
+        for (a, b) in rows_a.iter().zip(rows_b.iter()) {
+            prop_assert_eq!(a.probe, b.probe);
+            assert_equivalent_answers(&b.matches, &a.matches, &format!("join row {}", a.probe));
+        }
+
+        let queries = w.entities();
+        let batch_a = unsharded.top_k_batch(&queries, k, &measure).unwrap();
+        let batch_b = sharded.top_k_batch(&queries, k, &measure).unwrap();
+        prop_assert_eq!(batch_a.len(), batch_b.len());
+        for (i, ((a, _), (b, _))) in batch_a.iter().zip(batch_b.iter()).enumerate() {
+            assert_equivalent_answers(b, a, &format!("batch entry {i}"));
+        }
+        // An unknown query fails the whole batch on both paths.
+        prop_assert!(unsharded.top_k_batch(&probes, k, &measure).is_err());
+        prop_assert!(sharded.top_k_batch(&probes, k, &measure).is_err());
+    }
+
+    /// Durability conformance: a saved-then-reopened sharded index answers
+    /// every query **fully bit-identically** to the index that was saved
+    /// (identical shard structure ⇒ identical execution, ties included), and
+    /// therefore stays equivalent to the unsharded oracle.
+    #[test]
+    fn saved_and_reopened_sharded_index_answers_identically(
+        entities in 2u64..30,
+        seed in 0u64..1_000,
+        shards in 1usize..7,
+        k in 1usize..5,
+    ) {
+        let (w, unsharded, sharded) = build_pair(entities, 4, seed, 12, shards);
+        let dir = std::env::temp_dir().join(format!(
+            "shard-conformance-{}-{entities}-{seed}-{shards}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        sharded.save(&dir).unwrap();
+        let reopened = ShardedMinSigIndex::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        prop_assert_eq!(reopened.num_shards(), shards);
+        prop_assert_eq!(reopened.num_entities(), sharded.num_entities());
+        let measure = w.measure();
+        for query in w.entities() {
+            let (a, _) = sharded.top_k(query, k, &measure).unwrap();
+            let (b, _) = reopened.top_k(query, k, &measure).unwrap();
+            prop_assert_eq!(&a, &b, "reopened sharded index diverged for {}", query);
+            let (c, _) = unsharded.top_k(query, k, &measure).unwrap();
+            assert_equivalent_answers(&b, &c, &format!("reopened vs unsharded, {query}"));
+        }
+    }
+
+    /// Ingest conformance: streaming a batch into the sharded index yields
+    /// the same answers as an unsharded index built from scratch over the
+    /// merged traces.
+    #[test]
+    fn sharded_ingest_equals_rebuild_over_merged_traces(
+        entities in 4u64..24,
+        seed in 0u64..1_000,
+        shards in 1usize..6,
+        records in 10usize..150,
+    ) {
+        let w = Workload::uniform(UniformConfig {
+            entities,
+            visits: 4,
+            seed,
+            ..UniformConfig::default()
+        });
+        let config = IndexConfig { num_hash_functions: 12, ..IndexConfig::default() };
+        let mut sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let stream = w.stream(StreamConfig {
+            records,
+            existing_entities: entities,
+            seed: seed ^ 0xABCD,
+            ..StreamConfig::default()
+        });
+        let mut merged = w.traces.clone();
+        for r in &stream {
+            merged.record(*r);
+        }
+        sharded.ingest_batch(stream).unwrap();
+
+        let rebuilt = MinSigIndex::build(&w.sp, &merged, config).unwrap();
+        prop_assert_eq!(sharded.num_entities(), rebuilt.num_entities());
+        let measure = w.measure();
+        for query in merged.entities() {
+            let (a, _) = sharded.top_k(query, 3, &measure).unwrap();
+            let (b, _) = rebuilt.top_k(query, 3, &measure).unwrap();
+            assert_equivalent_answers(&a, &b, &format!("post-ingest, {query}"));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Concurrency stress for the sharded index: N reader threads query a
+//! `ShardedMinSigIndex` while batches flush per shard.  Readers must never
+//! observe a torn cross-shard epoch set (every observed epoch vector is one
+//! the flusher actually published), and every answer must match the
+//! brute-force oracle evaluated over the *same* snapshot — i.e. every answer
+//! is consistent with some published version of the index.
+//!
+//! The moderate variant runs in the tier-1 suite; the heavy variant is
+//! `#[ignore]`d and runs in CI's dedicated release stress job
+//! (`cargo test --release -- --ignored`).
+
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, StreamConfig, UniformConfig, Workload,
+};
+use digital_traces::index::{IndexConfig, IngestBuffer, ShardedMinSigIndex};
+use digital_traces::EntityId;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+fn run_stress(entities: u64, shards: usize, readers: usize, flushes: u64, records: usize) {
+    let w = Workload::uniform(UniformConfig {
+        entities,
+        visits: 5,
+        seed: 42,
+        ..UniformConfig::default()
+    });
+    let measure = w.measure();
+    let index =
+        ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), shards)
+            .unwrap();
+
+    // Every epoch vector the flusher has made reachable.  A new vector is
+    // inserted while the write lock is still held, so any vector a reader can
+    // capture is already in this set — observing one that is *not* would mean
+    // a torn (partially flushed) cross-shard state escaped.
+    let published: Mutex<HashSet<Vec<u64>>> = Mutex::new(HashSet::from([index.epochs()]));
+    let lock = RwLock::new(index);
+    let stop = AtomicBool::new(false);
+    // Readers that have completed at least one full check; the flusher keeps
+    // the race alive until everyone has, so no reader can exit unexercised on
+    // a loaded machine.
+    let ready = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for reader in 0..readers {
+            let (lock, published, stop, measure) = (&lock, &published, &stop, &measure);
+            let ready = &ready;
+            scope.spawn(move || {
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    // Capture a cross-shard snapshot under the read lock, then
+                    // query it lock-free.
+                    let snapshot = lock.read().unwrap().snapshot();
+                    let epochs = snapshot.epochs().to_vec();
+                    assert!(
+                        published.lock().unwrap().contains(&epochs),
+                        "reader {reader} observed a torn epoch set {epochs:?}"
+                    );
+                    let query = EntityId((reader as u64 + iterations) % entities);
+                    let (got, _) = snapshot.top_k(query, 3, measure).unwrap();
+                    let oracle = snapshot.brute_force(query, 3, measure).unwrap();
+                    assert_equivalent_answers(
+                        &got,
+                        &oracle,
+                        &format!("reader {reader} answer vs its snapshot's oracle"),
+                    );
+                    if iterations == 0 {
+                        ready.fetch_add(1, Ordering::AcqRel);
+                    }
+                    iterations += 1;
+                }
+                assert!(iterations > 0, "reader {reader} never ran");
+            });
+        }
+
+        // The flusher: one routed ingest batch per iteration, each advancing
+        // only the touched shards' epochs.
+        for flush in 0..flushes {
+            let records = w.stream(StreamConfig {
+                records,
+                existing_entities: entities,
+                new_entity_base: 10_000 + flush * 100,
+                new_entity_span: 8,
+                start_tick: 20_000 + flush * 1_000,
+                seed: flush,
+                ..StreamConfig::default()
+            });
+            let mut buffer: IngestBuffer = records.into_iter().collect();
+            let mut guard = lock.write().unwrap();
+            let report = buffer.flush_sharded(&mut guard).unwrap();
+            assert!(report.shards_touched >= 1);
+            // Publish the new vector BEFORE releasing the write lock: no
+            // reader can capture a vector that is not yet in the set.
+            published.lock().unwrap().insert(guard.epochs());
+            drop(guard);
+            std::thread::yield_now();
+        }
+        // Keep the final state readable until every reader has exercised at
+        // least one full snapshot-and-check cycle, then stop them.
+        while ready.load(Ordering::Acquire) < readers {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    // The flusher published one distinct vector per flush plus the initial one.
+    assert_eq!(published.lock().unwrap().len() as u64, flushes + 1);
+    let final_epochs = lock.read().unwrap().epochs();
+    assert_eq!(final_epochs.len(), shards);
+    assert!(final_epochs.iter().sum::<u64>() >= flushes, "every flush advanced some shard");
+}
+
+#[test]
+fn readers_race_per_shard_flushes_without_torn_epochs() {
+    run_stress(24, 4, 4, 8, 60);
+}
+
+/// The heavy variant for the CI release stress job: more shards, more
+/// readers, more flushes, bigger batches.
+#[test]
+#[ignore = "heavy stress; run with cargo test --release -- --ignored"]
+fn heavy_readers_race_per_shard_flushes_without_torn_epochs() {
+    run_stress(200, 8, 8, 40, 500);
+}
