@@ -1,63 +1,197 @@
-//! Shard-scaling baseline: queries per second of the sharded index across
-//! shard counts {1, 2, 4, 8}, against the same dataset and query batch.
+//! Shard-scaling baseline at a ≥5k-entity population: queries per second of
+//! the sharded index across shard counts {1, 2, 4, 8} × bound modes
+//! {cooperative, independent}, against the same dataset and query batch.
 //!
-//! Two axes per shard count: single-query latency-path QPS (`top_k`, the
-//! rayon per-query shard fan-out) and batch-path QPS (`top_k_batch`, parallel
-//! over queries with sequential per-query fan-out).  `Throughput::Elements`
-//! makes the harness report queries/s directly, so future PRs can compare
-//! shard-count scaling against this baseline without post-processing.
+//! *Cooperative* drives the per-shard resumable executors under one
+//! [`SharedBound`] per query (the default scheduler); *independent* is the
+//! PR 3 baseline — every shard runs to completion against its private
+//! threshold ([`BoundMode::Independent`]).  Both return bitwise-identical
+//! answers, so the comparison isolates pure scheduling/pruning effects:
+//! cooperative top-k QPS should be at least the independent baseline at
+//! every shard count, with strictly more pruned subtrees, because a shard
+//! holding no strong candidate learns the global k-th degree from the shard
+//! that does instead of grinding its own tree.
 //!
-//! Expect QPS to *fall* with shard count at this bench's small population:
-//! every query still touches all N trees, each with weaker pruning than the
-//! single big tree, plus per-shard fan-out overhead.  Sharding buys parallel
-//! ingest / persistence / maintenance and per-machine population scale — this
-//! bench exists to keep the query-side cost of that trade visible.
+//! Two criterion axes per (shard count, mode): single-query latency-path QPS
+//! (`top_k_with_scheduler`, the rayon per-query shard fan-out) and batch-path
+//! QPS (`top_k_batch_with_scheduler`, parallel over queries with sequential
+//! cooperative per-query fan-out).  `Throughput::Elements` makes the harness
+//! report queries/s directly.
+//!
+//! After the criterion groups, the harness re-measures the single-query path
+//! once per configuration and emits **`BENCH_shard.json`** — QPS alongside
+//! the executor work counters (nodes visited, subtrees pruned, entities
+//! checked, bound updates) — so CI archives machine-readable evidence that
+//! the pruning win is real, not asserted.
+//!
+//! [`SharedBound`]: minsig::SharedBound
+//! [`BoundMode::Independent`]: minsig::BoundMode
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use minsig::IndexConfig;
-use minsig::ShardedMinSigIndex;
-use minsig_bench::{bench_dataset, bench_measure, bench_queries};
+use minsig::shard::ShardedSnapshot;
+use minsig::{
+    BoundMode, IndexConfig, QueryOptions, QueryStats, SchedulerConfig, ShardedMinSigIndex,
+};
+use minsig_bench::{shard_bench_workload, SHARD_BENCH_ENTITIES};
 use std::hint::black_box;
+use std::time::Instant;
+use trace_model::{EntityId, PaperAdm};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const BATCH: usize = 64;
 const K: usize = 10;
+const MODES: [(BoundMode, &str); 2] =
+    [(BoundMode::Shared, "cooperative"), (BoundMode::Independent, "independent")];
+
+/// Cooperative = the default scheduler; independent = the faithful PR 3
+/// baseline (`SchedulerConfig::independent()`: run-to-completion quanta, so
+/// it pays no round-robin overhead it never had).
+fn scheduler(mode: BoundMode) -> SchedulerConfig {
+    match mode {
+        BoundMode::Shared => SchedulerConfig::default(),
+        BoundMode::Independent => SchedulerConfig::independent(),
+    }
+}
 
 fn shard_scaling_qps(c: &mut Criterion) {
-    let dataset = bench_dataset();
-    let measure = bench_measure(&dataset);
-    let queries = bench_queries(&dataset, BATCH);
-    let config = IndexConfig::with_hash_functions(64);
+    // The skewed population (hot clique holding each other's top-k over a
+    // weak cold background); the queries are the hot entities — the regime
+    // cooperative bound sharing exists for.
+    let (workload, queries) = shard_bench_workload();
+    let measure = workload.measure();
+    let config = IndexConfig::with_hash_functions(32);
+
+    // One build per shard count, shared by both criterion groups and the
+    // JSON pass, so every number describes the same trees.
+    let snapshots: Vec<(usize, ShardedSnapshot)> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let index = ShardedMinSigIndex::build(&workload.sp, &workload.traces, config, shards)
+                .expect("sharded bench index builds");
+            (shards, index.snapshot())
+        })
+        .collect();
 
     let mut group = c.benchmark_group("shard_scaling/batch");
     group.sample_size(10);
-    for shards in SHARD_COUNTS {
-        let index = ShardedMinSigIndex::build(dataset.sp_index(), &dataset.traces, config, shards)
-            .expect("sharded bench index builds");
-        let snapshot = index.snapshot();
-        group.throughput(Throughput::Elements(BATCH as u64));
-        group.bench_function(BenchmarkId::new("shards", shards), |b| {
-            b.iter(|| black_box(snapshot.top_k_batch(&queries, K, &measure).unwrap()))
-        });
+    for (shards, snapshot) in &snapshots {
+        for (mode, mode_name) in MODES {
+            group.throughput(Throughput::Elements(queries.len() as u64));
+            group.bench_function(BenchmarkId::new(format!("{mode_name}/shards"), shards), |b| {
+                b.iter(|| {
+                    black_box(
+                        snapshot
+                            .top_k_batch_with_scheduler(
+                                &queries,
+                                K,
+                                &measure,
+                                QueryOptions::default(),
+                                scheduler(mode),
+                            )
+                            .unwrap(),
+                    )
+                })
+            });
+        }
     }
     group.finish();
 
     let mut group = c.benchmark_group("shard_scaling/single_query");
     group.sample_size(10);
-    for shards in SHARD_COUNTS {
-        let index = ShardedMinSigIndex::build(dataset.sp_index(), &dataset.traces, config, shards)
-            .expect("sharded bench index builds");
-        let snapshot = index.snapshot();
-        group.throughput(Throughput::Elements(queries.len() as u64));
-        group.bench_function(BenchmarkId::new("shards", shards), |b| {
-            b.iter(|| {
-                for &query in &queries {
-                    black_box(snapshot.top_k(query, K, &measure).unwrap());
-                }
-            })
-        });
+    for (shards, snapshot) in &snapshots {
+        for (mode, mode_name) in MODES {
+            group.throughput(Throughput::Elements(queries.len() as u64));
+            group.bench_function(BenchmarkId::new(format!("{mode_name}/shards"), shards), |b| {
+                b.iter(|| {
+                    for &query in &queries {
+                        black_box(
+                            snapshot
+                                .top_k_with_scheduler(
+                                    query,
+                                    K,
+                                    &measure,
+                                    QueryOptions::default(),
+                                    scheduler(mode),
+                                )
+                                .unwrap(),
+                        );
+                    }
+                })
+            });
+        }
     }
     group.finish();
+
+    emit_artifact(&snapshots, &queries, &measure);
+}
+
+/// One timed single-query-path pass per (shard count, mode) with summed
+/// executor counters; written to `BENCH_shard.json` for the CI artifact.
+fn emit_artifact(snapshots: &[(usize, ShardedSnapshot)], queries: &[EntityId], measure: &PaperAdm) {
+    const PASSES: usize = 3;
+    let mut rows = Vec::new();
+    for (shards, snapshot) in snapshots {
+        for (mode, mode_name) in MODES {
+            // Best-of-N wall clock (standard min-time practice); counters
+            // from the final pass.
+            let mut best = f64::INFINITY;
+            let mut work = QueryStats::default();
+            for _ in 0..PASSES {
+                work = QueryStats::default();
+                let start = Instant::now();
+                for &query in queries {
+                    let (results, stats) = snapshot
+                        .top_k_with_scheduler(
+                            query,
+                            K,
+                            measure,
+                            QueryOptions::default(),
+                            scheduler(mode),
+                        )
+                        .expect("bench query answers");
+                    black_box(results);
+                    work.absorb_work(&stats);
+                }
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            let qps = queries.len() as f64 / best.max(1e-12);
+            rows.push(format!(
+                concat!(
+                    "    {{\"shards\": {}, \"mode\": \"{}\", \"qps\": {:.1}, ",
+                    "\"nodes_visited\": {}, \"subtrees_pruned\": {}, ",
+                    "\"entities_checked\": {}, \"bound_updates\": {}}}"
+                ),
+                shards,
+                mode_name,
+                qps,
+                work.nodes_visited,
+                work.subtrees_pruned,
+                work.entities_checked,
+                work.bound_updates,
+            ));
+        }
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"shard_scaling\",\n",
+            "  \"population\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"k\": {},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SHARD_BENCH_ENTITIES,
+        queries.len(),
+        K,
+        rows.join(",\n"),
+    );
+    // `cargo bench` runs with the package directory as cwd; anchor the
+    // artifact at the workspace root, where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 criterion_group!(

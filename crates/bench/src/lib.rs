@@ -6,6 +6,7 @@
 //! bench file) ensures every bench measures the same datasets.
 
 use experiments::Scale;
+use minsig::testkit::{HierarchySpec, PruningAdversarialConfig, Workload};
 use minsig::{IndexConfig, MinSigIndex};
 use mobility::{SynConfig, SynDataset};
 use trace_model::{EntityId, PaperAdm};
@@ -21,6 +22,33 @@ pub fn bench_dataset() -> SynDataset {
     config.num_entities = 600;
     config.days = 4;
     SynDataset::generate(config).expect("bench dataset generates")
+}
+
+/// Number of entities in [`shard_bench_workload`].
+pub const SHARD_BENCH_ENTITIES: u64 = 5_000;
+
+/// Number of hot (high-overlap) entities in [`shard_bench_workload`]; the
+/// shard-scaling bench queries exactly these.
+pub const SHARD_BENCH_HOT: u64 = 64;
+
+/// The ≥5k-entity skewed population for the shard-scaling bench, plus the
+/// hot entity ids the bench queries.
+///
+/// This is the [`Workload::pruning_adversarial`] shape: a hot clique whose
+/// members hold each other's entire top-k (all routing to one shard at the
+/// bench's largest shard count) over a weak cold background — the population
+/// where cross-shard bound sharing has real pruning room, so the bench
+/// measures the cooperative scheduler's intended regime rather than noise.
+/// Deterministic: same workload on every machine and run.
+pub fn shard_bench_workload() -> (Workload, Vec<EntityId>) {
+    Workload::pruning_adversarial(PruningAdversarialConfig {
+        num_shards: 8,
+        hot_entities: SHARD_BENCH_HOT,
+        cold_entities: SHARD_BENCH_ENTITIES - SHARD_BENCH_HOT,
+        itinerary_steps: 8,
+        hierarchy: HierarchySpec::default(),
+        seed: 42,
+    })
 }
 
 /// Builds an index over the benchmark dataset with `nh` hash functions.
@@ -42,6 +70,16 @@ pub fn bench_queries(dataset: &SynDataset, n: usize) -> Vec<EntityId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_bench_workload_is_the_documented_shape() {
+        let (w, hot) = shard_bench_workload();
+        assert_eq!(w.traces.num_entities() as u64, SHARD_BENCH_ENTITIES);
+        assert_eq!(hot.len() as u64, SHARD_BENCH_HOT);
+        // The whole hot clique lives in one shard at the largest bench count.
+        let home = minsig::shard_of(hot[0], 8);
+        assert!(hot.iter().all(|&e| minsig::shard_of(e, 8) == home));
+    }
 
     #[test]
     fn fixtures_are_consistent() {

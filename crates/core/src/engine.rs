@@ -1,24 +1,66 @@
-//! The shared best-first top-k executor (Algorithm 2, Section 5.1).
+//! The shared best-first top-k executor (Algorithm 2, Section 5.1), as a
+//! resumable frontier object.
 //!
 //! Every query path of the crate — exact in-memory ([`crate::index::MinSigIndex::top_k`]),
-//! paged ([`crate::paged`]), joins and batches ([`crate::join`]) — is a thin
-//! driver over the single [`execute`] function in this module.  The executor
-//! separates the *logical* search from its *data source*:
+//! paged ([`crate::paged`]), joins and batches ([`crate::join`]), sharded
+//! fan-out ([`crate::shard`]) — drives the single [`Executor`] in this module
+//! (the [`execute`] function is its run-to-completion convenience wrapper).
+//! The executor separates three concerns:
 //!
-//! * the logical search walks the [`MinSigTree`] with a max-heap of candidate
-//!   subtrees ordered by an upper bound on the association degree achievable
-//!   inside each subtree, gradually tightening per-level overlap caps down
-//!   every branch and terminating as soon as the current k-th best exact
-//!   answer matches the best remaining bound (Theorem 4 / Section 5.1);
-//! * the data source — the [`TraceSource`] trait — only answers "give me the
-//!   ST-cell set sequence of this entity" during leaf evaluation.
+//! * the **logical search** walks the [`MinSigTree`] with a max-heap of
+//!   candidate subtrees ordered by an upper bound on the association degree
+//!   achievable inside each subtree, gradually tightening per-level overlap
+//!   caps down every branch (Theorem 4 / Section 5.1);
+//! * the **data source** — the [`TraceSource`] trait — only answers "give me
+//!   the ST-cell set sequence of this entity" during leaf evaluation.
 //!   [`InMemorySource`] borrows the index snapshot's sequence map;
 //!   [`PagedSource`] reads raw traces through a `trace-storage` buffer pool,
-//!   charging simulated I/O.
+//!   charging simulated I/O;
+//! * the **termination bound** — the [`Bound`] trait — is the degree a
+//!   candidate subtree must beat to stay alive.  [`PrivateBound`] is inert
+//!   (the executor then prunes against its own k-th-best threshold only, the
+//!   classic single-tree search); [`SharedBound`] is an atomic k-th-best
+//!   degree published across concurrently running executors, which is how the
+//!   sharded fan-out recovers the pruning power of one unsharded tree (see
+//!   *Cooperative bound sharing* below).
 //!
-//! The executor takes `&self`-style shared references only, so any number of
-//! threads may run searches against one snapshot concurrently; batch drivers
-//! fan independent queries out over rayon and collect results in input order.
+//! ## The frontier lifecycle
+//!
+//! An [`Executor`] is built over borrowed index parts
+//! ([`Executor::new`], or [`IndexSnapshot::executor`] for the common
+//! in-memory case), holds the candidate frontier as state, and is advanced in
+//! *quanta*: each [`Executor::step`] call pops up to `quantum` frontier nodes,
+//! evaluates leaves through the source, and prunes against
+//! `max(local k-th threshold, bound.current())`.  A scheduler may interleave
+//! any number of executors at any granularity — `step` returns whether work
+//! remains — and [`Executor::finish`] yields the sorted answers plus the
+//! [`QueryStats`] work counters (nodes visited, subtrees pruned, bound
+//! updates, quanta executed).
+//!
+//! ## Cooperative bound sharing: why it is exact
+//!
+//! Let `G` be the k-th best degree over the whole population under the
+//! engine's total order.  A shard executor's local threshold is the k-th best
+//! degree *of its shard seen so far* — never above `G`, because a shard's
+//! candidates are a subset of the population.  A [`SharedBound`] therefore
+//! only ever holds `max` of values `≤ G`.  Executors prune a subtree only
+//! when its upper bound is **strictly below** the bound in force, so any
+//! pruned entity has degree `< G` and cannot appear in the global top-k, tied
+//! or not.  Hence merged per-shard answers ([`merge_top_k`]) equal the
+//! unsharded answer equal the brute-force sort-and-truncate — bitwise,
+//! including ties, under *any* interleaving, quantum or publish policy.
+//!
+//! ## Tie-complete pruning (pinned tie-breaking)
+//!
+//! All exact answers of this crate are ranked under the total order *(degree
+//! descending, [`EntityId`] ascending)*, and pruning is **strict**: a subtree
+//! is discarded only when its upper bound is strictly below the k-th-best
+//! threshold in force.  A subtree *tying* the threshold is still expanded,
+//! because it may contain an equal-degree entity with a smaller id that
+//! displaces the current k-th answer.  This pins the answer completely: every
+//! exact path (unsharded, paged, sharded-cooperative, sharded-independent,
+//! brute force) returns the identical bitwise result even when several
+//! entities tie exactly at the k-th degree.
 //!
 //! The bound for a node at depth `d` with routing index `u` and stored value
 //! `v` combines two sound constraints:
@@ -38,7 +80,7 @@
 //! takes the index's parts plus any [`TraceSource`]:
 //!
 //! ```
-//! use minsig::engine::{self, InMemorySource};
+//! use minsig::engine::{self, Executor, InMemorySource, PrivateBound};
 //! use minsig::{IndexConfig, MinSigIndex, QueryOptions};
 //! use trace_model::{DiceAdm, EntityId, Period, PresenceInstance, SpIndex, TraceSet};
 //!
@@ -51,11 +93,11 @@
 //! let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
 //! let measure = DiceAdm::uniform(2);
 //!
-//! // Swap `InMemorySource` for `PagedSource` and the same call answers from
+//! // Swap `InMemorySource` for `PagedSource` and the same search answers from
 //! // a disk-backed store instead; the logical search does not change.
 //! let source = InMemorySource::new(index.sequences());
 //! let query = index.sequence(EntityId(0)).unwrap();
-//! let (results, stats) = engine::execute(
+//! let mut executor = Executor::new(
 //!     index.sp_index(),
 //!     index.hasher(),
 //!     index.tree(),
@@ -67,20 +109,28 @@
 //!     QueryOptions::default(),
 //! )
 //! .unwrap();
+//!
+//! // Resumable: advance the frontier one node at a time until exhausted.
+//! while executor.step(&PrivateBound, 1) {}
+//! let (results, stats) = executor.finish();
 //! assert_eq!(results[0].entity, EntityId(1));
-//! assert!(stats.entities_checked <= 2);
+//! assert!(stats.steps >= 1);
+//! assert!(stats.nodes_visited + stats.subtrees_pruned >= 1);
 //! ```
 //!
 //! [`MinSigIndex::top_k`]: crate::index::MinSigIndex::top_k
+//! [`IndexSnapshot::executor`]: crate::snapshot::IndexSnapshot::executor
 
+use crate::config::PublishPolicy;
 use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{CellHashFamily, HierarchicalHasher};
-use crate::stats::SearchStats;
+use crate::stats::QueryStats;
 use crate::tree::{MinSigTree, NodeId, ROOT};
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Instant;
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId, Level, SpIndex};
 use trace_storage::{BufferPool, PagedTraceStore};
@@ -94,6 +144,12 @@ use trace_storage::{BufferPool, PagedTraceStore};
 pub trait TraceSource {
     /// The sequence of an entity, or `None` when it cannot be found.
     fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>>;
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &T {
+    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
+        (**self).sequence(entity)
+    }
 }
 
 /// A [`TraceSource`] borrowing the materialised sequence map of an index
@@ -146,6 +202,106 @@ impl TraceSource for PagedSource<'_> {
     }
 }
 
+/// The degree a candidate subtree must *strictly* beat to stay alive — an
+/// externally supplied lower bound on the global k-th-best degree, on top of
+/// the executor's own local threshold.
+///
+/// Soundness contract: [`current`](Bound::current) must never exceed the
+/// k-th-best degree of the **full candidate population** of the overall
+/// query (under the engine's total order).  Executors prune only subtrees
+/// whose upper bound is strictly below the bound, so every pruned entity is
+/// strictly outside the global top-k — which is why cooperative and
+/// independent execution return bitwise-identical answers.
+///
+/// Implementations must be monotone: [`publish`](Bound::publish) may only
+/// raise the value [`current`](Bound::current) reports, never lower it.
+pub trait Bound: Sync {
+    /// The bound currently in force (`-inf` when nothing is known yet).
+    fn current(&self) -> f64;
+
+    /// Offers a new lower bound on the global k-th-best degree (a local k-th
+    /// threshold some executor just reached).  Returns `true` when the call
+    /// *raised* the bound.
+    fn publish(&self, value: f64) -> bool;
+}
+
+/// The inert [`Bound`]: never holds anything, never accepts anything.
+///
+/// Under a `PrivateBound` an executor prunes against its own k-th-best
+/// threshold only — the classic run-to-completion search of a single tree,
+/// and the per-shard behaviour of the PR 3 independent fan-out (kept as the
+/// measurable baseline, see
+/// [`BoundMode::Independent`](crate::config::BoundMode)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrivateBound;
+
+impl Bound for PrivateBound {
+    fn current(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn publish(&self, _value: f64) -> bool {
+        false
+    }
+}
+
+/// A [`Bound`] shared by concurrently running executors: an atomic, monotone
+/// max of every published local k-th-best degree.
+///
+/// One `SharedBound` serves one logical query fanned out across partitions
+/// (the candidate sets must partition one population — the situation of
+/// [`crate::shard`]); each partition's executor publishes its local k-th
+/// threshold as it improves and prunes against the best threshold *any*
+/// partition has found.  All operations are relaxed atomics — the bound is a
+/// monotone scalar, so no ordering with other memory is needed; a stale read
+/// can only under-prune, never mis-answer.
+#[derive(Debug)]
+pub struct SharedBound {
+    bits: AtomicU64,
+}
+
+impl SharedBound {
+    /// Creates an empty bound (`-inf`: nothing known yet).
+    pub fn new() -> Self {
+        SharedBound { bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()) }
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        SharedBound::new()
+    }
+}
+
+impl Bound for SharedBound {
+    fn current(&self) -> f64 {
+        f64::from_bits(self.bits.load(AtomicOrdering::Relaxed))
+    }
+
+    fn publish(&self, value: f64) -> bool {
+        if value.is_nan() {
+            return false;
+        }
+        let mut seen = self.bits.load(AtomicOrdering::Relaxed);
+        loop {
+            if f64::from_bits(seen) >= value {
+                return false;
+            }
+            // CAS on the exact bit pattern (u64 order differs from f64 order
+            // for negative values, so the comparison above is on floats).
+            match self.bits.compare_exchange_weak(
+                seen,
+                value.to_bits(),
+                AtomicOrdering::Relaxed,
+                AtomicOrdering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => seen = actual,
+            }
+        }
+    }
+}
+
 /// An `f64` wrapper with a total order, used as a heap priority.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct OrdF64(pub(crate) f64);
@@ -180,6 +336,10 @@ impl Ord for OrdF64 {
 /// depend on the order in which candidates are offered, and it equals what
 /// sorting all candidates and truncating to `k` would produce.
 /// [`TopKHeap::into_sorted`] returns the answers in that same order.
+///
+/// Combined with the executor's strict (tie-complete) pruning, this pins the
+/// k-th-degree tie-breaking of **every** exact path in the crate: equal-degree
+/// candidates are kept by ascending entity id, with no remaining freedom.
 #[derive(Debug, Clone)]
 pub struct TopKHeap {
     k: usize,
@@ -215,10 +375,14 @@ impl TopKHeap {
         }
     }
 
-    /// True when `k` answers are held and `bound` cannot beat the k-th best —
-    /// the early-termination test of Section 5.1.
+    /// True when `k` answers are held and a candidate bounded by `bound`
+    /// cannot change the answer set — the early-termination test of
+    /// Section 5.1, **strict** so that boundary ties stay pinned: a candidate
+    /// *tying* the k-th degree could still displace the current k-th answer
+    /// through the entity-id tie-break, so only `threshold > bound`
+    /// saturates.
     pub fn is_saturated_against(&self, bound: f64) -> bool {
-        self.k > 0 && self.heap.len() >= self.k && self.threshold() >= bound
+        self.k > 0 && self.heap.len() >= self.k && self.threshold() > bound
     }
 
     /// Offers one scored entity.
@@ -285,7 +449,8 @@ where
 /// the whole population — the situation of [`crate::shard`], where every part
 /// is one shard's exact answer: the union of per-shard top-k sets is a
 /// superset of the global top-k, so re-selecting through the shared
-/// [`TopKHeap`] reproduces exactly what a single unsharded index returns.
+/// [`TopKHeap`] reproduces exactly — bitwise, ties included — what a single
+/// unsharded index (or a brute-force sort-and-truncate) returns.
 pub fn merge_top_k<I>(k: usize, parts: I) -> Vec<TopKResult>
 where
     I: IntoIterator<Item = Vec<TopKResult>>,
@@ -356,15 +521,268 @@ impl<'a, F: CellHashFamily> QueryHashes<'a, F> {
     }
 }
 
+/// The best-first top-k search of Algorithm 2 as a resumable frontier.
+///
+/// Construction seeds the frontier with the tree root; each [`step`] call
+/// advances the search by a bounded quantum of frontier nodes, pruning
+/// against the executor's own k-th-best threshold *and* an external
+/// [`Bound`]; [`finish`] returns the sorted answers plus the work counters.
+/// [`run`] drives the executor to exhaustion in one call — `execute` is the
+/// one-shot wrapper every single-tree query path uses.
+///
+/// The search is exact for every measure satisfying the Section 3.2 axioms
+/// and **tie-complete** (see the [module docs](crate::engine)): it returns
+/// bitwise exactly the brute-force sort-and-truncate answer over the same
+/// source, under any stepping schedule and any sound [`Bound`].  Given
+/// identical inputs the result is bit-for-bit deterministic (only the
+/// wall-clock fields of [`QueryStats`] vary), which is what lets the parallel
+/// drivers promise sequential-equivalent output.
+///
+/// [`step`]: Executor::step
+/// [`run`]: Executor::run
+/// [`finish`]: Executor::finish
+pub struct Executor<'a, F, S, M>
+where
+    F: CellHashFamily,
+    S: TraceSource,
+    M: AssociationMeasure + ?Sized,
+{
+    tree: &'a MinSigTree,
+    query: &'a CellSetSequence,
+    exclude: Option<EntityId>,
+    k: usize,
+    measure: &'a M,
+    source: S,
+    options: QueryOptions,
+    publish_policy: PublishPolicy,
+    query_sizes: Vec<usize>,
+    hashes: QueryHashes<'a, F>,
+    top: TopKHeap,
+    queue: BinaryHeap<Candidate>,
+    stats: QueryStats,
+    started: Instant,
+    exhausted: bool,
+}
+
+impl<'a, F, S, M> Executor<'a, F, S, M>
+where
+    F: CellHashFamily,
+    S: TraceSource,
+    M: AssociationMeasure + ?Sized,
+{
+    /// Creates an executor with its frontier seeded at the tree root.
+    ///
+    /// `exclude` removes the query entity itself from the answer set.  Fails
+    /// with [`IndexError::LevelMismatch`] when the query sequence does not
+    /// have the tree's level count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        sp: &'a SpIndex,
+        hasher: &'a HierarchicalHasher<F>,
+        tree: &'a MinSigTree,
+        query: &'a CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &'a M,
+        source: S,
+        options: QueryOptions,
+    ) -> Result<Self> {
+        if query.num_levels() != tree.levels() as usize {
+            return Err(IndexError::LevelMismatch {
+                index_levels: tree.levels(),
+                query_levels: query.num_levels() as u8,
+            });
+        }
+        let m = tree.levels();
+        let query_sizes: Vec<usize> = (1..=m).map(|l| query.level(l).len()).collect();
+        let stats = QueryStats { total_entities: tree.num_entities(), k, ..QueryStats::default() };
+
+        let mut queue = BinaryHeap::new();
+        // A k = 0 query has an empty answer by definition; seed nothing.
+        if k > 0 {
+            queue.push(Candidate {
+                upper_bound: OrdF64(measure.upper_bound(&query_sizes, &query_sizes)),
+                node: ROOT,
+                caps: query_sizes.clone(),
+            });
+        }
+        Ok(Executor {
+            tree,
+            query,
+            exclude,
+            k,
+            measure,
+            source,
+            options,
+            publish_policy: PublishPolicy::EveryImprovement,
+            query_sizes,
+            hashes: QueryHashes::new(sp, hasher, query),
+            top: TopKHeap::new(k),
+            queue,
+            stats,
+            started: Instant::now(),
+            exhausted: k == 0,
+        })
+    }
+
+    /// Sets when threshold improvements are pushed to the [`Bound`]
+    /// (default: [`PublishPolicy::EveryImprovement`]).  Publish timing never
+    /// changes any answer, only how early *other* executors can prune.
+    pub fn with_publish_policy(mut self, policy: PublishPolicy) -> Self {
+        self.publish_policy = policy;
+        self
+    }
+
+    /// True once the frontier is empty or fully pruned; further [`step`]
+    /// calls are no-ops.
+    ///
+    /// [`step`]: Executor::step
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The requested result size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The executor's current local k-th-best degree (`-inf` while fewer
+    /// than `k` answers are held).
+    pub fn threshold(&self) -> f64 {
+        self.top.threshold()
+    }
+
+    /// The work counters accumulated so far.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Advances the frontier by up to `quantum` nodes (at least 1), pruning
+    /// against `max(local k-th threshold, bound.current())` and publishing
+    /// threshold improvements per the configured [`PublishPolicy`].
+    ///
+    /// Returns `true` while work remains.  The answer is independent of the
+    /// quantum and of how step calls interleave with other executors sharing
+    /// the bound.
+    pub fn step<B: Bound + ?Sized>(&mut self, bound: &B, quantum: usize) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        self.stats.steps += 1;
+        let mut budget = quantum.max(1);
+        while budget > 0 {
+            let Some(candidate) = self.queue.pop() else {
+                self.exhausted = true;
+                break;
+            };
+            // Both tests are strict, keeping boundary ties alive
+            // (tie-complete pruning); `is_saturated_against` is the single
+            // holder of the local rule.
+            if self.top.is_saturated_against(candidate.upper_bound.0)
+                || bound.current() > candidate.upper_bound.0
+            {
+                // The frontier is popped in descending bound order: nothing
+                // left can reach the threshold either.
+                self.stats.subtrees_pruned += 1 + self.queue.len();
+                self.queue.clear();
+                self.exhausted = true;
+                break;
+            }
+            budget -= 1;
+            self.stats.nodes_visited += 1;
+            self.visit(candidate, bound);
+        }
+        if self.queue.is_empty() {
+            self.exhausted = true;
+        }
+        if self.publish_policy == PublishPolicy::PerQuantum {
+            self.publish_threshold(bound);
+        }
+        !self.exhausted
+    }
+
+    /// Drives the executor to exhaustion under `bound`.
+    pub fn run<B: Bound + ?Sized>(&mut self, bound: &B) {
+        while self.step(bound, usize::MAX) {}
+    }
+
+    /// Consumes the executor, returning the sorted answers and the final
+    /// work counters (with the wall-clock time since construction).
+    pub fn finish(mut self) -> (Vec<TopKResult>, QueryStats) {
+        self.stats.query_time_us = self.started.elapsed().as_micros() as u64;
+        (self.top.into_sorted(), self.stats)
+    }
+
+    /// Expands an internal node's children into the frontier, or evaluates a
+    /// leaf's entities through the source.
+    fn visit<B: Bound + ?Sized>(&mut self, candidate: Candidate, bound: &B) {
+        let m = self.tree.levels();
+        let node = self.tree.node(candidate.node);
+
+        if node.depth == m {
+            // Leaf: evaluate every contained entity exactly.
+            self.stats.leaves_visited += 1;
+            for &entity in &node.entities {
+                if Some(entity) == self.exclude {
+                    continue;
+                }
+                let Some(seq) = self.source.sequence(entity) else { continue };
+                self.stats.entities_checked += 1;
+                let before = self.top.threshold();
+                self.top.offer(entity, self.measure.degree(self.query, seq.as_ref()));
+                if self.publish_policy == PublishPolicy::EveryImprovement
+                    && self.top.threshold() > before
+                {
+                    self.publish_threshold(bound);
+                }
+            }
+            return;
+        }
+
+        // Internal node (or root): push its children with tightened bounds.
+        for (&routing_index, &child_id) in &node.children {
+            let child = self.tree.node(child_id);
+            let mut caps = if self.options.accumulate_down_branch {
+                candidate.caps.clone()
+            } else {
+                self.query_sizes.clone()
+            };
+            let depth_idx = (child.depth - 1) as usize;
+            let base_idx = (m - 1) as usize;
+            if self.options.use_level_constraints {
+                let surviving =
+                    self.hashes.surviving(child.depth, routing_index, child.routing_value);
+                caps[depth_idx] = caps[depth_idx].min(surviving);
+            }
+            // Theorem-2 constraint over base cells (the "partial pruned set").
+            let surviving_base = self.hashes.surviving(m, routing_index, child.routing_value);
+            caps[base_idx] = caps[base_idx].min(surviving_base);
+
+            let ub = self.measure.upper_bound(&self.query_sizes, &caps);
+            // A subtree whose bound cannot beat the current threshold can
+            // still be pushed; it will be discarded by the pruning check when
+            // popped (and counted in `subtrees_pruned`).
+            self.queue.push(Candidate { upper_bound: OrdF64(ub), node: child_id, caps });
+        }
+    }
+
+    /// Publishes the local threshold to the bound when it is informative.
+    fn publish_threshold<B: Bound + ?Sized>(&mut self, bound: &B) {
+        let threshold = self.top.threshold();
+        if threshold > f64::NEG_INFINITY && bound.publish(threshold) {
+            self.stats.bound_updates += 1;
+        }
+    }
+}
+
 /// The best-first top-k search of Algorithm 2 over an arbitrary
-/// [`TraceSource`].
+/// [`TraceSource`], run to completion — the one-shot wrapper around
+/// [`Executor`] every single-tree query path uses.
 ///
 /// `exclude` removes the query entity itself from the answer set.  The
-/// function is exact for every measure satisfying the Section 3.2 axioms: it
-/// returns the same multiset of degrees as a brute-force scan over the same
-/// source.  Given identical inputs the result is bit-for-bit deterministic
-/// (only the wall-clock fields of [`SearchStats`] vary), which is what lets
-/// the parallel batch drivers promise sequential-equivalent output.
+/// function is exact and tie-complete: it returns bitwise the same result as
+/// a brute-force sort-and-truncate over the same source (see the
+/// [module docs](crate::engine)).
 #[allow(clippy::too_many_arguments)]
 pub fn execute<F, S, M>(
     sp: &SpIndex,
@@ -376,88 +794,16 @@ pub fn execute<F, S, M>(
     measure: &M,
     source: &S,
     options: QueryOptions,
-) -> Result<(Vec<TopKResult>, SearchStats)>
+) -> Result<(Vec<TopKResult>, QueryStats)>
 where
     F: CellHashFamily,
     S: TraceSource + ?Sized,
     M: AssociationMeasure + ?Sized,
 {
-    if query.num_levels() != tree.levels() as usize {
-        return Err(IndexError::LevelMismatch {
-            index_levels: tree.levels(),
-            query_levels: query.num_levels() as u8,
-        });
-    }
-    let start = Instant::now();
-    let m = tree.levels();
-    let query_sizes: Vec<usize> = (1..=m).map(|l| query.level(l).len()).collect();
-
-    let mut stats =
-        SearchStats { total_entities: tree.num_entities(), k, ..SearchStats::default() };
-    let mut hashes = QueryHashes::new(sp, hasher, query);
-
-    // Current top-k; its threshold is the k-th best degree so far.
-    let mut top = TopKHeap::new(k);
-
-    let mut queue: BinaryHeap<Candidate> = BinaryHeap::new();
-    queue.push(Candidate {
-        upper_bound: OrdF64(measure.upper_bound(&query_sizes, &query_sizes)),
-        node: ROOT,
-        caps: query_sizes.clone(),
-    });
-
-    while let Some(candidate) = queue.pop() {
-        // Early termination (Section 5.1): the best remaining subtree cannot
-        // beat the current k-th answer.
-        if top.is_saturated_against(candidate.upper_bound.0) {
-            break;
-        }
-        stats.nodes_visited += 1;
-        let node = tree.node(candidate.node);
-
-        if node.depth == m {
-            // Leaf: evaluate every contained entity exactly.
-            stats.leaves_visited += 1;
-            for &entity in &node.entities {
-                if Some(entity) == exclude {
-                    continue;
-                }
-                let Some(seq) = source.sequence(entity) else { continue };
-                stats.entities_checked += 1;
-                top.offer(entity, measure.degree(query, seq.as_ref()));
-            }
-            continue;
-        }
-
-        // Internal node (or root): push its children with tightened bounds.
-        for (&routing_index, &child_id) in &node.children {
-            let child = tree.node(child_id);
-            let mut caps = if options.accumulate_down_branch {
-                candidate.caps.clone()
-            } else {
-                query_sizes.clone()
-            };
-            let depth_idx = (child.depth - 1) as usize;
-            let base_idx = (m - 1) as usize;
-            if options.use_level_constraints {
-                let surviving = hashes.surviving(child.depth, routing_index, child.routing_value);
-                caps[depth_idx] = caps[depth_idx].min(surviving);
-            }
-            // Theorem-2 constraint over base cells (the "partial pruned set").
-            let surviving_base = hashes.surviving(m, routing_index, child.routing_value);
-            caps[base_idx] = caps[base_idx].min(surviving_base);
-
-            let ub = measure.upper_bound(&query_sizes, &caps);
-            // A subtree whose bound cannot beat the current threshold can still
-            // be pushed; it will be discarded by the termination check when
-            // popped.
-            queue.push(Candidate { upper_bound: OrdF64(ub), node: child_id, caps });
-        }
-    }
-
-    let results = top.into_sorted();
-    stats.query_time_us = start.elapsed().as_micros() as u64;
-    Ok((results, stats))
+    let mut executor =
+        Executor::new(sp, hasher, tree, query, exclude, k, measure, source, options)?;
+    executor.run(&PrivateBound);
+    Ok(executor.finish())
 }
 
 #[cfg(test)]
@@ -575,12 +921,58 @@ mod tests {
     }
 
     #[test]
-    fn saturation_test_matches_early_termination_semantics() {
+    fn saturation_test_is_strict_at_ties() {
         let mut top = TopKHeap::new(1);
         assert!(!top.is_saturated_against(0.1), "nothing held yet");
         top.offer(EntityId(7), 0.5);
-        assert!(top.is_saturated_against(0.5), "equal bound cannot improve");
+        // An equal bound may hide an equal-degree entity with a smaller id,
+        // which would displace the incumbent — not saturated.
+        assert!(!top.is_saturated_against(0.5), "ties must stay alive");
         assert!(top.is_saturated_against(0.4));
         assert!(!top.is_saturated_against(0.6));
+    }
+
+    #[test]
+    fn shared_bound_is_a_monotone_max() {
+        let bound = SharedBound::new();
+        assert_eq!(bound.current(), f64::NEG_INFINITY);
+        assert!(bound.publish(0.25));
+        assert!((bound.current() - 0.25).abs() < 1e-15);
+        assert!(!bound.publish(0.1), "lower values never lower the bound");
+        assert!((bound.current() - 0.25).abs() < 1e-15);
+        assert!(bound.publish(0.7));
+        assert!((bound.current() - 0.7).abs() < 1e-15);
+        assert!(!bound.publish(f64::NAN), "NaN is rejected");
+        assert!((bound.current() - 0.7).abs() < 1e-15);
+        // Negative values order correctly through the bit representation.
+        let negative = SharedBound::new();
+        assert!(negative.publish(-2.0));
+        assert!(negative.publish(-1.0));
+        assert!(!negative.publish(-1.5));
+        assert!((negative.current() - (-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shared_bound_concurrent_publishes_settle_on_the_max() {
+        let bound = SharedBound::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let bound = &bound;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        bound.publish((t * 1000 + i) as f64 / 4000.0);
+                    }
+                });
+            }
+        });
+        assert!((bound.current() - 3999.0 / 4000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn private_bound_is_inert() {
+        let bound = PrivateBound;
+        assert_eq!(bound.current(), f64::NEG_INFINITY);
+        assert!(!bound.publish(123.0));
+        assert_eq!(bound.current(), f64::NEG_INFINITY);
     }
 }

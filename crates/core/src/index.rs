@@ -17,7 +17,7 @@ use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::snapshot::IndexSnapshot;
-use crate::stats::{IndexStats, SearchStats};
+use crate::stats::{IndexStats, QueryStats};
 use crate::tree::MinSigTree;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -262,7 +262,7 @@ impl MinSigIndex {
         query: EntityId,
         k: usize,
         measure: &M,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot.top_k(query, k, measure)
     }
 
@@ -273,7 +273,7 @@ impl MinSigIndex {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot.top_k_with_options(query, k, measure, options)
     }
 
@@ -285,7 +285,7 @@ impl MinSigIndex {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot.top_k_for_sequence(query, exclude, k, measure, options)
     }
 

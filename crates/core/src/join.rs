@@ -14,7 +14,7 @@ use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::query::{QueryOptions, TopKResult};
 use crate::snapshot::IndexSnapshot;
-use crate::stats::SearchStats;
+use crate::stats::QueryStats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use trace_model::{AssociationMeasure, EntityId};
@@ -27,7 +27,7 @@ pub struct JoinRow {
     /// Its top-k associated entities.
     pub matches: Vec<TopKResult>,
     /// The per-probe search statistics.
-    pub stats: SearchStats,
+    pub stats: QueryStats,
 }
 
 /// Aggregate statistics of a join.
@@ -76,7 +76,7 @@ impl IndexSnapshot {
         queries: &[EntityId],
         k: usize,
         measure: &M,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         self.top_k_batch_with_options(queries, k, measure, QueryOptions::default())
     }
 
@@ -87,8 +87,8 @@ impl IndexSnapshot {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
-        let answers: Vec<Result<(Vec<TopKResult>, SearchStats)>> = queries
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        let answers: Vec<Result<(Vec<TopKResult>, QueryStats)>> = queries
             .par_iter()
             .map(|&query| self.top_k_with_options(query, k, measure, options))
             .collect();
@@ -165,7 +165,7 @@ impl MinSigIndex {
         queries: &[EntityId],
         k: usize,
         measure: &M,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         self.snapshot().top_k_batch(queries, k, measure)
     }
 
@@ -176,7 +176,7 @@ impl MinSigIndex {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         self.snapshot().top_k_batch_with_options(queries, k, measure, options)
     }
 

@@ -21,10 +21,14 @@
 //!
 //! ## The query engine
 //!
-//! All query processing funnels through **one** best-first executor
-//! ([`engine::execute`]): a candidate frontier ordered by Theorem-4 upper
-//! bounds, per-level overlap caps tightened down each branch, and k-th-best
-//! early termination (Section 5.1).  The executor is generic over a
+//! All query processing funnels through **one** resumable best-first executor
+//! ([`engine::Executor`]; [`engine::execute`] is its run-to-completion
+//! wrapper): a candidate frontier ordered by Theorem-4 upper bounds,
+//! per-level overlap caps tightened down each branch, and strict
+//! (tie-complete) k-th-best early termination (Section 5.1) against a
+//! pluggable [`engine::Bound`] — private for single-tree searches, an atomic
+//! [`engine::SharedBound`] when the sharded fan-out interleaves per-shard
+//! executors cooperatively.  The executor is generic over a
 //! [`engine::TraceSource`] — where candidate sequences come from during leaf
 //! evaluation:
 //!
@@ -67,11 +71,13 @@
 //! [`shard::ShardedMinSigIndex`] hash-partitions the entity population across
 //! `N` independent shards (one `MinSigIndex` each, with its own snapshot,
 //! epoch and `MSIX` file): ingest, persistence and maintenance parallelise
-//! per shard while every query fans out over all shards and merges the
-//! per-shard exact top-k heaps — answers keep the exact degree vector and
-//! ordering of an unsharded index over the same traces.  The deterministic
-//! workload generators and conformance oracles behind the test suites live
-//! in [`testkit`].
+//! per shard, while every query drives one resumable executor per shard under
+//! a **cooperative scheduler** — frontier quanta interleave over rayon and
+//! all executors prune against one shared k-th-degree bound — and merges the
+//! per-shard exact top-k heaps.  Answers are fully bit-identical to an
+//! unsharded index over the same traces, boundary ties included.  The
+//! deterministic workload generators and conformance oracles behind the test
+//! suites live in [`testkit`].
 //!
 //! ```
 //! use minsig::{IndexConfig, MinSigIndex};
@@ -119,8 +125,10 @@ pub mod testkit;
 pub mod tree;
 
 pub use approximate::{BandedIndex, BandingConfig};
-pub use config::{HasherMode, IndexConfig};
-pub use engine::{InMemorySource, PagedSource, TopKHeap, TraceSource};
+pub use config::{BoundMode, HasherMode, IndexConfig, PublishPolicy, SchedulerConfig};
+pub use engine::{
+    Bound, Executor, InMemorySource, PagedSource, PrivateBound, SharedBound, TopKHeap, TraceSource,
+};
 pub use error::{IndexError, Result};
 pub use index::MinSigIndex;
 pub use ingest::{IngestBuffer, IngestReport};
@@ -135,5 +143,5 @@ pub use signature::{
     CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily,
 };
 pub use snapshot::IndexSnapshot;
-pub use stats::{IndexStats, SearchStats};
+pub use stats::{IndexStats, QueryStats, SearchStats};
 pub use tree::MinSigTree;

@@ -18,14 +18,14 @@ use crate::error::Result;
 use crate::index::MinSigIndex;
 use crate::query::{QueryOptions, TopKResult};
 use crate::snapshot::IndexSnapshot;
-use crate::stats::SearchStats;
+use crate::stats::QueryStats;
 use trace_model::{AssociationMeasure, EntityId};
 use trace_storage::{BufferPool, PagedTraceStore};
 
 impl IndexSnapshot {
     /// Answers a top-k query reading candidate traces through `pool` over `store`.
     ///
-    /// The returned [`SearchStats`] additionally report the buffer-pool misses and
+    /// The returned [`QueryStats`] additionally report the buffer-pool misses and
     /// the simulated I/O latency accumulated during this query.  When several
     /// threads share one pool, those two deltas are approximate: the pool's
     /// counters are global, so concurrent queries' I/O may be attributed to
@@ -38,7 +38,7 @@ impl IndexSnapshot {
         store: &PagedTraceStore,
         pool: &BufferPool<'_>,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         let query_seq = match self.sequence(query) {
             Some(seq) => seq.clone(),
             None => {
@@ -82,7 +82,7 @@ impl MinSigIndex {
         store: &PagedTraceStore,
         pool: &BufferPool<'_>,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot().top_k_paged(query, k, measure, store, pool, options)
     }
 }

@@ -9,27 +9,43 @@
 //! shard — independent snapshots, independent epochs, independent `MSIX` files —
 //! so ingest, persistence and maintenance all parallelise per shard.
 //!
-//! ## Exactness of the fan-out
+//! ## The cooperative bound-sharing scheduler
 //!
 //! Shards *partition* the entity population, so for any query sequence the
 //! global top-k is the top-k of the union of per-shard answer sets.  Every
-//! query fans the existing best-first executor ([`crate::engine::execute`])
-//! out across the shards (over rayon) and merges the per-shard exact top-k
-//! answers through the engine's shared ranking order
-//! ([`engine::merge_top_k`]): *(degree descending, entity id ascending)*.  The
-//! merged answer carries the **bitwise-identical degree vector** of a single
-//! unsharded index over the same traces, identical entities at every rank
-//! whose degree is strictly above the k-th (boundary) degree, and canonical
-//! ordering — i.e. it is fully bit-identical whenever the boundary degree is
-//! untied.  The one degree of freedom is shared by *all* exact paths of this
-//! crate (unsharded search vs brute force included): best-first pruning skips
-//! subtrees that cannot improve the k-th degree, so entities **tied exactly
-//! at the boundary** may be represented by different members per strategy.
-//! The conformance suite (`tests/shard_conformance.rs`) checks this contract
-//! against both the unsharded index and the brute-force oracle.  (Each shard
-//! derives its own hash range when the config leaves it data-driven; that is
-//! fine, because leaf evaluation computes degrees exactly from the sequences —
-//! signatures only ever *prune*.)
+//! query builds one **resumable executor** per shard
+//! ([`IndexSnapshot::executor`]) and drives them as a cooperative scheduler:
+//! worker threads (over rayon) repeatedly pull an executor from a shared
+//! round-robin queue, advance its frontier by one quantum
+//! ([`engine::Executor::step`]) and requeue it until every frontier is
+//! exhausted.  All executors of one query share a single
+//! [`SharedBound`] — an atomic, monotone max of every
+//! shard's local k-th-best degree — so a shard that holds none of the strong
+//! candidates learns the global bar from the shard that does and prunes its
+//! subtrees immediately, recovering the pruning power of the unsharded tree.
+//! The scheduler knobs (step quantum, publish policy, bound mode) live in
+//! [`SchedulerConfig`]; [`BoundMode::Independent`] reproduces the
+//! independent per-shard fan-out as a measurable baseline.
+//!
+//! ## Exactness of the fan-out
+//!
+//! Per-shard answers merge through the engine's shared ranking order
+//! ([`engine::merge_top_k`]): *(degree descending, entity id ascending)*.
+//! The merged answer is **fully bit-identical** to a single unsharded index
+//! over the same traces — and to the brute-force sort-and-truncate — ties at
+//! the k-th (boundary) degree included, for any shard count, any scheduling
+//! interleaving and any scheduler knobs.  Exactness is provable in two
+//! steps: the shared bound only ever holds local k-th thresholds, each of
+//! which is at most the *global* k-th degree (a shard's candidates are a
+//! subset of the population); and executors prune only subtrees whose upper
+//! bound is **strictly below** the bound in force (tie-complete pruning, see
+//! [`crate::engine`]), so every pruned entity is strictly outside the global
+//! top-k.  The conformance suite (`tests/shard_conformance.rs`) proptests
+//! this contract against both the unsharded index and the brute-force
+//! oracle, over arbitrary step quanta.  (Each shard derives its own hash
+//! range when the config leaves it data-driven; that is fine, because leaf
+//! evaluation computes degrees exactly from the sequences — signatures only
+//! ever *prune*.)
 //!
 //! ## Epoch vectors and snapshot consistency
 //!
@@ -66,19 +82,20 @@
 //! through re-saving over an existing directory, is always detected, never
 //! silently mis-answered.
 
-use crate::config::IndexConfig;
-use crate::engine;
+use crate::config::{BoundMode, IndexConfig, SchedulerConfig};
+use crate::engine::{self, Bound, Executor, InMemorySource, PrivateBound, SharedBound};
 use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::ingest::IngestBuffer;
 use crate::join::{collect_join_rows, JoinOptions, JoinRow, JoinStats};
 use crate::query::{QueryOptions, TopKResult};
+use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
-use crate::stats::SearchStats;
+use crate::stats::QueryStats;
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use trace_model::{
     AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, PresenceInstance, SpIndex,
@@ -322,7 +339,7 @@ impl ShardedMinSigIndex {
         query: EntityId,
         k: usize,
         measure: &M,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot().top_k(query, k, measure)
     }
 
@@ -334,8 +351,21 @@ impl ShardedMinSigIndex {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot().top_k_with_options(query, k, measure, options)
+    }
+
+    /// Answers a top-k query with explicit options and scheduler knobs; see
+    /// [`ShardedSnapshot::top_k_with_scheduler`].
+    pub fn top_k_with_scheduler<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.snapshot().top_k_with_scheduler(query, k, measure, options, scheduler)
     }
 
     /// Answers every query of a batch; see [`ShardedSnapshot::top_k_batch`].
@@ -344,7 +374,7 @@ impl ShardedMinSigIndex {
         queries: &[EntityId],
         k: usize,
         measure: &M,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         self.snapshot().top_k_batch(queries, k, measure)
     }
 
@@ -355,7 +385,7 @@ impl ShardedMinSigIndex {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         self.snapshot().top_k_batch_with_options(queries, k, measure, options)
     }
 
@@ -422,29 +452,49 @@ impl ShardedSnapshot {
         query: EntityId,
         k: usize,
         measure: &M,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.top_k_with_options(query, k, measure, QueryOptions::default())
     }
 
-    /// Answers a top-k query for an indexed entity with explicit options.
+    /// Answers a top-k query for an indexed entity with explicit options and
+    /// the default cooperative [`SchedulerConfig`].
     ///
     /// The query entity is looked up in its home shard only
     /// ([`IndexError::UnknownQueryEntity`] when absent); its sequence is then
-    /// probed against **every** shard through the shared best-first executor
-    /// and the per-shard exact answers are merged under the engine's total
-    /// order.  The merged results equal the unsharded answer — same degree
-    /// vector bitwise, same entities at every strictly-separated rank (see
-    /// the [module docs](crate::shard) for the boundary-tie caveat); the
-    /// stats sum the per-shard search work.
+    /// probed against **every** shard through cooperatively scheduled
+    /// per-shard executors sharing one global bound, and the per-shard exact
+    /// answers are merged under the engine's total order.  The merged results
+    /// are **fully bit-identical** to the unsharded answer — degree vector,
+    /// entities and ordering, boundary ties included (see the
+    /// [module docs](crate::shard) for the proof sketch); the stats sum the
+    /// per-shard search work.
     pub fn top_k_with_options<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         query: EntityId,
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.top_k_with_scheduler(query, k, measure, options, SchedulerConfig::default())
+    }
+
+    /// [`top_k_with_options`](Self::top_k_with_options) with explicit
+    /// scheduler knobs (step quantum, bound publish policy, bound mode).
+    ///
+    /// The scheduler cannot change any answer — only the work counters of
+    /// the returned [`QueryStats`] and the wall-clock time; pass
+    /// [`SchedulerConfig::independent`] to measure the non-cooperative
+    /// per-shard baseline.
+    pub fn top_k_with_scheduler<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-        self.fan_out(seq, Some(query), k, measure, options, true)
+        self.fan_out(seq, Some(query), k, measure, options, true, scheduler)
     }
 
     /// Answers a top-k query for an arbitrary (possibly external) query
@@ -456,8 +506,8 @@ impl ShardedSnapshot {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
-        self.fan_out(query, exclude, k, measure, options, true)
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.fan_out(query, exclude, k, measure, options, true, SchedulerConfig::default())
     }
 
     /// Answers the top-k query for every query entity of a batch, in
@@ -469,28 +519,42 @@ impl ShardedSnapshot {
         queries: &[EntityId],
         k: usize,
         measure: &M,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         self.top_k_batch_with_options(queries, k, measure, QueryOptions::default())
     }
 
     /// [`top_k_batch`](Self::top_k_batch) with explicit query options.
-    ///
-    /// Parallelism is over the *queries* (the batch is the wider axis); each
-    /// query's shard fan-out runs sequentially on its worker to avoid nested
-    /// thread fan-out.  Results are identical either way.
     pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         queries: &[EntityId],
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<Vec<(Vec<TopKResult>, SearchStats)>> {
-        let answers: Vec<Result<(Vec<TopKResult>, SearchStats)>> = queries
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        self.top_k_batch_with_scheduler(queries, k, measure, options, SchedulerConfig::default())
+    }
+
+    /// [`top_k_batch`](Self::top_k_batch) with explicit query options and
+    /// scheduler knobs.
+    ///
+    /// Parallelism is over the *queries* (the batch is the wider axis); each
+    /// query's per-shard executors are then interleaved sequentially on its
+    /// worker — still cooperatively, sharing one bound per query — to avoid
+    /// nested thread fan-out.  Results are identical either way.
+    pub fn top_k_batch_with_scheduler<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        let answers: Vec<Result<(Vec<TopKResult>, QueryStats)>> = queries
             .par_iter()
             .map(|&query| {
                 let seq =
                     self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-                self.fan_out(seq, Some(query), k, measure, options, false)
+                self.fan_out(seq, Some(query), k, measure, options, false, scheduler)
             })
             .collect();
         answers.into_iter().collect()
@@ -522,7 +586,8 @@ impl ShardedSnapshot {
         options: JoinOptions,
     ) -> Option<JoinRow> {
         let seq = self.sequence(probe)?;
-        match self.fan_out(seq, Some(probe), options.k, measure, options.query, false) {
+        let scheduler = SchedulerConfig::default();
+        match self.fan_out(seq, Some(probe), options.k, measure, options.query, false, scheduler) {
             Ok((matches, stats)) => Some(JoinRow { probe, matches, stats }),
             Err(_) => None,
         }
@@ -550,7 +615,10 @@ impl ShardedSnapshot {
         Ok(engine::merge_top_k(k, parts))
     }
 
-    /// The cross-shard fan-out and exact merge shared by every query path.
+    /// The cooperative cross-shard fan-out and exact merge shared by every
+    /// query path: one resumable executor per shard, interleaved in quanta,
+    /// pruning against one query-global bound.
+    #[allow(clippy::too_many_arguments)]
     fn fan_out<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         query: &CellSetSequence,
@@ -559,37 +627,100 @@ impl ShardedSnapshot {
         measure: &M,
         options: QueryOptions,
         parallel: bool,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+        scheduler: SchedulerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        scheduler.validate()?;
         let start = Instant::now();
-        let per_shard: Vec<Result<(Vec<TopKResult>, SearchStats)>> =
-            if parallel && self.shards.len() > 1 {
-                self.shards
-                    .par_iter()
-                    .map(|shard| shard.top_k_for_sequence(query, exclude, k, measure, options))
-                    .collect()
-            } else {
-                self.shards
-                    .iter()
-                    .map(|shard| shard.top_k_for_sequence(query, exclude, k, measure, options))
-                    .collect()
-            };
+        let mut executors: Vec<Executor<'_, SeededHashFamily, InMemorySource<'_>, M>> =
+            Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            executors.push(
+                shard
+                    .executor(query, exclude, k, measure, options)?
+                    .with_publish_policy(scheduler.publish_policy),
+            );
+        }
+        // A single executor can only share a bound with itself; its local
+        // threshold already carries the same information, so skip the atomic
+        // churn (1-shard cooperative == 1-shard independent, exactly).
+        match scheduler.bound_mode {
+            BoundMode::Shared if executors.len() > 1 => {
+                drive_cooperatively(
+                    &mut executors,
+                    &SharedBound::new(),
+                    parallel,
+                    scheduler.step_quantum,
+                );
+            }
+            _ => {
+                drive_cooperatively(&mut executors, &PrivateBound, parallel, scheduler.step_quantum)
+            }
+        }
 
-        let mut stats = SearchStats { k, ..SearchStats::default() };
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for answer in per_shard {
-            let (results, shard_stats) = answer?;
-            stats.total_entities += shard_stats.total_entities;
-            stats.nodes_visited += shard_stats.nodes_visited;
-            stats.leaves_visited += shard_stats.leaves_visited;
-            stats.entities_checked += shard_stats.entities_checked;
-            stats.simulated_io_us += shard_stats.simulated_io_us;
-            stats.pool_misses += shard_stats.pool_misses;
+        let mut stats = QueryStats { k, ..QueryStats::default() };
+        let mut parts = Vec::with_capacity(executors.len());
+        for executor in executors {
+            let (results, executor_stats) = executor.finish();
+            stats.absorb_work(&executor_stats);
             parts.push(results);
         }
         let results = engine::merge_top_k(k, parts);
         stats.query_time_us = start.elapsed().as_micros() as u64;
         Ok((results, stats))
     }
+}
+
+/// Drives a set of per-shard executors to exhaustion under one shared bound.
+///
+/// Scheduling is a round-robin work queue of executor indices: each worker
+/// pops an index, advances that executor by one quantum, and requeues it
+/// while work remains.  `parallel` fans the workers out over rayon (bound
+/// propagation is then concurrent); otherwise one worker interleaves every
+/// executor on the calling thread — later quanta still profit from bounds
+/// published by earlier ones, which is what makes even the sequential batch
+/// paths cooperative.  An executor held by a worker is never in the queue,
+/// and a worker only exits on an empty queue while holding nothing, so every
+/// frontier reaches exhaustion before this returns.  The answers do not
+/// depend on the schedule (see the module docs); only work counters do.
+fn drive_cooperatively<'a, F, S, M, B>(
+    executors: &mut [Executor<'a, F, S, M>],
+    bound: &B,
+    parallel: bool,
+    quantum: usize,
+) where
+    F: crate::signature::CellHashFamily,
+    S: engine::TraceSource,
+    M: AssociationMeasure + ?Sized + Sync,
+    B: Bound + ?Sized,
+    Executor<'a, F, S, M>: Send,
+{
+    let workers =
+        if parallel { rayon::current_num_threads().min(executors.len()) } else { 1 }.max(1);
+    if workers <= 1 || executors.len() <= 1 {
+        let mut pending: VecDeque<usize> = (0..executors.len()).collect();
+        while let Some(i) = pending.pop_front() {
+            if executors[i].step(bound, quantum) {
+                pending.push_back(i);
+            }
+        }
+        return;
+    }
+
+    let slots: Vec<Mutex<&mut Executor<'a, F, S, M>>> =
+        executors.iter_mut().map(Mutex::new).collect();
+    let pending: Mutex<VecDeque<usize>> = Mutex::new((0..slots.len()).collect());
+    let worker_ids: Vec<usize> = (0..workers).collect();
+    let _: Vec<()> = worker_ids
+        .par_iter()
+        .map(|_| loop {
+            let next = pending.lock().expect("scheduler queue poisoned").pop_front();
+            let Some(i) = next else { break };
+            let more = slots[i].lock().expect("executor slot poisoned").step(bound, quantum);
+            if more {
+                pending.lock().expect("scheduler queue poisoned").push_back(i);
+            }
+        })
+        .collect();
 }
 
 impl IngestBuffer {

@@ -18,7 +18,7 @@ use crate::engine::{self, InMemorySource};
 use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
-use crate::stats::SearchStats;
+use crate::stats::QueryStats;
 use crate::tree::MinSigTree;
 use std::collections::BTreeMap;
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
@@ -152,7 +152,7 @@ impl IndexSnapshot {
         query: EntityId,
         k: usize,
         measure: &M,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.top_k_with_options(query, k, measure, QueryOptions::default())
     }
 
@@ -163,7 +163,7 @@ impl IndexSnapshot {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         let seq = self.sequences.get(&query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
         self.top_k_for_sequence(seq, Some(query), k, measure, options)
     }
@@ -178,7 +178,7 @@ impl IndexSnapshot {
         k: usize,
         measure: &M,
         options: QueryOptions,
-    ) -> Result<(Vec<TopKResult>, SearchStats)> {
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         let source = InMemorySource::new(&self.sequences);
         engine::execute(
             &self.sp,
@@ -189,6 +189,37 @@ impl IndexSnapshot {
             k,
             measure,
             &source,
+            options,
+        )
+    }
+
+    /// Builds a **resumable** best-first executor over this snapshot's tree
+    /// and in-memory sequences, its frontier seeded at the root.
+    ///
+    /// This is the building block of cooperative scheduling
+    /// ([`crate::shard`]): the caller drives the returned
+    /// [`Executor`](engine::Executor) in quanta via
+    /// [`step`](engine::Executor::step), interleaving it with executors over
+    /// other snapshots and sharing a [`Bound`](engine::Bound) between them.
+    /// Driving it to exhaustion under an inert bound reproduces
+    /// [`top_k_for_sequence`](Self::top_k_for_sequence) exactly.
+    pub fn executor<'a, M: AssociationMeasure + ?Sized>(
+        &'a self,
+        query: &'a CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &'a M,
+        options: QueryOptions,
+    ) -> Result<engine::Executor<'a, SeededHashFamily, InMemorySource<'a>, M>> {
+        engine::Executor::new(
+            &self.sp,
+            &self.hasher,
+            &self.tree,
+            query,
+            exclude,
+            k,
+            measure,
+            InMemorySource::new(&self.sequences),
             options,
         )
     }

@@ -22,19 +22,43 @@ pub struct IndexStats {
 }
 
 /// Statistics of one top-k query (Definition 5 and the complement convention used
-/// throughout the experiment harness).
+/// throughout the experiment harness), instrumented down to the executor's
+/// frontier: how many subtrees were visited, how many were pruned by the
+/// active [`Bound`](crate::engine::Bound), and how often this search raised a
+/// shared bound.
+///
+/// On a sharded query the counters are the **sums over every per-shard
+/// executor**, so the pruning effect of cooperative bound sharing is directly
+/// comparable against independent per-shard execution (same workload, same
+/// answers — strictly fewer `nodes_visited` / strictly more
+/// `subtrees_pruned` when the shared bound bites).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct SearchStats {
+pub struct QueryStats {
     /// Total number of indexed entities (`|E|`).
     pub total_entities: usize,
     /// Requested result size `k`.
     pub k: usize,
-    /// Tree nodes popped from the candidate queue.
+    /// Tree nodes popped from the candidate queue and expanded or evaluated.
     pub nodes_visited: usize,
     /// Leaf nodes whose entities were evaluated exactly.
     pub leaves_visited: usize,
     /// Entities whose exact association degree was computed (`|E'|`).
     pub entities_checked: usize,
+    /// Candidate subtrees discarded because their upper bound could no longer
+    /// beat the best known k-th degree (local or shared) — work the bound
+    /// saved.  Every queued candidate is eventually counted either here or in
+    /// [`nodes_visited`](Self::nodes_visited).
+    pub subtrees_pruned: usize,
+    /// Times this search *raised* the bound it was executing under (always 0
+    /// under a private bound; under a [`SharedBound`](crate::engine::SharedBound)
+    /// each count is a k-th-degree improvement published to the other
+    /// executors).
+    pub bound_updates: u64,
+    /// Resumable-frontier quanta executed ([`Executor::step`] calls that did
+    /// work; a run-to-completion search counts its single sweep as 1).
+    ///
+    /// [`Executor::step`]: crate::engine::Executor::step
+    pub steps: usize,
     /// Simulated I/O latency accumulated while reading candidate traces
     /// (paged queries only), in microseconds.
     pub simulated_io_us: u64,
@@ -44,7 +68,11 @@ pub struct SearchStats {
     pub query_time_us: u64,
 }
 
-impl SearchStats {
+/// Former name of [`QueryStats`]; kept as an alias so existing callers and
+/// persisted call sites keep compiling unchanged.
+pub type SearchStats = QueryStats;
+
+impl QueryStats {
     /// Definition 5: `(|E'| - k) / |E|` — the fraction of entities that had to be
     /// checked beyond the k returned ones (lower is better).
     pub fn fraction_checked(&self) -> f64 {
@@ -62,6 +90,21 @@ impl SearchStats {
     pub fn pruning_effectiveness(&self) -> f64 {
         (1.0 - self.fraction_checked()).clamp(0.0, 1.0)
     }
+
+    /// Accumulates another search's work counters into this one (used by the
+    /// sharded fan-out to sum per-shard executor stats; wall-clock fields are
+    /// left alone because concurrent executors' times overlap).
+    pub fn absorb_work(&mut self, other: &QueryStats) {
+        self.total_entities += other.total_entities;
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.entities_checked += other.entities_checked;
+        self.subtrees_pruned += other.subtrees_pruned;
+        self.bound_updates += other.bound_updates;
+        self.steps += other.steps;
+        self.simulated_io_us += other.simulated_io_us;
+        self.pool_misses += other.pool_misses;
+    }
 }
 
 #[cfg(test)]
@@ -70,11 +113,11 @@ mod tests {
 
     #[test]
     fn fractions_are_consistent() {
-        let stats = SearchStats {
+        let stats = QueryStats {
             total_entities: 1000,
             k: 10,
             entities_checked: 110,
-            ..SearchStats::default()
+            ..QueryStats::default()
         };
         assert!((stats.fraction_checked() - 0.1).abs() < 1e-12);
         assert!((stats.pruning_effectiveness() - 0.9).abs() < 1e-12);
@@ -82,23 +125,49 @@ mod tests {
 
     #[test]
     fn degenerate_cases_do_not_divide_by_zero() {
-        let empty = SearchStats::default();
+        let empty = QueryStats::default();
         assert_eq!(empty.fraction_checked(), 0.0);
         assert_eq!(empty.pruning_effectiveness(), 1.0);
         // Checking fewer than k entities (tiny datasets) never goes negative.
         let tiny =
-            SearchStats { total_entities: 5, k: 10, entities_checked: 5, ..SearchStats::default() };
+            QueryStats { total_entities: 5, k: 10, entities_checked: 5, ..QueryStats::default() };
         assert_eq!(tiny.fraction_checked(), 0.0);
     }
 
     #[test]
     fn checking_everything_gives_zero_pe() {
-        let stats = SearchStats {
+        let stats = QueryStats {
             total_entities: 100,
             k: 0,
             entities_checked: 100,
-            ..SearchStats::default()
+            ..QueryStats::default()
         };
         assert!((stats.pruning_effectiveness() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_work_sums_counters_but_not_wall_clock() {
+        let mut a = QueryStats {
+            nodes_visited: 3,
+            subtrees_pruned: 1,
+            bound_updates: 2,
+            steps: 1,
+            query_time_us: 10,
+            ..QueryStats::default()
+        };
+        let b = QueryStats {
+            nodes_visited: 5,
+            subtrees_pruned: 4,
+            bound_updates: 1,
+            steps: 2,
+            query_time_us: 99,
+            ..QueryStats::default()
+        };
+        a.absorb_work(&b);
+        assert_eq!(a.nodes_visited, 8);
+        assert_eq!(a.subtrees_pruned, 5);
+        assert_eq!(a.bound_updates, 3);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.query_time_us, 10, "wall clock is not summed");
     }
 }

@@ -18,9 +18,12 @@
 //!   associations: itinerary-sharing pairs, and celebrity heavy-hitters over
 //!   tiny single-cell pairs;
 //! * **adversarial** ([`Workload::all_identical`],
-//!   [`Workload::one_cell_pileup`], [`Workload::degenerate_mix`]) — the
-//!   degenerate shapes that historically break top-k indexes: all-ties
-//!   populations, one massively shared cell, empty and single-cell traces.
+//!   [`Workload::one_cell_pileup`], [`Workload::degenerate_mix`],
+//!   [`Workload::pruning_adversarial`]) — the degenerate shapes that
+//!   historically break top-k indexes: all-ties populations, one massively
+//!   shared cell, empty and single-cell traces, and the sharding-skew
+//!   population where one shard holds every top-k entity (the best and worst
+//!   cases of cooperative bound sharing).
 //!
 //! Generation is fully deterministic: the same config (including its `seed`)
 //! produces the same workload on every machine and every run, so a failing
@@ -227,6 +230,48 @@ impl Default for StreamConfig {
     }
 }
 
+/// Configuration of [`Workload::pruning_adversarial`] — the workload that
+/// makes cross-shard bound sharing matter most (and least).
+///
+/// A *hot* clique of high-overlap entities is planted so that **every** hot
+/// id routes to one single shard under [`shard_of`](crate::shard::shard_of)
+/// with `num_shards` shards; a *cold* background of weakly-associated
+/// entities fills the remaining shards.  Querying a hot entity is the shared
+/// bound's best case: the hot shard saturates the global k-th degree almost
+/// immediately, and every cold shard should prune its whole tree against the
+/// published bound instead of grinding to its own (far lower) local
+/// threshold.  Querying a cold entity is the worst case: all thresholds stay
+/// low and sharing buys little — the overhead side of the trade.
+#[derive(Debug, Clone)]
+pub struct PruningAdversarialConfig {
+    /// The shard count the hot clique is aimed at: all hot entity ids route
+    /// to one shard when the workload is built with this many shards.
+    pub num_shards: usize,
+    /// Number of hot (high-overlap) entities.
+    pub hot_entities: u64,
+    /// Number of cold (weak-overlap) background entities.
+    pub cold_entities: u64,
+    /// Length of the shared hot itinerary in ST-cells.
+    pub itinerary_steps: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for PruningAdversarialConfig {
+    fn default() -> Self {
+        PruningAdversarialConfig {
+            num_shards: 4,
+            hot_entities: 12,
+            cold_entities: 48,
+            itinerary_steps: 6,
+            hierarchy: HierarchySpec::default(),
+            seed: 0,
+        }
+    }
+}
+
 /// A generated population: the hierarchy it lives in plus its trace set.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -403,6 +448,97 @@ impl Workload {
         Workload { sp, traces }
     }
 
+    /// Adversarial for sharded pruning: one shard holds **all** top-k
+    /// entities of a hot query, the other shards only weak decoys.
+    ///
+    /// Returns the workload plus the hot entity ids (ascending) — all of
+    /// which route to the same shard when sharded `config.num_shards` ways.
+    /// Hot entities share one itinerary (plus per-entity noise that keeps
+    /// their degrees distinct-but-high); each cold entity touches exactly one
+    /// itinerary cell, so its association with a hot query is weak but
+    /// non-zero, and gets its own noise cells.  See
+    /// [`PruningAdversarialConfig`] for how the best/worst cases of the
+    /// shared bound are exercised.
+    pub fn pruning_adversarial(config: PruningAdversarialConfig) -> (Workload, Vec<EntityId>) {
+        assert!(config.num_shards > 0, "the hot clique needs a shard to live in");
+        assert!(config.hot_entities >= 2, "a clique of one has no associations");
+        assert!(config.itinerary_steps >= 1, "the hot itinerary cannot be empty");
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+
+        // Partition candidate ids by their home shard under the configured
+        // shard count; the hot clique gets ids routing to the shard of id 0.
+        let hot_shard = crate::shard::shard_of(EntityId(0), config.num_shards);
+        let mut hot: Vec<EntityId> = Vec::with_capacity(config.hot_entities as usize);
+        let mut cold: Vec<EntityId> = Vec::with_capacity(config.cold_entities as usize);
+        let mut next_id = 0u64;
+        while (hot.len() as u64) < config.hot_entities || (cold.len() as u64) < config.cold_entities
+        {
+            let id = EntityId(next_id);
+            next_id += 1;
+            let home = crate::shard::shard_of(id, config.num_shards);
+            if home == hot_shard && (hot.len() as u64) < config.hot_entities {
+                hot.push(id);
+            } else if (home != hot_shard || config.num_shards == 1)
+                && (cold.len() as u64) < config.cold_entities
+            {
+                cold.push(id);
+            }
+        }
+
+        // The shared hot itinerary, strictly before the noise window.
+        let itinerary: Vec<(u32, u64)> = (0..config.itinerary_steps)
+            .map(|step| {
+                let unit = base[rng.below(base.len() as u64) as usize];
+                (unit, step * 2 * TICKS_PER_UNIT)
+            })
+            .collect();
+        let noise_start = config.itinerary_steps * 2 * TICKS_PER_UNIT;
+
+        for (i, &entity) in hot.iter().enumerate() {
+            for &(unit, start) in &itinerary {
+                traces.record(PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+            // Light per-entity noise keeps hot degrees high but distinct.
+            for n in 0..(i as u64 % 3) {
+                let unit = base[rng.below(base.len() as u64) as usize];
+                let start = noise_start + (i as u64 * 5 + n) * TICKS_PER_UNIT;
+                traces.record(PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+        for (i, &entity) in cold.iter().enumerate() {
+            // One itinerary cell: weak but non-zero association with the
+            // clique, so cold shards cannot trivially return empty answers.
+            let (unit, start) = itinerary[i % itinerary.len()];
+            traces.record(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+            ));
+            // Heavy private noise dilutes the cold entity's ratio degrees.
+            for n in 0..4u64 {
+                let unit = base[rng.below(base.len() as u64) as usize];
+                let start = noise_start + (i as u64 * 11 + n * 3) * TICKS_PER_UNIT;
+                traces.record(PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+        (Workload { sp, traces }, hot)
+    }
+
     /// Builds a [`MinSigIndex`] over this workload.
     pub fn build_index(&self, config: IndexConfig) -> MinSigIndex {
         MinSigIndex::build(&self.sp, &self.traces, config).expect("workload index builds")
@@ -451,22 +587,19 @@ impl Workload {
     }
 }
 
-/// Asserts that two *exact* top-k answers are equivalent.
+/// Asserts that two *exact* top-k answers are **fully bit-identical**.
 ///
-/// Exactness in this codebase pins the answer almost everywhere, with one
-/// documented degree of freedom: a best-first search prunes subtrees whose
-/// upper bound cannot **improve** the current k-th degree, which includes
-/// subtrees tying it — so when several entities tie exactly at the k-th
-/// (boundary) degree, different execution strategies (unsharded vs sharded
-/// vs brute force) may legitimately return different members of the tied set.
-/// Everything else is fully determined.  Concretely this asserts:
+/// Exactness in this codebase pins the answer completely: every exact path
+/// (unsharded best-first, sharded cooperative or independent, paged, brute
+/// force) ranks under the total order *(degree descending, entity id
+/// ascending)* and prunes **strictly** — a subtree tying the k-th threshold
+/// is still expanded, so boundary-tied entities are tie-broken by id, not by
+/// execution strategy (see `minsig::engine`, "tie-complete pruning").
+/// Concretely this asserts:
 ///
-/// * identical lengths and **bitwise-identical degree vectors** (the top-k
-///   degree multiset is unique, and degrees are computed exactly from the
-///   sequences on every path);
-/// * identical entities at every rank whose degree is strictly above the
-///   boundary degree — when the boundary is untied the answers are therefore
-///   fully bit-identical;
+/// * identical lengths and **bitwise-identical degree vectors** (degrees are
+///   computed exactly from the sequences on every path);
+/// * identical entities at **every** rank, ties at the boundary included;
 /// * canonical *(degree descending, entity id ascending)* ordering within
 ///   each answer.
 pub fn assert_equivalent_answers(a: &[TopKResult], b: &[TopKResult], context: &str) {
@@ -480,12 +613,7 @@ pub fn assert_equivalent_answers(a: &[TopKResult], b: &[TopKResult], context: &s
             x.degree,
             y.degree
         );
-    }
-    let Some(boundary) = a.last().map(|r| r.degree) else { return };
-    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-        if x.degree > boundary {
-            assert_eq!(x.entity, y.entity, "{context}: entity at strictly-separated rank {i}");
-        }
+        assert_eq!(x.entity, y.entity, "{context}: entity at rank {i} differs");
     }
 }
 
@@ -613,6 +741,40 @@ mod tests {
         let lens: Vec<usize> =
             same.entities().iter().map(|&e| same.traces.get(e).unwrap().len()).collect();
         assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn pruning_adversarial_plants_a_one_shard_hot_clique() {
+        let config = PruningAdversarialConfig::default();
+        let shards = config.num_shards;
+        let (w, hot) = Workload::pruning_adversarial(config.clone());
+        assert_eq!(hot.len() as u64, config.hot_entities);
+        assert_eq!(
+            w.traces.num_entities() as u64,
+            config.hot_entities + config.cold_entities,
+            "hot + cold entities are all indexed"
+        );
+        // Every hot entity routes to one single shard under the configured
+        // shard count.
+        let home = crate::shard::shard_of(hot[0], shards);
+        for &entity in &hot {
+            assert_eq!(crate::shard::shard_of(entity, shards), home, "{entity}");
+        }
+        // A hot query's entire top-k lives in the hot clique (= that shard).
+        let sharded = crate::shard::ShardedMinSigIndex::build(
+            &w.sp,
+            &w.traces,
+            IndexConfig::with_hash_functions(32),
+            shards,
+        )
+        .unwrap();
+        let k = hot.len() - 1;
+        let (results, _) = sharded.top_k(hot[0], k, &w.measure()).unwrap();
+        assert_eq!(results.len(), k);
+        let hot_set: std::collections::BTreeSet<EntityId> = hot.iter().copied().collect();
+        for r in &results {
+            assert!(hot_set.contains(&r.entity), "{} is not a hot entity", r.entity);
+        }
     }
 
     #[test]

@@ -15,11 +15,16 @@
 //!
 //! ## Architecture: one executor, many drivers
 //!
-//! Every query path — exact, paged, join/batch and approximate — runs through
-//! a single best-first executor (`minsig::engine`), parameterised over a
-//! `TraceSource` that says where candidate trace sequences come from during
-//! leaf evaluation: `InMemorySource` borrows the index snapshot's sequence
-//! map, `PagedSource` reads raw traces through the `storage` buffer pool.
+//! Every query path — exact, paged, join/batch, sharded and approximate —
+//! runs through a single **resumable** best-first executor
+//! (`minsig::engine::Executor`), parameterised over a `TraceSource` that says
+//! where candidate trace sequences come from during leaf evaluation
+//! (`InMemorySource` borrows the index snapshot's sequence map, `PagedSource`
+//! reads raw traces through the `storage` buffer pool) and over a `Bound` —
+//! the k-th-degree threshold candidates must beat.  The sharded index drives
+//! one executor per shard as a cooperative scheduler sharing one atomic
+//! `SharedBound` per query, so cross-shard answers keep the pruning power of
+//! a single tree while staying bitwise identical to unsharded execution.
 //!
 //! The index itself is split into an immutable, `Arc`-shareable
 //! [`IndexSnapshot`] and the mutable [`MinSigIndex`] handle around it:
@@ -90,8 +95,9 @@ pub mod harness {
 }
 
 pub use minsig::{
-    IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, QueryOptions, SearchStats,
-    ShardedMinSigIndex, ShardedSnapshot, TopKResult, TraceSource,
+    BoundMode, IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, PublishPolicy, QueryOptions,
+    QueryStats, SchedulerConfig, SearchStats, ShardedMinSigIndex, ShardedSnapshot, TopKResult,
+    TraceSource,
 };
 pub use trace_model::{
     AssociationMeasure, DiceAdm, DigitalTrace, EntityId, JaccardAdm, PaperAdm, Period,

@@ -79,9 +79,9 @@ fn heavily_skewed_population() {
 #[test]
 fn adversarial_shapes_survive_the_sharded_fan_out() {
     // The same degenerate populations, served through shards: the sharded
-    // fan-out must keep the exact degree vector and ordering of the unsharded
-    // index — these shapes maximise boundary ties, the one legitimate degree
-    // of freedom between execution strategies.
+    // fan-out must answer fully bit-identically to the unsharded index —
+    // these shapes maximise boundary ties, which tie-complete pruning pins
+    // by entity id on every execution strategy.
     let workloads = [
         Workload::all_identical(30, HierarchySpec::new(2, &[3])),
         Workload::one_cell_pileup(49, HierarchySpec::new(2, &[4])),

@@ -1,0 +1,203 @@
+//! The cooperative bound-sharing executor from the outside: resumable
+//! stepping is answer- and work-invariant, scheduler knobs never change
+//! answers, and a [`SharedBound`] provably *saves* work against the
+//! independent per-shard baseline on skewed (one-shard-holds-the-top-k)
+//! populations — the contract behind the `shard_scaling` bench.
+
+use digital_traces::index::engine::PrivateBound;
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, PruningAdversarialConfig, UniformConfig, Workload,
+};
+use digital_traces::index::{
+    shard_of, BoundMode, IndexConfig, PublishPolicy, QueryOptions, QueryStats, SchedulerConfig,
+    ShardedMinSigIndex,
+};
+use digital_traces::EntityId;
+
+/// Stepping an [`Executor`](digital_traces::index::Executor) with any quantum
+/// reproduces the one-shot search exactly: same answers bitwise, same work
+/// counters — resumability is free.
+#[test]
+fn stepped_execution_matches_one_shot() {
+    let w = Workload::uniform(UniformConfig { entities: 48, visits: 5, ..Default::default() });
+    let index = w.build_index(IndexConfig::with_hash_functions(24));
+    let measure = w.measure();
+    let snapshot = index.snapshot();
+    for query in [0u64, 7, 23, 41] {
+        let query = EntityId(query);
+        let (expect, expect_stats) = index.top_k(query, 5, &measure).unwrap();
+        for quantum in [1usize, 3, 17, usize::MAX] {
+            let seq = snapshot.sequence(query).unwrap();
+            let mut executor =
+                snapshot.executor(seq, Some(query), 5, &measure, QueryOptions::default()).unwrap();
+            while executor.step(&PrivateBound, quantum) {
+                assert!(!executor.is_exhausted());
+            }
+            assert!(executor.is_exhausted());
+            assert!(!executor.step(&PrivateBound, quantum), "exhausted executors stay exhausted");
+            let (got, stats) = executor.finish();
+            assert_eq!(got, expect, "quantum {quantum}, query {query}");
+            assert_eq!(stats.nodes_visited, expect_stats.nodes_visited, "quantum {quantum}");
+            assert_eq!(stats.leaves_visited, expect_stats.leaves_visited, "quantum {quantum}");
+            assert_eq!(stats.entities_checked, expect_stats.entities_checked);
+            assert_eq!(stats.subtrees_pruned, expect_stats.subtrees_pruned);
+            assert_eq!(stats.bound_updates, 0, "a private bound accepts nothing");
+            if quantum == 1 {
+                assert!(
+                    stats.steps >= stats.nodes_visited,
+                    "quantum 1 pays one step per visited node"
+                );
+            }
+        }
+    }
+}
+
+/// One deterministic cooperative run (batch path: sequential round-robin
+/// per-shard interleaving) of a query over the skew workload.
+fn run_skewed(
+    snapshot: &digital_traces::ShardedSnapshot,
+    query: EntityId,
+    k: usize,
+    measure: &digital_traces::PaperAdm,
+    bound_mode: BoundMode,
+) -> (Vec<digital_traces::TopKResult>, QueryStats) {
+    let scheduler = SchedulerConfig {
+        step_quantum: 4,
+        publish_policy: PublishPolicy::EveryImprovement,
+        bound_mode,
+    };
+    snapshot
+        .top_k_batch_with_scheduler(&[query], k, measure, QueryOptions::default(), scheduler)
+        .unwrap()
+        .remove(0)
+}
+
+/// The satellite stats contract: on a population where one shard holds the
+/// whole top-k, a [`SharedBound`](digital_traces::index::SharedBound) visits
+/// no more (here: strictly fewer) frontier nodes and checks no more entities
+/// than independent per-shard executors, prunes strictly more subtrees, and
+/// publishes at least one bound update — with bitwise-identical answers.
+#[test]
+fn shared_bound_saves_work_on_skewed_shards() {
+    let config = PruningAdversarialConfig::default();
+    let shards = config.num_shards;
+    let (w, hot) = Workload::pruning_adversarial(config);
+    let sharded =
+        ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(32), shards)
+            .unwrap();
+    let snapshot = sharded.snapshot();
+    let measure = w.measure();
+    let k = 5;
+
+    // Best case: a hot query — the hot shard saturates the global bound
+    // almost immediately and every cold shard should prune wholesale.
+    let (shared_results, shared) = run_skewed(&snapshot, hot[0], k, &measure, BoundMode::Shared);
+    let (indep_results, indep) = run_skewed(&snapshot, hot[0], k, &measure, BoundMode::Independent);
+    assert_eq!(shared_results, indep_results, "bound sharing never changes answers");
+    assert!(
+        shared.nodes_visited < indep.nodes_visited,
+        "cooperative must visit strictly fewer nodes on the skewed workload \
+         ({} vs {})",
+        shared.nodes_visited,
+        indep.nodes_visited
+    );
+    assert!(
+        shared.entities_checked <= indep.entities_checked,
+        "{} vs {}",
+        shared.entities_checked,
+        indep.entities_checked
+    );
+    assert!(
+        shared.subtrees_pruned > indep.subtrees_pruned,
+        "the shared bound must cut subtrees the private thresholds cannot \
+         ({} vs {})",
+        shared.subtrees_pruned,
+        indep.subtrees_pruned
+    );
+    assert!(shared.bound_updates >= 1, "the hot shard publishes its threshold");
+    assert_eq!(indep.bound_updates, 0, "independent executors never publish");
+
+    // Worst case: a cold query — sharing may not help, but it must never
+    // cost visits (an executor under a higher bound stops no later) and
+    // never change the answer.
+    let cold = w
+        .entities()
+        .into_iter()
+        .find(|&e| shard_of(e, shards) != shard_of(hot[0], shards))
+        .expect("the workload plants cold entities on other shards");
+    let (shared_cold_results, shared_cold) =
+        run_skewed(&snapshot, cold, k, &measure, BoundMode::Shared);
+    let (indep_cold_results, indep_cold) =
+        run_skewed(&snapshot, cold, k, &measure, BoundMode::Independent);
+    assert_eq!(shared_cold_results, indep_cold_results);
+    assert!(shared_cold.nodes_visited <= indep_cold.nodes_visited);
+    assert!(shared_cold.entities_checked <= indep_cold.entities_checked);
+}
+
+/// Every scheduler knob combination over the adversarial workload returns
+/// the bitwise unsharded answer — including the all-ties population, where
+/// tie-complete pruning is what keeps the k-th boundary pinned.
+#[test]
+fn scheduler_knobs_are_answer_invariant_on_adversarial_workloads() {
+    let (skew, hot) = Workload::pruning_adversarial(PruningAdversarialConfig::default());
+    let ties = Workload::all_identical(12, Default::default());
+    for (w, queries, shards) in
+        [(&skew, vec![hot[0], hot[2]], 4usize), (&ties, vec![EntityId(0), EntityId(7)], 3)]
+    {
+        let config = IndexConfig::with_hash_functions(16);
+        let unsharded = w.build_index(config);
+        let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let snapshot = sharded.snapshot();
+        let measure = w.measure();
+        for &query in &queries {
+            let (expect, _) = unsharded.top_k(query, 4, &measure).unwrap();
+            let oracle = unsharded.brute_force(query, 4, &measure).unwrap();
+            assert_equivalent_answers(&expect, &oracle, &format!("unsharded vs oracle, {query}"));
+            for quantum in [1usize, 2, 7, 64, usize::MAX] {
+                for publish_policy in [PublishPolicy::EveryImprovement, PublishPolicy::PerQuantum] {
+                    for bound_mode in [BoundMode::Shared, BoundMode::Independent] {
+                        let scheduler =
+                            SchedulerConfig { step_quantum: quantum, publish_policy, bound_mode };
+                        let (got, _) = snapshot
+                            .top_k_with_scheduler(
+                                query,
+                                4,
+                                &measure,
+                                QueryOptions::default(),
+                                scheduler,
+                            )
+                            .unwrap();
+                        assert_equivalent_answers(
+                            &got,
+                            &expect,
+                            &format!("{scheduler:?}, query {query}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A zero step quantum is a configuration error, reported as such.
+#[test]
+fn zero_step_quantum_is_rejected() {
+    let (w, hot) = Workload::pruning_adversarial(PruningAdversarialConfig {
+        hot_entities: 4,
+        cold_entities: 8,
+        ..Default::default()
+    });
+    let sharded =
+        ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(8), 2)
+            .unwrap();
+    let err = sharded
+        .top_k_with_scheduler(
+            hot[0],
+            1,
+            &w.measure(),
+            QueryOptions::default(),
+            SchedulerConfig::with_step_quantum(0),
+        )
+        .unwrap_err();
+    assert!(matches!(err, digital_traces::index::IndexError::InvalidConfig(_)), "{err:?}");
+}

@@ -1,12 +1,11 @@
-//! Black-box conformance of the sharded index: for random populations and
-//! arbitrary shard counts, every sharded query path must answer exactly like
-//! the single unsharded index and the brute-force oracle — bitwise-identical
-//! degree vectors, identical entities at every strictly-separated rank,
-//! canonical ordering (full bit-identity whenever the k-th degree is untied;
-//! see `minsig::testkit::assert_equivalent_answers` for why boundary *ties*
-//! are the one legitimate degree of freedom shared by all exact paths) — and
-//! a saved/reopened sharded index must answer **fully bit-identically** to
-//! the one that was saved.
+//! Black-box conformance of the sharded index: for random populations,
+//! arbitrary shard counts and arbitrary cooperative-scheduler knobs, every
+//! sharded query path must answer **fully bit-identically** to the single
+//! unsharded index and the brute-force oracle — identical degree vectors,
+//! identical entities at every rank (boundary ties included: all exact paths
+//! prune strictly and tie-break by entity id, see `minsig::engine`), and
+//! canonical ordering — and a saved/reopened sharded index must answer fully
+//! bit-identically to the one that was saved.
 //!
 //! This is the sharding analogue of checking snapshot isolation from the
 //! outside: no internal invariant is trusted, only observable answers
@@ -15,7 +14,10 @@
 use digital_traces::index::testkit::{
     assert_equivalent_answers, assert_valid_top_k, StreamConfig, UniformConfig, Workload,
 };
-use digital_traces::index::{IndexConfig, JoinOptions, MinSigIndex, ShardedMinSigIndex};
+use digital_traces::index::{
+    BoundMode, IndexConfig, JoinOptions, MinSigIndex, PublishPolicy, QueryOptions, SchedulerConfig,
+    ShardedMinSigIndex,
+};
 use digital_traces::EntityId;
 use proptest::prelude::*;
 
@@ -74,6 +76,55 @@ proptest! {
 
             let truth = unsharded.brute_force(query, population, &measure).unwrap();
             assert_valid_top_k(&fanned, &truth, k, &format!("validity for {query}"));
+        }
+    }
+
+    /// Scheduler-knob invariance: the cooperative sharded answer is fully
+    /// bit-identical to the unsharded index and the brute-force oracle for
+    /// **arbitrary step quanta**, either publish policy and both bound
+    /// modes — the scheduler can only move work counters, never answers.
+    #[test]
+    fn cooperative_scheduler_never_changes_answers(
+        entities in 2u64..40,
+        visits in 1u64..8,
+        seed in 0u64..1_000,
+        shards in 1usize..9,
+        k in 1usize..7,
+        quantum in 1usize..97,
+        eager_publish in any::<bool>(),
+        share_bound in any::<bool>(),
+    ) {
+        let (w, unsharded, sharded) = build_pair(entities, visits, seed, 16, shards);
+        let measure = w.measure();
+        let scheduler = SchedulerConfig {
+            step_quantum: quantum,
+            publish_policy: if eager_publish {
+                PublishPolicy::EveryImprovement
+            } else {
+                PublishPolicy::PerQuantum
+            },
+            bound_mode: if share_bound { BoundMode::Shared } else { BoundMode::Independent },
+        };
+        let snapshot = sharded.snapshot();
+        for query in w.entities() {
+            let (exact, _) = unsharded.top_k(query, k, &measure).unwrap();
+            let (fanned, stats) = snapshot
+                .top_k_with_scheduler(query, k, &measure, QueryOptions::default(), scheduler)
+                .unwrap();
+            assert_equivalent_answers(
+                &fanned,
+                &exact,
+                &format!("scheduler {scheduler:?}, {query}"),
+            );
+            let oracle = unsharded.brute_force(query, k, &measure).unwrap();
+            assert_equivalent_answers(&fanned, &oracle, &format!("vs oracle, {query}"));
+            // Work accounting stays closed: every queued subtree is either
+            // visited or pruned, and quanta were actually counted.
+            prop_assert!(stats.steps >= 1);
+            prop_assert!(stats.nodes_visited + stats.subtrees_pruned >= stats.leaves_visited);
+            if scheduler.bound_mode == BoundMode::Independent {
+                prop_assert_eq!(stats.bound_updates, 0, "private bounds accept nothing");
+            }
         }
     }
 
