@@ -1,95 +1,121 @@
 //! Shard-scaling baseline at a ≥5k-entity population: queries per second of
-//! the sharded index across shard counts {1, 2, 4, 8} × bound modes
-//! {cooperative, independent}, against the same dataset and query batch.
+//! the sharded index across shard counts {1, 2, 4, 8} × execution modes
+//! {planned, cooperative, independent}, against the same datasets and query
+//! batches.
 //!
-//! *Cooperative* drives the per-shard resumable executors under one
-//! [`SharedBound`] per query (the default scheduler); *independent* is the
-//! PR 3 baseline — every shard runs to completion against its private
-//! threshold ([`BoundMode::Independent`]).  Both return bitwise-identical
-//! answers, so the comparison isolates pure scheduling/pruning effects:
-//! cooperative top-k QPS should be at least the independent baseline at
-//! every shard count, with strictly more pruned subtrees, because a shard
-//! holding no strong candidate learns the global k-th degree from the shard
-//! that does instead of grinding its own tree.
+//! *Planned* is the PR 5 default — the cost-based planner seeds the shared
+//! bound from the per-shard synopses, skips provably-irrelevant shards,
+//! orders the rest most-promising-first and scans tiny shards
+//! ([`PlannerConfig`]); *cooperative* drives every shard's resumable
+//! executor under one [`SharedBound`] with a cold threshold (the PR 4
+//! default); *independent* is the PR 3 baseline — every shard runs to
+//! completion against its private threshold ([`BoundMode::Independent`]).
+//! All three return bitwise-identical answers, so the comparison isolates
+//! pure planning/pruning effects.
 //!
-//! Two criterion axes per (shard count, mode): single-query latency-path QPS
-//! (`top_k_with_scheduler`, the rayon per-query shard fan-out) and batch-path
-//! QPS (`top_k_batch_with_scheduler`, parallel over queries with sequential
-//! cooperative per-query fan-out).  `Throughput::Elements` makes the harness
-//! report queries/s directly.
+//! Two workloads: *skewed* (the PR 4 hot-clique-over-weak-background
+//! population, where bound sharing has pruning room) and *localized* (the
+//! planner's best case: every background shard is provably skippable for a
+//! hot query).  Criterion groups run the skewed workload; the JSON artifact
+//! pass covers both.
 //!
-//! After the criterion groups, the harness re-measures the single-query path
-//! once per configuration and emits **`BENCH_shard.json`** — QPS alongside
-//! the executor work counters (nodes visited, subtrees pruned, entities
-//! checked, bound updates) — so CI archives machine-readable evidence that
-//! the pruning win is real, not asserted.
+//! After the criterion groups, the harness re-measures the single-query
+//! path once per configuration and emits **`BENCH_shard.json`** — QPS
+//! alongside the executor work counters (nodes visited, subtrees pruned,
+//! entities checked, bound updates, shards skipped).  The pass doubles as a
+//! CI gate: it **panics** (failing the bench job) if planned answers ever
+//! diverge from the unplanned oracle, or if the planner fails to skip at
+//! least half the shards per hot query on the localized workload at 2+
+//! shards.
 //!
 //! [`SharedBound`]: minsig::SharedBound
 //! [`BoundMode::Independent`]: minsig::BoundMode
+//! [`PlannerConfig`]: minsig::PlannerConfig
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use minsig::shard::ShardedSnapshot;
 use minsig::{
-    BoundMode, IndexConfig, QueryOptions, QueryStats, SchedulerConfig, ShardedMinSigIndex,
+    IndexConfig, PlannerConfig, QueryOptions, QueryStats, SchedulerConfig, ShardedMinSigIndex,
+    TopKResult,
 };
-use minsig_bench::{shard_bench_workload, SHARD_BENCH_ENTITIES};
+use minsig_bench::{planner_bench_workload, shard_bench_workload, SHARD_BENCH_ENTITIES};
 use std::hint::black_box;
 use std::time::Instant;
 use trace_model::{EntityId, PaperAdm};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const K: usize = 10;
-const MODES: [(BoundMode, &str); 2] =
-    [(BoundMode::Shared, "cooperative"), (BoundMode::Independent, "independent")];
 
-/// Cooperative = the default scheduler; independent = the faithful PR 3
-/// baseline (`SchedulerConfig::independent()`: run-to-completion quanta, so
-/// it pays no round-robin overhead it never had).
-fn scheduler(mode: BoundMode) -> SchedulerConfig {
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// PR 5 default: synopsis-driven planning over the cooperative scheduler.
+    Planned,
+    /// PR 4 default: cooperative bound sharing, no planner.
+    Cooperative,
+    /// PR 3 baseline: private per-shard bounds, run-to-completion quanta.
+    Independent,
+}
+
+const MODES: [(Mode, &str); 3] = [
+    (Mode::Planned, "planned"),
+    (Mode::Cooperative, "cooperative"),
+    (Mode::Independent, "independent"),
+];
+
+fn run_query(
+    snapshot: &ShardedSnapshot,
+    query: EntityId,
+    measure: &PaperAdm,
+    mode: Mode,
+) -> (Vec<TopKResult>, QueryStats) {
+    let options = QueryOptions::default();
     match mode {
-        BoundMode::Shared => SchedulerConfig::default(),
-        BoundMode::Independent => SchedulerConfig::independent(),
+        Mode::Planned => snapshot
+            .top_k_with_planner(
+                query,
+                K,
+                measure,
+                options,
+                SchedulerConfig::default(),
+                PlannerConfig::default(),
+            )
+            .expect("bench query answers"),
+        Mode::Cooperative => snapshot
+            .top_k_with_scheduler(query, K, measure, options, SchedulerConfig::default())
+            .expect("bench query answers"),
+        Mode::Independent => snapshot
+            .top_k_with_scheduler(query, K, measure, options, SchedulerConfig::independent())
+            .expect("bench query answers"),
     }
 }
 
-fn shard_scaling_qps(c: &mut Criterion) {
-    // The skewed population (hot clique holding each other's top-k over a
-    // weak cold background); the queries are the hot entities — the regime
-    // cooperative bound sharing exists for.
-    let (workload, queries) = shard_bench_workload();
-    let measure = workload.measure();
+fn build_snapshots(workload: &minsig::testkit::Workload) -> Vec<(usize, ShardedSnapshot)> {
     let config = IndexConfig::with_hash_functions(32);
-
-    // One build per shard count, shared by both criterion groups and the
-    // JSON pass, so every number describes the same trees.
-    let snapshots: Vec<(usize, ShardedSnapshot)> = SHARD_COUNTS
+    SHARD_COUNTS
         .iter()
         .map(|&shards| {
             let index = ShardedMinSigIndex::build(&workload.sp, &workload.traces, config, shards)
                 .expect("sharded bench index builds");
             (shards, index.snapshot())
         })
-        .collect();
+        .collect()
+}
+
+fn shard_scaling_qps(c: &mut Criterion) {
+    // Criterion axes on the skewed population (hot clique holding each
+    // other's top-k over a weak cold background); the queries are the hot
+    // entities — the regime bound sharing and planning exist for.
+    let (skewed, skewed_queries) = shard_bench_workload();
+    let measure = skewed.measure();
+    let snapshots = build_snapshots(&skewed);
 
     let mut group = c.benchmark_group("shard_scaling/batch");
     group.sample_size(10);
     for (shards, snapshot) in &snapshots {
         for (mode, mode_name) in MODES {
-            group.throughput(Throughput::Elements(queries.len() as u64));
+            group.throughput(Throughput::Elements(skewed_queries.len() as u64));
             group.bench_function(BenchmarkId::new(format!("{mode_name}/shards"), shards), |b| {
-                b.iter(|| {
-                    black_box(
-                        snapshot
-                            .top_k_batch_with_scheduler(
-                                &queries,
-                                K,
-                                &measure,
-                                QueryOptions::default(),
-                                scheduler(mode),
-                            )
-                            .unwrap(),
-                    )
-                })
+                b.iter(|| black_box(batch_query(snapshot, &skewed_queries, &measure, mode)))
             });
         }
     }
@@ -99,21 +125,11 @@ fn shard_scaling_qps(c: &mut Criterion) {
     group.sample_size(10);
     for (shards, snapshot) in &snapshots {
         for (mode, mode_name) in MODES {
-            group.throughput(Throughput::Elements(queries.len() as u64));
+            group.throughput(Throughput::Elements(skewed_queries.len() as u64));
             group.bench_function(BenchmarkId::new(format!("{mode_name}/shards"), shards), |b| {
                 b.iter(|| {
-                    for &query in &queries {
-                        black_box(
-                            snapshot
-                                .top_k_with_scheduler(
-                                    query,
-                                    K,
-                                    &measure,
-                                    QueryOptions::default(),
-                                    scheduler(mode),
-                                )
-                                .unwrap(),
-                        );
+                    for &query in &skewed_queries {
+                        black_box(run_query(snapshot, query, &measure, mode));
                     }
                 })
             });
@@ -121,15 +137,65 @@ fn shard_scaling_qps(c: &mut Criterion) {
     }
     group.finish();
 
-    emit_artifact(&snapshots, &queries, &measure);
+    // The JSON artifact covers both workloads and gates correctness.
+    let (localized, localized_queries) = planner_bench_workload();
+    let localized_snapshots = build_snapshots(&localized);
+    let mut rows = Vec::new();
+    emit_rows(&mut rows, "skewed", &snapshots, &skewed_queries, &measure);
+    emit_rows(&mut rows, "localized", &localized_snapshots, &localized_queries, &measure);
+    write_artifact(&rows, skewed_queries.len());
 }
 
-/// One timed single-query-path pass per (shard count, mode) with summed
-/// executor counters; written to `BENCH_shard.json` for the CI artifact.
-fn emit_artifact(snapshots: &[(usize, ShardedSnapshot)], queries: &[EntityId], measure: &PaperAdm) {
+fn batch_query(
+    snapshot: &ShardedSnapshot,
+    queries: &[EntityId],
+    measure: &PaperAdm,
+    mode: Mode,
+) -> Vec<(Vec<TopKResult>, QueryStats)> {
+    let options = QueryOptions::default();
+    match mode {
+        Mode::Planned => snapshot
+            .top_k_batch_with_planner(
+                queries,
+                K,
+                measure,
+                options,
+                SchedulerConfig::default(),
+                PlannerConfig::default(),
+            )
+            .expect("bench batch answers"),
+        Mode::Cooperative => snapshot
+            .top_k_batch_with_scheduler(queries, K, measure, options, SchedulerConfig::default())
+            .expect("bench batch answers"),
+        Mode::Independent => snapshot
+            .top_k_batch_with_scheduler(
+                queries,
+                K,
+                measure,
+                options,
+                SchedulerConfig::independent(),
+            )
+            .expect("bench batch answers"),
+    }
+}
+
+/// One timed single-query-path pass per (workload, shard count, mode) with
+/// summed executor counters, plus the two CI gates: planned answers must be
+/// bitwise identical to the unplanned oracle on every query, and on the
+/// localized workload the planner must skip at least half the shards per
+/// query at 2+ shards.
+fn emit_rows(
+    rows: &mut Vec<String>,
+    workload_name: &str,
+    snapshots: &[(usize, ShardedSnapshot)],
+    queries: &[EntityId],
+    measure: &PaperAdm,
+) {
     const PASSES: usize = 3;
-    let mut rows = Vec::new();
     for (shards, snapshot) in snapshots {
+        // The unplanned oracle answers, computed once per shard count.
+        let oracle: Vec<Vec<TopKResult>> =
+            queries.iter().map(|&q| run_query(snapshot, q, measure, Mode::Independent).0).collect();
         for (mode, mode_name) in MODES {
             // Best-of-N wall clock (standard min-time practice); counters
             // from the final pass.
@@ -138,28 +204,37 @@ fn emit_artifact(snapshots: &[(usize, ShardedSnapshot)], queries: &[EntityId], m
             for _ in 0..PASSES {
                 work = QueryStats::default();
                 let start = Instant::now();
-                for &query in queries {
-                    let (results, stats) = snapshot
-                        .top_k_with_scheduler(
-                            query,
-                            K,
-                            measure,
-                            QueryOptions::default(),
-                            scheduler(mode),
-                        )
-                        .expect("bench query answers");
-                    black_box(results);
+                for (i, &query) in queries.iter().enumerate() {
+                    let (results, stats) = run_query(snapshot, query, measure, mode);
+                    assert_eq!(
+                        results, oracle[i],
+                        "{workload_name}/{mode_name}/{shards} shards: answers diverged \
+                         from the unplanned oracle for query {query}"
+                    );
+                    black_box(&results);
                     work.absorb_work(&stats);
                 }
                 best = best.min(start.elapsed().as_secs_f64());
             }
+            if workload_name == "localized" && mode == Mode::Planned && *shards >= 2 {
+                assert!(
+                    work.shards_skipped * 2 >= queries.len() * *shards,
+                    "localized workload at {shards} shards: the planner skipped only \
+                     {} shard-visits over {} queries (need ≥ half of {} per query)",
+                    work.shards_skipped,
+                    queries.len(),
+                    shards
+                );
+            }
             let qps = queries.len() as f64 / best.max(1e-12);
             rows.push(format!(
                 concat!(
-                    "    {{\"shards\": {}, \"mode\": \"{}\", \"qps\": {:.1}, ",
-                    "\"nodes_visited\": {}, \"subtrees_pruned\": {}, ",
-                    "\"entities_checked\": {}, \"bound_updates\": {}}}"
+                    "    {{\"workload\": \"{}\", \"shards\": {}, \"mode\": \"{}\", ",
+                    "\"qps\": {:.1}, \"nodes_visited\": {}, \"subtrees_pruned\": {}, ",
+                    "\"entities_checked\": {}, \"bound_updates\": {}, ",
+                    "\"shards_skipped\": {}}}"
                 ),
+                workload_name,
                 shards,
                 mode_name,
                 qps,
@@ -167,9 +242,13 @@ fn emit_artifact(snapshots: &[(usize, ShardedSnapshot)], queries: &[EntityId], m
                 work.subtrees_pruned,
                 work.entities_checked,
                 work.bound_updates,
+                work.shards_skipped,
             ));
         }
     }
+}
+
+fn write_artifact(rows: &[String], queries: usize) {
     let json = format!(
         concat!(
             "{{\n",
@@ -181,7 +260,7 @@ fn emit_artifact(snapshots: &[(usize, ShardedSnapshot)], queries: &[EntityId], m
             "}}\n"
         ),
         SHARD_BENCH_ENTITIES,
-        queries.len(),
+        queries,
         K,
         rows.join(",\n"),
     );

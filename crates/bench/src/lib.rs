@@ -6,7 +6,7 @@
 //! bench file) ensures every bench measures the same datasets.
 
 use experiments::Scale;
-use minsig::testkit::{HierarchySpec, PruningAdversarialConfig, Workload};
+use minsig::testkit::{HierarchySpec, PlannerLocalizedConfig, PruningAdversarialConfig, Workload};
 use minsig::{IndexConfig, MinSigIndex};
 use mobility::{SynConfig, SynDataset};
 use trace_model::{EntityId, PaperAdm};
@@ -51,6 +51,27 @@ pub fn shard_bench_workload() -> (Workload, Vec<EntityId>) {
     })
 }
 
+/// The ≥5k-entity **localized** population for the shard-scaling bench: the
+/// query planner's best case, plus the hot entity ids the bench queries.
+///
+/// This is the [`Workload::planner_localized`] shape — a hot clique holding
+/// each other's entire top-k, all routing to one shard at the bench's
+/// largest shard count, over a background of single-cell entities filling
+/// the other shards.  Every background shard is provably skippable for a
+/// hot query, so the bench measures the planner's intended regime: shard
+/// skipping plus threshold seeding against the cooperative and independent
+/// baselines.  Deterministic: same workload on every machine and run.
+pub fn planner_bench_workload() -> (Workload, Vec<EntityId>) {
+    Workload::planner_localized(PlannerLocalizedConfig {
+        num_shards: 8,
+        hot_entities: SHARD_BENCH_HOT,
+        background_entities: SHARD_BENCH_ENTITIES - SHARD_BENCH_HOT,
+        itinerary_steps: 8,
+        hierarchy: HierarchySpec::default(),
+        seed: 42,
+    })
+}
+
 /// Builds an index over the benchmark dataset with `nh` hash functions.
 pub fn bench_index(dataset: &SynDataset, nh: u32) -> MinSigIndex {
     MinSigIndex::build(dataset.sp_index(), &dataset.traces, IndexConfig::with_hash_functions(nh))
@@ -79,6 +100,22 @@ mod tests {
         // The whole hot clique lives in one shard at the largest bench count.
         let home = minsig::shard_of(hot[0], 8);
         assert!(hot.iter().all(|&e| minsig::shard_of(e, 8) == home));
+    }
+
+    #[test]
+    fn planner_bench_workload_is_the_documented_shape() {
+        let (w, hot) = planner_bench_workload();
+        assert_eq!(w.traces.num_entities() as u64, SHARD_BENCH_ENTITIES);
+        assert_eq!(hot.len() as u64, SHARD_BENCH_HOT);
+        let home = minsig::shard_of(hot[0], 8);
+        assert!(hot.iter().all(|&e| minsig::shard_of(e, 8) == home));
+        // Background entities live in other shards with single-cell traces.
+        let hot_set: std::collections::BTreeSet<EntityId> = hot.iter().copied().collect();
+        for entity in w.traces.entities() {
+            if !hot_set.contains(&entity) {
+                assert_ne!(minsig::shard_of(entity, 8), home);
+            }
+        }
     }
 
     #[test]

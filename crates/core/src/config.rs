@@ -162,6 +162,45 @@ impl SchedulerConfig {
     }
 }
 
+/// Knobs of the cost-based sharded query planner ([`crate::plan`]).
+///
+/// The planner consumes the per-shard [`Synopsis`](crate::synopsis::Synopsis)
+/// to seed the search bound, skip shards and pick per-shard access paths
+/// **before** any tree traversal.  Like the scheduler knobs, none of these
+/// can change an answer — seeding and skipping rest on strict-inequality
+/// certificates, and the flat scan is bitwise identical to an exhausted tree
+/// search (`tests/planner_conformance.rs` proptests this); they only move
+/// work counters and wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Score the shards' sketch entities exactly and publish their k-th-best
+    /// degree as the initial search bound (a provable lower bound on the
+    /// global k-th-best degree once `k` candidates are scored).
+    pub seed_threshold: bool,
+    /// Skip shards whose synopsis upper bound is strictly below the seeded
+    /// threshold — provably outside the top-k, never opened.
+    pub skip_shards: bool,
+    /// Shards holding at most this many entities are answered by the flat
+    /// exact scan instead of a best-first tree search (same answers, no
+    /// frontier bookkeeping).  0 scans nothing but empty shards.
+    pub scan_cutoff: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { seed_threshold: true, skip_shards: true, scan_cutoff: 32 }
+    }
+}
+
+impl PlannerConfig {
+    /// The planner turned fully off: no seeding, no skipping, tree search
+    /// everywhere — the PR 4 behaviour, kept as the measurable baseline (and
+    /// what the explicit `*_with_scheduler` entry points use).
+    pub fn disabled() -> Self {
+        PlannerConfig { seed_threshold: false, skip_shards: false, scan_cutoff: 0 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +221,18 @@ mod tests {
         assert_eq!(SchedulerConfig::with_step_quantum(7).step_quantum, 7);
         assert_eq!(SchedulerConfig::independent().bound_mode, BoundMode::Independent);
         assert!(SchedulerConfig::with_step_quantum(0).validate().is_err());
+    }
+
+    #[test]
+    fn planner_defaults_plan_and_disabled_does_not() {
+        let p = PlannerConfig::default();
+        assert!(p.seed_threshold);
+        assert!(p.skip_shards);
+        assert!(p.scan_cutoff > 0);
+        let off = PlannerConfig::disabled();
+        assert!(!off.seed_threshold);
+        assert!(!off.skip_shards);
+        assert_eq!(off.scan_cutoff, 0);
     }
 
     #[test]

@@ -302,6 +302,39 @@ impl Bound for SharedBound {
     }
 }
 
+/// A [`Bound`] fixed at a pre-computed value: executors prune against the
+/// seed, but nothing is ever shared back.
+///
+/// This is how the query planner ([`crate::plan`]) seeds *independent*-mode
+/// executions: the planner's threshold (a provable lower bound on the global
+/// k-th-best degree, derived from exactly scored synopsis sketch candidates)
+/// applies from the first frontier pop, while per-shard executions stay
+/// isolated from each other — the measurable baseline keeps its meaning.
+/// Soundness is the caller's contract, exactly as for [`SharedBound`]: the
+/// seed must never exceed the global k-th-best degree.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededBound {
+    seed: f64,
+}
+
+impl SeededBound {
+    /// Creates a fixed bound at `seed` (`f64::NEG_INFINITY` for "nothing
+    /// known", which makes it behave exactly like [`PrivateBound`]).
+    pub fn new(seed: f64) -> Self {
+        SeededBound { seed }
+    }
+}
+
+impl Bound for SeededBound {
+    fn current(&self) -> f64 {
+        self.seed
+    }
+
+    fn publish(&self, _value: f64) -> bool {
+        false
+    }
+}
+
 /// An `f64` wrapper with a total order, used as a heap priority.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct OrdF64(pub(crate) f64);
@@ -974,5 +1007,15 @@ mod tests {
         assert_eq!(bound.current(), f64::NEG_INFINITY);
         assert!(!bound.publish(123.0));
         assert_eq!(bound.current(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn seeded_bound_holds_its_seed_and_accepts_nothing() {
+        let bound = SeededBound::new(0.75);
+        assert!((bound.current() - 0.75).abs() < 1e-15);
+        assert!(!bound.publish(0.99), "a seeded bound never shares back");
+        assert!((bound.current() - 0.75).abs() < 1e-15);
+        let empty = SeededBound::new(f64::NEG_INFINITY);
+        assert_eq!(empty.current(), f64::NEG_INFINITY);
     }
 }

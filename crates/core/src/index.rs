@@ -18,6 +18,7 @@ use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::snapshot::IndexSnapshot;
 use crate::stats::{IndexStats, QueryStats};
+use crate::synopsis::Synopsis;
 use crate::tree::MinSigTree;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -93,6 +94,12 @@ impl MinSigIndex {
             hash_evaluations,
             build_time_us: start.elapsed().as_micros() as u64,
         };
+        let synopsis = Synopsis::compute(
+            tree.levels(),
+            sequences.iter().map(|(e, s)| (*e, s)),
+            crate::synopsis::DEFAULT_SKETCH_SIZE,
+            0,
+        );
         let snapshot = IndexSnapshot {
             sp: sp.clone(),
             config,
@@ -101,6 +108,7 @@ impl MinSigIndex {
             tree,
             sequences,
             signatures,
+            synopsis,
         };
         Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats, epoch: 0 })
     }
@@ -228,6 +236,14 @@ impl MinSigIndex {
         snap.tree.insert(entity, &sig);
         let inserted = snap.sequences.insert(entity, seq).is_none();
         snap.signatures.insert(entity, sig);
+        if inserted {
+            // A pure insert only grows the synopsis: absorb it in O(m log n)
+            // so streaming per-record inserts stay O(delta).
+            snap.absorb_inserted_entity_into_synopsis(entity, self.epoch + 1);
+        } else {
+            // A replacement can shrink sizes; only a rescan stays exact.
+            snap.recompute_synopsis(None, self.epoch + 1);
+        }
         self.stats.num_entities = snap.sequences.len();
         self.stats.num_nodes = snap.tree.num_nodes();
         self.stats.index_bytes = snap.tree.size_bytes();
@@ -251,9 +267,20 @@ impl MinSigIndex {
         snap.tree.remove(entity);
         snap.sequences.remove(&entity);
         snap.signatures.remove(&entity);
+        snap.recompute_synopsis(None, self.epoch + 1);
         self.stats.num_entities = snap.sequences.len();
         self.epoch += 1;
         Ok(())
+    }
+
+    /// Rebuilds the planning synopsis with sketch size `m` (the number of
+    /// hottest entities remembered for threshold seeding; see
+    /// [`crate::synopsis`]).  Copy-on-write like the mutation paths, but not
+    /// a data mutation: the epoch does not advance and the recorded synopsis
+    /// epoch stays at the current value.
+    pub fn set_synopsis_sketch_size(&mut self, m: usize) {
+        let epoch = self.epoch;
+        Arc::make_mut(&mut self.snapshot).recompute_synopsis(Some(m), epoch);
     }
 
     /// Answers a top-k query for an indexed entity with default options.
@@ -524,6 +551,56 @@ mod tests {
         index.update_entity(ghost, &trace).unwrap();
         index.remove_entity(ghost).unwrap();
         assert!(!index.contains(ghost));
+    }
+
+    /// The synopsis invariant under single-entity mutation: incremental
+    /// insert absorption and the shrink-path recomputes must always leave
+    /// the synopsis equal to a fresh `Synopsis::compute` over the live
+    /// sequences, at the handle's epoch.
+    #[test]
+    fn synopsis_stays_exact_under_upserts_replacements_and_removals() {
+        let (sp, _traces, mut index) = {
+            let (sp, traces) = paired_dataset(8);
+            let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+            (sp, traces, index)
+        };
+        let base = sp.base_units().to_vec();
+        let assert_exact = |index: &MinSigIndex| {
+            let snapshot = index.snapshot();
+            let expected = Synopsis::compute(
+                snapshot.tree().levels(),
+                snapshot.sequences().iter().map(|(e, s)| (*e, s)),
+                snapshot.synopsis().sketch_size(),
+                index.epoch(),
+            );
+            assert_eq!(snapshot.synopsis(), &expected);
+        };
+        // A stream of fresh inserts with varied trace sizes (incremental path).
+        for e in 0..20u64 {
+            let cells: Vec<PresenceInstance> = (0..=(e % 5))
+                .map(|i| {
+                    PresenceInstance::new(
+                        EntityId(500 + e),
+                        base[((e + i) % base.len() as u64) as usize],
+                        Period::new(i * 60, i * 60 + 60).unwrap(),
+                    )
+                })
+                .collect();
+            assert!(index
+                .upsert_entity(EntityId(500 + e), &DigitalTrace::from_instances(cells))
+                .unwrap());
+            assert_exact(&index);
+        }
+        // A shrinking replacement and a removal (recompute paths).
+        let tiny = DigitalTrace::from_instances(vec![PresenceInstance::new(
+            EntityId(500),
+            base[0],
+            Period::new(0, 60).unwrap(),
+        )]);
+        index.update_entity(EntityId(500), &tiny).unwrap();
+        assert_exact(&index);
+        index.remove_entity(EntityId(501)).unwrap();
+        assert_exact(&index);
     }
 
     #[test]

@@ -192,6 +192,10 @@ impl IngestBuffer {
             snap.sequences.insert(entity, seq);
             snap.signatures.insert(entity, sig);
         }
+        // The batch changed sizes and possibly the hot set: bring the
+        // planning synopsis back in sync with the sequences it travels with
+        // (one linear pass over cached lengths, no hashing).
+        snap.recompute_synopsis(None, index.epoch + 1);
 
         index.stats.num_entities = snap.sequences.len();
         index.stats.num_nodes = snap.tree.num_nodes();

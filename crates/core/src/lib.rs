@@ -71,11 +71,15 @@
 //! [`shard::ShardedMinSigIndex`] hash-partitions the entity population across
 //! `N` independent shards (one `MinSigIndex` each, with its own snapshot,
 //! epoch and `MSIX` file): ingest, persistence and maintenance parallelise
-//! per shard, while every query drives one resumable executor per shard under
-//! a **cooperative scheduler** — frontier quanta interleave over rayon and
-//! all executors prune against one shared k-th-degree bound — and merges the
-//! per-shard exact top-k heaps.  Answers are fully bit-identical to an
-//! unsharded index over the same traces, boundary ties included.  The
+//! per shard, while every query is first **planned** ([`plan`]) against the
+//! per-shard synopses ([`synopsis`]): the search bound is seeded with a
+//! provable k-th-degree lower bound, shards that provably cannot contribute
+//! are skipped, admitted shards run most-promising-first — tiny ones as flat
+//! scans, the rest as resumable executors under a **cooperative scheduler**
+//! (frontier quanta interleave over rayon, all executors prune against one
+//! shared seeded bound) — and the per-shard exact top-k heaps merge.
+//! Answers are fully bit-identical to an unsharded index over the same
+//! traces, boundary ties included, with or without the planner.  The
 //! deterministic workload generators and conformance oracles behind the test
 //! suites live in [`testkit`].
 //!
@@ -116,24 +120,30 @@ pub mod ingest;
 pub mod join;
 pub mod paged;
 pub mod persist;
+pub mod plan;
 pub mod query;
 pub mod shard;
 pub mod signature;
 pub mod snapshot;
 pub mod stats;
+pub mod synopsis;
 pub mod testkit;
 pub mod tree;
 
 pub use approximate::{BandedIndex, BandingConfig};
-pub use config::{BoundMode, HasherMode, IndexConfig, PublishPolicy, SchedulerConfig};
+pub use config::{
+    BoundMode, HasherMode, IndexConfig, PlannerConfig, PublishPolicy, SchedulerConfig,
+};
 pub use engine::{
-    Bound, Executor, InMemorySource, PagedSource, PrivateBound, SharedBound, TopKHeap, TraceSource,
+    Bound, Executor, InMemorySource, PagedSource, PrivateBound, SeededBound, SharedBound, TopKHeap,
+    TraceSource,
 };
 pub use error::{IndexError, Result};
 pub use index::MinSigIndex;
 pub use ingest::{IngestBuffer, IngestReport};
 pub use join::{JoinOptions, JoinRow, JoinStats};
 pub use persist::{INDEX_MAGIC, INDEX_VERSION};
+pub use plan::{QueryPlan, ShardDecision, ShardPlan};
 pub use query::{QueryOptions, TopKResult};
 pub use shard::{
     shard_of, ShardedIngestReport, ShardedMinSigIndex, ShardedSnapshot, PARTITION_VERSION,
@@ -144,4 +154,5 @@ pub use signature::{
 };
 pub use snapshot::IndexSnapshot;
 pub use stats::{IndexStats, QueryStats, SearchStats};
+pub use synopsis::{Synopsis, DEFAULT_SKETCH_SIZE};
 pub use tree::MinSigTree;

@@ -10,9 +10,17 @@
 //! | segment | contents |
 //! |---------|----------|
 //! | `META`  | temporal discretisation, [`IndexConfig`], the *resolved* hash range, hierarchy height, tree level count, and the expected entity / node / unit counts |
+//! | `SYN`   | the planning [`Synopsis`] (sketch size, per-level capacity caps, entity count, hot-entity ids) — format version 2 and newer |
 //! | `SP`    | the spatial hierarchy as a parent list (units were created parent-before-child, so replaying the list through [`SpIndexBuilder`] reproduces the exact same dense unit ids) |
 //! | `TREE`  | the [`MinSigTree`] node arena, structurally (chunked) |
 //! | `ENT`   | per entity: its base-level ST-cells and its full signature list (chunked) |
+//!
+//! **Version 2** (this build) adds the `SYN` segment so a reopened index
+//! plans sharded queries immediately — including a non-default synopsis
+//! sketch size chosen at build time — without recomputing anything.
+//! Version-1 files still open: they carry no `SYN` segment, so the synopsis
+//! is computed from the loaded sequences (a linear pass over cached lengths;
+//! still no re-hashing) at the default sketch size.
 //!
 //! Per-level sequences are *not* stored: they are cheap, deterministic
 //! projections of the base cells ([`CellSetSequence::from_base_cells`]), so
@@ -37,6 +45,7 @@ use crate::index::MinSigIndex;
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::snapshot::IndexSnapshot;
 use crate::stats::IndexStats;
+use crate::synopsis::Synopsis;
 use crate::tree::{MinSigTree, Node, NodeId};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -47,13 +56,16 @@ use trace_storage::segment::{self, Cursor, SegmentError};
 
 /// Magic bytes of a persisted index file ("MinSig IndeX").
 pub const INDEX_MAGIC: [u8; 4] = *b"MSIX";
-/// Newest index file format version this build reads and writes.
-pub const INDEX_VERSION: u16 = 1;
+/// Newest index file format version this build reads and writes.  Version 2
+/// added the `SYN` planning-synopsis segment; version-1 files still open
+/// (their synopsis is computed from the loaded sequences).
+pub const INDEX_VERSION: u16 = 2;
 
 const TAG_META: u32 = 1;
 const TAG_SP: u32 = 2;
 const TAG_TREE: u32 = 3;
 const TAG_ENT: u32 = 4;
+const TAG_SYN: u32 = 5;
 
 /// Entities per `ENT` segment and nodes per `TREE` segment: keeps individual
 /// segments small enough to checksum incrementally while amortising the
@@ -97,6 +109,7 @@ impl IndexSnapshot {
         writer: &mut segment::SegmentWriter<W>,
     ) -> trace_storage::segment::Result<()> {
         writer.write_segment(TAG_META, &self.encode_meta())?;
+        writer.write_segment(TAG_SYN, &self.encode_synopsis())?;
         writer.write_segment(TAG_SP, &self.encode_sp())?;
         for chunk in self.tree.nodes().chunks(NODES_PER_SEGMENT) {
             writer.write_segment(TAG_TREE, &encode_tree_chunk(chunk))?;
@@ -135,11 +148,13 @@ impl IndexSnapshot {
     fn open_reader<R: std::io::Read>(
         mut reader: segment::SegmentReader<R>,
     ) -> Result<IndexSnapshot> {
+        let version = reader.version();
         let mut meta: Option<Meta> = None;
         let mut sp = None;
         let mut nodes: Vec<Node> = Vec::new();
         let mut sequences = BTreeMap::new();
         let mut signatures = BTreeMap::new();
+        let mut synopsis: Option<Synopsis> = None;
 
         while let Some((tag, payload)) = reader.next_segment()? {
             match tag {
@@ -148,6 +163,13 @@ impl IndexSnapshot {
                         return Err(corrupt("duplicate META segment"));
                     }
                     meta = Some(Meta::decode(&payload)?);
+                }
+                TAG_SYN => {
+                    let meta = meta.as_ref().ok_or_else(|| corrupt("SYN segment before META"))?;
+                    if synopsis.is_some() {
+                        return Err(corrupt("duplicate SYN segment"));
+                    }
+                    synopsis = Some(decode_synopsis(&payload, meta)?);
                 }
                 TAG_SP => {
                     let meta = meta.as_ref().ok_or_else(|| corrupt("SP segment before META"))?;
@@ -199,6 +221,51 @@ impl IndexSnapshot {
             }
         }
 
+        // Version 2 files always carry a synopsis; a version-1 file never
+        // does, so its synopsis is computed from the loaded sequences (a
+        // linear pass over cached lengths — still no re-hashing).
+        let synopsis = match synopsis {
+            Some(synopsis) => {
+                if version < 2 {
+                    return Err(corrupt("version-1 file carries a SYN segment"));
+                }
+                for &hot in synopsis.hot_entities() {
+                    if !sequences.contains_key(&hot) {
+                        return Err(corrupt(&format!(
+                            "synopsis sketch lists {hot}, which is not indexed"
+                        )));
+                    }
+                }
+                // The capacity caps are the one synopsis field that can
+                // change answers (an understated cap lets the planner skip a
+                // shard that holds top-k entities): verify them against the
+                // loaded sequences — one linear pass over cached lengths, no
+                // hashing.  (The sketch only picks seeding candidates; a bad
+                // sketch costs speed, never correctness.)
+                let mut true_caps = vec![0usize; meta.tree_levels as usize];
+                for seq in sequences.values() {
+                    for (i, cap) in true_caps.iter_mut().enumerate() {
+                        *cap = (*cap).max(seq.level((i + 1) as u8).len());
+                    }
+                }
+                if synopsis.level_caps() != true_caps {
+                    return Err(corrupt(&format!(
+                        "synopsis capacity caps {:?} do not match the stored sequences' \
+                         per-level maxima {true_caps:?}",
+                        synopsis.level_caps()
+                    )));
+                }
+                synopsis
+            }
+            None if version >= 2 => return Err(corrupt("missing SYN segment")),
+            None => Synopsis::compute(
+                meta.tree_levels,
+                sequences.iter().map(|(e, s)| (*e, s)),
+                crate::synopsis::DEFAULT_SKETCH_SIZE,
+                0,
+            ),
+        };
+
         let family = SeededHashFamily::new(
             meta.config.num_hash_functions,
             meta.config.hash_seed,
@@ -213,6 +280,7 @@ impl IndexSnapshot {
             tree,
             sequences,
             signatures,
+            synopsis,
         })
     }
 
@@ -233,6 +301,23 @@ impl IndexSnapshot {
         out.extend_from_slice(&(self.sequences.len() as u64).to_le_bytes());
         out.extend_from_slice(&(self.tree.num_nodes() as u64).to_le_bytes());
         out.extend_from_slice(&(self.sp.num_units() as u64).to_le_bytes());
+        out
+    }
+
+    fn encode_synopsis(&self) -> Vec<u8> {
+        let syn = &self.synopsis;
+        let mut out =
+            Vec::with_capacity(24 + syn.level_caps().len() * 8 + syn.hot_entities().len() * 8);
+        out.extend_from_slice(&(syn.sketch_size() as u64).to_le_bytes());
+        out.extend_from_slice(&(syn.level_caps().len() as u32).to_le_bytes());
+        for &cap in syn.level_caps() {
+            out.extend_from_slice(&(cap as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(syn.num_entities() as u64).to_le_bytes());
+        out.extend_from_slice(&(syn.hot_entities().len() as u32).to_le_bytes());
+        for &hot in syn.hot_entities() {
+            out.extend_from_slice(&hot.raw().to_le_bytes());
+        }
         out
     }
 
@@ -355,6 +440,45 @@ impl Meta {
             num_sp_units,
         })
     }
+}
+
+/// Decodes the `SYN` segment, validating it against the `META` announcements
+/// (the hot ids are checked against the loaded sequences afterwards).  The
+/// recorded epoch is reset to 0, matching the handle's open semantics.
+fn decode_synopsis(payload: &[u8], meta: &Meta) -> Result<Synopsis> {
+    let mut c = Cursor::new(payload);
+    let sketch_size = c.u64()? as usize;
+    let num_levels = c.u32()? as usize;
+    if num_levels != meta.tree_levels as usize {
+        return Err(corrupt(&format!(
+            "synopsis covers {num_levels} levels but the tree has {}",
+            meta.tree_levels
+        )));
+    }
+    let mut level_caps = Vec::with_capacity(num_levels);
+    for _ in 0..num_levels {
+        level_caps.push(c.u64()? as usize);
+    }
+    let num_entities = c.u64()?;
+    if num_entities != meta.num_entities {
+        return Err(corrupt(&format!(
+            "synopsis summarises {num_entities} entities but META announces {}",
+            meta.num_entities
+        )));
+    }
+    let hot_len = c.u32()? as usize;
+    if hot_len > sketch_size || hot_len as u64 > num_entities {
+        return Err(corrupt(&format!(
+            "synopsis sketch holds {hot_len} entities (sketch size {sketch_size}, \
+             population {num_entities})"
+        )));
+    }
+    let mut hot_entities = Vec::with_capacity(hot_len.min(1 << 20));
+    for _ in 0..hot_len {
+        hot_entities.push(EntityId(c.u64()?));
+    }
+    c.expect_end().map_err(IndexError::from)?;
+    Ok(Synopsis::from_parts(0, sketch_size, level_caps, num_entities as usize, hot_entities))
 }
 
 fn decode_sp(meta: &Meta, payload: &[u8]) -> Result<trace_model::SpIndex> {
@@ -598,6 +722,65 @@ mod tests {
         assert!(matches!(MinSigIndex::open(&path).unwrap_err(), IndexError::Corrupt(_)));
 
         // The intact file still opens.
+        std::fs::write(&path, &bytes).unwrap();
+        MinSigIndex::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn synopsis_round_trips_including_custom_sketch_size() {
+        let (_sp, _traces, mut index) = sample_index(30);
+        index.set_synopsis_sketch_size(5);
+        let path = temp_path("synopsis.msix");
+        index.save(&path).unwrap();
+        let reopened = MinSigIndex::open(&path).unwrap();
+        assert_eq!(reopened.snapshot().synopsis(), index.snapshot().synopsis());
+        assert_eq!(reopened.snapshot().synopsis().sketch_size(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn inconsistent_synopsis_segments_are_rejected() {
+        let (_sp, _traces, index) = sample_index(20);
+        let path = temp_path("bad-synopsis.msix");
+        index.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Re-encode the file with a tampered SYN payload for each failure
+        // mode: wrong entity count, wrong level count, unindexed hot id.
+        let tamper = |edit: &dyn Fn(&mut Vec<u8>)| {
+            let mut reader =
+                segment::SegmentReader::new(bytes.as_slice(), INDEX_MAGIC, INDEX_VERSION).unwrap();
+            let mut writer =
+                segment::SegmentWriter::new(Vec::new(), INDEX_MAGIC, INDEX_VERSION).unwrap();
+            while let Some((tag, mut payload)) = reader.next_segment().unwrap() {
+                if tag == TAG_SYN {
+                    edit(&mut payload);
+                }
+                writer.write_segment(tag, &payload).unwrap();
+            }
+            let tampered = writer.finish().unwrap();
+            std::fs::write(&path, &tampered).unwrap();
+            MinSigIndex::open(&path).unwrap_err()
+        };
+
+        let levels = index.tree().levels() as usize;
+        // num_entities sits after sketch size (8), level count (4), caps.
+        let count_offset = 12 + levels * 8;
+        let err = tamper(&|p: &mut Vec<u8>| p[count_offset] ^= 0xFF);
+        assert!(matches!(err, IndexError::Corrupt(_)), "wrong entity count: {err:?}");
+        let err = tamper(&|p: &mut Vec<u8>| p[8] ^= 0x01);
+        assert!(matches!(err, IndexError::Corrupt(_)), "wrong level count: {err:?}");
+        // A tampered capacity cap (the one answer-relevant field: an
+        // understated cap could make the planner skip a contributing shard)
+        // must be refused, not planned against.
+        let err = tamper(&|p: &mut Vec<u8>| p[12] ^= 0x3F);
+        assert!(matches!(err, IndexError::Corrupt(_)), "wrong capacity cap: {err:?}");
+        // First hot id: after count (8) + hot_len (4).
+        let hot_offset = count_offset + 12;
+        let err = tamper(&|p: &mut Vec<u8>| p[hot_offset] = 0xEE);
+        assert!(matches!(err, IndexError::Corrupt(_)), "unindexed hot id: {err:?}");
+
         std::fs::write(&path, &bytes).unwrap();
         MinSigIndex::open(&path).unwrap();
         std::fs::remove_file(&path).unwrap();

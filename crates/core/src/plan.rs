@@ -1,0 +1,321 @@
+//! Cost-based planning for sharded top-k queries.
+//!
+//! PR 4's cooperative scheduler made cross-shard fan-out cheap *per node*,
+//! but every query still opened an executor on every shard with a cold
+//! top-k threshold.  The planner closes that gap by consuming the per-shard
+//! [`Synopsis`] *before* any traversal:
+//!
+//! 1. **threshold seeding** — the exact degrees of the shards' sketch
+//!    entities are computed against the query; once `k` real candidates are
+//!    scored, their k-th best degree is a provable lower bound on the global
+//!    k-th-best degree `G` (any `≥ k`-subset's k-th best is `≤ G`), and the
+//!    search starts from that bar instead of `-inf`;
+//! 2. **shard skipping** — a shard whose synopsis
+//!    [`degree_upper_bound`](Synopsis::degree_upper_bound) is *strictly
+//!    below* the seed provably holds no top-k entity (every member's degree
+//!    `≤ upper < seed ≤ G`), so the query never touches it — the same
+//!    certain-answer separation the consistent-query-answering literature
+//!    applies to repairs, applied to shards;
+//! 3. **admission ordering** — admitted shards are driven
+//!    most-promising-first (synopsis upper bound descending), so the shard
+//!    most likely to raise the shared bound runs first;
+//! 4. **access-path choice** — shards at or below the
+//!    [`scan_cutoff`](crate::config::PlannerConfig::scan_cutoff) are answered
+//!    by the flat exact scan (no frontier bookkeeping); larger shards get the
+//!    best-first tree search.
+//!
+//! None of the four decisions can change an answer: seeding and skipping are
+//! justified by the strict-pruning argument above (ties at `G` survive
+//! because both comparisons are strict), ordering is schedule-freedom the
+//! executor already guarantees, and the flat scan is bitwise identical to an
+//! exhausted tree search.  `tests/planner_conformance.rs` proptests exactly
+//! this, over arbitrary shard counts, sketch sizes and knob settings.
+//!
+//! The plan itself is a first-class value: [`ShardedSnapshot::explain`]
+//! returns the [`QueryPlan`] without executing it, and
+//! [`QueryPlan::explain`] renders it for humans.
+//!
+//! [`ShardedSnapshot::explain`]: crate::shard::ShardedSnapshot::explain
+
+use crate::config::PlannerConfig;
+use crate::engine::TopKHeap;
+use crate::snapshot::IndexSnapshot;
+use crate::synopsis::Synopsis;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId};
+
+/// How the planner decided to treat one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDecision {
+    /// The shard's synopsis upper bound cannot beat the seeded threshold:
+    /// provably no top-k entity lives there, so the query never opens it.
+    /// (An empty shard's bound is `-inf`, so any seeded query proves it
+    /// away; unseeded, it is tree-searched — the executor no-ops on an
+    /// empty tree.)
+    Skip,
+    /// The shard is small enough that a flat exact scan beats the frontier
+    /// bookkeeping of a tree search.
+    Scan,
+    /// The shard gets a best-first tree executor under the query's bound.
+    TreeSearch,
+}
+
+/// The planner's verdict for one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPlan {
+    /// Shard index in the sharded snapshot.
+    pub shard: usize,
+    /// Entities the shard holds.
+    pub entities: usize,
+    /// The synopsis upper bound on any member's degree against this query
+    /// (`-inf` for an empty shard; the trivial `+inf` when the planner is
+    /// fully disabled and nothing was computed).
+    pub upper_bound: f64,
+    /// What the executor does with the shard.
+    pub decision: ShardDecision,
+}
+
+/// The executable plan of one sharded top-k query: the seeded threshold plus
+/// one [`ShardPlan`] per shard, admitted shards first in driving order
+/// (synopsis upper bound descending, shard index ascending), skipped shards
+/// last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Requested result size.
+    pub k: usize,
+    /// The seeded lower bound on the global k-th-best degree (`-inf` when
+    /// seeding is disabled or fewer than `k` sketch candidates exist).
+    pub seed: f64,
+    /// How many sketch candidates were scored exactly to derive the seed.
+    pub seed_candidates: usize,
+    /// Per-shard verdicts; admitted shards first, in driving order.
+    pub shards: Vec<ShardPlan>,
+    /// The knobs the plan was built under.
+    pub planner: PlannerConfig,
+}
+
+impl QueryPlan {
+    /// Number of shards the plan proves cannot contribute.
+    pub fn shards_skipped(&self) -> usize {
+        self.shards.iter().filter(|s| s.decision == ShardDecision::Skip).count()
+    }
+
+    /// True when a threshold seed was derived (and will be published to the
+    /// search bound before any traversal).
+    pub fn seeded(&self) -> bool {
+        self.seed > f64::NEG_INFINITY
+    }
+
+    /// The admitted shards in driving order (most promising first).
+    pub fn admitted(&self) -> impl Iterator<Item = &ShardPlan> {
+        self.shards.iter().filter(|s| s.decision != ShardDecision::Skip)
+    }
+
+    /// Renders the plan for humans: the seed, then one line per shard in
+    /// plan order with its population, upper bound and decision.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "QueryPlan: k={}, seed={} ({} sketch candidates scored), \
+             {} shard(s) admitted, {} skipped",
+            self.k,
+            if self.seeded() { format!("{:.6}", self.seed) } else { "none".to_string() },
+            self.seed_candidates,
+            self.shards.len() - self.shards_skipped(),
+            self.shards_skipped(),
+        );
+        for plan in &self.shards {
+            let decision = match plan.decision {
+                ShardDecision::TreeSearch => "tree-search",
+                ShardDecision::Scan => "scan",
+                ShardDecision::Skip if plan.entities == 0 => "skip (empty shard)",
+                ShardDecision::Skip => "skip (upper bound below seed)",
+            };
+            let _ = writeln!(
+                out,
+                "  shard {:>3}  entities={:<8} upper={:<12} {}",
+                plan.shard,
+                plan.entities,
+                if plan.upper_bound == f64::NEG_INFINITY {
+                    "-inf".to_string()
+                } else {
+                    format!("{:.6}", plan.upper_bound)
+                },
+                decision,
+            );
+        }
+        out
+    }
+}
+
+/// Builds the plan of one query over a set of shard snapshots.
+///
+/// The exact degree evaluations spent on seeding are recorded in the plan's
+/// [`seed_candidates`](QueryPlan::seed_candidates) field (the executor
+/// charges them to the query's `entities_checked`, because they are real
+/// candidate evaluations).  The caller guarantees the query sequence matches
+/// the shards' level count.
+///
+/// A fully disabled config ([`PlannerConfig::disabled`]) produces the
+/// faithful pre-planner baseline: every shard admitted as a tree search, in
+/// shard-index order — no seeding, no skipping, no scans and **no
+/// reordering**, so the `*_with_scheduler` paths measure exactly the PR 4
+/// scheduler.
+pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
+    shards: &[Arc<IndexSnapshot>],
+    query: &CellSetSequence,
+    exclude: Option<EntityId>,
+    k: usize,
+    measure: &M,
+    config: &PlannerConfig,
+) -> QueryPlan {
+    // A fully disabled planner computes nothing at all: every shard is
+    // admitted as a tree search in shard-index order, with the trivial
+    // (+inf) upper bound — the baseline paths must not pay per-shard
+    // synopsis evaluation they are benchmarked against.
+    let planning_active = config.seed_threshold || config.skip_shards || config.scan_cutoff > 0;
+    if !planning_active {
+        let shards = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardPlan {
+                shard: i,
+                entities: shard.synopsis().num_entities(),
+                upper_bound: f64::INFINITY,
+                decision: ShardDecision::TreeSearch,
+            })
+            .collect();
+        return QueryPlan {
+            k,
+            seed: f64::NEG_INFINITY,
+            seed_candidates: 0,
+            shards,
+            planner: *config,
+        };
+    }
+
+    let levels = query.num_levels() as u8;
+    let query_sizes: Vec<usize> = (1..=levels).map(|l| query.level(l).len()).collect();
+
+    // Threshold seeding: score the sketch candidates exactly; the heap's
+    // threshold is -inf until k candidates are held, which is precisely the
+    // soundness condition (fewer than k scored candidates prove nothing).
+    let mut seed = f64::NEG_INFINITY;
+    let mut seed_candidates = 0usize;
+    if config.seed_threshold && k > 0 {
+        let mut top = TopKHeap::new(k);
+        for shard in shards {
+            for &hot in shard.synopsis().hot_entities() {
+                if Some(hot) == exclude {
+                    continue;
+                }
+                // The synopsis travels with its snapshot, so every sketched
+                // id is indexed; tolerate a miss anyway (costs seed quality,
+                // never correctness).
+                let Some(seq) = shard.sequence(hot) else { continue };
+                seed_candidates += 1;
+                top.offer(hot, measure.degree(query, seq));
+            }
+        }
+        seed = top.threshold();
+    }
+
+    let mut admitted: Vec<ShardPlan> = Vec::with_capacity(shards.len());
+    let mut skipped: Vec<ShardPlan> = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let synopsis: &Synopsis = shard.synopsis();
+        let entities = synopsis.num_entities();
+        let upper_bound = synopsis.degree_upper_bound(&query_sizes, measure);
+        // Both skip certificates are strict, mirroring the executor's
+        // tie-complete pruning: a shard *tying* the seed may hold an
+        // equal-degree entity that enters the top-k through the id
+        // tie-break, so it is never skipped.  Empty shards are tree-searched
+        // (the executor no-ops on an empty tree, exactly as the pre-planner
+        // fan-out did) rather than scanned.
+        let decision = if config.skip_shards && seed > upper_bound {
+            ShardDecision::Skip
+        } else if entities > 0 && entities <= config.scan_cutoff {
+            ShardDecision::Scan
+        } else {
+            ShardDecision::TreeSearch
+        };
+        let plan = ShardPlan { shard: i, entities, upper_bound, decision };
+        if decision == ShardDecision::Skip {
+            skipped.push(plan);
+        } else {
+            admitted.push(plan);
+        }
+    }
+    // Most promising first; ties by shard index for determinism.
+    admitted.sort_by(|a, b| {
+        b.upper_bound.total_cmp(&a.upper_bound).then_with(|| a.shard.cmp(&b.shard))
+    });
+    admitted.extend(skipped);
+    QueryPlan { k, seed, seed_candidates, shards: admitted, planner: *config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use crate::testkit::{PairedConfig, Workload};
+
+    fn shards_of(w: &Workload, n: usize) -> Vec<Arc<IndexSnapshot>> {
+        let sharded = crate::shard::ShardedMinSigIndex::build(
+            &w.sp,
+            &w.traces,
+            IndexConfig::with_hash_functions(16),
+            n,
+        )
+        .unwrap();
+        (0..n).map(|i| sharded.shard(i).snapshot()).collect()
+    }
+
+    #[test]
+    fn disabled_planner_admits_every_shard_unseeded() {
+        let w = Workload::paired(PairedConfig::default());
+        let shards = shards_of(&w, 4);
+        let query =
+            shards.iter().find_map(|s| s.sequence(trace_model::EntityId(0))).unwrap().clone();
+        let plan = plan_query(
+            &shards,
+            &query,
+            Some(trace_model::EntityId(0)),
+            3,
+            &w.measure(),
+            &PlannerConfig::disabled(),
+        );
+        assert!(!plan.seeded());
+        assert_eq!(plan.seed_candidates, 0);
+        assert_eq!(plan.shards_skipped(), 0);
+        assert_eq!(plan.shards.len(), 4);
+        assert!(plan.shards.iter().all(|s| s.decision == ShardDecision::TreeSearch));
+    }
+
+    #[test]
+    fn default_planner_seeds_and_orders_most_promising_first() {
+        let w = Workload::paired(PairedConfig::default());
+        let shards = shards_of(&w, 3);
+        let query =
+            shards.iter().find_map(|s| s.sequence(trace_model::EntityId(0))).unwrap().clone();
+        let plan = plan_query(
+            &shards,
+            &query,
+            Some(trace_model::EntityId(0)),
+            2,
+            &w.measure(),
+            &PlannerConfig::default(),
+        );
+        assert!(plan.seeded(), "a 48-entity population seeds a k=2 query");
+        assert!(plan.seed_candidates >= 2);
+        let admitted: Vec<&ShardPlan> = plan.admitted().collect();
+        for pair in admitted.windows(2) {
+            assert!(pair[0].upper_bound >= pair[1].upper_bound, "driving order");
+        }
+        let text = plan.explain();
+        assert!(text.contains("QueryPlan"));
+        assert!(text.contains("shard"));
+    }
+}

@@ -9,6 +9,29 @@
 //! shard — independent snapshots, independent epochs, independent `MSIX` files —
 //! so ingest, persistence and maintenance all parallelise per shard.
 //!
+//! ## The cost-based query planner
+//!
+//! Fanning out got cheap per node in PR 4, but every query still opened an
+//! executor on **every** shard with a cold top-k threshold.  The planned
+//! query paths (the defaults: [`ShardedSnapshot::top_k`],
+//! [`top_k_with_options`](ShardedSnapshot::top_k_with_options), batches and
+//! joins) first consult each shard's [`Synopsis`](crate::synopsis::Synopsis)
+//! through [`crate::plan`]: the sketch candidates are scored exactly to
+//! **seed** the bound with a provable k-th-degree lower bound, shards whose
+//! capacity caps cannot beat the seed are **skipped** outright, admitted
+//! shards are driven **most-promising-first**, and tiny shards are answered
+//! by the flat exact **scan** instead of a tree search.  All four decisions
+//! are answer-invariant (strict-inequality certificates, see the
+//! [plan module docs](crate::plan)); [`ShardedSnapshot::explain`] returns
+//! the [`QueryPlan`] without executing it, and
+//! [`QueryStats::shards_skipped`] / [`QueryStats::threshold_seeded`] report
+//! what planning did.  The explicit `*_with_scheduler` entry points stay
+//! unplanned — the measurable PR 4 baseline; `*_with_planner` exposes every
+//! knob.
+//!
+//! [`QueryStats::shards_skipped`]: crate::stats::QueryStats::shards_skipped
+//! [`QueryStats::threshold_seeded`]: crate::stats::QueryStats::threshold_seeded
+//!
 //! ## The cooperative bound-sharing scheduler
 //!
 //! Shards *partition* the entity population, so for any query sequence the
@@ -82,12 +105,15 @@
 //! through re-saving over an existing directory, is always detected, never
 //! silently mis-answered.
 
-use crate::config::{BoundMode, IndexConfig, SchedulerConfig};
-use crate::engine::{self, Bound, Executor, InMemorySource, PrivateBound, SharedBound};
+use crate::config::{BoundMode, IndexConfig, PlannerConfig, SchedulerConfig};
+use crate::engine::{
+    self, Bound, Executor, InMemorySource, PrivateBound, SeededBound, SharedBound,
+};
 use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::ingest::IngestBuffer;
 use crate::join::{collect_join_rows, JoinOptions, JoinRow, JoinStats};
+use crate::plan::{self, QueryPlan, ShardDecision};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
@@ -105,8 +131,11 @@ use trace_storage::segment::{self, Cursor};
 
 /// Magic bytes of a sharded-index manifest file ("MinSig sHarD").
 pub const SHARD_MANIFEST_MAGIC: [u8; 4] = *b"MSHD";
-/// Newest manifest format version this build reads and writes.
-pub const SHARD_MANIFEST_VERSION: u16 = 1;
+/// Newest manifest format version this build reads and writes.  Version 2
+/// directories hold `MSIX` version-2 shard files (which embed each shard's
+/// planning synopsis); the manifest payload layout is unchanged, and
+/// version-1 directories still open — their shards compute synopses on load.
+pub const SHARD_MANIFEST_VERSION: u16 = 2;
 /// File name of the manifest inside a sharded-index directory.
 pub const SHARD_MANIFEST_FILE: &str = "manifest.mshd";
 /// Version of the [`shard_of`] partitioning function recorded in the
@@ -368,6 +397,40 @@ impl ShardedMinSigIndex {
         self.snapshot().top_k_with_scheduler(query, k, measure, options, scheduler)
     }
 
+    /// Answers a top-k query with every knob explicit; see
+    /// [`ShardedSnapshot::top_k_with_planner`].
+    pub fn top_k_with_planner<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        planner: PlannerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.snapshot().top_k_with_planner(query, k, measure, options, scheduler, planner)
+    }
+
+    /// Builds — without executing — the plan of one query; see
+    /// [`ShardedSnapshot::explain`].
+    pub fn explain<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        planner: PlannerConfig,
+    ) -> Result<QueryPlan> {
+        self.snapshot().explain(query, k, measure, planner)
+    }
+
+    /// Rebuilds every shard's planning synopsis with sketch size `m`; see
+    /// [`MinSigIndex::set_synopsis_sketch_size`].
+    pub fn set_synopsis_sketch_size(&mut self, m: usize) {
+        for shard in &mut self.shards {
+            shard.set_synopsis_sketch_size(m);
+        }
+    }
+
     /// Answers every query of a batch; see [`ShardedSnapshot::top_k_batch`].
     pub fn top_k_batch<M: AssociationMeasure + Sync + ?Sized>(
         &self,
@@ -456,18 +519,24 @@ impl ShardedSnapshot {
         self.top_k_with_options(query, k, measure, QueryOptions::default())
     }
 
-    /// Answers a top-k query for an indexed entity with explicit options and
-    /// the default cooperative [`SchedulerConfig`].
+    /// Answers a top-k query for an indexed entity with explicit options,
+    /// the default cooperative [`SchedulerConfig`] and the default
+    /// [`PlannerConfig`] (planned: seeded, shard-skipping, scan-picking).
     ///
     /// The query entity is looked up in its home shard only
     /// ([`IndexError::UnknownQueryEntity`] when absent); its sequence is then
-    /// probed against **every** shard through cooperatively scheduled
-    /// per-shard executors sharing one global bound, and the per-shard exact
-    /// answers are merged under the engine's total order.  The merged results
-    /// are **fully bit-identical** to the unsharded answer — degree vector,
-    /// entities and ordering, boundary ties included (see the
-    /// [module docs](crate::shard) for the proof sketch); the stats sum the
-    /// per-shard search work.
+    /// probed against every shard **the planner admits** through
+    /// cooperatively scheduled per-shard executors sharing one seeded global
+    /// bound, and the per-shard exact answers are merged under the engine's
+    /// total order.  The merged results are **fully bit-identical** to the
+    /// unsharded answer — degree vector, entities and ordering, boundary
+    /// ties included (see the [module docs](crate::shard) for the proof
+    /// sketch); the stats sum the per-shard search work and report what
+    /// planning did ([`QueryStats::shards_skipped`],
+    /// [`QueryStats::threshold_seeded`]).
+    ///
+    /// [`QueryStats::shards_skipped`]: crate::stats::QueryStats::shards_skipped
+    /// [`QueryStats::threshold_seeded`]: crate::stats::QueryStats::threshold_seeded
     pub fn top_k_with_options<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         query: EntityId,
@@ -475,16 +544,26 @@ impl ShardedSnapshot {
         measure: &M,
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
-        self.top_k_with_scheduler(query, k, measure, options, SchedulerConfig::default())
+        self.top_k_with_planner(
+            query,
+            k,
+            measure,
+            options,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        )
     }
 
     /// [`top_k_with_options`](Self::top_k_with_options) with explicit
-    /// scheduler knobs (step quantum, bound publish policy, bound mode).
+    /// scheduler knobs (step quantum, bound publish policy, bound mode) and
+    /// the planner **disabled** — the measurable PR 4 baseline: every shard
+    /// opened, cold thresholds, tree search everywhere.
     ///
-    /// The scheduler cannot change any answer — only the work counters of
-    /// the returned [`QueryStats`] and the wall-clock time; pass
-    /// [`SchedulerConfig::independent`] to measure the non-cooperative
-    /// per-shard baseline.
+    /// Neither the scheduler nor the planner can change any answer — only
+    /// the work counters of the returned [`QueryStats`] and the wall-clock
+    /// time; pass [`SchedulerConfig::independent`] to also drop cross-shard
+    /// bound sharing, and [`top_k_with_planner`](Self::top_k_with_planner)
+    /// to combine explicit scheduler and planner knobs.
     pub fn top_k_with_scheduler<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         query: EntityId,
@@ -493,12 +572,44 @@ impl ShardedSnapshot {
         options: QueryOptions,
         scheduler: SchedulerConfig,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.top_k_with_planner(query, k, measure, options, scheduler, PlannerConfig::disabled())
+    }
+
+    /// [`top_k_with_options`](Self::top_k_with_options) with every knob
+    /// explicit: scheduler (step quantum, publish policy, bound mode) and
+    /// planner (threshold seeding, shard skipping, scan cutoff).
+    pub fn top_k_with_planner<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        planner: PlannerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
         let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-        self.fan_out(seq, Some(query), k, measure, options, true, scheduler)
+        self.fan_out(seq, Some(query), k, measure, options, true, scheduler, planner)
+    }
+
+    /// Builds — without executing — the [`QueryPlan`] the planned query
+    /// paths would run for `query` under `planner`: the seeded threshold,
+    /// each shard's synopsis upper bound, and the skip / scan / tree-search
+    /// verdicts in driving order.  [`QueryPlan::explain`] renders it for
+    /// humans.
+    pub fn explain<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        planner: PlannerConfig,
+    ) -> Result<QueryPlan> {
+        let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+        self.check_query_levels(seq)?;
+        Ok(plan::plan_query(&self.shards, seq, Some(query), k, measure, &planner))
     }
 
     /// Answers a top-k query for an arbitrary (possibly external) query
-    /// sequence across all shards.
+    /// sequence across all shards, planned with the defaults.
     pub fn top_k_for_sequence<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         query: &CellSetSequence,
@@ -507,7 +618,16 @@ impl ShardedSnapshot {
         measure: &M,
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
-        self.fan_out(query, exclude, k, measure, options, true, SchedulerConfig::default())
+        self.fan_out(
+            query,
+            exclude,
+            k,
+            measure,
+            options,
+            true,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        )
     }
 
     /// Answers the top-k query for every query entity of a batch, in
@@ -523,7 +643,8 @@ impl ShardedSnapshot {
         self.top_k_batch_with_options(queries, k, measure, QueryOptions::default())
     }
 
-    /// [`top_k_batch`](Self::top_k_batch) with explicit query options.
+    /// [`top_k_batch`](Self::top_k_batch) with explicit query options
+    /// (planned with the defaults, like the single-query path).
     pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         queries: &[EntityId],
@@ -531,16 +652,19 @@ impl ShardedSnapshot {
         measure: &M,
         options: QueryOptions,
     ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
-        self.top_k_batch_with_scheduler(queries, k, measure, options, SchedulerConfig::default())
+        self.top_k_batch_with_planner(
+            queries,
+            k,
+            measure,
+            options,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        )
     }
 
     /// [`top_k_batch`](Self::top_k_batch) with explicit query options and
-    /// scheduler knobs.
-    ///
-    /// Parallelism is over the *queries* (the batch is the wider axis); each
-    /// query's per-shard executors are then interleaved sequentially on its
-    /// worker — still cooperatively, sharing one bound per query — to avoid
-    /// nested thread fan-out.  Results are identical either way.
+    /// scheduler knobs, planner disabled (the unplanned baseline, mirroring
+    /// [`top_k_with_scheduler`](Self::top_k_with_scheduler)).
     pub fn top_k_batch_with_scheduler<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         queries: &[EntityId],
@@ -549,12 +673,38 @@ impl ShardedSnapshot {
         options: QueryOptions,
         scheduler: SchedulerConfig,
     ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        self.top_k_batch_with_planner(
+            queries,
+            k,
+            measure,
+            options,
+            scheduler,
+            PlannerConfig::disabled(),
+        )
+    }
+
+    /// [`top_k_batch`](Self::top_k_batch) with every knob explicit.
+    ///
+    /// Parallelism is over the *queries* (the batch is the wider axis); each
+    /// query is planned independently and its admitted per-shard executors
+    /// are then interleaved sequentially on its worker — still
+    /// cooperatively, sharing one seeded bound per query — to avoid nested
+    /// thread fan-out.  Results are identical either way.
+    pub fn top_k_batch_with_planner<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        planner: PlannerConfig,
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
         let answers: Vec<Result<(Vec<TopKResult>, QueryStats)>> = queries
             .par_iter()
             .map(|&query| {
                 let seq =
                     self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-                self.fan_out(seq, Some(query), k, measure, options, false, scheduler)
+                self.fan_out(seq, Some(query), k, measure, options, false, scheduler, planner)
             })
             .collect();
         answers.into_iter().collect()
@@ -587,7 +737,17 @@ impl ShardedSnapshot {
     ) -> Option<JoinRow> {
         let seq = self.sequence(probe)?;
         let scheduler = SchedulerConfig::default();
-        match self.fan_out(seq, Some(probe), options.k, measure, options.query, false, scheduler) {
+        let planner = PlannerConfig::default();
+        match self.fan_out(
+            seq,
+            Some(probe),
+            options.k,
+            measure,
+            options.query,
+            false,
+            scheduler,
+            planner,
+        ) {
             Ok((matches, stats)) => Some(JoinRow { probe, matches, stats }),
             Err(_) => None,
         }
@@ -615,9 +775,26 @@ impl ShardedSnapshot {
         Ok(engine::merge_top_k(k, parts))
     }
 
-    /// The cooperative cross-shard fan-out and exact merge shared by every
-    /// query path: one resumable executor per shard, interleaved in quanta,
-    /// pruning against one query-global bound.
+    /// Rejects query sequences whose level count does not match the shards'
+    /// trees — up front, so a plan that scans or skips every shard reports
+    /// the same [`IndexError::LevelMismatch`] the executor constructor
+    /// would.
+    fn check_query_levels(&self, query: &CellSetSequence) -> Result<()> {
+        let index_levels = self.shards[0].tree().levels();
+        if query.num_levels() != index_levels as usize {
+            return Err(IndexError::LevelMismatch {
+                index_levels,
+                query_levels: query.num_levels() as u8,
+            });
+        }
+        Ok(())
+    }
+
+    /// The planned cooperative cross-shard fan-out and exact merge shared by
+    /// every query path: plan first (seed, skip, order, pick access paths),
+    /// scan the tiny admitted shards, then interleave one resumable executor
+    /// per admitted tree shard in quanta against one seeded query-global
+    /// bound.
     #[allow(clippy::too_many_arguments)]
     fn fan_out<M: AssociationMeasure + Sync + ?Sized>(
         &self,
@@ -628,37 +805,80 @@ impl ShardedSnapshot {
         options: QueryOptions,
         parallel: bool,
         scheduler: SchedulerConfig,
+        planner: PlannerConfig,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
         scheduler.validate()?;
         let start = Instant::now();
+        self.check_query_levels(query)?;
+        let plan = plan::plan_query(&self.shards, query, exclude, k, measure, &planner);
+
+        let mut stats = QueryStats { k, ..QueryStats::default() };
+        // Seeding scored real candidates exactly: charge them as checked
+        // work, and count skipped shards' populations toward |E| so pruning
+        // effectiveness stays comparable with unplanned runs.
+        stats.entities_checked += plan.seed_candidates;
+        stats.shards_skipped = plan.shards_skipped();
+        stats.threshold_seeded = plan.seeded();
+        for shard_plan in &plan.shards {
+            if shard_plan.decision == ShardDecision::Skip {
+                stats.total_entities += shard_plan.entities;
+            }
+        }
+
+        let use_shared = scheduler.bound_mode == BoundMode::Shared;
+        let shared = SharedBound::new();
+        if use_shared && plan.seeded() {
+            shared.publish(plan.seed);
+        }
+
+        // Scan shards first: their exact per-shard answers are cheap, and
+        // each one's local k-th degree is ≤ the global k-th degree, so it
+        // can legally raise the shared bound before any tree executor runs.
+        let mut parts: Vec<Vec<TopKResult>> = Vec::with_capacity(plan.shards.len());
+        for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::Scan) {
+            let shard = &self.shards[shard_plan.shard];
+            let (results, checked) = engine::scan_top_k(
+                shard.sequences().iter().map(|(e, s)| (*e, s)),
+                query,
+                exclude,
+                k,
+                measure,
+            );
+            stats.total_entities += shard.num_entities();
+            stats.entities_checked += checked;
+            if use_shared && k > 0 && results.len() >= k {
+                shared.publish(results[k - 1].degree);
+            }
+            parts.push(results);
+        }
+
+        // Tree shards in plan order: most promising first, so the executor
+        // most likely to raise the bound is driven before the long tail.
         let mut executors: Vec<Executor<'_, SeededHashFamily, InMemorySource<'_>, M>> =
-            Vec::with_capacity(self.shards.len());
-        for shard in self.shards.iter() {
+            Vec::with_capacity(plan.shards.len());
+        for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::TreeSearch) {
             executors.push(
-                shard
+                self.shards[shard_plan.shard]
                     .executor(query, exclude, k, measure, options)?
                     .with_publish_policy(scheduler.publish_policy),
             );
         }
-        // A single executor can only share a bound with itself; its local
-        // threshold already carries the same information, so skip the atomic
-        // churn (1-shard cooperative == 1-shard independent, exactly).
-        match scheduler.bound_mode {
-            BoundMode::Shared if executors.len() > 1 => {
-                drive_cooperatively(
-                    &mut executors,
-                    &SharedBound::new(),
-                    parallel,
-                    scheduler.step_quantum,
-                );
-            }
-            _ => {
-                drive_cooperatively(&mut executors, &PrivateBound, parallel, scheduler.step_quantum)
-            }
+        // A single unseeded executor can only share a bound with itself; its
+        // local threshold already carries the same information, so skip the
+        // atomic churn (1-shard cooperative == 1-shard independent, exactly).
+        // With a seed (or scan-published thresholds) in the shared bound,
+        // even a lone executor must prune against it.
+        if use_shared && (executors.len() > 1 || shared.current() > f64::NEG_INFINITY) {
+            drive_cooperatively(&mut executors, &shared, parallel, scheduler.step_quantum);
+        } else if !use_shared && plan.seeded() {
+            // Independent mode still profits from the planner's seed — a
+            // fixed bound that shares nothing between shards.
+            let seeded = SeededBound::new(plan.seed);
+            drive_cooperatively(&mut executors, &seeded, parallel, scheduler.step_quantum);
+        } else {
+            drive_cooperatively(&mut executors, &PrivateBound, parallel, scheduler.step_quantum);
         }
 
-        let mut stats = QueryStats { k, ..QueryStats::default() };
-        let mut parts = Vec::with_capacity(executors.len());
         for executor in executors {
             let (results, executor_stats) = executor.finish();
             stats.absorb_work(&executor_stats);

@@ -19,6 +19,7 @@ use crate::error::{IndexError, Result};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::stats::QueryStats;
+use crate::synopsis::Synopsis;
 use crate::tree::MinSigTree;
 use std::collections::BTreeMap;
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
@@ -72,6 +73,11 @@ pub struct IndexSnapshot {
     /// existing one (`min(sig_old, sig_delta)`) instead of re-hashing the full
     /// trace, and so that a persisted index reloads without re-hashing at all.
     pub(crate) signatures: BTreeMap<EntityId, SignatureList>,
+    /// The planning synopsis of this population (per-level capacity caps,
+    /// top-m hot-entity sketch, entity count) — recomputed on every mutation
+    /// batch so it always equals [`Synopsis::compute`] over this snapshot;
+    /// consumed by the sharded query planner ([`crate::plan`]).
+    pub(crate) synopsis: Synopsis,
 }
 
 impl IndexSnapshot {
@@ -124,6 +130,54 @@ impl IndexSnapshot {
     /// and ground-truth comparisons).
     pub fn sequences(&self) -> &BTreeMap<EntityId, CellSetSequence> {
         &self.sequences
+    }
+
+    /// The planning synopsis of this snapshot's population (see
+    /// [`crate::synopsis`]): always consistent with the sequences — it is
+    /// recomputed on every mutation batch and reloaded verbatim from `MSIX`
+    /// v2 files.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
+    /// Recomputes the synopsis from the current sequences, keeping the
+    /// sketch size `m` unless a new one is given; called by every mutation
+    /// path that can *shrink* sizes (replacement, removal, batch flushes).
+    pub(crate) fn recompute_synopsis(&mut self, sketch_size: Option<usize>, epoch: u64) {
+        let m = sketch_size.unwrap_or_else(|| self.synopsis.sketch_size());
+        self.synopsis = Synopsis::compute(
+            self.tree.levels(),
+            self.sequences.iter().map(|(e, s)| (*e, s)),
+            m,
+            epoch,
+        );
+    }
+
+    /// Absorbs one **newly inserted** entity into the synopsis without
+    /// rescanning the population — `O(m log n)` for the sketch comparison
+    /// instead of the full `O(n × levels)` recompute, so streaming
+    /// single-record inserts stay `O(delta)`.  Equivalent to a full
+    /// recompute (see [`Synopsis::absorb_insert`]); the entity must already
+    /// be in [`sequences`](Self::sequences).
+    pub(crate) fn absorb_inserted_entity_into_synopsis(&mut self, entity: EntityId, epoch: u64) {
+        let seq = self.sequences.get(&entity).expect("entity was just inserted");
+        let levels = self.tree.levels();
+        let level_sizes: Vec<usize> = (1..=levels).map(|l| seq.level(l).len()).collect();
+        let total = seq.total_cells();
+        // Splice position under the sketch order (total cells descending,
+        // id ascending), ranked against the current members' live totals.
+        let hot = self.synopsis.hot_entities();
+        let mut insert_at = hot.len();
+        for (j, &member) in hot.iter().enumerate() {
+            let member_total = self.sequences[&member].total_cells();
+            if total > member_total || (total == member_total && entity < member) {
+                insert_at = j;
+                break;
+            }
+        }
+        let belongs = self.synopsis.sketch_size() > 0
+            && (insert_at < hot.len() || hot.len() < self.synopsis.sketch_size());
+        self.synopsis.absorb_insert(&level_sizes, entity, belongs.then_some(insert_at), epoch);
     }
 
     /// Estimated resident heap footprint of this snapshot in bytes: the tree

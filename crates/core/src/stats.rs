@@ -59,6 +59,14 @@ pub struct QueryStats {
     ///
     /// [`Executor::step`]: crate::engine::Executor::step
     pub steps: usize,
+    /// Shards the query planner proved could not contribute to the top-k and
+    /// therefore never opened (sharded planned queries only; see
+    /// [`crate::plan`]).  On a batch, sums over the batch's queries.
+    pub shards_skipped: usize,
+    /// True when the planner seeded the search bound with a provable
+    /// k-th-degree lower bound before any traversal (sharded planned queries
+    /// only).
+    pub threshold_seeded: bool,
     /// Simulated I/O latency accumulated while reading candidate traces
     /// (paged queries only), in microseconds.
     pub simulated_io_us: u64,
@@ -102,6 +110,8 @@ impl QueryStats {
         self.subtrees_pruned += other.subtrees_pruned;
         self.bound_updates += other.bound_updates;
         self.steps += other.steps;
+        self.shards_skipped += other.shards_skipped;
+        self.threshold_seeded |= other.threshold_seeded;
         self.simulated_io_us += other.simulated_io_us;
         self.pool_misses += other.pool_misses;
     }
@@ -160,6 +170,8 @@ mod tests {
             subtrees_pruned: 4,
             bound_updates: 1,
             steps: 2,
+            shards_skipped: 3,
+            threshold_seeded: true,
             query_time_us: 99,
             ..QueryStats::default()
         };
@@ -168,6 +180,8 @@ mod tests {
         assert_eq!(a.subtrees_pruned, 5);
         assert_eq!(a.bound_updates, 3);
         assert_eq!(a.steps, 3);
+        assert_eq!(a.shards_skipped, 3);
+        assert!(a.threshold_seeded, "seeding anywhere in the batch is recorded");
         assert_eq!(a.query_time_us, 10, "wall clock is not summed");
     }
 }

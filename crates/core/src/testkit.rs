@@ -272,6 +272,84 @@ impl Default for PruningAdversarialConfig {
     }
 }
 
+/// Configuration of [`Workload::planner_localized`] — the query planner's
+/// **best** case: every top-k answer of a hot query lives in one single
+/// shard, and every other shard is provably skippable.
+///
+/// A hot clique (all ids routing to one shard under
+/// [`shard_of`](crate::shard::shard_of) with `num_shards` shards) shares an
+/// itinerary; every background entity holds exactly **one** ST-cell in a
+/// time window disjoint from the clique's, so background shards have
+/// per-level capacity caps of 1 and zero overlap with a hot query — their
+/// synopsis upper bound is far below the seeded threshold, and the planner
+/// must prove all of them away ([`QueryStats::shards_skipped`]
+/// `= num_shards - 1` for a hot query at `num_shards ≥ 2`).
+///
+/// [`QueryStats::shards_skipped`]: crate::stats::QueryStats::shards_skipped
+#[derive(Debug, Clone)]
+pub struct PlannerLocalizedConfig {
+    /// The shard count the hot clique is aimed at.
+    pub num_shards: usize,
+    /// Number of hot (clique) entities; must be at least 2.
+    pub hot_entities: u64,
+    /// Number of single-cell background entities filling the other shards.
+    pub background_entities: u64,
+    /// Length of the shared hot itinerary in ST-cells.
+    pub itinerary_steps: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for PlannerLocalizedConfig {
+    fn default() -> Self {
+        PlannerLocalizedConfig {
+            num_shards: 4,
+            hot_entities: 12,
+            background_entities: 48,
+            itinerary_steps: 6,
+            hierarchy: HierarchySpec::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Configuration of [`Workload::planner_dispersed`] — the query planner's
+/// **worst** case: strong candidates live in every shard, so no shard is
+/// skippable and planning can only pay for itself through seeding.
+///
+/// Every generated entity shares one global itinerary (plus light private
+/// noise keeping degrees distinct), and ids are chosen so each shard under
+/// `num_shards` receives exactly `entities_per_shard` of them: every
+/// shard's capacity caps and achievable degrees look alike, the planner's
+/// skip certificate can never fire, and `shards_skipped` must stay 0.
+#[derive(Debug, Clone)]
+pub struct PlannerDispersedConfig {
+    /// The shard count the population is spread over.
+    pub num_shards: usize,
+    /// Entities routed to each shard (total = `num_shards × entities_per_shard`).
+    pub entities_per_shard: u64,
+    /// Length of the shared global itinerary in ST-cells.
+    pub itinerary_steps: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for PlannerDispersedConfig {
+    fn default() -> Self {
+        PlannerDispersedConfig {
+            num_shards: 4,
+            entities_per_shard: 12,
+            itinerary_steps: 6,
+            hierarchy: HierarchySpec::default(),
+            seed: 0,
+        }
+    }
+}
+
 /// A generated population: the hierarchy it lives in plus its trace set.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -470,52 +548,16 @@ impl Workload {
 
         // Partition candidate ids by their home shard under the configured
         // shard count; the hot clique gets ids routing to the shard of id 0.
-        let hot_shard = crate::shard::shard_of(EntityId(0), config.num_shards);
-        let mut hot: Vec<EntityId> = Vec::with_capacity(config.hot_entities as usize);
-        let mut cold: Vec<EntityId> = Vec::with_capacity(config.cold_entities as usize);
-        let mut next_id = 0u64;
-        while (hot.len() as u64) < config.hot_entities || (cold.len() as u64) < config.cold_entities
-        {
-            let id = EntityId(next_id);
-            next_id += 1;
-            let home = crate::shard::shard_of(id, config.num_shards);
-            if home == hot_shard && (hot.len() as u64) < config.hot_entities {
-                hot.push(id);
-            } else if (home != hot_shard || config.num_shards == 1)
-                && (cold.len() as u64) < config.cold_entities
-            {
-                cold.push(id);
-            }
-        }
+        let (hot, cold) = partition_ids_by_home_shard(
+            config.num_shards,
+            config.hot_entities,
+            config.cold_entities,
+        );
 
         // The shared hot itinerary, strictly before the noise window.
-        let itinerary: Vec<(u32, u64)> = (0..config.itinerary_steps)
-            .map(|step| {
-                let unit = base[rng.below(base.len() as u64) as usize];
-                (unit, step * 2 * TICKS_PER_UNIT)
-            })
-            .collect();
+        let itinerary = random_itinerary(&base, &mut rng, config.itinerary_steps);
         let noise_start = config.itinerary_steps * 2 * TICKS_PER_UNIT;
-
-        for (i, &entity) in hot.iter().enumerate() {
-            for &(unit, start) in &itinerary {
-                traces.record(PresenceInstance::new(
-                    entity,
-                    unit,
-                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
-                ));
-            }
-            // Light per-entity noise keeps hot degrees high but distinct.
-            for n in 0..(i as u64 % 3) {
-                let unit = base[rng.below(base.len() as u64) as usize];
-                let start = noise_start + (i as u64 * 5 + n) * TICKS_PER_UNIT;
-                traces.record(PresenceInstance::new(
-                    entity,
-                    unit,
-                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
-                ));
-            }
-        }
+        record_itinerary_clique(&mut traces, &base, &mut rng, &itinerary, &hot, noise_start, 5);
         for (i, &entity) in cold.iter().enumerate() {
             // One itinerary cell: weak but non-zero association with the
             // clique, so cold shards cannot trivially return empty answers.
@@ -537,6 +579,88 @@ impl Workload {
             }
         }
         (Workload { sp, traces }, hot)
+    }
+
+    /// The planner's best case: all top-k answers of a hot query route to
+    /// one shard, every other shard is provably skippable.  Returns the
+    /// workload plus the hot entity ids (ascending); see
+    /// [`PlannerLocalizedConfig`] for the planted structure.
+    pub fn planner_localized(config: PlannerLocalizedConfig) -> (Workload, Vec<EntityId>) {
+        assert!(config.num_shards > 0, "the hot clique needs a shard to live in");
+        assert!(config.hot_entities >= 2, "a clique of one has no associations");
+        assert!(config.itinerary_steps >= 1, "the hot itinerary cannot be empty");
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+
+        let (hot, background) = partition_ids_by_home_shard(
+            config.num_shards,
+            config.hot_entities,
+            config.background_entities,
+        );
+
+        // The shared hot itinerary, followed by light per-entity hot noise
+        // that keeps clique degrees high but distinct.
+        let itinerary = random_itinerary(&base, &mut rng, config.itinerary_steps);
+        let noise_start = config.itinerary_steps * 2 * TICKS_PER_UNIT;
+        record_itinerary_clique(&mut traces, &base, &mut rng, &itinerary, &hot, noise_start, 5);
+
+        // Background: exactly one cell per entity, in its own time slot far
+        // beyond every hot cell — zero overlap with any hot query, and
+        // per-level capacity caps of 1 in every background shard.
+        let background_start = noise_start + (config.hot_entities * 5 + 10) * TICKS_PER_UNIT;
+        for (i, &entity) in background.iter().enumerate() {
+            let unit = base[rng.below(base.len() as u64) as usize];
+            let start = background_start + i as u64 * TICKS_PER_UNIT;
+            traces.record(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+            ));
+        }
+        (Workload { sp, traces }, hot)
+    }
+
+    /// The planner's worst case: strong candidates spread evenly over every
+    /// shard, so the skip certificate can never fire.  Returns the workload
+    /// plus all entity ids (ascending); see [`PlannerDispersedConfig`].
+    pub fn planner_dispersed(config: PlannerDispersedConfig) -> (Workload, Vec<EntityId>) {
+        assert!(config.num_shards > 0, "entities need shards to live in");
+        assert!(config.entities_per_shard >= 1, "every shard must hold a candidate");
+        assert!(config.itinerary_steps >= 1, "the shared itinerary cannot be empty");
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+
+        // Exactly `entities_per_shard` ids routing to every shard.
+        let mut per_shard: Vec<u64> = vec![0; config.num_shards];
+        let mut entities: Vec<EntityId> = Vec::new();
+        let mut next_id = 0u64;
+        while per_shard.iter().any(|&n| n < config.entities_per_shard) {
+            let id = EntityId(next_id);
+            next_id += 1;
+            let home = crate::shard::shard_of(id, config.num_shards);
+            if per_shard[home] < config.entities_per_shard {
+                per_shard[home] += 1;
+                entities.push(id);
+            }
+        }
+        entities.sort();
+
+        let itinerary = random_itinerary(&base, &mut rng, config.itinerary_steps);
+        let noise_start = config.itinerary_steps * 2 * TICKS_PER_UNIT;
+        record_itinerary_clique(
+            &mut traces,
+            &base,
+            &mut rng,
+            &itinerary,
+            &entities,
+            noise_start,
+            7,
+        );
+        (Workload { sp, traces }, entities)
     }
 
     /// Builds a [`MinSigIndex`] over this workload.
@@ -585,6 +709,83 @@ impl Workload {
             })
             .collect()
     }
+}
+
+/// A random shared itinerary: `steps` ST-cells, one every other base
+/// temporal unit, over random base spatial units.  Shared by the
+/// planted-structure generators; the noise window of each starts at
+/// `steps * 2 * TICKS_PER_UNIT`.
+fn random_itinerary(base: &[u32], rng: &mut Rng64, steps: u64) -> Vec<(u32, u64)> {
+    (0..steps)
+        .map(|step| {
+            let unit = base[rng.below(base.len() as u64) as usize];
+            (unit, step * 2 * TICKS_PER_UNIT)
+        })
+        .collect()
+}
+
+/// Records a clique: every member walks the whole shared `itinerary`, plus
+/// `i % 3` private noise visits at
+/// `noise_start + (i * noise_stride + n) * TICKS_PER_UNIT` — light noise
+/// that keeps clique degrees high but distinct.  Shared by the
+/// planted-structure generators so their itinerary layout cannot silently
+/// diverge.
+fn record_itinerary_clique(
+    traces: &mut TraceSet,
+    base: &[u32],
+    rng: &mut Rng64,
+    itinerary: &[(u32, u64)],
+    members: &[EntityId],
+    noise_start: u64,
+    noise_stride: u64,
+) {
+    for (i, &entity) in members.iter().enumerate() {
+        for &(unit, start) in itinerary {
+            traces.record(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+            ));
+        }
+        for n in 0..(i as u64 % 3) {
+            let unit = base[rng.below(base.len() as u64) as usize];
+            let start = noise_start + (i as u64 * noise_stride + n) * TICKS_PER_UNIT;
+            traces.record(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+            ));
+        }
+    }
+}
+
+/// Splits fresh ascending entity ids into a `hot` group whose members all
+/// route to one single shard (the home of id 0 under `num_shards` shards,
+/// per [`shard_of`](crate::shard::shard_of)) and a `background` group whose
+/// members route anywhere else (anywhere at all when there is only one
+/// shard).  Shared by the shard-skew workload generators.
+fn partition_ids_by_home_shard(
+    num_shards: usize,
+    hot_count: u64,
+    background_count: u64,
+) -> (Vec<EntityId>, Vec<EntityId>) {
+    let hot_shard = crate::shard::shard_of(EntityId(0), num_shards);
+    let mut hot: Vec<EntityId> = Vec::with_capacity(hot_count as usize);
+    let mut background: Vec<EntityId> = Vec::with_capacity(background_count as usize);
+    let mut next_id = 0u64;
+    while (hot.len() as u64) < hot_count || (background.len() as u64) < background_count {
+        let id = EntityId(next_id);
+        next_id += 1;
+        let home = crate::shard::shard_of(id, num_shards);
+        if home == hot_shard && (hot.len() as u64) < hot_count {
+            hot.push(id);
+        } else if (home != hot_shard || num_shards == 1)
+            && (background.len() as u64) < background_count
+        {
+            background.push(id);
+        }
+    }
+    (hot, background)
 }
 
 /// Asserts that two *exact* top-k answers are **fully bit-identical**.
@@ -775,6 +976,57 @@ mod tests {
         for r in &results {
             assert!(hot_set.contains(&r.entity), "{} is not a hot entity", r.entity);
         }
+    }
+
+    #[test]
+    fn planner_localized_isolates_answers_and_starves_background_shards() {
+        let config = PlannerLocalizedConfig::default();
+        let shards = config.num_shards;
+        let (w, hot) = Workload::planner_localized(config.clone());
+        assert_eq!(hot.len() as u64, config.hot_entities);
+        assert_eq!(
+            w.traces.num_entities() as u64,
+            config.hot_entities + config.background_entities
+        );
+        // The clique lives in one shard; background entities never do.
+        let home = crate::shard::shard_of(hot[0], shards);
+        for &entity in &hot {
+            assert_eq!(crate::shard::shard_of(entity, shards), home, "{entity}");
+        }
+        let hot_set: std::collections::BTreeSet<EntityId> = hot.iter().copied().collect();
+        for entity in w.entities() {
+            if !hot_set.contains(&entity) {
+                assert_ne!(crate::shard::shard_of(entity, shards), home, "{entity}");
+                // One single cell: background shards' capacity caps are 1.
+                assert_eq!(w.traces.get(entity).unwrap().len(), 1, "{entity}");
+            }
+        }
+        // A hot query's full top-k is the rest of the clique.
+        let index = w.build_index(IndexConfig::with_hash_functions(32));
+        let truth = index.brute_force(hot[0], hot.len() - 1, &w.measure()).unwrap();
+        for r in &truth {
+            assert!(hot_set.contains(&r.entity), "{} leaked into the top-k", r.entity);
+            assert!(r.degree > 0.0);
+        }
+    }
+
+    #[test]
+    fn planner_dispersed_spreads_candidates_over_every_shard() {
+        let config = PlannerDispersedConfig::default();
+        let (w, entities) = Workload::planner_dispersed(config.clone());
+        assert_eq!(entities.len() as u64, config.num_shards as u64 * config.entities_per_shard);
+        let mut per_shard = vec![0u64; config.num_shards];
+        for &entity in &entities {
+            per_shard[crate::shard::shard_of(entity, config.num_shards)] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&n| n == config.entities_per_shard),
+            "every shard holds the same number of strong candidates: {per_shard:?}"
+        );
+        // Everyone shares the itinerary: any query's top-1 has real overlap.
+        let index = w.build_index(IndexConfig::with_hash_functions(32));
+        let (top, _) = index.top_k(entities[0], 1, &w.measure()).unwrap();
+        assert!(top[0].degree > 0.0);
     }
 
     #[test]

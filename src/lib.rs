@@ -95,9 +95,9 @@ pub mod harness {
 }
 
 pub use minsig::{
-    BoundMode, IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, PublishPolicy, QueryOptions,
-    QueryStats, SchedulerConfig, SearchStats, ShardedMinSigIndex, ShardedSnapshot, TopKResult,
-    TraceSource,
+    BoundMode, IndexConfig, IndexSnapshot, JoinOptions, MinSigIndex, PlannerConfig, PublishPolicy,
+    QueryOptions, QueryPlan, QueryStats, SchedulerConfig, SearchStats, ShardedMinSigIndex,
+    ShardedSnapshot, Synopsis, TopKResult, TraceSource,
 };
 pub use trace_model::{
     AssociationMeasure, DiceAdm, DigitalTrace, EntityId, JaccardAdm, PaperAdm, Period,

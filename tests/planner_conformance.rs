@@ -1,0 +1,353 @@
+//! Black-box conformance of the cost-based query planner: for random
+//! populations, arbitrary shard counts, arbitrary synopsis sketch sizes and
+//! every planner-knob combination, the planned sharded paths must answer
+//! **fully bit-identically** to the unplanned scheduler paths, the unsharded
+//! index and the brute-force oracle — boundary ties included.  On the
+//! planted planner workloads the planner must also *do* what it promises:
+//! skip every background shard of the localized population, skip nothing on
+//! the dispersed one, and report both through `QueryStats`.
+//!
+//! Persistence: a saved-then-reopened sharded index must carry exactly the
+//! synopsis a freshly rebuilt index would (sketch size included), and
+//! version-1 directories written before synopses existed must still open
+//! and answer identically.
+
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, PlannerDispersedConfig, PlannerLocalizedConfig, UniformConfig,
+    Workload,
+};
+use digital_traces::index::{
+    shard::SHARD_MANIFEST_FILE, IndexConfig, MinSigIndex, PlannerConfig, QueryOptions,
+    SchedulerConfig, ShardedMinSigIndex, Synopsis, INDEX_MAGIC, PARTITION_VERSION,
+    SHARD_MANIFEST_MAGIC,
+};
+use digital_traces::storage::segment::{self, SegmentReader, SegmentWriter};
+use proptest::prelude::*;
+
+fn build_pair(
+    entities: u64,
+    visits: u64,
+    seed: u64,
+    nh: u32,
+    shards: usize,
+) -> (Workload, MinSigIndex, ShardedMinSigIndex) {
+    let w = Workload::uniform(UniformConfig {
+        entities,
+        visits,
+        time_slots: 48,
+        seed,
+        ..UniformConfig::default()
+    });
+    let config = IndexConfig { num_hash_functions: nh, ..IndexConfig::default() };
+    let unsharded = w.build_index(config);
+    let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+    (w, unsharded, sharded)
+}
+
+fn temp_dir(name: &str, tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("planner-test-{}-{name}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The heart of the contract: planned == unplanned == unsharded ==
+    /// brute force, fully bit-identical, over arbitrary shard counts,
+    /// sketch sizes `m` and planner knobs (seeding and skipping toggled
+    /// independently, scan cutoff swept through "never", "sometimes" and
+    /// "always scan").
+    #[test]
+    fn planned_answers_are_bit_identical_to_unplanned_and_oracle(
+        entities in 2u64..40,
+        visits in 1u64..8,
+        seed in 0u64..1_000,
+        nh in 4u32..32,
+        shards in 1usize..9,
+        k in 1usize..7,
+        m in 0usize..20,
+        seed_threshold in any::<bool>(),
+        skip_shards in any::<bool>(),
+        scan_cutoff in 0usize..50,
+    ) {
+        let (w, unsharded, mut sharded) = build_pair(entities, visits, seed, nh, shards);
+        sharded.set_synopsis_sketch_size(m);
+        let planner = PlannerConfig { seed_threshold, skip_shards, scan_cutoff };
+        let measure = w.measure();
+        let snapshot = sharded.snapshot();
+        for query in w.entities() {
+            let (planned, stats) = snapshot
+                .top_k_with_planner(
+                    query, k, &measure, QueryOptions::default(),
+                    SchedulerConfig::default(), planner,
+                )
+                .unwrap();
+            let (unplanned, _) = snapshot
+                .top_k_with_scheduler(
+                    query, k, &measure, QueryOptions::default(), SchedulerConfig::default(),
+                )
+                .unwrap();
+            assert_equivalent_answers(
+                &planned, &unplanned,
+                &format!("planned vs unplanned, {planner:?}, m={m}, {query}"),
+            );
+            let (exact, _) = unsharded.top_k(query, k, &measure).unwrap();
+            assert_equivalent_answers(&planned, &exact, &format!("planned vs unsharded, {query}"));
+            let oracle = unsharded.brute_force(query, k, &measure).unwrap();
+            assert_equivalent_answers(&planned, &oracle, &format!("planned vs oracle, {query}"));
+            // The counters only ever report what the knobs allow.
+            if !skip_shards {
+                prop_assert_eq!(stats.shards_skipped, 0, "skipping was off");
+            }
+            if !seed_threshold {
+                prop_assert!(!stats.threshold_seeded, "seeding was off");
+            }
+            prop_assert!(stats.shards_skipped < shards, "a query never skips every shard");
+        }
+    }
+
+    /// The default paths (`top_k`, batches, joins) run through the planner;
+    /// they too must stay bit-identical to the unsharded twin.
+    #[test]
+    fn default_planned_paths_match_unsharded(
+        entities in 2u64..30,
+        seed in 0u64..1_000,
+        shards in 1usize..7,
+        k in 1usize..5,
+    ) {
+        let (w, unsharded, sharded) = build_pair(entities, 4, seed, 16, shards);
+        let measure = w.measure();
+        let queries = w.entities();
+        let batch_a = unsharded.top_k_batch(&queries, k, &measure).unwrap();
+        let batch_b = sharded.top_k_batch(&queries, k, &measure).unwrap();
+        prop_assert_eq!(batch_a.len(), batch_b.len());
+        for (i, ((a, _), (b, _))) in batch_a.iter().zip(batch_b.iter()).enumerate() {
+            assert_equivalent_answers(b, a, &format!("planned batch entry {i}"));
+        }
+    }
+
+    /// Persistence round-trip: the reopened synopsis (sketch size included)
+    /// equals the synopsis of a freshly rebuilt index over the same traces,
+    /// per shard, and the reopened index answers identically.
+    #[test]
+    fn reopened_synopsis_equals_rebuilt_synopsis(
+        entities in 2u64..30,
+        seed in 0u64..1_000,
+        shards in 1usize..6,
+        m in 1usize..24,
+        k in 1usize..5,
+    ) {
+        let w = Workload::uniform(UniformConfig {
+            entities, visits: 4, seed, ..UniformConfig::default()
+        });
+        let config = IndexConfig { num_hash_functions: 12, ..IndexConfig::default() };
+        let mut sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        sharded.set_synopsis_sketch_size(m);
+        let dir = temp_dir("roundtrip", &format!("{entities}-{seed}-{shards}-{m}"));
+        sharded.save(&dir).unwrap();
+        let reopened = ShardedMinSigIndex::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let mut rebuilt = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        rebuilt.set_synopsis_sketch_size(m);
+        for i in 0..shards {
+            prop_assert_eq!(
+                reopened.shard(i).snapshot().synopsis(),
+                rebuilt.shard(i).snapshot().synopsis(),
+                "shard {} synopsis diverged after reload", i
+            );
+        }
+        let measure = w.measure();
+        for query in w.entities() {
+            let (a, _) = sharded.top_k(query, k, &measure).unwrap();
+            let (b, _) = reopened.top_k(query, k, &measure).unwrap();
+            prop_assert_eq!(&a, &b, "reopened planned answers diverged for {}", query);
+        }
+    }
+}
+
+/// The planner's best case, pinned end to end: on the localized workload a
+/// hot query must skip **every** background shard (`num_shards - 1 ≥ half`),
+/// seed the threshold, and still answer bit-identically to every oracle.
+#[test]
+fn localized_workload_skips_every_background_shard() {
+    for shards in [2usize, 4, 8] {
+        let (w, hot) = Workload::planner_localized(PlannerLocalizedConfig {
+            num_shards: shards,
+            hot_entities: 12,
+            background_entities: 48,
+            ..PlannerLocalizedConfig::default()
+        });
+        let config = IndexConfig::with_hash_functions(32);
+        let unsharded = w.build_index(config);
+        let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let snapshot = sharded.snapshot();
+        let measure = w.measure();
+        let k = 5;
+        for &query in &hot {
+            let (planned, stats) = snapshot
+                .top_k_with_planner(
+                    query,
+                    k,
+                    &measure,
+                    QueryOptions::default(),
+                    SchedulerConfig::default(),
+                    PlannerConfig::default(),
+                )
+                .unwrap();
+            assert!(stats.threshold_seeded, "{shards} shards: the sketch must seed k={k}");
+            assert_eq!(
+                stats.shards_skipped,
+                shards - 1,
+                "{shards} shards: every background shard is provably skippable"
+            );
+            assert!(
+                stats.shards_skipped * 2 >= shards,
+                "{shards} shards: at least half are skipped"
+            );
+            let (exact, _) = unsharded.top_k(query, k, &measure).unwrap();
+            assert_equivalent_answers(&planned, &exact, &format!("localized, {query}"));
+            // The plan agrees with the execution's accounting.
+            let plan = snapshot.explain(query, k, &measure, PlannerConfig::default()).unwrap();
+            assert_eq!(plan.shards_skipped(), stats.shards_skipped);
+            assert!(plan.seeded());
+            assert!(plan.explain().contains("skip"));
+        }
+    }
+}
+
+/// The planner's worst case: on the dispersed workload nothing is provably
+/// skippable — `shards_skipped` must be 0 and answers stay identical.
+#[test]
+fn dispersed_workload_skips_nothing() {
+    for shards in [2usize, 4, 8] {
+        let (w, entities) = Workload::planner_dispersed(PlannerDispersedConfig {
+            num_shards: shards,
+            entities_per_shard: 10,
+            ..PlannerDispersedConfig::default()
+        });
+        let config = IndexConfig::with_hash_functions(32);
+        let unsharded = w.build_index(config);
+        let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let snapshot = sharded.snapshot();
+        let measure = w.measure();
+        for &query in entities.iter().step_by(7) {
+            let (planned, stats) = snapshot
+                .top_k_with_planner(
+                    query,
+                    3,
+                    &measure,
+                    QueryOptions::default(),
+                    SchedulerConfig::default(),
+                    PlannerConfig::default(),
+                )
+                .unwrap();
+            assert_eq!(stats.shards_skipped, 0, "{shards} shards: nothing is skippable");
+            let (exact, _) = unsharded.top_k(query, 3, &measure).unwrap();
+            assert_equivalent_answers(&planned, &exact, &format!("dispersed, {query}"));
+        }
+    }
+}
+
+/// Synopses stay consistent under streaming mutation: after an ingest
+/// batch, every shard's synopsis equals a fresh recomputation over its
+/// current sequences, at the shard's current epoch.
+#[test]
+fn synopsis_tracks_ingest_and_epochs() {
+    let (w, _, mut sharded) = build_pair(24, 4, 7, 16, 3);
+    let stream = w.stream(digital_traces::index::testkit::StreamConfig {
+        records: 150,
+        existing_entities: 24,
+        ..Default::default()
+    });
+    sharded.ingest_batch(stream).unwrap();
+    for i in 0..sharded.num_shards() {
+        let shard = sharded.shard(i);
+        let snapshot = shard.snapshot();
+        let expected = Synopsis::compute(
+            snapshot.tree().levels(),
+            snapshot.sequences().iter().map(|(e, s)| (*e, s)),
+            snapshot.synopsis().sketch_size(),
+            shard.epoch(),
+        );
+        assert_eq!(snapshot.synopsis(), &expected, "shard {i} synopsis drifted");
+        assert_eq!(snapshot.synopsis().epoch(), shard.epoch(), "shard {i} epoch version");
+    }
+}
+
+/// 64-bit FNV-1a over a shard file's bytes — the digest recorded in `MSHD`
+/// manifests (mirrored here to craft valid version-1 directories).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Version-1 compatibility: a directory of `MSIX` v1 shard files (no `SYN`
+/// segment) under an `MSHD` v1 manifest — exactly what pre-planner builds
+/// wrote — must still open, answer bit-identically, and synthesise its
+/// synopses at the default sketch size.
+#[test]
+fn version_1_directories_still_open() {
+    let (w, unsharded, sharded) = build_pair(30, 4, 11, 16, 3);
+    let dir_v2 = temp_dir("v1compat", "modern");
+    sharded.save(&dir_v2).unwrap();
+
+    // Re-encode every shard file as version 1: same segments minus SYN
+    // (tag 5), same order — byte-wise what the pre-synopsis writer produced.
+    let dir_v1 = temp_dir("v1compat", "legacy");
+    std::fs::create_dir_all(&dir_v1).unwrap();
+    let mut digests = Vec::new();
+    for shard in 0..3 {
+        let name = ShardedMinSigIndex::shard_file_name(shard);
+        let bytes = std::fs::read(dir_v2.join(&name)).unwrap();
+        let mut reader = SegmentReader::new(bytes.as_slice(), INDEX_MAGIC, u16::MAX).unwrap();
+        let mut writer = SegmentWriter::new(Vec::new(), INDEX_MAGIC, 1).unwrap();
+        while let Some((tag, payload)) = reader.next_segment().unwrap() {
+            if tag != 5 {
+                writer.write_segment(tag, &payload).unwrap();
+            }
+        }
+        let v1_bytes = writer.finish().unwrap();
+        digests.push((sharded.shard(shard).num_entities() as u64, fnv1a(&v1_bytes)));
+        std::fs::write(dir_v1.join(&name), &v1_bytes).unwrap();
+    }
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&PARTITION_VERSION.to_le_bytes());
+    payload.extend_from_slice(&3u32.to_le_bytes());
+    for (count, digest) in digests {
+        payload.extend_from_slice(&count.to_le_bytes());
+        payload.extend_from_slice(&digest.to_le_bytes());
+    }
+    segment::atomic_write(&dir_v1.join(SHARD_MANIFEST_FILE), SHARD_MANIFEST_MAGIC, 1, |w| {
+        w.write_segment(1, &payload)
+    })
+    .unwrap();
+
+    let legacy = ShardedMinSigIndex::open(&dir_v1).unwrap();
+    assert_eq!(legacy.num_entities(), sharded.num_entities());
+    let measure = w.measure();
+    for query in w.entities() {
+        let (a, _) = legacy.top_k(query, 4, &measure).unwrap();
+        let (b, _) = unsharded.top_k(query, 4, &measure).unwrap();
+        assert_equivalent_answers(&a, &b, &format!("legacy v1 directory, {query}"));
+    }
+    // The synthesised synopsis equals a fresh computation at the default m.
+    for i in 0..3 {
+        let snapshot = legacy.shard(i).snapshot();
+        let expected = Synopsis::compute(
+            snapshot.tree().levels(),
+            snapshot.sequences().iter().map(|(e, s)| (*e, s)),
+            digital_traces::index::DEFAULT_SKETCH_SIZE,
+            0,
+        );
+        assert_eq!(snapshot.synopsis(), &expected, "shard {i}");
+    }
+    std::fs::remove_dir_all(&dir_v2).unwrap();
+    std::fs::remove_dir_all(&dir_v1).unwrap();
+}
