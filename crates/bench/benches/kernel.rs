@@ -1,0 +1,330 @@
+//! Hot-path kernel microbenchmarks and their CI regression gate.
+//!
+//! Three layers, matching the flat-kernel design (`minsig::kernel`):
+//!
+//! 1. **ns/comparison** of the intersection kernels — three-way-compare
+//!    merge, explicit-mask merge, galloping, and the size-ratio dispatcher —
+//!    over deterministic sorted sets at three size shapes: *similar*
+//!    (4096 × 4096), *skewed* at the dispatch boundary (512 × 4096) and
+//!    *extreme* skew (64 × 4096).  A comparison is one element step of the
+//!    two-pointer walk, so `comparisons = |a| + |b|` per call.
+//! 2. **ns/degree** of the association-degree hot loop: the owned path
+//!    (`AssociationMeasure::degree` over `CellSetSequence` maps) against the
+//!    arena's fused SoA loop (`CandidateArena::degree_into`), on the shared
+//!    600-entity bench dataset.  Every fused degree is checked **bitwise**
+//!    against the owned value first — any drift panics the bench job.
+//! 3. A mini **shard run** — 8 shards, planned mode, the skewed and
+//!    localized 5k-entity shard-scaling populations — for a fresh QPS
+//!    figure next to the pre-change numbers.
+//!
+//! After the criterion groups, the harness re-measures each layer with
+//! best-of-N wall clocks and writes **`BENCH_kernel.json`** at the
+//! workspace root.  The artifact embeds the committed baseline
+//! (`crates/bench/baselines/kernel.json`), which carries the pre-change
+//! shard-scaling QPS and the arena ns/degree recorded when the kernels
+//! landed.  Two gates **panic** (failing the bench job):
+//!
+//! * any fused arena degree diverging bitwise from the owned oracle;
+//! * arena ns/degree regressing more than 25% over the committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minsig::{
+    IndexConfig, PlannerConfig, QueryOptions, QueryView, SchedulerConfig, ShardedMinSigIndex,
+    TopKResult,
+};
+use minsig_bench::{
+    bench_dataset, bench_index, bench_measure, bench_queries, planner_bench_workload,
+    shard_bench_workload, SHARD_BENCH_ENTITIES,
+};
+use std::hint::black_box;
+use std::time::Instant;
+use trace_model::kernel::{
+    intersection_len, intersection_len_gallop, intersection_len_masked, intersection_len_merge,
+};
+use trace_model::{AssociationMeasure, EntityId, LevelOverlap, PaperAdm};
+
+/// The committed baseline this run is gated against.
+const BASELINE: &str = include_str!("../baselines/kernel.json");
+
+/// Maximum tolerated arena ns/degree, as a multiple of the baseline.
+const NS_PER_DEGREE_TOLERANCE: f64 = 1.25;
+
+const K: usize = 10;
+
+/// A deterministic *pseudo-random* sorted set: `len` strictly-increasing
+/// values with xorshift-drawn gaps in `1..=8`.  Random gaps (rather than a
+/// fixed stride) keep the two-pointer comparisons unpredictable — the regime
+/// the kernels are selected for; a strided set would hand any branchy
+/// formulation a perfect branch predictor and measure nothing real.
+fn make_set(len: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut value = 0u64;
+    (0..len)
+        .map(|_| {
+            value += next() % 8 + 1;
+            value
+        })
+        .collect()
+}
+
+/// The three size shapes the kernels are measured on.  Both sides draw gaps
+/// from the same dense domain, so intersections are non-trivial.
+fn shapes() -> Vec<(&'static str, Vec<u64>, Vec<u64>)> {
+    vec![
+        ("similar_4096x4096", make_set(4096, 42), make_set(4096, 1337)),
+        ("skewed_512x4096", make_set(512, 42), make_set(4096, 1337)),
+        ("extreme_64x4096", make_set(64, 42), make_set(4096, 1337)),
+    ]
+}
+
+type IntersectionFn = fn(&[u64], &[u64]) -> usize;
+
+const KERNELS: [(&str, IntersectionFn); 4] = [
+    ("merge", intersection_len_merge),
+    ("masked", intersection_len_masked),
+    ("gallop", intersection_len_gallop),
+    ("dispatch", intersection_len),
+];
+
+fn kernel_micro(c: &mut Criterion) {
+    let shapes = shapes();
+    let mut group = c.benchmark_group("kernel/intersection");
+    group.sample_size(20);
+    for (shape, a, b) in &shapes {
+        for (name, f) in KERNELS {
+            group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+            group.bench_function(BenchmarkId::new(name.to_string(), shape), |bch| {
+                bch.iter(|| black_box(f(black_box(a), black_box(b))))
+            });
+        }
+    }
+    group.finish();
+
+    // The degree loop on the shared 600-entity dataset.
+    let dataset = bench_dataset();
+    let index = bench_index(&dataset, 32);
+    let snapshot = index.snapshot();
+    let measure = bench_measure(&dataset);
+    let query = bench_queries(&dataset, 1)[0];
+    let query_seq = snapshot.sequences().get(&query).expect("query entity is indexed").clone();
+
+    let mut group = c.benchmark_group("kernel/degree");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(snapshot.num_entities() as u64));
+    group.bench_function("owned", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for seq in snapshot.sequences().values() {
+                acc += measure.degree(&query_seq, seq);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("arena_fused", |b| {
+        let arena = snapshot.arena();
+        let view = QueryView::new(&query_seq);
+        let mut scratch = LevelOverlap::default();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for pos in 0..arena.len() {
+                acc += arena.degree_into(pos, &view, &measure, &mut scratch);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // The JSON artifact plus the two CI gates.
+    write_artifact_and_gate(&snapshot, &query_seq, &measure);
+}
+
+/// Best-of-N wall clock of `reps` calls to `f`, in nanoseconds per call.
+fn best_ns_per_call(passes: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9 / reps as f64
+}
+
+/// Extracts a numeric field from the (flat, hand-written) baseline JSON.
+fn baseline_field(key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = BASELINE.find(&needle).unwrap_or_else(|| panic!("baseline is missing {key}"));
+    let rest = &BASELINE[at + needle.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().unwrap_or_else(|e| panic!("baseline {key} is not a number: {e}"))
+}
+
+fn write_artifact_and_gate(
+    snapshot: &minsig::IndexSnapshot,
+    query_seq: &trace_model::CellSetSequence,
+    measure: &PaperAdm,
+) {
+    const PASSES: usize = 5;
+    let mut rows = Vec::new();
+
+    // Layer 1: ns/comparison of every kernel on every shape.
+    for (shape, a, b) in &shapes() {
+        let comparisons = (a.len() + b.len()) as f64;
+        for (name, f) in KERNELS {
+            let ns_call = best_ns_per_call(PASSES, 400, || {
+                black_box(f(black_box(a), black_box(b)));
+            });
+            rows.push(format!(
+                concat!(
+                    "    {{\"layer\": \"intersection\", \"kernel\": \"{}\", \"shape\": \"{}\", ",
+                    "\"ns_per_call\": {:.1}, \"ns_per_comparison\": {:.4}}}"
+                ),
+                name,
+                shape,
+                ns_call,
+                ns_call / comparisons,
+            ));
+        }
+    }
+
+    // Layer 2: ns/degree, owned vs fused — gated on bitwise conformance and
+    // on the committed ns/degree baseline.
+    let arena = snapshot.arena();
+    let view = QueryView::new(query_seq);
+    let mut scratch = LevelOverlap::default();
+    let entities = snapshot.num_entities() as f64;
+    for (seq, pos) in snapshot.sequences().values().zip(0..arena.len()) {
+        let owned = measure.degree(query_seq, seq);
+        let fused = arena.degree_into(pos, &view, measure, &mut scratch);
+        assert!(
+            owned.to_bits() == fused.to_bits(),
+            "arena degree diverged from the owned oracle at arena position {pos}: \
+             {fused} vs {owned}"
+        );
+    }
+    let owned_ns = best_ns_per_call(PASSES, 20, || {
+        let mut acc = 0.0f64;
+        for seq in snapshot.sequences().values() {
+            acc += measure.degree(query_seq, seq);
+        }
+        black_box(acc);
+    }) / entities;
+    let arena_ns = best_ns_per_call(PASSES, 20, || {
+        let mut acc = 0.0f64;
+        for pos in 0..arena.len() {
+            acc += arena.degree_into(pos, &view, measure, &mut scratch);
+        }
+        black_box(acc);
+    }) / entities;
+    rows.push(format!(
+        "    {{\"layer\": \"degree\", \"path\": \"owned\", \"ns_per_degree\": {owned_ns:.1}}}"
+    ));
+    rows.push(format!(
+        "    {{\"layer\": \"degree\", \"path\": \"arena_fused\", \"ns_per_degree\": {arena_ns:.1}}}"
+    ));
+    let ceiling = baseline_field("ns_per_degree_arena") * NS_PER_DEGREE_TOLERANCE;
+    assert!(
+        arena_ns <= ceiling,
+        "arena ns/degree regressed: measured {arena_ns:.1} ns exceeds the gate of \
+         {ceiling:.1} ns (committed baseline × {NS_PER_DEGREE_TOLERANCE}); if the \
+         regression is intended, refresh crates/bench/baselines/kernel.json"
+    );
+
+    // Layer 3: fresh planned-mode QPS at 8 shards on both shard-scaling
+    // populations, answers checked against the unplanned oracle.
+    let (skewed, skewed_queries) = shard_bench_workload();
+    rows.push(shard_row("skewed", &skewed, &skewed_queries));
+    let (localized, localized_queries) = planner_bench_workload();
+    rows.push(shard_row("localized", &localized, &localized_queries));
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kernel\",\n",
+            "  \"population\": {},\n",
+            "  \"k\": {},\n",
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"baseline\": {}\n",
+            "}}\n"
+        ),
+        SHARD_BENCH_ENTITIES,
+        K,
+        rows.join(",\n"),
+        BASELINE.trim_end(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// One timed planned-mode pass at 8 shards over `queries`, answers asserted
+/// equal to the independent-mode oracle; returns the artifact row.
+fn shard_row(name: &str, workload: &minsig::testkit::Workload, queries: &[EntityId]) -> String {
+    const PASSES: usize = 3;
+    let measure = workload.measure();
+    let index = ShardedMinSigIndex::build(
+        &workload.sp,
+        &workload.traces,
+        IndexConfig::with_hash_functions(32),
+        8,
+    )
+    .expect("sharded bench index builds");
+    let snapshot = index.snapshot();
+    let options = QueryOptions::default();
+    let oracle: Vec<Vec<TopKResult>> = queries
+        .iter()
+        .map(|&q| {
+            snapshot
+                .top_k_with_scheduler(q, K, &measure, options, SchedulerConfig::independent())
+                .expect("oracle query answers")
+                .0
+        })
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        for (i, &query) in queries.iter().enumerate() {
+            let (results, _) = snapshot
+                .top_k_with_planner(
+                    query,
+                    K,
+                    &measure,
+                    options,
+                    SchedulerConfig::default(),
+                    PlannerConfig::default(),
+                )
+                .expect("planned query answers");
+            assert_eq!(
+                results, oracle[i],
+                "{name}/planned/8 shards: answers diverged from the unplanned oracle \
+                 for query {query}"
+            );
+            black_box(&results);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let qps = queries.len() as f64 / best.max(1e-12);
+    format!(
+        concat!(
+            "    {{\"layer\": \"shard\", \"workload\": \"{}\", \"shards\": 8, ",
+            "\"mode\": \"planned\", \"qps\": {:.1}}}"
+        ),
+        name, qps,
+    )
+}
+
+criterion_group!(
+    name = kernel;
+    config = Criterion::default();
+    targets = kernel_micro
+);
+criterion_main!(kernel);

@@ -16,7 +16,6 @@
 //! scores only the bucket collisions and returns the best `k`, reporting how many
 //! candidates were touched so experiments can trade recall against work.
 
-use crate::engine;
 use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::query::TopKResult;
@@ -187,11 +186,24 @@ impl IndexSnapshot {
             total_entities: self.num_entities(),
             ..ApproximateStats::default()
         };
-        let pairs =
-            candidates.iter().filter_map(|&entity| self.sequence(entity).map(|seq| (entity, seq)));
-        let (scored, checked) = engine::scan_top_k(pairs, query_seq, Some(query), k, measure);
+        // Verify the colliding candidates through the arena's fused degree
+        // kernels — same selection heap, same scores, no per-candidate map
+        // walks.
+        let arena = self.arena();
+        let view = crate::kernel::QueryView::new(query_seq);
+        let mut scratch = trace_model::LevelOverlap::default();
+        let mut top = crate::engine::TopKHeap::new(k);
+        let mut checked = 0usize;
+        for &entity in &candidates {
+            if entity == query {
+                continue;
+            }
+            let Some(pos) = arena.position(entity) else { continue };
+            checked += 1;
+            top.offer(entity, arena.degree_into(pos, &view, measure, &mut scratch));
+        }
         stats.entities_checked = checked;
-        Ok((scored, stats))
+        Ok((top.into_sorted(), stats))
     }
 }
 

@@ -144,11 +144,41 @@ use trace_storage::{BufferPool, PagedTraceStore};
 pub trait TraceSource {
     /// The sequence of an entity, or `None` when it cannot be found.
     fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>>;
+
+    /// The association degree between `query` and an entity's trace, or
+    /// `None` when the entity cannot be found — the executor's leaf
+    /// evaluation primitive.
+    ///
+    /// The default fetches the sequence and scores it through the measure;
+    /// sources backed by a flat layout (the snapshot's
+    /// [`ArenaSource`](crate::kernel::ArenaSource)) override this with a
+    /// fused kernel loop.  Overrides must return **bitwise** the value
+    /// `measure.degree(query, seq)` yields for the sequence that
+    /// [`sequence`](TraceSource::sequence) reports, and must return `Some`
+    /// for exactly the entities `sequence` resolves — the engine's
+    /// exactness and tie-completeness guarantees ride on that.
+    fn degree(
+        &self,
+        entity: EntityId,
+        query: &CellSetSequence,
+        measure: &dyn AssociationMeasure,
+    ) -> Option<f64> {
+        self.sequence(entity).map(|seq| measure.degree(query, seq.as_ref()))
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for &T {
     fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
         (**self).sequence(entity)
+    }
+
+    fn degree(
+        &self,
+        entity: EntityId,
+        query: &CellSetSequence,
+        measure: &dyn AssociationMeasure,
+    ) -> Option<f64> {
+        (**self).degree(entity, query, measure)
     }
 }
 
@@ -759,10 +789,12 @@ where
                 if Some(entity) == self.exclude {
                     continue;
                 }
-                let Some(seq) = self.source.sequence(entity) else { continue };
+                let Some(degree) = self.source.degree(entity, self.query, &self.measure) else {
+                    continue;
+                };
                 self.stats.entities_checked += 1;
                 let before = self.top.threshold();
-                self.top.offer(entity, self.measure.degree(self.query, seq.as_ref()));
+                self.top.offer(entity, degree);
                 if self.publish_policy == PublishPolicy::EveryImprovement
                     && self.top.threshold() > before
                 {

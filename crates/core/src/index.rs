@@ -100,7 +100,7 @@ impl MinSigIndex {
             crate::synopsis::DEFAULT_SKETCH_SIZE,
             0,
         );
-        let snapshot = IndexSnapshot {
+        let mut snapshot = IndexSnapshot {
             sp: sp.clone(),
             config,
             ticks_per_unit,
@@ -109,7 +109,9 @@ impl MinSigIndex {
             sequences,
             signatures,
             synopsis,
+            arena: crate::kernel::CandidateArena::default(),
         };
+        snapshot.rebuild_arena();
         Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats, epoch: 0 })
     }
 
@@ -238,11 +240,14 @@ impl MinSigIndex {
         snap.signatures.insert(entity, sig);
         if inserted {
             // A pure insert only grows the synopsis: absorb it in O(m log n)
-            // so streaming per-record inserts stay O(delta).
+            // so streaming per-record inserts stay O(delta).  The arena is
+            // extended incrementally the same way.
             snap.absorb_inserted_entity_into_synopsis(entity, self.epoch + 1);
+            snap.absorb_inserted_entity_into_arena(entity);
         } else {
             // A replacement can shrink sizes; only a rescan stays exact.
             snap.recompute_synopsis(None, self.epoch + 1);
+            snap.rebuild_arena();
         }
         self.stats.num_entities = snap.sequences.len();
         self.stats.num_nodes = snap.tree.num_nodes();
@@ -268,6 +273,7 @@ impl MinSigIndex {
         snap.sequences.remove(&entity);
         snap.signatures.remove(&entity);
         snap.recompute_synopsis(None, self.epoch + 1);
+        snap.rebuild_arena();
         self.stats.num_entities = snap.sequences.len();
         self.epoch += 1;
         Ok(())

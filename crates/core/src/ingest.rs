@@ -194,8 +194,10 @@ impl IngestBuffer {
         }
         // The batch changed sizes and possibly the hot set: bring the
         // planning synopsis back in sync with the sequences it travels with
-        // (one linear pass over cached lengths, no hashing).
+        // (one linear pass over cached lengths, no hashing), and republish
+        // the flat candidate arena the read paths scan.
         snap.recompute_synopsis(None, index.epoch + 1);
+        snap.rebuild_arena();
 
         index.stats.num_entities = snap.sequences.len();
         index.stats.num_nodes = snap.tree.num_nodes();

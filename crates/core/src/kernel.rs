@@ -1,0 +1,493 @@
+//! Flat hot-path data layout: the candidate arena and its fused degree kernels.
+//!
+//! Every exact path of the index — the executor's leaf evaluation, flat shard
+//! scans, the planner's synopsis seeding and the approximate sampler's
+//! verification — bottoms out in [`AssociationMeasure::degree`] over candidate
+//! traces.  With the owned representation those traces live as per-entity
+//! [`CellSetSequence`]s inside a `BTreeMap`: every candidate costs a tree
+//! descent plus one pointer chase per level before a single cell is compared.
+//!
+//! The [`CandidateArena`] removes all of that from the read path.  It is a
+//! CSR-style structure-of-arrays materialised once per [`IndexSnapshot`]
+//! publish:
+//!
+//! * `entities` — all indexed entity ids, ascending;
+//! * per level, one contiguous packed-`u64` cell array plus an offsets array
+//!   (`offsets[pos]..offsets[pos + 1]` brackets entity `pos`'s level cells);
+//! * per level, one flat signature array strided by the signature width
+//!   (`signatures[pos * nh..(pos + 1) * nh]` is entity `pos`'s level row).
+//!
+//! On top of it, [`CandidateArena::degree_into`] fuses the per-level overlap
+//! loop: all levels of one candidate are scored against a pre-resolved
+//! [`QueryView`] without re-fetching the query or touching a map, with each
+//! per-level intersection dispatched through the branch-light / galloping
+//! kernels of [`trace_model::kernel`] (re-exported here).
+//!
+//! The arena is **read-path only**: the mutable index keeps its owned
+//! representation as the source of truth and rebuilds the arena whenever a
+//! mutation batch publishes a new snapshot — except pure single-entity
+//! inserts, which extend it incrementally via
+//! [`CandidateArena::absorb_insert`], mirroring how the planning synopsis
+//! absorbs inserts.  Conformance tests pin the invariant that makes this
+//! safe: arena-backed degrees are bitwise identical to the owned path,
+//! because both feed the measure the exact same integer overlap statistics.
+//!
+//! [`IndexSnapshot`]: crate::snapshot::IndexSnapshot
+
+use crate::engine::{TopKHeap, TraceSource};
+use crate::query::TopKResult;
+use crate::signature::SignatureList;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use trace_model::ajpi::{LevelOverlap, LevelStat};
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId, Level};
+
+pub use trace_model::kernel::{
+    argmax, intersection_len, intersection_len_gallop, intersection_len_masked,
+    intersection_len_merge, merge_min, GALLOP_SKEW,
+};
+
+/// One level of the arena: CSR cells plus width-strided signature rows.
+#[derive(Debug, Clone, Default)]
+struct ArenaLevel {
+    /// `offsets[pos]..offsets[pos + 1]` brackets the cells of entity `pos`;
+    /// always `entities.len() + 1` entries with `offsets[0] == 0`.
+    offsets: Vec<usize>,
+    /// All entities' level cells, packed `u64`s, concatenated in entity order.
+    cells: Vec<u64>,
+    /// All entities' level signatures, concatenated in entity order with
+    /// stride `sig_width`.
+    signatures: Vec<u64>,
+}
+
+/// The flat candidate arena of one index snapshot (see the [module
+/// docs](self)).
+///
+/// Entities are stored in ascending id order, so `position` is a binary
+/// search and a full scan visits candidates in the same order as the owned
+/// `BTreeMap` — which keeps `entities_checked` counters and tie handling
+/// identical between the two paths.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateArena {
+    entities: Vec<EntityId>,
+    sig_width: usize,
+    levels: Vec<ArenaLevel>,
+}
+
+impl CandidateArena {
+    /// Materialises the arena from the owned per-entity maps.
+    ///
+    /// `num_levels` is the sp-index height and `sig_width` the signature
+    /// width (`nh`); entities missing a signature get all-`u64::MAX` rows
+    /// (the empty-trace signature).
+    pub fn build(
+        num_levels: Level,
+        sig_width: usize,
+        sequences: &BTreeMap<EntityId, CellSetSequence>,
+        signatures: &BTreeMap<EntityId, SignatureList>,
+    ) -> Self {
+        let n = sequences.len();
+        let mut entities = Vec::with_capacity(n);
+        let mut levels: Vec<ArenaLevel> = (0..num_levels)
+            .map(|_| {
+                let mut offsets = Vec::with_capacity(n + 1);
+                offsets.push(0);
+                ArenaLevel {
+                    offsets,
+                    cells: Vec::new(),
+                    signatures: Vec::with_capacity(n * sig_width),
+                }
+            })
+            .collect();
+        for (&entity, seq) in sequences {
+            entities.push(entity);
+            debug_assert_eq!(seq.num_levels(), num_levels as usize);
+            let sig = signatures.get(&entity);
+            for (i, lvl) in levels.iter_mut().enumerate() {
+                let level = (i + 1) as Level;
+                lvl.cells.extend_from_slice(seq.level(level).packed_slice());
+                lvl.offsets.push(lvl.cells.len());
+                match sig {
+                    Some(s) => {
+                        let row = s.level(level);
+                        debug_assert_eq!(row.len(), sig_width);
+                        lvl.signatures.extend_from_slice(row);
+                    }
+                    None => lvl.signatures.extend(std::iter::repeat_n(u64::MAX, sig_width)),
+                }
+            }
+        }
+        CandidateArena { entities, sig_width, levels }
+    }
+
+    /// Splices one **newly inserted** entity into the arena without a rebuild
+    /// — the incremental path for pure single-record inserts, mirroring
+    /// `Synopsis::absorb_insert`.
+    /// Equivalent to a full [`build`](Self::build) over the updated maps.
+    ///
+    /// # Panics
+    /// Panics when the entity is already present (replacements rebuild).
+    pub fn absorb_insert(&mut self, entity: EntityId, seq: &CellSetSequence, sig: &SignatureList) {
+        let pos = match self.entities.binary_search(&entity) {
+            Ok(_) => panic!("absorb_insert requires a new entity; replacements rebuild"),
+            Err(p) => p,
+        };
+        self.entities.insert(pos, entity);
+        for (i, lvl) in self.levels.iter_mut().enumerate() {
+            let level = (i + 1) as Level;
+            let packed = seq.level(level).packed_slice();
+            let start = lvl.offsets[pos];
+            lvl.cells.splice(start..start, packed.iter().copied());
+            lvl.offsets.insert(pos + 1, start + packed.len());
+            for off in &mut lvl.offsets[pos + 2..] {
+                *off += packed.len();
+            }
+            let row = sig.level(level);
+            debug_assert_eq!(row.len(), self.sig_width);
+            let sig_start = pos * self.sig_width;
+            lvl.signatures.splice(sig_start..sig_start, row.iter().copied());
+        }
+    }
+
+    /// Number of entities in the arena.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the arena holds no entities.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// All entity ids, ascending.
+    #[inline]
+    pub fn entities(&self) -> &[EntityId] {
+        &self.entities
+    }
+
+    /// Number of levels (the sp-index height).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The signature stride (`nh`).
+    #[inline]
+    pub fn sig_width(&self) -> usize {
+        self.sig_width
+    }
+
+    /// The arena row of an entity, or `None` when it is not indexed.
+    #[inline]
+    pub fn position(&self, entity: EntityId) -> Option<usize> {
+        self.entities.binary_search(&entity).ok()
+    }
+
+    /// The packed level-`level` cells of the entity at `pos` (1-based level).
+    #[inline]
+    pub fn level_cells(&self, level: Level, pos: usize) -> &[u64] {
+        let lvl = &self.levels[(level - 1) as usize];
+        &lvl.cells[lvl.offsets[pos]..lvl.offsets[pos + 1]]
+    }
+
+    /// The level-`level` signature row of the entity at `pos` (1-based level).
+    #[inline]
+    pub fn signature_row(&self, level: Level, pos: usize) -> &[u64] {
+        let lvl = &self.levels[(level - 1) as usize];
+        &lvl.signatures[pos * self.sig_width..(pos + 1) * self.sig_width]
+    }
+
+    /// Resident heap footprint of the arena in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        let per_level: usize = self
+            .levels
+            .iter()
+            .map(|l| {
+                (l.cells.len() + l.signatures.len()) * std::mem::size_of::<u64>()
+                    + l.offsets.len() * std::mem::size_of::<usize>()
+            })
+            .sum();
+        per_level + self.entities.len() * std::mem::size_of::<EntityId>()
+    }
+
+    /// Fused per-level degree of the candidate at `pos` against a query view,
+    /// reusing `scratch` for the overlap statistics (allocation-free after
+    /// the first call).
+    ///
+    /// Bitwise identical to `measure.degree(query, seq)` over the owned
+    /// sequence: both paths hand the measure the exact same integer
+    /// [`LevelStat`]s, and the float computation downstream is shared.
+    pub fn degree_into<M: AssociationMeasure + ?Sized>(
+        &self,
+        pos: usize,
+        view: &QueryView<'_>,
+        measure: &M,
+        scratch: &mut LevelOverlap,
+    ) -> f64 {
+        debug_assert_eq!(view.num_levels(), self.levels.len());
+        scratch.clear();
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let q = view.level(i);
+            let c = &lvl.cells[lvl.offsets[pos]..lvl.offsets[pos + 1]];
+            scratch.push(LevelStat {
+                overlap: intersection_len(q, c),
+                size_a: q.len(),
+                size_b: c.len(),
+            });
+        }
+        measure.degree_from_overlap(scratch)
+    }
+
+    /// One-shot variant of [`degree_into`](Self::degree_into) that owns its
+    /// scratch; convenient for isolated lookups.
+    pub fn degree_at<M: AssociationMeasure + ?Sized>(
+        &self,
+        pos: usize,
+        view: &QueryView<'_>,
+        measure: &M,
+    ) -> f64 {
+        let mut scratch = LevelOverlap::default();
+        self.degree_into(pos, view, measure, &mut scratch)
+    }
+
+    /// Exact top-k over the whole arena — the flat-scan primitive behind
+    /// brute force and the planner's tiny-shard `Scan` decision.  Returns
+    /// the sorted answers plus the number of entities scored, matching
+    /// the owned scan's counters exactly.
+    pub fn scan_top_k<M: AssociationMeasure + ?Sized>(
+        &self,
+        view: &QueryView<'_>,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+    ) -> (Vec<TopKResult>, usize) {
+        let mut top = TopKHeap::new(k);
+        let mut checked = 0usize;
+        let mut scratch = LevelOverlap::default();
+        for (pos, &entity) in self.entities.iter().enumerate() {
+            if Some(entity) == exclude {
+                continue;
+            }
+            checked += 1;
+            top.offer(entity, self.degree_into(pos, view, measure, &mut scratch));
+        }
+        (top.into_sorted(), checked)
+    }
+}
+
+/// A query's per-level packed cell slices, resolved once per query so the
+/// innermost loops never re-fetch the query sequence.
+#[derive(Debug, Clone)]
+pub struct QueryView<'a> {
+    levels: Vec<&'a [u64]>,
+}
+
+impl<'a> QueryView<'a> {
+    /// Resolves the view of a query sequence.
+    pub fn new(query: &'a CellSetSequence) -> Self {
+        QueryView { levels: query.iter_levels().map(|(_, set)| set.packed_slice()).collect() }
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The packed cells of one level (0-based index; level `i + 1`).
+    #[inline]
+    pub fn level(&self, i: usize) -> &'a [u64] {
+        self.levels[i]
+    }
+}
+
+/// A [`TraceSource`] that serves sequences from the owned map but overrides
+/// [`TraceSource::degree`] with the arena's fused kernel loop — what the
+/// snapshot executors use for leaf evaluation and saturation checks.
+///
+/// Must be constructed with the same query sequence the executor scores
+/// against; the pre-resolved [`QueryView`] stands in for the `query`
+/// argument of [`TraceSource::degree`].
+pub struct ArenaSource<'a> {
+    sequences: &'a BTreeMap<EntityId, CellSetSequence>,
+    arena: &'a CandidateArena,
+    view: QueryView<'a>,
+}
+
+impl<'a> ArenaSource<'a> {
+    /// Creates a source over a snapshot's owned maps and arena for one query.
+    pub fn new(
+        sequences: &'a BTreeMap<EntityId, CellSetSequence>,
+        arena: &'a CandidateArena,
+        query: &'a CellSetSequence,
+    ) -> Self {
+        ArenaSource { sequences, arena, view: QueryView::new(query) }
+    }
+
+    /// The arena this source scores against.
+    pub fn arena(&self) -> &'a CandidateArena {
+        self.arena
+    }
+
+    /// The resolved query view.
+    pub fn view(&self) -> &QueryView<'a> {
+        &self.view
+    }
+}
+
+impl TraceSource for ArenaSource<'_> {
+    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
+        self.sequences.get(&entity).map(Cow::Borrowed)
+    }
+
+    fn degree(
+        &self,
+        entity: EntityId,
+        query: &CellSetSequence,
+        measure: &dyn AssociationMeasure,
+    ) -> Option<f64> {
+        debug_assert_eq!(query.num_levels(), self.view.num_levels());
+        let pos = self.arena.position(entity)?;
+        Some(self.arena.degree_at(pos, &self.view, measure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HasherMode;
+    use crate::signature::{HierarchicalHasher, SeededHashFamily};
+    use trace_model::{CellSet, PaperAdm, SpIndex, StCell};
+
+    fn fixture(
+        n: u64,
+    ) -> (SpIndex, BTreeMap<EntityId, CellSetSequence>, BTreeMap<EntityId, SignatureList>) {
+        let sp = SpIndex::uniform(2, &[4]).unwrap();
+        let hasher =
+            HierarchicalHasher::new(SeededHashFamily::new(8, 7, 10_000), HasherMode::PathMax);
+        let mut sequences = BTreeMap::new();
+        let mut signatures = BTreeMap::new();
+        for e in 0..n {
+            let cells: Vec<StCell> = (0..=e)
+                .map(|t| StCell::new(t as u32, sp.base_units()[(e + t) as usize % 4]))
+                .collect();
+            let seq = CellSetSequence::from_base_cells(&sp, &CellSet::from_cells(cells)).unwrap();
+            signatures.insert(EntityId(e), SignatureList::build(&sp, &hasher, &seq));
+            sequences.insert(EntityId(e), seq);
+        }
+        (sp, sequences, signatures)
+    }
+
+    #[test]
+    fn build_mirrors_owned_maps() {
+        let (_sp, sequences, signatures) = fixture(5);
+        let arena = CandidateArena::build(2, 8, &sequences, &signatures);
+        assert_eq!(arena.len(), 5);
+        assert_eq!(arena.num_levels(), 2);
+        assert_eq!(arena.sig_width(), 8);
+        for (pos, (&entity, seq)) in sequences.iter().enumerate() {
+            assert_eq!(arena.position(entity), Some(pos));
+            for level in 1..=2 {
+                assert_eq!(arena.level_cells(level, pos), seq.level(level).packed_slice());
+                assert_eq!(arena.signature_row(level, pos), signatures[&entity].level(level));
+            }
+        }
+        assert_eq!(arena.position(EntityId(99)), None);
+        assert!(arena.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn absorb_insert_equals_full_rebuild() {
+        let (_sp, mut sequences, mut signatures) = fixture(6);
+        // Build without entity 2, then splice it back in.
+        let held_seq = sequences.remove(&EntityId(2)).unwrap();
+        let held_sig = signatures.remove(&EntityId(2)).unwrap();
+        let mut incremental = CandidateArena::build(2, 8, &sequences, &signatures);
+        incremental.absorb_insert(EntityId(2), &held_seq, &held_sig);
+        sequences.insert(EntityId(2), held_seq);
+        signatures.insert(EntityId(2), held_sig);
+        let rebuilt = CandidateArena::build(2, 8, &sequences, &signatures);
+        assert_eq!(incremental.entities(), rebuilt.entities());
+        for pos in 0..rebuilt.len() {
+            for level in 1..=2 {
+                assert_eq!(incremental.level_cells(level, pos), rebuilt.level_cells(level, pos));
+                assert_eq!(
+                    incremental.signature_row(level, pos),
+                    rebuilt.signature_row(level, pos)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a new entity")]
+    fn absorb_insert_rejects_existing_entity() {
+        let (_sp, sequences, signatures) = fixture(3);
+        let mut arena = CandidateArena::build(2, 8, &sequences, &signatures);
+        let seq = sequences[&EntityId(1)].clone();
+        let sig = signatures[&EntityId(1)].clone();
+        arena.absorb_insert(EntityId(1), &seq, &sig);
+    }
+
+    #[test]
+    fn fused_degree_is_bitwise_identical_to_owned_path() {
+        let (_sp, sequences, signatures) = fixture(8);
+        let arena = CandidateArena::build(2, 8, &sequences, &signatures);
+        let measure = PaperAdm::default_for(2);
+        for (&query, qseq) in &sequences {
+            let view = QueryView::new(qseq);
+            for (pos, (&entity, seq)) in sequences.iter().enumerate() {
+                let owned = measure.degree(qseq, seq);
+                let fused = arena.degree_at(pos, &view, &measure);
+                assert!(
+                    owned.to_bits() == fused.to_bits(),
+                    "degree({query:?}, {entity:?}): owned {owned} != fused {fused}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_scan_matches_owned_scan() {
+        let (_sp, sequences, signatures) = fixture(10);
+        let arena = CandidateArena::build(2, 8, &sequences, &signatures);
+        let measure = PaperAdm::default_for(2);
+        let qseq = &sequences[&EntityId(3)];
+        let view = QueryView::new(qseq);
+        let (arena_results, arena_checked) =
+            arena.scan_top_k(&view, Some(EntityId(3)), 4, &measure);
+        let (owned_results, owned_checked) = crate::engine::scan_top_k(
+            sequences.iter().map(|(e, s)| (*e, s)),
+            qseq,
+            Some(EntityId(3)),
+            4,
+            &measure,
+        );
+        assert_eq!(arena_checked, owned_checked);
+        assert_eq!(arena_results.len(), owned_results.len());
+        for (a, o) in arena_results.iter().zip(&owned_results) {
+            assert_eq!(a.entity, o.entity);
+            assert_eq!(a.degree.to_bits(), o.degree.to_bits());
+        }
+    }
+
+    #[test]
+    fn arena_source_overrides_degree() {
+        let (_sp, sequences, signatures) = fixture(4);
+        let arena = CandidateArena::build(2, 8, &sequences, &signatures);
+        let measure = PaperAdm::default_for(2);
+        let qseq = sequences[&EntityId(0)].clone();
+        let source = ArenaSource::new(&sequences, &arena, &qseq);
+        for &entity in arena.entities() {
+            let via_source = source.degree(entity, &qseq, &measure).expect("entity is indexed");
+            let owned = measure.degree(&qseq, &sequences[&entity]);
+            assert_eq!(via_source.to_bits(), owned.to_bits());
+        }
+        assert!(source.degree(EntityId(42), &qseq, &measure).is_none());
+        assert!(source.sequence(EntityId(1)).is_some());
+        assert_eq!(source.arena().len(), 4);
+        assert_eq!(source.view().num_levels(), 2);
+    }
+}

@@ -118,6 +118,7 @@ pub mod error;
 pub mod index;
 pub mod ingest;
 pub mod join;
+pub mod kernel;
 pub mod paged;
 pub mod persist;
 pub mod plan;
@@ -142,6 +143,7 @@ pub use error::{IndexError, Result};
 pub use index::MinSigIndex;
 pub use ingest::{IngestBuffer, IngestReport};
 pub use join::{JoinOptions, JoinRow, JoinStats};
+pub use kernel::{ArenaSource, CandidateArena, QueryView};
 pub use persist::{INDEX_MAGIC, INDEX_VERSION};
 pub use plan::{QueryPlan, ShardDecision, ShardPlan};
 pub use query::{QueryOptions, TopKResult};

@@ -272,7 +272,7 @@ impl IndexSnapshot {
             meta.resolved_range,
         );
         let hasher = HierarchicalHasher::new(family, meta.config.hasher_mode);
-        Ok(IndexSnapshot {
+        let mut snapshot = IndexSnapshot {
             sp,
             config: meta.config,
             ticks_per_unit: meta.ticks_per_unit,
@@ -281,7 +281,10 @@ impl IndexSnapshot {
             sequences,
             signatures,
             synopsis,
-        })
+            arena: crate::kernel::CandidateArena::default(),
+        };
+        snapshot.rebuild_arena();
+        Ok(snapshot)
     }
 
     fn encode_meta(&self) -> Vec<u8> {

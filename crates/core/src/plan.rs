@@ -206,17 +206,20 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
     let mut seed_candidates = 0usize;
     if config.seed_threshold && k > 0 {
         let mut top = TopKHeap::new(k);
+        let view = crate::kernel::QueryView::new(query);
+        let mut scratch = trace_model::LevelOverlap::default();
         for shard in shards {
+            let arena = shard.arena();
             for &hot in shard.synopsis().hot_entities() {
                 if Some(hot) == exclude {
                     continue;
                 }
-                // The synopsis travels with its snapshot, so every sketched
-                // id is indexed; tolerate a miss anyway (costs seed quality,
-                // never correctness).
-                let Some(seq) = shard.sequence(hot) else { continue };
+                // The synopsis travels with its snapshot (as does the arena),
+                // so every sketched id is indexed; tolerate a miss anyway
+                // (costs seed quality, never correctness).
+                let Some(pos) = arena.position(hot) else { continue };
                 seed_candidates += 1;
-                top.offer(hot, measure.degree(query, seq));
+                top.offer(hot, arena.degree_into(pos, &view, measure, &mut scratch));
             }
         }
         seed = top.threshold();

@@ -106,9 +106,7 @@
 //! silently mis-answered.
 
 use crate::config::{BoundMode, IndexConfig, PlannerConfig, SchedulerConfig};
-use crate::engine::{
-    self, Bound, Executor, InMemorySource, PrivateBound, SeededBound, SharedBound,
-};
+use crate::engine::{self, Bound, Executor, PrivateBound, SeededBound, SharedBound};
 use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::ingest::IngestBuffer;
@@ -762,16 +760,11 @@ impl ShardedSnapshot {
         measure: &M,
     ) -> Result<Vec<TopKResult>> {
         let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-        let parts = self.shards.iter().map(|shard| {
-            engine::scan_top_k(
-                shard.sequences().iter().map(|(e, s)| (*e, s)),
-                seq,
-                Some(query),
-                k,
-                measure,
-            )
-            .0
-        });
+        let view = crate::kernel::QueryView::new(seq);
+        let parts = self
+            .shards
+            .iter()
+            .map(|shard| shard.arena().scan_top_k(&view, Some(query), k, measure).0);
         Ok(engine::merge_top_k(k, parts))
     }
 
@@ -834,16 +827,11 @@ impl ShardedSnapshot {
         // Scan shards first: their exact per-shard answers are cheap, and
         // each one's local k-th degree is ≤ the global k-th degree, so it
         // can legally raise the shared bound before any tree executor runs.
+        let scan_view = crate::kernel::QueryView::new(query);
         let mut parts: Vec<Vec<TopKResult>> = Vec::with_capacity(plan.shards.len());
         for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::Scan) {
             let shard = &self.shards[shard_plan.shard];
-            let (results, checked) = engine::scan_top_k(
-                shard.sequences().iter().map(|(e, s)| (*e, s)),
-                query,
-                exclude,
-                k,
-                measure,
-            );
+            let (results, checked) = shard.arena().scan_top_k(&scan_view, exclude, k, measure);
             stats.total_entities += shard.num_entities();
             stats.entities_checked += checked;
             if use_shared && k > 0 && results.len() >= k {
@@ -854,7 +842,7 @@ impl ShardedSnapshot {
 
         // Tree shards in plan order: most promising first, so the executor
         // most likely to raise the bound is driven before the long tail.
-        let mut executors: Vec<Executor<'_, SeededHashFamily, InMemorySource<'_>, M>> =
+        let mut executors: Vec<Executor<'_, SeededHashFamily, crate::kernel::ArenaSource<'_>, M>> =
             Vec::with_capacity(plan.shards.len());
         for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::TreeSearch) {
             executors.push(

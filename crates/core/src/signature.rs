@@ -314,11 +314,7 @@ impl SignatureList {
         assert_eq!(self.levels.len(), other.levels.len(), "level count mismatch in merge");
         for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
             assert_eq!(mine.len(), theirs.len(), "signature width mismatch in merge");
-            for (m, &t) in mine.iter_mut().zip(theirs.iter()) {
-                if t < *m {
-                    *m = t;
-                }
-            }
+            trace_model::kernel::merge_min(mine, theirs);
         }
     }
 
@@ -334,15 +330,11 @@ impl SignatureList {
 
     /// The routing index at a level: the position of the maximum value (ties are
     /// broken towards the lowest index, matching "ties are broken arbitrarily").
+    ///
+    /// Delegates to [`trace_model::kernel::argmax`], which keeps the running
+    /// maximum in a register instead of re-reading `sig[best]` each iteration.
     pub fn routing_index(&self, level: Level) -> u32 {
-        let sig = self.level(level);
-        let mut best = 0usize;
-        for (i, &v) in sig.iter().enumerate() {
-            if v > sig[best] {
-                best = i;
-            }
-        }
-        best as u32
+        trace_model::kernel::argmax(self.level(level)) as u32
     }
 
     /// The value at a given level and function index.
@@ -572,6 +564,22 @@ mod tests {
         merged.merge_min(&SignatureList::build(&sp, &hasher, &seq_b));
         let rebuilt = SignatureList::build(&sp, &hasher, &seq_union);
         assert_eq!(merged, rebuilt);
+    }
+
+    #[test]
+    fn routing_index_ties_break_toward_lowest_index() {
+        // Duplicate maxima anywhere in the signature must route to the first
+        // occurrence: group membership depends on this being deterministic.
+        let sig = SignatureList::from_levels(vec![
+            vec![7, 9, 9, 3],
+            vec![9, 9, 9, 9],
+            vec![1, 2, 9, 9],
+            vec![u64::MAX, u64::MAX, 0, u64::MAX],
+        ]);
+        assert_eq!(sig.routing_index(1), 1);
+        assert_eq!(sig.routing_index(2), 0);
+        assert_eq!(sig.routing_index(3), 2);
+        assert_eq!(sig.routing_index(4), 0);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! readers keep an unchanging view — snapshot isolation by immutability.
 
 use crate::config::IndexConfig;
-use crate::engine::{self, InMemorySource};
+use crate::engine;
 use crate::error::{IndexError, Result};
+use crate::kernel::{ArenaSource, CandidateArena, QueryView};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::stats::QueryStats;
@@ -78,6 +79,12 @@ pub struct IndexSnapshot {
     /// batch so it always equals [`Synopsis::compute`] over this snapshot;
     /// consumed by the sharded query planner ([`crate::plan`]).
     pub(crate) synopsis: Synopsis,
+    /// The flat candidate arena ([`crate::kernel`]): a read-path-only
+    /// CSR/SoA mirror of `sequences` + `signatures`, rebuilt (or, for pure
+    /// inserts, incrementally extended) whenever a mutation publishes a new
+    /// snapshot.  Invariant: always equals
+    /// [`CandidateArena::build`] over the owned maps.
+    pub(crate) arena: CandidateArena,
 }
 
 impl IndexSnapshot {
@@ -153,6 +160,35 @@ impl IndexSnapshot {
         );
     }
 
+    /// The flat candidate arena of this snapshot (see [`crate::kernel`]) —
+    /// the hot-path mirror of [`sequences`](Self::sequences) every exact
+    /// scan and leaf evaluation reads from.
+    pub fn arena(&self) -> &CandidateArena {
+        &self.arena
+    }
+
+    /// Rebuilds the candidate arena from the owned maps; called by every
+    /// mutation path that replaces or removes trace data (the same paths
+    /// that fully recompute the synopsis).
+    pub(crate) fn rebuild_arena(&mut self) {
+        self.arena = CandidateArena::build(
+            self.tree.levels(),
+            self.hasher.num_functions() as usize,
+            &self.sequences,
+            &self.signatures,
+        );
+    }
+
+    /// Splices one **newly inserted** entity into the arena incrementally —
+    /// the `O(delta + n)` companion of
+    /// [`absorb_inserted_entity_into_synopsis`](Self::absorb_inserted_entity_into_synopsis);
+    /// the entity must already be in the owned maps.
+    pub(crate) fn absorb_inserted_entity_into_arena(&mut self, entity: EntityId) {
+        let seq = self.sequences.get(&entity).expect("entity was just inserted");
+        let sig = self.signatures.get(&entity).expect("entity was just inserted");
+        self.arena.absorb_insert(entity, seq, sig);
+    }
+
     /// Absorbs one **newly inserted** entity into the synopsis without
     /// rescanning the population — `O(m log n)` for the sketch comparison
     /// instead of the full `O(n × levels)` recompute, so streaming
@@ -197,7 +233,7 @@ impl IndexSnapshot {
             .sum();
         let seq_bytes: usize =
             self.sequences.values().map(|s| s.total_cells() * std::mem::size_of::<u64>()).sum();
-        self.tree.size_bytes() + sig_bytes + seq_bytes
+        self.tree.size_bytes() + sig_bytes + seq_bytes + self.arena.resident_bytes()
     }
 
     /// Answers a top-k query for an indexed entity with default options.
@@ -233,7 +269,7 @@ impl IndexSnapshot {
         measure: &M,
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
-        let source = InMemorySource::new(&self.sequences);
+        let source = ArenaSource::new(&self.sequences, &self.arena, query);
         engine::execute(
             &self.sp,
             &self.hasher,
@@ -264,7 +300,7 @@ impl IndexSnapshot {
         k: usize,
         measure: &'a M,
         options: QueryOptions,
-    ) -> Result<engine::Executor<'a, SeededHashFamily, InMemorySource<'a>, M>> {
+    ) -> Result<engine::Executor<'a, SeededHashFamily, ArenaSource<'a>, M>> {
         engine::Executor::new(
             &self.sp,
             &self.hasher,
@@ -273,7 +309,7 @@ impl IndexSnapshot {
             exclude,
             k,
             measure,
-            InMemorySource::new(&self.sequences),
+            ArenaSource::new(&self.sequences, &self.arena, query),
             options,
         )
     }
@@ -288,13 +324,7 @@ impl IndexSnapshot {
         measure: &M,
     ) -> Result<Vec<TopKResult>> {
         let seq = self.sequences.get(&query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-        let (results, _) = engine::scan_top_k(
-            self.sequences.iter().map(|(e, s)| (*e, s)),
-            seq,
-            Some(query),
-            k,
-            measure,
-        );
+        let (results, _) = self.arena.scan_top_k(&QueryView::new(seq), Some(query), k, measure);
         Ok(results)
     }
 }

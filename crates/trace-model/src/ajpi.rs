@@ -108,6 +108,18 @@ impl LevelOverlap {
         LevelOverlap { stats }
     }
 
+    /// Empties the summary while keeping its allocation, so one `LevelOverlap`
+    /// can serve as reusable scratch across many candidates in a scan loop.
+    pub fn clear(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Appends the statistics of the next level (levels are pushed in order,
+    /// starting at level 1).
+    pub fn push(&mut self, stat: LevelStat) {
+        self.stats.push(stat);
+    }
+
     /// Number of levels.
     pub fn num_levels(&self) -> usize {
         self.stats.len()

@@ -19,6 +19,7 @@ use std::fmt;
 /// packed value orders cells time-major, and so that cell sets are cache-friendly
 /// flat arrays of `u64`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct StCell(u64);
 
 impl StCell {
@@ -114,6 +115,19 @@ impl CellSet {
         &self.cells
     }
 
+    /// Read-only view of the sorted cells as their packed `u64` values, in the
+    /// same (ascending) order as [`as_slice`](CellSet::as_slice).
+    ///
+    /// This is the hot-path representation consumed by the [`crate::kernel`]
+    /// intersection kernels and by the flat candidate arena in the index crate.
+    #[inline]
+    pub fn packed_slice(&self) -> &[u64] {
+        // SAFETY: `StCell` is `#[repr(transparent)]` over `u64`, so a slice of
+        // cells has exactly the layout of a slice of their packed values, and
+        // the packed ordering equals the derived `Ord` on `StCell`.
+        unsafe { std::slice::from_raw_parts(self.cells.as_ptr().cast::<u64>(), self.cells.len()) }
+    }
+
     /// Membership test (binary search).
     pub fn contains(&self, cell: StCell) -> bool {
         self.cells.binary_search(&cell).is_ok()
@@ -131,28 +145,31 @@ impl CellSet {
         }
     }
 
-    /// Size of the intersection with another set (linear merge).
-    pub fn intersection_len(&self, other: &CellSet) -> usize {
-        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-        let (a, b) = (&self.cells, &other.cells);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
+    /// Inserts a batch of cells, restoring the sorted-unique invariant with a
+    /// single sort + dedup pass — `O((n + k) log (n + k))` instead of the
+    /// `O(n · k)` of `k` repeated [`insert`](CellSet::insert) shifts.
+    pub fn extend_cells<I: IntoIterator<Item = StCell>>(&mut self, iter: I) {
+        let old_len = self.cells.len();
+        self.cells.extend(iter);
+        if self.cells.len() > old_len {
+            self.cells.sort_unstable();
+            self.cells.dedup();
         }
-        count
+    }
+
+    /// Size of the intersection with another set.
+    ///
+    /// Dispatches between a branch-light linear merge and a galloping search
+    /// depending on the size skew; see [`crate::kernel::intersection_len`].
+    #[inline]
+    pub fn intersection_len(&self, other: &CellSet) -> usize {
+        crate::kernel::intersection_len(self.packed_slice(), other.packed_slice())
     }
 
     /// The intersection with another set.
     pub fn intersection(&self, other: &CellSet) -> CellSet {
         let (mut i, mut j) = (0usize, 0usize);
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
         let (a, b) = (&self.cells, &other.cells);
         while i < a.len() && j < b.len() {
             match a[i].cmp(&b[j]) {
@@ -223,6 +240,12 @@ impl CellSet {
 impl FromIterator<StCell> for CellSet {
     fn from_iter<I: IntoIterator<Item = StCell>>(iter: I) -> Self {
         CellSet::from_cells(iter)
+    }
+}
+
+impl Extend<StCell> for CellSet {
+    fn extend<I: IntoIterator<Item = StCell>>(&mut self, iter: I) {
+        self.extend_cells(iter);
     }
 }
 
@@ -333,6 +356,35 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(s.contains(cell(1, 1)));
         assert!(!s.contains(cell(2, 2)));
+    }
+
+    #[test]
+    fn extend_cells_batch_matches_repeated_insert() {
+        let mut batched = CellSet::from_cells(vec![cell(1, 1), cell(5, 5)]);
+        let mut one_by_one = batched.clone();
+        let incoming = vec![cell(3, 3), cell(1, 1), cell(0, 9), cell(3, 3)];
+        batched.extend_cells(incoming.iter().copied());
+        for c in incoming {
+            one_by_one.insert(c);
+        }
+        assert_eq!(batched, one_by_one);
+        assert_eq!(batched.len(), 4);
+        // Empty batch is a no-op.
+        let before = batched.clone();
+        batched.extend_cells(std::iter::empty());
+        assert_eq!(batched, before);
+    }
+
+    #[test]
+    fn packed_slice_mirrors_cells_in_order() {
+        let s = CellSet::from_cells(vec![cell(2, 1), cell(1, 7), cell(1, 3)]);
+        let packed = s.packed_slice();
+        assert_eq!(packed.len(), s.len());
+        for (c, &p) in s.iter().zip(packed) {
+            assert_eq!(c.packed(), p);
+        }
+        assert!(packed.windows(2).all(|w| w[0] < w[1]));
+        assert!(CellSet::new().packed_slice().is_empty());
     }
 
     #[test]

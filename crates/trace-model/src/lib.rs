@@ -33,6 +33,7 @@ pub mod cell;
 pub mod entity;
 pub mod error;
 pub mod examples;
+pub mod kernel;
 pub mod presence;
 pub mod spatial;
 pub mod time;

@@ -1,0 +1,209 @@
+//! Conformance of the flat hot-path kernels (`minsig::kernel`) against the
+//! owned-representation oracles:
+//!
+//! * the three intersection kernels (three-way-compare merge, explicit-mask
+//!   merge, galloping) and the size-ratio dispatcher must agree on
+//!   **arbitrary** sorted sets, including adversarially skewed size ratios
+//!   that force the galloping path;
+//! * the arena-backed scan and fused degree loop must answer **bitwise
+//!   identically** to degrees computed from the owned `CellSetSequence`
+//!   maps, across every workload generator in `minsig::testkit`.
+//!
+//! Nothing here trusts the arena's internal layout — only observable answers
+//! are compared, through the same oracle helpers the sharding suites use.
+
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, HierarchySpec, PairedConfig, PlannerDispersedConfig,
+    PlannerLocalizedConfig, PruningAdversarialConfig, SkewedConfig, UniformConfig, Workload,
+};
+use digital_traces::index::{IndexConfig, IndexSnapshot, QueryView, TopKHeap, TopKResult};
+use digital_traces::model::kernel::{
+    intersection_len, intersection_len_gallop, intersection_len_masked, intersection_len_merge,
+    GALLOP_SKEW,
+};
+use digital_traces::{AssociationMeasure, EntityId, PaperAdm};
+use proptest::prelude::*;
+
+/// Sorts and dedups a raw value vector into kernel input form.
+fn to_set(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Asserts all four intersection entry points agree on `(a, b)`, both ways.
+fn assert_kernels_agree(a: &[u64], b: &[u64]) {
+    let expect = intersection_len_merge(a, b);
+    assert_eq!(intersection_len_masked(a, b), expect, "masked vs merge");
+    assert_eq!(intersection_len_gallop(a, b), expect, "gallop vs merge");
+    assert_eq!(intersection_len(a, b), expect, "dispatcher vs merge");
+    // Intersection size is symmetric; the kernels must be too.
+    assert_eq!(intersection_len_merge(b, a), expect, "merge symmetry");
+    assert_eq!(intersection_len_masked(b, a), expect, "masked symmetry");
+    assert_eq!(intersection_len_gallop(b, a), expect, "gallop symmetry");
+    assert_eq!(intersection_len(b, a), expect, "dispatcher symmetry");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All intersection kernels agree on arbitrary sorted sets of similar size.
+    #[test]
+    fn kernels_agree_on_similar_sizes(
+        a in proptest::collection::vec(0u64..512, 0..96),
+        b in proptest::collection::vec(0u64..512, 0..96),
+    ) {
+        let (a, b) = (to_set(a), to_set(b));
+        assert_kernels_agree(&a, &b);
+    }
+
+    /// All intersection kernels agree under adversarial size skew: a tiny
+    /// probe side against a large sorted side drawn from an overlapping
+    /// domain, which is exactly the regime the dispatcher hands to the
+    /// galloping kernel.
+    #[test]
+    fn kernels_agree_on_skewed_ratios(
+        small in proptest::collection::vec(0u64..4096, 0..24),
+        large in proptest::collection::vec(0u64..4096, 256..1536),
+    ) {
+        let (small, large) = (to_set(small), to_set(large));
+        if !small.is_empty() {
+            // The generated ratio really is in galloping territory.
+            prop_assert!(small.len().saturating_mul(GALLOP_SKEW) <= large.len()
+                || large.len() < 256);
+        }
+        assert_kernels_agree(&small, &large);
+    }
+}
+
+/// Structured worst cases the random generator is unlikely to hit exactly:
+/// runs of shared prefixes/suffixes, strided interleavings, and
+/// boundary-of-dispatch sizes on both sides of `GALLOP_SKEW`.
+#[test]
+fn kernels_agree_on_structured_edge_cases() {
+    let dense: Vec<u64> = (0..1024).collect();
+    let stride3: Vec<u64> = (0..1024).map(|x| x * 3).collect();
+    let tail: Vec<u64> = (1000..1100).collect();
+    let singleton_hit = vec![511u64];
+    let singleton_miss = vec![5000u64];
+    let boundary_small: Vec<u64> = (0..dense.len() / GALLOP_SKEW).map(|x| x as u64 * 7).collect();
+    let just_under: Vec<u64> = (0..dense.len() / GALLOP_SKEW + 1).map(|x| x as u64 * 7).collect();
+    let sets: [&[u64]; 8] = [
+        &dense,
+        &stride3,
+        &tail,
+        &singleton_hit,
+        &singleton_miss,
+        &boundary_small,
+        &just_under,
+        &[],
+    ];
+    for a in sets {
+        for b in sets {
+            assert_kernels_agree(a, b);
+        }
+    }
+}
+
+/// The owned-representation oracle: a flat scan over the snapshot's
+/// `CellSetSequence` map, scoring through `AssociationMeasure::degree` — the
+/// pre-arena hot path, kept here as ground truth.
+fn owned_scan(
+    snapshot: &IndexSnapshot,
+    query: EntityId,
+    k: usize,
+    measure: &PaperAdm,
+) -> Vec<TopKResult> {
+    let seqs = snapshot.sequences();
+    let query_seq = seqs.get(&query).expect("query entity is indexed");
+    let mut top = TopKHeap::new(k);
+    for (&entity, seq) in seqs {
+        if entity != query {
+            top.offer(entity, measure.degree(query_seq, seq));
+        }
+    }
+    top.into_sorted()
+}
+
+/// Runs the arena-vs-owned sweep for one workload: every sampled query's
+/// arena scan must be bit-identical to the owned oracle (entities **and**
+/// degree bits, boundary ties included), and every per-entity fused degree
+/// must carry the exact bits of the owned computation.
+fn assert_arena_matches_owned(workload: &Workload, context: &str) {
+    let index = workload.build_index(IndexConfig::default());
+    let snapshot = index.snapshot();
+    let measure = workload.measure();
+    let arena = snapshot.arena();
+    let seqs = snapshot.sequences();
+    assert_eq!(arena.len(), seqs.len(), "{context}: arena covers the population");
+    for query in workload.sample_entities(12, 7) {
+        let query_seq = match seqs.get(&query) {
+            Some(seq) => seq,
+            None => continue,
+        };
+        let view = QueryView::new(query_seq);
+        for k in [1, 3, 10] {
+            let (got, checked) = arena.scan_top_k(&view, Some(query), k, &measure);
+            let expect = owned_scan(&snapshot, query, k, &measure);
+            assert_eq!(checked, seqs.len() - 1, "{context}: arena scan checks every candidate");
+            assert_equivalent_answers(&got, &expect, &format!("{context}, query {query}, k {k}"));
+        }
+        for (&entity, seq) in seqs.iter().take(64) {
+            let pos = arena.position(entity).expect("indexed entity is in the arena");
+            let fused = arena.degree_at(pos, &view, &measure);
+            let owned = measure.degree(query_seq, seq);
+            assert_eq!(
+                fused.to_bits(),
+                owned.to_bits(),
+                "{context}: fused degree of {entity} vs query {query} drifted ({fused} vs {owned})"
+            );
+        }
+    }
+}
+
+/// The arena answers bit-identically to the owned path on every workload
+/// generator the testkit offers — uniform, paired, skewed, degenerate and
+/// planner-adversarial populations alike.
+#[test]
+fn arena_matches_owned_path_across_all_generators() {
+    assert_arena_matches_owned(&Workload::uniform(UniformConfig::default()), "uniform");
+    assert_arena_matches_owned(&Workload::paired(PairedConfig::default()), "paired");
+    assert_arena_matches_owned(&Workload::skewed(SkewedConfig::default()), "skewed");
+    assert_arena_matches_owned(
+        &Workload::all_identical(24, HierarchySpec::default()),
+        "all_identical",
+    );
+    assert_arena_matches_owned(
+        &Workload::one_cell_pileup(24, HierarchySpec::default()),
+        "one_cell_pileup",
+    );
+    assert_arena_matches_owned(&Workload::degenerate_mix(HierarchySpec::default()), "degenerate");
+    let (w, _) = Workload::pruning_adversarial(PruningAdversarialConfig::default());
+    assert_arena_matches_owned(&w, "pruning_adversarial");
+    let (w, _) = Workload::planner_localized(PlannerLocalizedConfig::default());
+    assert_arena_matches_owned(&w, "planner_localized");
+    let (w, _) = Workload::planner_dispersed(PlannerDispersedConfig::default());
+    assert_arena_matches_owned(&w, "planner_dispersed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arena-vs-owned bit-identity holds for *arbitrary* uniform populations,
+    /// not just the fixed generator defaults.
+    #[test]
+    fn arena_matches_owned_path_on_random_populations(
+        entities in 2u64..48,
+        visits in 1u64..10,
+        seed in 0u64..1_000,
+    ) {
+        let w = Workload::uniform(UniformConfig {
+            entities,
+            visits,
+            time_slots: 24,
+            hierarchy: HierarchySpec::default(),
+            seed,
+        });
+        assert_arena_matches_owned(&w, &format!("uniform({entities},{visits},{seed})"));
+    }
+}
