@@ -144,8 +144,9 @@ pub use index::MinSigIndex;
 pub use ingest::{IngestBuffer, IngestReport};
 pub use join::{JoinOptions, JoinRow, JoinStats};
 pub use kernel::{ArenaSource, CandidateArena, QueryView};
+pub use paged::PagedShardedSnapshot;
 pub use persist::{INDEX_MAGIC, INDEX_VERSION};
-pub use plan::{QueryPlan, ShardDecision, ShardPlan};
+pub use plan::{PageEstimate, QueryPlan, ShardDecision, ShardPlan};
 pub use query::{QueryOptions, TopKResult};
 pub use shard::{
     shard_of, ShardedIngestReport, ShardedMinSigIndex, ShardedSnapshot, PARTITION_VERSION,

@@ -12,15 +12,44 @@
 //! only difference from the in-memory path is the [`PagedSource`] handed to it.
 //! The buffer pool synchronises internally, so paged queries may also run from
 //! several threads against one snapshot, pool and store.
+//!
+//! ## Out-of-core sharded queries
+//!
+//! [`ShardedSnapshot::paged`] wraps a sharded snapshot, a [`PagedTraceStore`]
+//! and a [`BufferPool`] into a [`PagedShardedSnapshot`] whose entry points
+//! mirror the in-memory ones (`top_k`, `top_k_with_options`, batches, joins,
+//! `explain`) — the full planned cooperative fan-out, with every candidate
+//! trace read through the pool instead of the in-memory sequence maps, and
+//! planned by the **page-aware** cost model
+//! ([`plan::plan_query_paged`](crate::plan)).  The pin protocol: the query
+//! entity's own trace is pinned for the whole fan-out (its pages stay
+//! resident across every executor [`step`](crate::engine::Executor::step)
+//! quantum, released when the merged answer is produced), and every
+//! candidate page is pinned transiently while its records are extracted.
+//! Answers are **bitwise identical** to the in-memory sharded, unsharded and
+//! brute-force paths — any shard count, any pool size, any
+//! [`ReplacerPolicy`](trace_storage::ReplacerPolicy)
+//! (`tests/paged_conformance.rs` proptests exactly this).
 
-use crate::engine::{self, PagedSource};
-use crate::error::Result;
+use crate::config::{BoundMode, PlannerConfig, SchedulerConfig};
+use crate::engine::{
+    self, Bound, Executor, PagedSource, PrivateBound, SeededBound, SharedBound, TopKHeap,
+    TraceSource,
+};
+use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
+use crate::join::{collect_join_rows, JoinOptions, JoinRow, JoinStats};
+use crate::plan::{self, QueryPlan, ShardDecision};
 use crate::query::{QueryOptions, TopKResult};
+use crate::shard::{drive_cooperatively, ShardedSnapshot};
+use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
 use crate::stats::QueryStats;
-use trace_model::{AssociationMeasure, EntityId};
-use trace_storage::{BufferPool, PagedTraceStore};
+use rayon::prelude::*;
+use std::borrow::Cow;
+use std::time::Instant;
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId};
+use trace_storage::{BufferPool, PageId, PagedTraceStore};
 
 impl IndexSnapshot {
     /// Answers a top-k query reading candidate traces through `pool` over `store`.
@@ -63,9 +92,11 @@ impl IndexSnapshot {
             &source,
             options,
         )?;
-        let after = pool.stats();
-        stats.pool_misses = after.misses - before.misses;
-        stats.simulated_io_us = after.simulated_us - before.simulated_us;
+        let io = pool.stats().since(&before);
+        stats.pool_hits = io.hits;
+        stats.pool_misses = io.misses;
+        stats.pool_evictions = io.evictions;
+        stats.simulated_io_us = io.simulated_us;
         Ok((results, stats))
     }
 }
@@ -84,6 +115,449 @@ impl MinSigIndex {
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
         self.snapshot().top_k_paged(query, k, measure, store, pool, options)
+    }
+}
+
+impl ShardedSnapshot {
+    /// Wraps this snapshot for out-of-core execution: every query path reads
+    /// candidate traces through `pool` over `store` instead of the in-memory
+    /// sequence maps, planned by the page-aware cost model.
+    ///
+    /// The store must hold the traces of the snapshot's entities (the usual
+    /// arrangement: one entity-ordered store over the whole population, any
+    /// shard count on top).  Per-shard page lists are precomputed here —
+    /// build the wrapper once per snapshot and reuse it across queries.
+    pub fn paged<'a>(
+        &'a self,
+        store: &'a PagedTraceStore,
+        pool: &'a BufferPool<'a>,
+    ) -> PagedShardedSnapshot<'a> {
+        let shard_pages = self
+            .shard_snapshots()
+            .iter()
+            .map(|shard| {
+                let mut pages: Vec<PageId> = shard
+                    .sequences()
+                    .keys()
+                    .filter_map(|&e| store.trace_pages(e))
+                    .flatten()
+                    .copied()
+                    .collect();
+                pages.sort_unstable();
+                pages.dedup();
+                pages
+            })
+            .collect();
+        PagedShardedSnapshot { snapshot: self, store, pool, shard_pages }
+    }
+}
+
+/// A [`ShardedSnapshot`] bound to a [`PagedTraceStore`] and a [`BufferPool`]:
+/// the out-of-core sharded query session.
+///
+/// Entry points mirror [`ShardedSnapshot`]'s and return **bitwise-identical**
+/// answers (see the [module docs](crate::paged)); the returned
+/// [`QueryStats`] additionally carry the query's buffer-pool deltas
+/// ([`pool_hits`](QueryStats::pool_hits) /
+/// [`pool_misses`](QueryStats::pool_misses) /
+/// [`pool_evictions`](QueryStats::pool_evictions) /
+/// [`simulated_io_us`](QueryStats::simulated_io_us)).  When several queries
+/// share one pool concurrently those deltas are approximate — the pool's
+/// counters are global, so overlapping queries' I/O may be attributed to
+/// each other; answers are unaffected.
+#[derive(Debug)]
+pub struct PagedShardedSnapshot<'a> {
+    snapshot: &'a ShardedSnapshot,
+    store: &'a PagedTraceStore,
+    pool: &'a BufferPool<'a>,
+    /// Per shard: the sorted distinct store pages its entities' traces span.
+    shard_pages: Vec<Vec<PageId>>,
+}
+
+impl<'a> PagedShardedSnapshot<'a> {
+    /// The wrapped snapshot.
+    pub fn snapshot(&self) -> &'a ShardedSnapshot {
+        self.snapshot
+    }
+
+    /// The buffer pool every query reads through.
+    pub fn pool(&self) -> &'a BufferPool<'a> {
+        self.pool
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &'a PagedTraceStore {
+        self.store
+    }
+
+    /// The distinct store pages shard `shard`'s traces span (sorted).
+    pub fn shard_pages(&self, shard: usize) -> &[PageId] {
+        &self.shard_pages[shard]
+    }
+
+    /// Answers a top-k query with default options — the paged counterpart of
+    /// [`ShardedSnapshot::top_k`].
+    pub fn top_k<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.top_k_with_options(query, k, measure, QueryOptions::default())
+    }
+
+    /// Answers a top-k query with explicit options, default scheduler and
+    /// default (active) planner.
+    pub fn top_k_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.top_k_with_planner(
+            query,
+            k,
+            measure,
+            options,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        )
+    }
+
+    /// Explicit scheduler knobs with the planner **disabled** — the paged
+    /// unplanned baseline, mirroring [`ShardedSnapshot::top_k_with_scheduler`].
+    pub fn top_k_with_scheduler<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.top_k_with_planner(query, k, measure, options, scheduler, PlannerConfig::disabled())
+    }
+
+    /// Every knob explicit (scheduler and planner).
+    pub fn top_k_with_planner<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        planner: PlannerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        let seq = self.query_sequence(query)?;
+        self.fan_out(seq.as_ref(), Some(query), k, measure, options, true, scheduler, planner)
+    }
+
+    /// Answers a top-k query for an arbitrary (possibly external) query
+    /// sequence, planned with the defaults.
+    pub fn top_k_for_sequence<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        self.fan_out(
+            query,
+            exclude,
+            k,
+            measure,
+            options,
+            true,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        )
+    }
+
+    /// Answers every query of a batch in parallel, input order preserved —
+    /// the paged counterpart of [`ShardedSnapshot::top_k_batch`].
+    pub fn top_k_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        self.top_k_batch_with_options(queries, k, measure, QueryOptions::default())
+    }
+
+    /// [`top_k_batch`](Self::top_k_batch) with explicit query options.
+    pub fn top_k_batch_with_options<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        self.top_k_batch_with_planner(
+            queries,
+            k,
+            measure,
+            options,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        )
+    }
+
+    /// [`top_k_batch`](Self::top_k_batch) with every knob explicit.
+    /// Parallelism is over the queries; each query's admitted shard
+    /// executors are interleaved sequentially on its worker, sharing one
+    /// seeded bound per query (identical answers either way).
+    pub fn top_k_batch_with_planner<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        planner: PlannerConfig,
+    ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
+        let answers: Vec<Result<(Vec<TopKResult>, QueryStats)>> = queries
+            .par_iter()
+            .map(|&query| {
+                let seq = self.query_sequence(query)?;
+                self.fan_out(
+                    seq.as_ref(),
+                    Some(query),
+                    k,
+                    measure,
+                    options,
+                    false,
+                    scheduler,
+                    planner,
+                )
+            })
+            .collect();
+        answers.into_iter().collect()
+    }
+
+    /// Answers the top-k query for every probe entity — the paged
+    /// counterpart of [`ShardedSnapshot::top_k_join`], with identical
+    /// skip/ordering semantics (unindexed probes are counted in
+    /// [`JoinStats::skipped`], output preserves probe order).
+    pub fn top_k_join<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probes: &[EntityId],
+        measure: &M,
+        options: JoinOptions,
+    ) -> Result<(Vec<JoinRow>, JoinStats)> {
+        let rows: Vec<Option<JoinRow>> = if options.threads <= 1 || probes.len() <= 1 {
+            probes.iter().map(|&probe| self.join_one(probe, measure, options)).collect()
+        } else {
+            probes.par_iter().map(|&probe| self.join_one(probe, measure, options)).collect()
+        };
+        Ok(collect_join_rows(rows))
+    }
+
+    fn join_one<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        probe: EntityId,
+        measure: &M,
+        options: JoinOptions,
+    ) -> Option<JoinRow> {
+        let seq = self.query_sequence(probe).ok()?;
+        match self.fan_out(
+            seq.as_ref(),
+            Some(probe),
+            options.k,
+            measure,
+            options.query,
+            false,
+            SchedulerConfig::default(),
+            PlannerConfig::default(),
+        ) {
+            Ok((matches, stats)) => Some(JoinRow { probe, matches, stats }),
+            Err(_) => None,
+        }
+    }
+
+    /// Builds — without executing — the page-aware [`QueryPlan`] the paged
+    /// query paths would run: the in-memory plan's seed/skip/scan/order
+    /// verdicts plus a [`PageEstimate`](crate::plan::PageEstimate) per shard,
+    /// all rendered by [`QueryPlan::explain`].  Seeding reads the sketch
+    /// entities' traces through the pool, so explaining warms the cache the
+    /// same way planning a real query does.
+    pub fn explain<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: EntityId,
+        k: usize,
+        measure: &M,
+        planner: PlannerConfig,
+    ) -> Result<QueryPlan> {
+        let seq = self.query_sequence(query)?;
+        self.snapshot.check_query_levels(seq.as_ref())?;
+        let probe = &self.snapshot.shard_snapshots()[0];
+        let source =
+            PagedSource::new(self.store, self.pool, probe.sp_index(), probe.ticks_per_unit());
+        Ok(plan::plan_query_paged(
+            self.snapshot.shard_snapshots(),
+            seq.as_ref(),
+            Some(query),
+            k,
+            measure,
+            &planner,
+            &source,
+            &self.shard_pages,
+            self.pool,
+        ))
+    }
+
+    /// The query entity's sequence: from the snapshot's in-memory map when
+    /// materialised, read through the pool for an indexed but sequence-free
+    /// entity.  Error parity with the in-memory path: an entity the snapshot
+    /// does not index is [`IndexError::UnknownQueryEntity`], whatever the
+    /// store holds.
+    fn query_sequence(&self, query: EntityId) -> Result<Cow<'a, CellSetSequence>> {
+        if let Some(seq) = self.snapshot.sequence(query) {
+            return Ok(Cow::Borrowed(seq));
+        }
+        if self.snapshot.contains(query) {
+            let probe = &self.snapshot.shard_snapshots()[0];
+            let trace = self
+                .store
+                .read_trace(self.pool, query)
+                .ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+            return Ok(Cow::Owned(trace.cell_sequence(probe.sp_index(), probe.ticks_per_unit())?));
+        }
+        Err(IndexError::UnknownQueryEntity(query.raw()))
+    }
+
+    /// The paged planned cooperative fan-out — [`ShardedSnapshot`]'s
+    /// `fan_out` with every trace read routed through the buffer pool:
+    ///
+    /// 1. pin the query's own trace (held across every executor step
+    ///    quantum, released when the merge completes);
+    /// 2. plan page-aware ([`plan::plan_query_paged`]): seed through the
+    ///    pool, estimate resident vs cold pages per shard, skip/scan/order;
+    /// 3. answer scan shards by a flat paged degree loop, tree shards by
+    ///    cooperative [`Executor`]s over one shared [`PagedSource`];
+    /// 4. merge exactly and charge the pool's counter deltas to the query.
+    #[allow(clippy::too_many_arguments)]
+    fn fan_out<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        parallel: bool,
+        scheduler: SchedulerConfig,
+        planner: PlannerConfig,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        scheduler.validate()?;
+        let start = Instant::now();
+        self.snapshot.check_query_levels(query)?;
+        let shards = self.snapshot.shard_snapshots();
+        let probe = &shards[0];
+        let source =
+            PagedSource::new(self.store, self.pool, probe.sp_index(), probe.ticks_per_unit());
+        let pool_before = self.pool.stats();
+        // The query's own trace is re-read on every leaf evaluation path that
+        // needs it; pin it for the query's whole lifetime so no replacer
+        // decision can push it out between step quanta.  Dropped (pins
+        // released) when this function returns the merged answer.
+        let _query_pins = exclude.and_then(|q| self.store.pin_trace(self.pool, q));
+        let plan = plan::plan_query_paged(
+            shards,
+            query,
+            exclude,
+            k,
+            measure,
+            &planner,
+            &source,
+            &self.shard_pages,
+            self.pool,
+        );
+
+        let mut stats = QueryStats { k, ..QueryStats::default() };
+        stats.entities_checked += plan.seed_candidates;
+        stats.shards_skipped = plan.shards_skipped();
+        stats.threshold_seeded = plan.seeded();
+        for shard_plan in &plan.shards {
+            if shard_plan.decision == ShardDecision::Skip {
+                stats.total_entities += shard_plan.entities;
+            }
+        }
+
+        let use_shared = scheduler.bound_mode == BoundMode::Shared;
+        let shared = SharedBound::new();
+        if use_shared && plan.seeded() {
+            shared.publish(plan.seed);
+        }
+
+        // Scan shards first (fully resident by the planner's gate): flat
+        // exact degree loop through the pool, publishing each local k-th
+        // threshold before any tree executor runs.
+        let mut parts: Vec<Vec<TopKResult>> = Vec::with_capacity(plan.shards.len());
+        for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::Scan) {
+            let shard = &shards[shard_plan.shard];
+            let mut top = TopKHeap::new(k);
+            let mut checked = 0usize;
+            for &entity in shard.sequences().keys() {
+                if Some(entity) == exclude {
+                    continue;
+                }
+                let Some(seq) = source.sequence(entity) else { continue };
+                checked += 1;
+                top.offer(entity, measure.degree(query, seq.as_ref()));
+            }
+            let results = top.into_sorted();
+            stats.total_entities += shard.num_entities();
+            stats.entities_checked += checked;
+            if use_shared && k > 0 && results.len() >= k {
+                shared.publish(results[k - 1].degree);
+            }
+            parts.push(results);
+        }
+
+        // Tree shards in plan order (most promising, then least cold I/O):
+        // one resumable executor per shard, all leaf evaluation through the
+        // shared paged source.
+        let mut executors: Vec<Executor<'_, SeededHashFamily, &PagedSource<'_>, M>> =
+            Vec::with_capacity(plan.shards.len());
+        for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::TreeSearch) {
+            let shard = &shards[shard_plan.shard];
+            executors.push(
+                Executor::new(
+                    shard.sp_index(),
+                    shard.hasher(),
+                    shard.tree(),
+                    query,
+                    exclude,
+                    k,
+                    measure,
+                    &source,
+                    options,
+                )?
+                .with_publish_policy(scheduler.publish_policy),
+            );
+        }
+        if use_shared && (executors.len() > 1 || shared.current() > f64::NEG_INFINITY) {
+            drive_cooperatively(&mut executors, &shared, parallel, scheduler.step_quantum);
+        } else if !use_shared && plan.seeded() {
+            let seeded = SeededBound::new(plan.seed);
+            drive_cooperatively(&mut executors, &seeded, parallel, scheduler.step_quantum);
+        } else {
+            drive_cooperatively(&mut executors, &PrivateBound, parallel, scheduler.step_quantum);
+        }
+
+        for executor in executors {
+            let (results, executor_stats) = executor.finish();
+            stats.absorb_work(&executor_stats);
+            parts.push(results);
+        }
+        let results = engine::merge_top_k(k, parts);
+        let io = self.pool.stats().since(&pool_before);
+        stats.pool_hits += io.hits;
+        stats.pool_misses += io.misses;
+        stats.pool_evictions += io.evictions;
+        stats.simulated_io_us += io.simulated_us;
+        stats.query_time_us = start.elapsed().as_micros() as u64;
+        Ok((results, stats))
     }
 }
 
@@ -180,5 +654,116 @@ mod tests {
             .top_k_paged(EntityId(9999), 1, &measure, &store, &pool, QueryOptions::default())
             .unwrap_err();
         assert!(matches!(err, crate::error::IndexError::UnknownQueryEntity(9999)));
+    }
+
+    #[test]
+    fn paged_sharded_matches_in_memory_sharded_bitwise() {
+        let (sp, traces) = dataset(40);
+        let sharded =
+            crate::shard::ShardedMinSigIndex::build(&sp, &traces, IndexConfig::default(), 4)
+                .unwrap();
+        let snapshot = sharded.snapshot();
+        let store = PagedTraceStore::build(&traces, 4);
+        let pool = store.pool(trace_storage::PoolConfig {
+            capacity_bytes: 3 * trace_storage::PAGE_SIZE,
+            ..Default::default()
+        });
+        let paged = snapshot.paged(&store, &pool);
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        for query in [0u64, 7, 33, 79] {
+            let (mem, _) = snapshot.top_k(EntityId(query), 5, &measure).unwrap();
+            let (out, stats) = paged.top_k(EntityId(query), 5, &measure).unwrap();
+            assert_eq!(mem, out, "query {query}: paged answers must be bitwise identical");
+            assert!(
+                stats.pool_hits + stats.pool_misses > 0,
+                "paged query must account its pool traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn paged_sharded_batch_and_join_match_in_memory() {
+        let (sp, traces) = dataset(30);
+        let sharded =
+            crate::shard::ShardedMinSigIndex::build(&sp, &traces, IndexConfig::default(), 3)
+                .unwrap();
+        let snapshot = sharded.snapshot();
+        let store = PagedTraceStore::build(&traces, 4);
+        let pool = store.pool(trace_storage::PoolConfig {
+            capacity_bytes: 2 * trace_storage::PAGE_SIZE,
+            ..Default::default()
+        });
+        let paged = snapshot.paged(&store, &pool);
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        let queries: Vec<EntityId> = [1u64, 12, 25, 44].map(EntityId).to_vec();
+
+        let mem_batch = snapshot.top_k_batch(&queries, 4, &measure).unwrap();
+        let paged_batch = paged.top_k_batch(&queries, 4, &measure).unwrap();
+        for ((mem, _), (out, _)) in mem_batch.iter().zip(paged_batch.iter()) {
+            assert_eq!(mem, out);
+        }
+
+        // Join, probe list including one unindexed probe that must be skipped
+        // identically on both paths.
+        let probes: Vec<EntityId> = [3u64, 9999, 18].map(EntityId).to_vec();
+        let options = JoinOptions { k: 3, ..JoinOptions::default() };
+        let (mem_rows, mem_join) = snapshot.top_k_join(&probes, &measure, options).unwrap();
+        let (rows, join) = paged.top_k_join(&probes, &measure, options).unwrap();
+        assert_eq!(mem_rows.len(), rows.len());
+        assert_eq!(mem_join.skipped, join.skipped);
+        for (a, b) in mem_rows.iter().zip(rows.iter()) {
+            assert_eq!(a.probe, b.probe);
+            assert_eq!(a.matches, b.matches);
+        }
+    }
+
+    #[test]
+    fn paged_explain_reports_page_estimates() {
+        let (sp, traces) = dataset(25);
+        let sharded =
+            crate::shard::ShardedMinSigIndex::build(&sp, &traces, IndexConfig::default(), 3)
+                .unwrap();
+        let snapshot = sharded.snapshot();
+        let store = PagedTraceStore::build(&traces, 4);
+        let pool = store.pool(trace_storage::PoolConfig::default());
+        let paged = snapshot.paged(&store, &pool);
+        let measure = PaperAdm::default_for(sp.height() as usize);
+
+        let plan = paged.explain(EntityId(4), 5, &measure, PlannerConfig::default()).unwrap();
+        let rendered = plan.explain();
+        assert!(rendered.contains("pages="), "explain must surface page estimates: {rendered}");
+        for shard_plan in &plan.shards {
+            let pages = shard_plan.pages.expect("paged plans carry a page estimate per shard");
+            assert_eq!(
+                pages.total_pages,
+                paged.shard_pages(shard_plan.shard).len(),
+                "estimate totals come from the shard's page directory"
+            );
+            assert!(pages.resident_pages <= pages.total_pages);
+        }
+
+        // A disabled planner still answers (no estimates, no seeding) and the
+        // unplanned paged path agrees with the unplanned in-memory path.
+        let cold = paged.explain(EntityId(4), 5, &measure, PlannerConfig::disabled()).unwrap();
+        assert!(cold.shards.iter().all(|s| s.pages.is_none()));
+        let (mem, _) = snapshot
+            .top_k_with_scheduler(
+                EntityId(4),
+                5,
+                &measure,
+                QueryOptions::default(),
+                SchedulerConfig::default(),
+            )
+            .unwrap();
+        let (out, _) = paged
+            .top_k_with_scheduler(
+                EntityId(4),
+                5,
+                &measure,
+                QueryOptions::default(),
+                SchedulerConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(mem, out);
     }
 }

@@ -61,6 +61,31 @@ pub enum ShardDecision {
     TreeSearch,
 }
 
+/// A shard's page-residency estimate at plan time: how many distinct store
+/// pages its members' traces span, and how many of those were resident in
+/// the buffer pool when the plan was built.
+///
+/// Estimates feed the paged planner's I/O reasoning — [`cold_pages`]
+/// gates the flat-scan access path and breaks shard-ordering ties — and are
+/// **advisory only**: residency can change the instant the plan runs, so no
+/// decision built on an estimate may affect an answer, only cost.
+///
+/// [`cold_pages`]: PageEstimate::cold_pages
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageEstimate {
+    /// Distinct store pages holding this shard's traces.
+    pub total_pages: usize,
+    /// How many of those were buffer-pool resident at plan time.
+    pub resident_pages: usize,
+}
+
+impl PageEstimate {
+    /// Pages a full shard read would have to fetch from disk (at plan time).
+    pub fn cold_pages(&self) -> usize {
+        self.total_pages.saturating_sub(self.resident_pages)
+    }
+}
+
 /// The planner's verdict for one shard.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardPlan {
@@ -74,6 +99,9 @@ pub struct ShardPlan {
     pub upper_bound: f64,
     /// What the executor does with the shard.
     pub decision: ShardDecision,
+    /// Page-residency estimate (paged plans with an active planner only;
+    /// `None` on in-memory plans and on the disabled-planner baseline).
+    pub pages: Option<PageEstimate>,
 }
 
 /// The executable plan of one sharded top-k query: the seeded threshold plus
@@ -133,9 +161,18 @@ impl QueryPlan {
                 ShardDecision::Skip if plan.entities == 0 => "skip (empty shard)",
                 ShardDecision::Skip => "skip (upper bound below seed)",
             };
+            let pages = match plan.pages {
+                Some(p) => format!(
+                    " pages={} ({} resident, {} cold)",
+                    p.total_pages,
+                    p.resident_pages,
+                    p.cold_pages()
+                ),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  shard {:>3}  entities={:<8} upper={:<12} {}",
+                "  shard {:>3}  entities={:<8} upper={:<12} {}{}",
                 plan.shard,
                 plan.entities,
                 if plan.upper_bound == f64::NEG_INFINITY {
@@ -144,6 +181,7 @@ impl QueryPlan {
                     format!("{:.6}", plan.upper_bound)
                 },
                 decision,
+                pages,
             );
         }
         out
@@ -185,6 +223,7 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
                 entities: shard.synopsis().num_entities(),
                 upper_bound: f64::INFINITY,
                 decision: ShardDecision::TreeSearch,
+                pages: None,
             })
             .collect();
         return QueryPlan {
@@ -244,7 +283,7 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
         } else {
             ShardDecision::TreeSearch
         };
-        let plan = ShardPlan { shard: i, entities, upper_bound, decision };
+        let plan = ShardPlan { shard: i, entities, upper_bound, decision, pages: None };
         if decision == ShardDecision::Skip {
             skipped.push(plan);
         } else {
@@ -254,6 +293,107 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
     // Most promising first; ties by shard index for determinism.
     admitted.sort_by(|a, b| {
         b.upper_bound.total_cmp(&a.upper_bound).then_with(|| a.shard.cmp(&b.shard))
+    });
+    admitted.extend(skipped);
+    QueryPlan { k, seed, seed_candidates, shards: admitted, planner: *config }
+}
+
+/// [`plan_query`] for the out-of-core path: the same answer-invariant
+/// decisions, but the cost model reasons in **pages**, not entity counts.
+///
+/// * Seed candidates are scored through the paged `source` — threshold
+///   seeding honestly pays (and warms) buffer-pool I/O for the sketch
+///   entities' traces, exactly as the executors will at the leaves.
+/// * Every shard carries a [`PageEstimate`] (`shard_pages[i]` probed against
+///   the pool in one lock), rendered by [`QueryPlan::explain`].
+/// * A shard is answered by the flat **scan** only when it is small *and*
+///   fully resident (`cold_pages == 0`): a scan touches every member's
+///   trace, so on a cold shard it would pay the worst-case I/O the tree
+///   search exists to avoid — `scan_cutoff` reasons in I/O, not entities.
+/// * Admitted-shard **ordering** breaks upper-bound ties by `cold_pages`
+///   ascending: of equally promising shards, the one needing the least disk
+///   I/O raises the shared bound soonest.
+///
+/// Estimates are advisory (residency moves under concurrency), which is why
+/// they only ever steer *cost* decisions; the skip certificate stays the
+/// strict synopsis inequality of [`plan_query`], so paged plans return
+/// bitwise-identical answers (`tests/paged_conformance.rs`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_query_paged<M: AssociationMeasure + ?Sized>(
+    shards: &[Arc<IndexSnapshot>],
+    query: &CellSetSequence,
+    exclude: Option<EntityId>,
+    k: usize,
+    measure: &M,
+    config: &PlannerConfig,
+    source: &crate::engine::PagedSource<'_>,
+    shard_pages: &[Vec<trace_storage::PageId>],
+    pool: &trace_storage::BufferPool<'_>,
+) -> QueryPlan {
+    debug_assert_eq!(shards.len(), shard_pages.len());
+    let planning_active = config.seed_threshold || config.skip_shards || config.scan_cutoff > 0;
+    if !planning_active {
+        // The disabled baseline mirrors `plan_query`: nothing computed, no
+        // page probes, every shard tree-searched in index order.
+        return plan_query(shards, query, exclude, k, measure, config);
+    }
+
+    let levels = query.num_levels() as u8;
+    let query_sizes: Vec<usize> = (1..=levels).map(|l| query.level(l).len()).collect();
+
+    let mut seed = f64::NEG_INFINITY;
+    let mut seed_candidates = 0usize;
+    if config.seed_threshold && k > 0 {
+        use crate::engine::TraceSource as _;
+        let mut top = TopKHeap::new(k);
+        for shard in shards {
+            for &hot in shard.synopsis().hot_entities() {
+                if Some(hot) == exclude {
+                    continue;
+                }
+                // Paged seeding: the sketch names the candidates, the store
+                // provides their traces.  A sketch entity missing from the
+                // store only weakens the seed, never an answer.
+                let Some(seq) = source.sequence(hot) else { continue };
+                seed_candidates += 1;
+                top.offer(hot, measure.degree(query, seq.as_ref()));
+            }
+        }
+        seed = top.threshold();
+    }
+
+    let mut admitted: Vec<ShardPlan> = Vec::with_capacity(shards.len());
+    let mut skipped: Vec<ShardPlan> = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let synopsis: &Synopsis = shard.synopsis();
+        let entities = synopsis.num_entities();
+        let upper_bound = synopsis.degree_upper_bound(&query_sizes, measure);
+        let estimate = PageEstimate {
+            total_pages: shard_pages[i].len(),
+            resident_pages: pool.resident_count(&shard_pages[i]),
+        };
+        let decision = if config.skip_shards && seed > upper_bound {
+            ShardDecision::Skip
+        } else if entities > 0 && entities <= config.scan_cutoff && estimate.cold_pages() == 0 {
+            ShardDecision::Scan
+        } else {
+            ShardDecision::TreeSearch
+        };
+        let plan = ShardPlan { shard: i, entities, upper_bound, decision, pages: Some(estimate) };
+        if decision == ShardDecision::Skip {
+            skipped.push(plan);
+        } else {
+            admitted.push(plan);
+        }
+    }
+    // Most promising first; of equally promising shards, least cold I/O
+    // first; ties by shard index for determinism.
+    admitted.sort_by(|a, b| {
+        let cold = |p: &ShardPlan| p.pages.map_or(0, |e| e.cold_pages());
+        b.upper_bound
+            .total_cmp(&a.upper_bound)
+            .then_with(|| cold(a).cmp(&cold(b)))
+            .then_with(|| a.shard.cmp(&b.shard))
     });
     admitted.extend(skipped);
     QueryPlan { k, seed, seed_candidates, shards: admitted, planner: *config }

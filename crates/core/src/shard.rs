@@ -768,11 +768,17 @@ impl ShardedSnapshot {
         Ok(engine::merge_top_k(k, parts))
     }
 
+    /// The shard snapshots in shard order (what the planner and the paged
+    /// fan-out iterate).
+    pub(crate) fn shard_snapshots(&self) -> &[Arc<IndexSnapshot>] {
+        &self.shards
+    }
+
     /// Rejects query sequences whose level count does not match the shards'
     /// trees — up front, so a plan that scans or skips every shard reports
     /// the same [`IndexError::LevelMismatch`] the executor constructor
     /// would.
-    fn check_query_levels(&self, query: &CellSetSequence) -> Result<()> {
+    pub(crate) fn check_query_levels(&self, query: &CellSetSequence) -> Result<()> {
         let index_levels = self.shards[0].tree().levels();
         if query.num_levels() != index_levels as usize {
             return Err(IndexError::LevelMismatch {
@@ -890,7 +896,7 @@ impl ShardedSnapshot {
 /// and a worker only exits on an empty queue while holding nothing, so every
 /// frontier reaches exhaustion before this returns.  The answers do not
 /// depend on the schedule (see the module docs); only work counters do.
-fn drive_cooperatively<'a, F, S, M, B>(
+pub(crate) fn drive_cooperatively<'a, F, S, M, B>(
     executors: &mut [Executor<'a, F, S, M>],
     bound: &B,
     parallel: bool,

@@ -70,14 +70,32 @@ pub struct QueryStats {
     /// Simulated I/O latency accumulated while reading candidate traces
     /// (paged queries only), in microseconds.
     pub simulated_io_us: u64,
-    /// Buffer-pool misses (paged queries only).
+    /// Buffer-pool hits (paged queries only).  Like the other pool counters
+    /// this is a delta of the shared pool's totals over the query, so when
+    /// several queries share one pool concurrently, I/O may be attributed
+    /// across them (answers are unaffected); on a sharded query the counter
+    /// sums over every per-shard executor via
+    /// [`absorb_work`](Self::absorb_work).
+    pub pool_hits: u64,
+    /// Buffer-pool misses (paged queries only; see
+    /// [`pool_hits`](Self::pool_hits) for the attribution caveat).
     pub pool_misses: u64,
+    /// Buffer-pool evictions (paged queries only; see
+    /// [`pool_hits`](Self::pool_hits) for the attribution caveat).
+    pub pool_evictions: u64,
     /// Wall-clock query time in microseconds.
     pub query_time_us: u64,
 }
 
 /// Former name of [`QueryStats`]; kept as an alias so existing callers and
-/// persisted call sites keep compiling unchanged.
+/// persisted call sites keep compiling unchanged.  Fields added since the
+/// rename (the planner counters, and the buffer-pool counters
+/// [`pool_hits`](QueryStats::pool_hits) /
+/// [`pool_misses`](QueryStats::pool_misses) /
+/// [`pool_evictions`](QueryStats::pool_evictions) of the out-of-core paths)
+/// default to zero on every non-paged query, so struct-update call sites
+/// (`SearchStats { .., ..Default::default() }`) keep compiling and old
+/// comparisons keep holding.
 pub type SearchStats = QueryStats;
 
 impl QueryStats {
@@ -113,7 +131,9 @@ impl QueryStats {
         self.shards_skipped += other.shards_skipped;
         self.threshold_seeded |= other.threshold_seeded;
         self.simulated_io_us += other.simulated_io_us;
+        self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.pool_evictions += other.pool_evictions;
     }
 }
 
@@ -172,6 +192,10 @@ mod tests {
             steps: 2,
             shards_skipped: 3,
             threshold_seeded: true,
+            pool_hits: 7,
+            pool_misses: 2,
+            pool_evictions: 1,
+            simulated_io_us: 40,
             query_time_us: 99,
             ..QueryStats::default()
         };
@@ -182,6 +206,11 @@ mod tests {
         assert_eq!(a.steps, 3);
         assert_eq!(a.shards_skipped, 3);
         assert!(a.threshold_seeded, "seeding anywhere in the batch is recorded");
+        assert_eq!(
+            (a.pool_hits, a.pool_misses, a.pool_evictions, a.simulated_io_us),
+            (7, 2, 1, 40),
+            "pool counters sum across absorbed shards"
+        );
         assert_eq!(a.query_time_us, 10, "wall clock is not summed");
     }
 }

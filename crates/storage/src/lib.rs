@@ -17,7 +17,10 @@
 //! * [`page`] — 8 KiB slotted pages of records;
 //! * [`disk`] — the virtual disk with read/write accounting;
 //! * [`sort`] — B-way external merge sort with pass counting (Section 4.3);
-//! * [`pool`] — an LRU buffer pool with a byte budget and simulated miss penalty;
+//! * [`pool`] — the buffer manager: a byte-budgeted page cache with pin/unpin
+//!   and a simulated miss penalty;
+//! * [`replacer`] — pluggable eviction policies (LRU-K, FIFO) behind the
+//!   [`Replacer`] trait;
 //! * [`store`] — the entity-ordered [`PagedTraceStore`] used by the paged query
 //!   path of the `minsig` crate;
 //! * [`segment`] — the checksummed, length-prefixed segment file format that
@@ -31,6 +34,7 @@ pub mod codec;
 pub mod disk;
 pub mod page;
 pub mod pool;
+pub mod replacer;
 pub mod segment;
 pub mod sort;
 pub mod store;
@@ -38,7 +42,8 @@ pub mod store;
 pub use codec::TraceRecord;
 pub use disk::{DiskStats, PageId, VirtualDisk};
 pub use page::{Page, PAGE_SIZE};
-pub use pool::{BufferPool, PoolConfig, PoolStats};
+pub use pool::{BufferPool, PinnedPages, PoolConfig, PoolStats};
+pub use replacer::{FifoReplacer, LruKReplacer, Replacer, ReplacerPolicy};
 pub use segment::{crc32, SegmentError, SegmentReader, SegmentWriter};
 pub use sort::{external_sort, predicted_sort_io, SortStats};
 pub use store::{

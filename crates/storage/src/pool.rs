@@ -1,4 +1,5 @@
-//! An LRU buffer pool with a byte budget and simulated miss latency.
+//! The buffer manager: a byte-budgeted page cache with pluggable eviction,
+//! pin/unpin, and simulated miss latency.
 //!
 //! Figure 7.6 of the paper studies search time as the memory allocated to the
 //! system varies from 10 % to 100 % of the raw data size.  To reproduce that
@@ -7,13 +8,22 @@
 //! alongside the raw hit/miss counts, so the shape of the curve does not depend on
 //! the benchmarking machine's cache hierarchy.
 //!
+//! The pool keeps a frame table (resident pages plus their pin counts) and
+//! delegates victim selection to a [`Replacer`] chosen by
+//! [`PoolConfig::replacer`] — LRU-K by default, FIFO as the adversarial
+//! baseline (see [`crate::replacer`]).  A frame with a positive pin count is
+//! **never evicted**: query executors pin the pages they re-read across
+//! scheduling quanta ([`BufferPool::pin`] / [`BufferPool::unpin`], or the RAII
+//! [`PinnedPages`] guard) and the pool overcommits its budget rather than
+//! drop a pinned frame when everything resident is pinned.
+//!
 //! ```
 //! use trace_storage::{BufferPool, Page, PoolConfig, VirtualDisk, PAGE_SIZE};
 //!
 //! let disk = VirtualDisk::new();
 //! let pages: Vec<_> = (0..4).map(|_| disk.write_page(&Page::new())).collect();
 //!
-//! // Budget for exactly two pages: the third distinct page evicts the LRU one.
+//! // Budget for exactly two pages: the third distinct page evicts one.
 //! let pool = BufferPool::new(&disk, PoolConfig {
 //!     capacity_bytes: 2 * PAGE_SIZE,
 //!     ..PoolConfig::default()
@@ -26,10 +36,21 @@
 //! let stats = pool.stats();
 //! assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 4, 2));
 //! assert!(stats.hit_rate() > 0.19 && stats.hit_rate() < 0.21);
+//!
+//! // A pinned frame survives any amount of cache pressure.
+//! let pinned = pool.pin_pages([pages[3]]);
+//! pool.get(pages[0]);
+//! pool.get(pages[1]);
+//! pool.get(pages[2]);
+//! assert!(pool.is_resident(pages[3]));
+//! assert_eq!(pool.pinned_frames(), 1);
+//! drop(pinned); // released: pages[3] is fair game again
+//! assert_eq!(pool.pinned_frames(), 0);
 //! ```
 
 use crate::disk::{PageId, VirtualDisk};
 use crate::page::{Page, PAGE_SIZE};
+use crate::replacer::{Replacer, ReplacerPolicy};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -37,12 +58,16 @@ use std::collections::HashMap;
 /// Configuration of a [`BufferPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PoolConfig {
-    /// Maximum amount of page data kept in memory, in bytes.
+    /// Maximum amount of page data kept in memory, in bytes.  Pinned frames
+    /// may transiently overcommit the budget (a pinned frame is never
+    /// evicted).
     pub capacity_bytes: usize,
     /// Simulated latency charged per page miss, in microseconds.
     pub miss_latency_us: u64,
     /// Simulated latency charged per page hit, in microseconds.
     pub hit_latency_us: u64,
+    /// The eviction policy (default LRU-2; see [`ReplacerPolicy`]).
+    pub replacer: ReplacerPolicy,
 }
 
 impl Default for PoolConfig {
@@ -52,6 +77,7 @@ impl Default for PoolConfig {
             // Rough HDD-era numbers: a miss is ~100x more expensive than a hit.
             miss_latency_us: 2_000,
             hit_latency_us: 20,
+            replacer: ReplacerPolicy::default(),
         }
     }
 }
@@ -62,6 +88,11 @@ impl PoolConfig {
     pub fn with_memory_fraction(data_bytes: usize, fraction: f64) -> Self {
         let capacity = ((data_bytes as f64 * fraction) as usize).max(PAGE_SIZE);
         PoolConfig { capacity_bytes: capacity, ..PoolConfig::default() }
+    }
+
+    /// The same budget under a different eviction policy.
+    pub fn with_replacer(self, replacer: ReplacerPolicy) -> Self {
+        PoolConfig { replacer, ..self }
     }
 
     /// Number of whole pages that fit in the budget (at least one).
@@ -93,17 +124,36 @@ impl PoolStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counter deltas since `earlier` (used to attribute pool work to one
+    /// query when many share a pool; saturating, so concurrent resets cannot
+    /// underflow).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            simulated_us: self.simulated_us.saturating_sub(earlier.simulated_us),
+        }
+    }
 }
 
-#[derive(Debug, Default)]
+/// One resident page and its pin count.
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    pins: u32,
+}
+
+#[derive(Debug)]
 struct PoolInner {
-    /// Cached pages and the LRU tick at which they were last used.
-    cache: HashMap<PageId, (Page, u64)>,
-    tick: u64,
+    frames: HashMap<PageId, Frame>,
+    replacer: Box<dyn Replacer>,
     stats: PoolStats,
 }
 
-/// An LRU page cache in front of a [`VirtualDisk`].
+/// A page cache in front of a [`VirtualDisk`] with pluggable eviction and
+/// pin/unpin — see the [module docs](crate::pool).
 #[derive(Debug)]
 pub struct BufferPool<'d> {
     disk: &'d VirtualDisk,
@@ -112,9 +162,28 @@ pub struct BufferPool<'d> {
 }
 
 impl<'d> BufferPool<'d> {
-    /// Creates a pool over a disk.
+    /// Creates a pool over a disk with the replacer `config` names.
     pub fn new(disk: &'d VirtualDisk, config: PoolConfig) -> Self {
-        BufferPool { disk, config, inner: Mutex::new(PoolInner::default()) }
+        Self::with_replacer(disk, config, config.replacer.build())
+    }
+
+    /// Creates a pool with an explicit (possibly custom) [`Replacer`],
+    /// ignoring `config.replacer` — the hook the conformance suite uses to
+    /// prove answers never depend on eviction decisions.
+    pub fn with_replacer(
+        disk: &'d VirtualDisk,
+        config: PoolConfig,
+        replacer: Box<dyn Replacer>,
+    ) -> Self {
+        BufferPool {
+            disk,
+            config,
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                replacer,
+                stats: PoolStats::default(),
+            }),
+        }
     }
 
     /// The pool configuration.
@@ -122,34 +191,84 @@ impl<'d> BufferPool<'d> {
         self.config
     }
 
-    /// Fetches a page, from cache when possible.
+    /// Fetches a page, from cache when possible, without pinning it.
     pub fn get(&self, id: PageId) -> Page {
+        self.fetch(id, false)
+    }
+
+    /// Fetches a page and pins its frame: until a matching [`unpin`], the
+    /// frame is never chosen for eviction — even beyond the byte budget.
+    /// Pins nest (each `pin` needs one `unpin`).
+    ///
+    /// [`unpin`]: BufferPool::unpin
+    pub fn pin(&self, id: PageId) -> Page {
+        self.fetch(id, true)
+    }
+
+    /// Releases one pin on `id`; at zero pins the frame becomes evictable
+    /// again.  Returns `false` (and does nothing) when the frame was not
+    /// pinned — a protocol violation worth surfacing in tests.
+    pub fn unpin(&self, id: PageId) -> bool {
         let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some((page, last_used)) = inner.cache.get_mut(&id) {
-            *last_used = tick;
-            let page = page.clone();
+        let Some(frame) = inner.frames.get_mut(&id) else { return false };
+        if frame.pins == 0 {
+            return false;
+        }
+        frame.pins -= 1;
+        if frame.pins == 0 {
+            inner.replacer.set_evictable(id, true);
+        }
+        true
+    }
+
+    /// Pins every page of `ids` (fetching as needed) and returns a guard that
+    /// releases all the pins when dropped.  Duplicate ids pin (and later
+    /// unpin) once per occurrence, so the guard composes with manual pins.
+    pub fn pin_pages<I: IntoIterator<Item = PageId>>(&self, ids: I) -> PinnedPages<'_, 'd> {
+        let pages: Vec<PageId> = ids.into_iter().collect();
+        for &id in &pages {
+            self.pin(id);
+        }
+        PinnedPages { pool: self, pages }
+    }
+
+    fn fetch(&self, id: PageId, pin: bool) -> Page {
+        let mut inner = self.inner.lock();
+        if inner.frames.contains_key(&id) {
             inner.stats.hits += 1;
             inner.stats.simulated_us += self.config.hit_latency_us;
+            inner.replacer.record_access(id);
+            let frame = inner.frames.get_mut(&id).expect("frame is resident");
+            if pin {
+                frame.pins += 1;
+            }
+            let page = frame.page.clone();
+            if pin {
+                inner.replacer.set_evictable(id, false);
+            }
             return page;
         }
-        // Miss: read from disk, possibly evicting the least recently used page.
-        let page = self.disk.read_page(id);
+        // Miss: make room (unless everything resident is pinned — then the
+        // budget is overcommitted rather than a pinned frame dropped), read
+        // from disk, insert.
         inner.stats.misses += 1;
         inner.stats.simulated_us += self.config.miss_latency_us;
         let capacity = self.config.capacity_pages();
-        while inner.cache.len() >= capacity {
-            if let Some((&victim, _)) =
-                inner.cache.iter().min_by_key(|(_, (_, last_used))| *last_used)
-            {
-                inner.cache.remove(&victim);
-                inner.stats.evictions += 1;
-            } else {
-                break;
-            }
+        while inner.frames.len() >= capacity {
+            let Some(victim) = inner.replacer.victim() else { break };
+            let evicted = inner.frames.remove(&victim);
+            debug_assert!(
+                evicted.as_ref().is_some_and(|f| f.pins == 0),
+                "replacer named a pinned frame as victim"
+            );
+            inner.stats.evictions += 1;
         }
-        inner.cache.insert(id, (page.clone(), tick));
+        let page = self.disk.read_page(id);
+        inner.frames.insert(id, Frame { page: page.clone(), pins: u32::from(pin) });
+        inner.replacer.record_access(id);
+        if pin {
+            inner.replacer.set_evictable(id, false);
+        }
         page
     }
 
@@ -158,14 +277,60 @@ impl<'d> BufferPool<'d> {
         self.inner.lock().stats
     }
 
-    /// Resets the statistics (cached pages are kept).
+    /// Resets the statistics (cached pages and pins are kept).
     pub fn reset_stats(&self) {
         self.inner.lock().stats = PoolStats::default();
     }
 
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.inner.lock().cache.len()
+        self.inner.lock().frames.len()
+    }
+
+    /// True when `id` currently occupies a frame.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.inner.lock().frames.contains_key(&id)
+    }
+
+    /// How many of `ids` currently occupy frames (one lock for the whole
+    /// probe — what the I/O-aware query planner uses to estimate a shard's
+    /// resident vs. cold pages).
+    pub fn resident_count(&self, ids: &[PageId]) -> usize {
+        let inner = self.inner.lock();
+        ids.iter().filter(|id| inner.frames.contains_key(id)).count()
+    }
+
+    /// Number of frames with at least one outstanding pin.  Zero after every
+    /// query has released its pins — the "no torn pins" invariant the
+    /// concurrency stress suite asserts.
+    pub fn pinned_frames(&self) -> usize {
+        self.inner.lock().frames.values().filter(|f| f.pins > 0).count()
+    }
+}
+
+/// RAII pins over a set of pages: every page stays resident for the guard's
+/// lifetime and all pins are released on drop.  Obtained from
+/// [`BufferPool::pin_pages`]; the paged query paths hold one of these across
+/// all executor `step` quanta and drop it when the query finishes.
+#[derive(Debug)]
+pub struct PinnedPages<'p, 'd> {
+    pool: &'p BufferPool<'d>,
+    pages: Vec<PageId>,
+}
+
+impl PinnedPages<'_, '_> {
+    /// The pinned page ids (in pin order, duplicates preserved).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+}
+
+impl Drop for PinnedPages<'_, '_> {
+    fn drop(&mut self) {
+        for &id in &self.pages {
+            let released = self.pool.unpin(id);
+            debug_assert!(released, "guard pins are released exactly once");
+        }
     }
 }
 
@@ -192,6 +357,15 @@ mod tests {
         disk
     }
 
+    fn tiny(pages: usize, replacer: ReplacerPolicy) -> PoolConfig {
+        PoolConfig {
+            capacity_bytes: pages * PAGE_SIZE,
+            miss_latency_us: 0,
+            hit_latency_us: 0,
+            replacer,
+        }
+    }
+
     #[test]
     fn repeated_access_hits_the_cache() {
         let disk = disk_with_pages(4);
@@ -206,28 +380,32 @@ mod tests {
     }
 
     #[test]
-    fn capacity_limits_cached_pages_and_evicts_lru() {
-        let disk = disk_with_pages(10);
-        let config =
-            PoolConfig { capacity_bytes: 2 * PAGE_SIZE, miss_latency_us: 0, hit_latency_us: 0 };
-        let pool = BufferPool::new(&disk, config);
-        pool.get(0);
-        pool.get(1);
-        pool.get(2); // evicts page 0 (LRU)
-        assert_eq!(pool.cached_pages(), 2);
-        assert_eq!(pool.stats().evictions, 1);
-        // Page 1 is still cached, page 0 is not.
-        pool.get(1);
-        assert_eq!(pool.stats().hits, 1);
-        pool.get(0);
-        assert_eq!(pool.stats().misses, 4);
+    fn capacity_limits_cached_pages_and_evicts_coldest() {
+        for replacer in [ReplacerPolicy::lru(), ReplacerPolicy::default(), ReplacerPolicy::Fifo] {
+            let pool_disk = disk_with_pages(10);
+            let pool = BufferPool::new(&pool_disk, tiny(2, replacer));
+            pool.get(0);
+            pool.get(1);
+            pool.get(2); // evicts page 0 under all three policies
+            assert_eq!(pool.cached_pages(), 2, "{replacer:?}");
+            assert_eq!(pool.stats().evictions, 1, "{replacer:?}");
+            // Page 1 is still cached, page 0 is not.
+            pool.get(1);
+            assert_eq!(pool.stats().hits, 1, "{replacer:?}");
+            pool.get(0);
+            assert_eq!(pool.stats().misses, 4, "{replacer:?}");
+        }
     }
 
     #[test]
     fn simulated_latency_accumulates() {
         let disk = disk_with_pages(3);
-        let config =
-            PoolConfig { capacity_bytes: PAGE_SIZE, miss_latency_us: 100, hit_latency_us: 1 };
+        let config = PoolConfig {
+            capacity_bytes: PAGE_SIZE,
+            miss_latency_us: 100,
+            hit_latency_us: 1,
+            replacer: ReplacerPolicy::default(),
+        };
         let pool = BufferPool::new(&disk, config);
         pool.get(0);
         pool.get(0);
@@ -242,22 +420,19 @@ mod tests {
         let disk = disk_with_pages(32);
         // A fixed access pattern with locality.
         let pattern: Vec<PageId> = (0..200).map(|i| (i % 20) as PageId).collect();
-        let mut previous_misses = u64::MAX;
-        for pages in [2usize, 8, 32] {
-            let config = PoolConfig {
-                capacity_bytes: pages * PAGE_SIZE,
-                miss_latency_us: 0,
-                hit_latency_us: 0,
-            };
-            let pool = BufferPool::new(&disk, config);
-            for &p in &pattern {
-                pool.get(p);
+        for replacer in [ReplacerPolicy::lru(), ReplacerPolicy::default(), ReplacerPolicy::Fifo] {
+            let mut previous_misses = u64::MAX;
+            for pages in [2usize, 8, 32] {
+                let pool = BufferPool::new(&disk, tiny(pages, replacer));
+                for &p in &pattern {
+                    pool.get(p);
+                }
+                let misses = pool.stats().misses;
+                assert!(misses <= previous_misses, "{replacer:?}: more memory missed more");
+                previous_misses = misses;
             }
-            let misses = pool.stats().misses;
-            assert!(misses <= previous_misses, "more memory should not miss more");
-            previous_misses = misses;
+            assert_eq!(previous_misses, 20, "{replacer:?}: full-size pool misses only cold reads");
         }
-        assert_eq!(previous_misses, 20, "full-size pool misses only cold reads");
     }
 
     #[test]
@@ -266,6 +441,7 @@ mod tests {
         let large = PoolConfig::with_memory_fraction(100 * PAGE_SIZE, 0.9);
         assert!(small.capacity_pages() < large.capacity_pages());
         assert!(small.capacity_pages() >= 1);
+        assert_eq!(small.with_replacer(ReplacerPolicy::Fifo).replacer, ReplacerPolicy::Fifo);
     }
 
     #[test]
@@ -273,6 +449,88 @@ mod tests {
         let disk = disk_with_pages(1);
         let pool = BufferPool::new(&disk, PoolConfig::default());
         assert_eq!(pool.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_since_subtracts_saturating() {
+        let before = PoolStats { hits: 5, misses: 3, evictions: 1, simulated_us: 70 };
+        let after = PoolStats { hits: 9, misses: 3, evictions: 2, simulated_us: 90 };
+        assert_eq!(
+            after.since(&before),
+            PoolStats { hits: 4, misses: 0, evictions: 1, simulated_us: 20 }
+        );
+        // A reset in between cannot underflow.
+        assert_eq!(PoolStats::default().since(&before), PoolStats::default());
+    }
+
+    /// The buffer-manager invariant: a pinned frame survives arbitrary
+    /// pressure; once every frame is pinned the pool overcommits its budget
+    /// instead of dropping one.
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        for replacer in [ReplacerPolicy::lru(), ReplacerPolicy::default(), ReplacerPolicy::Fifo] {
+            let disk = disk_with_pages(12);
+            let pool = BufferPool::new(&disk, tiny(2, replacer));
+            pool.pin(0);
+            assert_eq!(pool.pinned_frames(), 1, "{replacer:?}");
+            // Sweep far past the budget: page 0 must stay resident.
+            for id in 1..12u64 {
+                pool.get(id);
+            }
+            assert!(pool.is_resident(0), "{replacer:?}: pinned frame was evicted");
+            assert_eq!(pool.cached_pages(), 2, "{replacer:?}: unpinned frames still cycle");
+            // Pin a second page: the whole budget is now pinned, so a third
+            // page overcommits rather than evicting either.
+            let last = pool.cached_pages();
+            pool.pin(5);
+            assert!(pool.is_resident(5), "{replacer:?}");
+            pool.get(7);
+            assert!(pool.is_resident(0) && pool.is_resident(5), "{replacer:?}");
+            assert!(pool.cached_pages() > last.min(2), "{replacer:?}: overcommitted");
+            // Release both; pressure evicts them again.
+            assert!(pool.unpin(0) && pool.unpin(5), "{replacer:?}");
+            assert_eq!(pool.pinned_frames(), 0, "{replacer:?}");
+            for id in 8..12u64 {
+                pool.get(id);
+            }
+            assert!(!pool.is_resident(0), "{replacer:?}: released frame became evictable");
+        }
+    }
+
+    #[test]
+    fn pins_nest_and_unpin_reports_protocol_violations() {
+        let disk = disk_with_pages(4);
+        let pool = BufferPool::new(&disk, tiny(1, ReplacerPolicy::default()));
+        pool.pin(0);
+        pool.pin(0);
+        assert_eq!(pool.pinned_frames(), 1);
+        assert!(pool.unpin(0));
+        // Still pinned once: pressure cannot evict it.
+        pool.get(1);
+        pool.get(2);
+        assert!(pool.is_resident(0));
+        assert!(pool.unpin(0));
+        assert!(!pool.unpin(0), "third unpin has no pin to release");
+        assert!(!pool.unpin(99), "never-fetched page is not pinned");
+    }
+
+    #[test]
+    fn pinned_pages_guard_releases_on_drop() {
+        let disk = disk_with_pages(6);
+        let pool = BufferPool::new(&disk, tiny(2, ReplacerPolicy::Fifo));
+        {
+            let guard = pool.pin_pages([0u64, 1, 0]);
+            assert_eq!(guard.pages(), &[0, 1, 0]);
+            assert_eq!(pool.pinned_frames(), 2);
+            for id in 2..6u64 {
+                pool.get(id);
+            }
+            assert!(pool.is_resident(0) && pool.is_resident(1));
+        }
+        assert_eq!(pool.pinned_frames(), 0, "guard dropped every pin");
+        // An empty guard is fine.
+        drop(pool.pin_pages(std::iter::empty()));
+        assert_eq!(pool.pinned_frames(), 0);
     }
 
     #[test]
@@ -298,5 +556,27 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, threads * reads_per_thread);
         // All 16 pages fit in the default budget: every page misses exactly once.
         assert_eq!(stats.misses, 16);
+    }
+
+    #[test]
+    fn concurrent_pinners_never_lose_their_frames() {
+        let disk = disk_with_pages(16);
+        // A 2-page budget under 8 threads that pin one page each while
+        // sweeping the rest: massive overcommit, zero lost pins.
+        let pool = BufferPool::new(&disk, tiny(2, ReplacerPolicy::default()));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let guard = pool.pin_pages([t]);
+                    for i in 0..100u64 {
+                        pool.get((t + i) % 16);
+                        assert!(pool.is_resident(t), "pinned page vanished mid-sweep");
+                    }
+                    drop(guard);
+                });
+            }
+        });
+        assert_eq!(pool.pinned_frames(), 0);
     }
 }

@@ -1,0 +1,338 @@
+//! Pluggable page-eviction policies for the [`BufferPool`](crate::BufferPool).
+//!
+//! The pool separates *what* is cached (its frame table) from *who* goes next
+//! (the [`Replacer`]).  A replacer tracks the access history of resident pages
+//! and, on demand, names a victim among the frames the pool has marked
+//! evictable — a frame pinned by a running query is never offered up, so an
+//! executor holding a pin across [`step`](../../minsig/engine/struct.Executor.html)
+//! quanta can rely on the page staying resident however the eviction policy
+//! behaves.
+//!
+//! Two policies ship:
+//!
+//! * [`LruKReplacer`] — classic LRU-K: the victim is the evictable page with
+//!   the largest *backward k-distance* (the age of its k-th most recent
+//!   access).  Pages with fewer than `k` recorded accesses have infinite
+//!   distance and are evicted first, oldest first access first.  `k = 1` is
+//!   plain LRU.
+//! * [`FifoReplacer`] — insertion order only; re-accessing a page does not
+//!   save it.  The cheapest policy, and the adversarial baseline the paged
+//!   conformance suite uses to prove answers never depend on eviction order.
+//!
+//! The choice is a [`PoolConfig`](crate::PoolConfig) knob
+//! ([`ReplacerPolicy`]); custom policies plug in through
+//! [`BufferPool::with_replacer`](crate::BufferPool::with_replacer).
+
+use crate::disk::PageId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// An eviction policy the [`BufferPool`](crate::BufferPool) consults.
+///
+/// The pool drives the protocol: [`record_access`](Replacer::record_access)
+/// on every fetch of a resident-or-inserted page,
+/// [`set_evictable`](Replacer::set_evictable) as pins are taken and released,
+/// [`victim`](Replacer::victim) when it must make room, and
+/// [`remove`](Replacer::remove) when a frame leaves the table for any other
+/// reason.  A replacer must never name a page whose latest
+/// `set_evictable(id, false)` has not been reverted — that is the
+/// pinned-frame-never-evicted invariant the query engine's pin/unpin
+/// protocol rides on.
+///
+/// Correctness of query *answers* never depends on the policy: eviction only
+/// moves pages between memory and the virtual disk, and every read goes
+/// through the pool either way.  `tests/paged_conformance.rs` proptests
+/// exactly this with an adversarial replacer.
+pub trait Replacer: Send + std::fmt::Debug {
+    /// Notes one access of `id`, creating the entry (evictable) if new.
+    fn record_access(&mut self, id: PageId);
+
+    /// Marks `id` evictable or not.  Unknown ids are ignored.
+    fn set_evictable(&mut self, id: PageId, evictable: bool);
+
+    /// Forgets `id` entirely (the pool dropped the frame without asking for a
+    /// victim).  Unknown ids are ignored.
+    fn remove(&mut self, id: PageId);
+
+    /// Chooses, removes and returns the next victim among the evictable
+    /// tracked pages, or `None` when every tracked page is unevictable.
+    fn victim(&mut self) -> Option<PageId>;
+
+    /// Number of pages currently tracked (evictable or not).
+    fn tracked(&self) -> usize;
+}
+
+/// Which [`Replacer`] a [`PoolConfig`](crate::PoolConfig) builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacerPolicy {
+    /// LRU-K with the given `k` (history depth); `LruK(1)` is plain LRU.
+    LruK(usize),
+    /// First-in-first-out by insertion; re-access does not refresh.
+    Fifo,
+}
+
+impl Default for ReplacerPolicy {
+    /// LRU-2: scan-resistant (one streaming sweep cannot flush the pages the
+    /// executors re-read every quantum), at the cost of one extra timestamp
+    /// per frame.
+    fn default() -> Self {
+        ReplacerPolicy::LruK(2)
+    }
+}
+
+impl ReplacerPolicy {
+    /// Plain LRU (`LruK(1)`), the pre-buffer-manager pool behaviour.
+    pub fn lru() -> Self {
+        ReplacerPolicy::LruK(1)
+    }
+
+    /// Builds the replacer this policy names.
+    pub fn build(self) -> Box<dyn Replacer> {
+        match self {
+            ReplacerPolicy::LruK(k) => Box::new(LruKReplacer::new(k)),
+            ReplacerPolicy::Fifo => Box::new(FifoReplacer::new()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LruKEntry {
+    /// The ticks of the up-to-`k` most recent accesses, oldest first.
+    history: VecDeque<u64>,
+    evictable: bool,
+}
+
+/// The LRU-K policy: evict the evictable page whose k-th most recent access
+/// is oldest; pages with fewer than `k` accesses count as infinitely old and
+/// go first (earliest first access breaks ties among them).
+#[derive(Debug)]
+pub struct LruKReplacer {
+    k: usize,
+    tick: u64,
+    entries: HashMap<PageId, LruKEntry>,
+}
+
+impl LruKReplacer {
+    /// Creates an LRU-K replacer; `k` is clamped to at least 1.
+    pub fn new(k: usize) -> Self {
+        LruKReplacer { k: k.max(1), tick: 0, entries: HashMap::new() }
+    }
+}
+
+impl Replacer for LruKReplacer {
+    fn record_access(&mut self, id: PageId) {
+        self.tick += 1;
+        let tick = self.tick;
+        let k = self.k;
+        let entry = self
+            .entries
+            .entry(id)
+            .or_insert_with(|| LruKEntry { history: VecDeque::with_capacity(k), evictable: true });
+        if entry.history.len() == k {
+            entry.history.pop_front();
+        }
+        entry.history.push_back(tick);
+    }
+
+    fn set_evictable(&mut self, id: PageId, evictable: bool) {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.evictable = evictable;
+        }
+    }
+
+    fn remove(&mut self, id: PageId) {
+        self.entries.remove(&id);
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        // (has full history, k-distance reference tick, id): pages with a
+        // short history sort first (infinite k-distance), then by the oldest
+        // retained access; the id tie-break cannot fire (ticks are unique)
+        // but keeps the order total for future policies.
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.evictable)
+            .map(|(&id, e)| {
+                let full = e.history.len() == self.k;
+                (full, e.history.front().copied().unwrap_or(0), id)
+            })
+            .min()?
+            .2;
+        self.entries.remove(&victim);
+        Some(victim)
+    }
+
+    fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The FIFO policy: evict in insertion order, skipping unevictable frames in
+/// place (a pinned frame keeps its queue position for when it unpins).
+#[derive(Debug, Default)]
+pub struct FifoReplacer {
+    /// Tracked pages in insertion order.
+    queue: VecDeque<PageId>,
+    evictable: HashMap<PageId, bool>,
+}
+
+impl FifoReplacer {
+    /// Creates an empty FIFO replacer.
+    pub fn new() -> Self {
+        FifoReplacer::default()
+    }
+}
+
+impl Replacer for FifoReplacer {
+    fn record_access(&mut self, id: PageId) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.evictable.entry(id) {
+            slot.insert(true);
+            self.queue.push_back(id);
+        }
+    }
+
+    fn set_evictable(&mut self, id: PageId, evictable: bool) {
+        if let Some(flag) = self.evictable.get_mut(&id) {
+            *flag = evictable;
+        }
+    }
+
+    fn remove(&mut self, id: PageId) {
+        if self.evictable.remove(&id).is_some() {
+            self.queue.retain(|&q| q != id);
+        }
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        let pos = self.queue.iter().position(|id| self.evictable[id])?;
+        let id = self.queue.remove(pos).expect("position came from the queue");
+        self.evictable.remove(&id);
+        Some(id)
+    }
+
+    fn tracked(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LRU-1 degenerates to plain LRU: victims come out least-recently-used.
+    #[test]
+    fn lru_1_evicts_least_recently_used() {
+        let mut r = LruKReplacer::new(1);
+        for id in [10, 20, 30] {
+            r.record_access(id);
+        }
+        r.record_access(10); // order is now 20, 30, 10
+        assert_eq!(r.victim(), Some(20));
+        assert_eq!(r.victim(), Some(30));
+        assert_eq!(r.victim(), Some(10));
+        assert_eq!(r.victim(), None);
+        assert_eq!(r.tracked(), 0);
+    }
+
+    /// The canonical LRU-2 sequence: a page swept once (short history) is
+    /// sacrificed before a page accessed twice long ago.
+    #[test]
+    fn lru_2_prefers_short_history_then_oldest_penultimate_access() {
+        let mut r = LruKReplacer::new(2);
+        // Accesses: a a b c b — a has history [1,2], b [3,5], c [4].
+        r.record_access(1); // a
+        r.record_access(1); // a
+        r.record_access(2); // b
+        r.record_access(3); // c
+        r.record_access(2); // b
+                            // c has <2 accesses: infinite distance, evicted first.
+        assert_eq!(r.victim(), Some(3));
+        // a's 2nd-most-recent access (tick 1) is older than b's (tick 3).
+        assert_eq!(r.victim(), Some(1));
+        assert_eq!(r.victim(), Some(2));
+    }
+
+    /// Among several short-history pages, the earliest first access goes
+    /// first (the tail of a scan survives longest).
+    #[test]
+    fn lru_k_breaks_infinite_distance_ties_by_first_access() {
+        let mut r = LruKReplacer::new(3);
+        for id in [7, 8, 9] {
+            r.record_access(id);
+        }
+        r.record_access(7); // still only 2 of 3 accesses: still infinite
+        assert_eq!(r.victim(), Some(7), "oldest first access wins the tie");
+        assert_eq!(r.victim(), Some(8));
+    }
+
+    /// A full-history page re-accessed slides its window: eviction tracks the
+    /// k-th most recent access, not the first ever.
+    #[test]
+    fn lru_k_window_slides_on_reaccess() {
+        let mut r = LruKReplacer::new(2);
+        r.record_access(1); // t1
+        r.record_access(2); // t2
+        r.record_access(1); // t3: 1's window [1,3]
+        r.record_access(2); // t4: 2's window [2,4]
+        r.record_access(1); // t5: 1's window [3,5] — now younger than 2's
+        assert_eq!(r.victim(), Some(2));
+        assert_eq!(r.victim(), Some(1));
+    }
+
+    #[test]
+    fn fifo_ignores_reaccess() {
+        let mut r = FifoReplacer::new();
+        for id in [10, 20, 30] {
+            r.record_access(id);
+        }
+        r.record_access(10); // does NOT refresh 10
+        assert_eq!(r.victim(), Some(10));
+        assert_eq!(r.victim(), Some(20));
+        assert_eq!(r.victim(), Some(30));
+        assert_eq!(r.victim(), None);
+    }
+
+    /// The invariant every policy must honour: an unevictable page is never
+    /// the victim, and becomes eligible again once released — keeping its
+    /// policy position (FIFO: original queue slot; LRU-K: its history).
+    #[test]
+    fn pinned_pages_are_never_victims() {
+        for policy in [ReplacerPolicy::LruK(1), ReplacerPolicy::LruK(2), ReplacerPolicy::Fifo] {
+            let mut r = policy.build();
+            for id in [1, 2, 3] {
+                r.record_access(id);
+            }
+            r.set_evictable(1, false);
+            assert_eq!(r.victim(), Some(2), "{policy:?} skips the pinned head");
+            assert_eq!(r.victim(), Some(3), "{policy:?}");
+            assert_eq!(r.victim(), None, "{policy:?}: only a pinned page remains");
+            assert_eq!(r.tracked(), 1, "{policy:?}: the pinned page stays tracked");
+            r.set_evictable(1, true);
+            assert_eq!(r.victim(), Some(1), "{policy:?}: released page is eligible again");
+        }
+    }
+
+    #[test]
+    fn remove_forgets_without_counting_as_eviction() {
+        for policy in [ReplacerPolicy::default(), ReplacerPolicy::Fifo] {
+            let mut r = policy.build();
+            r.record_access(5);
+            r.record_access(6);
+            r.remove(5);
+            r.remove(999); // unknown ids are ignored
+            assert_eq!(r.tracked(), 1);
+            assert_eq!(r.victim(), Some(6));
+        }
+    }
+
+    #[test]
+    fn policy_knob_builds_the_right_replacer() {
+        assert_eq!(ReplacerPolicy::default(), ReplacerPolicy::LruK(2));
+        assert_eq!(ReplacerPolicy::lru(), ReplacerPolicy::LruK(1));
+        // k = 0 clamps to 1 rather than panicking.
+        let mut r = LruKReplacer::new(0);
+        r.record_access(1);
+        assert_eq!(r.victim(), Some(1));
+    }
+}

@@ -9,7 +9,7 @@
 use crate::codec::TraceRecord;
 use crate::disk::{PageId, VirtualDisk};
 use crate::page::{pack_pages, Page, PAGE_SIZE, RECORDS_PER_PAGE};
-use crate::pool::{BufferPool, PoolConfig, PoolStats};
+use crate::pool::{BufferPool, PinnedPages, PoolConfig, PoolStats};
 use crate::segment::{self, Cursor, SegmentError};
 use crate::sort::{external_sort, SortStats};
 use serde::{Deserialize, Serialize};
@@ -122,18 +122,40 @@ impl PagedTraceStore {
         BufferPool::new(&self.disk, config)
     }
 
-    /// Reads an entity's trace through the given buffer pool, returning `None`
-    /// when the entity has no records.
-    pub fn read_trace(&self, pool: &BufferPool<'_>, entity: EntityId) -> Option<DigitalTrace> {
+    /// The ids of the pages holding `entity`'s records, in read order (the
+    /// directory ranges are contiguous, so this is a borrow, not a copy).
+    /// `None` when the entity has no records.
+    pub fn trace_pages(&self, entity: EntityId) -> Option<&[PageId]> {
         let range = self.directory.get(&entity)?.clone();
+        Some(&self.data_pages[range.start as usize..range.end as usize])
+    }
+
+    /// Pins every page of `entity`'s trace in `pool`, keeping the whole trace
+    /// resident until the returned guard drops — what the paged query paths
+    /// use to hold a query's own trace across executor step quanta.
+    pub fn pin_trace<'p, 'd>(
+        &self,
+        pool: &'p BufferPool<'d>,
+        entity: EntityId,
+    ) -> Option<PinnedPages<'p, 'd>> {
+        Some(pool.pin_pages(self.trace_pages(entity)?.iter().copied()))
+    }
+
+    /// Reads an entity's trace through the given buffer pool, returning `None`
+    /// when the entity has no records.  Each page is pinned only while its
+    /// records are extracted; use [`pin_trace`](Self::pin_trace) to keep a
+    /// trace resident longer.
+    pub fn read_trace(&self, pool: &BufferPool<'_>, entity: EntityId) -> Option<DigitalTrace> {
+        let pages = self.trace_pages(entity)?;
         let mut trace = DigitalTrace::new();
-        for idx in range {
-            let page = pool.get(self.data_pages[idx as usize]);
+        for &id in pages {
+            let page = pool.pin(id);
             for rec in page.records() {
                 if rec.entity == entity.raw() {
                     trace.push(rec.to_presence());
                 }
             }
+            pool.unpin(id);
         }
         Some(trace)
     }
@@ -321,6 +343,38 @@ mod tests {
             let uncached = store.read_trace_uncached(entity).unwrap();
             assert_eq!(cached.instances(), uncached.instances());
         }
+    }
+
+    #[test]
+    fn trace_pages_match_the_directory_and_pin_trace_holds_them() {
+        let (_sp, ts) = sample_traces(200, 30);
+        let store = PagedTraceStore::build(&ts, 8);
+        assert!(store.stats().pages > 4, "need several pages for this test");
+        // A 1-page pool: holding any pinned trace forces the pool to
+        // overcommit rather than evict a pinned page.
+        let pool = store
+            .pool(PoolConfig { capacity_bytes: crate::page::PAGE_SIZE, ..PoolConfig::default() });
+        let probe = EntityId(0);
+        let pages = store.trace_pages(probe).expect("entity 0 exists").to_vec();
+        assert!(!pages.is_empty());
+        {
+            let guard = store.pin_trace(&pool, probe).expect("entity 0 exists");
+            assert_eq!(guard.pages(), &pages[..]);
+            // Sweep other entities through the tiny pool: the pinned trace
+            // stays resident throughout.
+            for e in ts.entities().take(50) {
+                store.read_trace(&pool, e);
+            }
+            assert!(pages.iter().all(|&p| pool.is_resident(p)));
+            // Re-reading the pinned trace is all hits.
+            let before = pool.stats();
+            store.read_trace(&pool, probe).unwrap();
+            let delta = pool.stats().since(&before);
+            assert_eq!(delta.misses, 0, "pinned trace reads never touch the disk");
+        }
+        assert_eq!(pool.pinned_frames(), 0, "guard released every pin");
+        assert!(store.trace_pages(EntityId(u64::MAX)).is_none());
+        assert!(store.pin_trace(&pool, EntityId(u64::MAX)).is_none());
     }
 
     #[test]

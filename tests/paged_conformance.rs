@@ -1,0 +1,342 @@
+//! Black-box conformance of the **out-of-core** sharded query paths: for
+//! random populations, arbitrary shard counts, pool budgets down to a single
+//! frame and every eviction policy (including an adversarial one that evicts
+//! pseudo-randomly), a [`PagedShardedSnapshot`] must answer **fully
+//! bit-identically** to the in-memory sharded snapshot, the unsharded index
+//! and the brute-force oracle — identical degree bits, identical entities at
+//! every rank, k-th-degree boundary ties included.
+//!
+//! The memory budget and the replacer only decide *which pages are resident
+//! when* — they move I/O, never answers.  These suites are the proof: if an
+//! eviction decision could leak into a degree, the chaotic replacer would
+//! find it.
+//!
+//! [`PagedShardedSnapshot`]: digital_traces::index::PagedShardedSnapshot
+
+use digital_traces::index::testkit::{
+    assert_equivalent_answers, assert_valid_top_k, HierarchySpec, UniformConfig, Workload,
+};
+use digital_traces::index::{
+    IndexConfig, JoinOptions, PlannerConfig, SchedulerConfig, ShardedMinSigIndex,
+};
+use digital_traces::storage::{
+    BufferPool, PageId, PagedTraceStore, PoolConfig, Replacer, ReplacerPolicy, PAGE_SIZE,
+};
+use digital_traces::EntityId;
+use proptest::prelude::*;
+
+/// The policy grid every suite sweeps: plain LRU, the scan-resistant LRU-2
+/// default, and FIFO (the baseline whose victims re-access cannot save).
+const POLICIES: [ReplacerPolicy; 3] =
+    [ReplacerPolicy::LruK(1), ReplacerPolicy::LruK(2), ReplacerPolicy::Fifo];
+
+fn pool_config(pages: usize, policy: ReplacerPolicy) -> PoolConfig {
+    PoolConfig { capacity_bytes: pages * PAGE_SIZE, ..PoolConfig::default() }.with_replacer(policy)
+}
+
+/// An adversarial [`Replacer`]: evicts a pseudo-random *evictable* page each
+/// time, driven by a SplitMix64 stream.  It honours the one contract the
+/// engine relies on — a page whose latest `set_evictable(id, false)` stands
+/// is never named — and is otherwise as unhelpful as a policy can be.
+#[derive(Debug)]
+struct ChaoticReplacer {
+    state: u64,
+    /// Tracked pages in insertion order, with their evictable flag.
+    pages: Vec<(PageId, bool)>,
+}
+
+impl ChaoticReplacer {
+    fn new(seed: u64) -> Self {
+        ChaoticReplacer { state: seed, pages: Vec::new() }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Replacer for ChaoticReplacer {
+    fn record_access(&mut self, id: PageId) {
+        if !self.pages.iter().any(|&(p, _)| p == id) {
+            self.pages.push((id, true));
+        }
+    }
+
+    fn set_evictable(&mut self, id: PageId, evictable: bool) {
+        if let Some(entry) = self.pages.iter_mut().find(|(p, _)| *p == id) {
+            entry.1 = evictable;
+        }
+    }
+
+    fn remove(&mut self, id: PageId) {
+        self.pages.retain(|&(p, _)| p != id);
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        let candidates: Vec<usize> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(_, evictable))| evictable.then_some(i))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[(self.next() % candidates.len() as u64) as usize];
+        Some(self.pages.remove(pick).0)
+    }
+
+    fn tracked(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+fn build_world(
+    entities: u64,
+    visits: u64,
+    seed: u64,
+    shards: usize,
+) -> (Workload, digital_traces::index::MinSigIndex, ShardedMinSigIndex, PagedTraceStore) {
+    let w = Workload::uniform(UniformConfig {
+        entities,
+        visits,
+        time_slots: 48,
+        seed,
+        ..UniformConfig::default()
+    });
+    let config = IndexConfig::with_hash_functions(16);
+    let unsharded = w.build_index(config);
+    let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+    let store = PagedTraceStore::build(&w.traces, 4);
+    (w, unsharded, sharded, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `top_k` conformance across the whole grid: any shard count, any pool
+    /// budget down to one frame, every shipped policy.  The paged answer,
+    /// the in-memory sharded answer and the unsharded answer must be
+    /// bit-identical, and valid against the full brute-force degree table.
+    #[test]
+    fn paged_top_k_is_bitwise_identical_for_any_pool_and_policy(
+        entities in 2u64..32,
+        visits in 1u64..7,
+        seed in 0u64..1_000,
+        shards in 1usize..7,
+        pool_pages in 1usize..8,
+        policy_pick in 0usize..3,
+        k in 1usize..6,
+    ) {
+        let (w, unsharded, sharded, store) = build_world(entities, visits, seed, shards);
+        let snapshot = sharded.snapshot();
+        let pool = store.pool(pool_config(pool_pages, POLICIES[policy_pick]));
+        let paged = snapshot.paged(&store, &pool);
+        let measure = w.measure();
+        let total = w.entities().len();
+        for query in w.sample_entities(4, seed ^ 0xD1CE) {
+            let (out, stats) = paged.top_k(query, k, &measure).unwrap();
+            let (mem, _) = snapshot.top_k(query, k, &measure).unwrap();
+            let (flat, _) = unsharded.top_k(query, k, &measure).unwrap();
+            let ctx = format!(
+                "query {query}, k {k}, {shards} shards, {pool_pages}-page pool, {:?}",
+                POLICIES[policy_pick]
+            );
+            assert_equivalent_answers(&out, &mem, &format!("{ctx}: paged vs in-memory sharded"));
+            assert_equivalent_answers(&out, &flat, &format!("{ctx}: paged vs unsharded"));
+            let truth = unsharded.brute_force(query, total, &measure).unwrap();
+            assert_valid_top_k(&out, &truth, k, &format!("{ctx}: paged vs brute force"));
+            prop_assert!(
+                stats.pool_hits + stats.pool_misses > 0,
+                "{ctx}: a paged query must account its pool traffic"
+            );
+        }
+        prop_assert_eq!(pool.pinned_frames(), 0, "every query releases its pins at finish");
+    }
+
+    /// Batch and join conformance under tight pools: answers per query /
+    /// per probe are bit-identical to the in-memory sharded paths, skipped
+    /// probes included.
+    #[test]
+    fn paged_batches_and_joins_match_in_memory(
+        entities in 3u64..24,
+        seed in 0u64..500,
+        shards in 1usize..6,
+        pool_pages in 1usize..5,
+        policy_pick in 0usize..3,
+    ) {
+        let (w, _, sharded, store) = build_world(entities, 3, seed, shards);
+        let snapshot = sharded.snapshot();
+        let pool = store.pool(pool_config(pool_pages, POLICIES[policy_pick]));
+        let paged = snapshot.paged(&store, &pool);
+        let measure = w.measure();
+
+        let queries = w.sample_entities(5, seed ^ 0xBA7C4);
+        let mem_batch = snapshot.top_k_batch(&queries, 3, &measure).unwrap();
+        let paged_batch = paged.top_k_batch(&queries, 3, &measure).unwrap();
+        for (i, ((mem, _), (out, _))) in mem_batch.iter().zip(paged_batch.iter()).enumerate() {
+            assert_equivalent_answers(out, mem, &format!("batch slot {i}"));
+        }
+
+        // Probe list with one unindexed id: both paths must skip it and agree
+        // on everything else, in probe order.
+        let mut probes = w.sample_entities(4, seed ^ 0x901E);
+        probes.insert(1, EntityId(u64::MAX - 3));
+        let options = JoinOptions { k: 2, ..JoinOptions::default() };
+        let (mem_rows, mem_stats) = snapshot.top_k_join(&probes, &measure, options).unwrap();
+        let (rows, stats) = paged.top_k_join(&probes, &measure, options).unwrap();
+        prop_assert_eq!(mem_stats.skipped, stats.skipped);
+        prop_assert_eq!(mem_rows.len(), rows.len());
+        for (a, b) in mem_rows.iter().zip(rows.iter()) {
+            prop_assert_eq!(a.probe, b.probe);
+            assert_equivalent_answers(&b.matches, &a.matches, &format!("join probe {}", a.probe));
+        }
+        prop_assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    /// K-th-degree boundary ties: a population where *every* pair is exactly
+    /// tied forces the tie-complete cut on every query.  The paged path must
+    /// keep the same (complete, id-ordered) tie group bit-for-bit whatever
+    /// the pool does.
+    #[test]
+    fn paged_answers_keep_boundary_ties_bitwise(
+        entities in 3u64..16,
+        shards in 1usize..5,
+        policy_pick in 0usize..3,
+        k in 1usize..6,
+    ) {
+        let w = Workload::all_identical(entities, HierarchySpec::flat(4));
+        let config = IndexConfig::with_hash_functions(8);
+        let sharded = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let snapshot = sharded.snapshot();
+        let store = PagedTraceStore::build(&w.traces, 4);
+        let pool = store.pool(pool_config(1, POLICIES[policy_pick]));
+        let paged = snapshot.paged(&store, &pool);
+        let measure = w.measure();
+        for query in w.entities() {
+            let (out, _) = paged.top_k(query, k, &measure).unwrap();
+            let (mem, _) = snapshot.top_k(query, k, &measure).unwrap();
+            assert_equivalent_answers(
+                &out,
+                &mem,
+                &format!("all-tied population, query {query}, k {k}"),
+            );
+        }
+    }
+
+    /// Any eviction decision sequence yields correct answers: a replacer
+    /// that victimises pseudo-randomly (honouring only the pin contract)
+    /// cannot change a single degree bit.
+    #[test]
+    fn chaotic_eviction_decisions_never_change_answers(
+        entities in 2u64..24,
+        seed in 0u64..500,
+        shards in 1usize..6,
+        pool_pages in 1usize..6,
+        chaos_seed in 0u64..u64::MAX,
+        k in 1usize..5,
+    ) {
+        let (w, _, sharded, store) = build_world(entities, 4, seed, shards);
+        let snapshot = sharded.snapshot();
+        let pool = BufferPool::with_replacer(
+            store.disk(),
+            pool_config(pool_pages, ReplacerPolicy::default()),
+            Box::new(ChaoticReplacer::new(chaos_seed)),
+        );
+        let paged = snapshot.paged(&store, &pool);
+        let measure = w.measure();
+        for query in w.sample_entities(4, seed ^ 0xC4A05) {
+            let (out, _) = paged.top_k(query, k, &measure).unwrap();
+            let (mem, _) = snapshot.top_k(query, k, &measure).unwrap();
+            assert_equivalent_answers(
+                &out,
+                &mem,
+                &format!("chaotic replacer (seed {chaos_seed}), query {query}"),
+            );
+        }
+        prop_assert_eq!(pool.pinned_frames(), 0);
+    }
+}
+
+/// The ISSUE acceptance bar, deterministically: a sharded index whose trace
+/// data is at least **10× the pool budget** answers `top_k`, `top_k_batch`
+/// and `top_k_join` bit-identically to the in-memory paths, under both
+/// shipped policy families.
+#[test]
+fn ten_times_memory_answers_stay_exact() {
+    let (w, unsharded, sharded, store) = build_world(500, 8, 7, 4);
+    let snapshot = sharded.snapshot();
+    let measure = w.measure();
+    let budget = (store.data_bytes() / 10).max(PAGE_SIZE);
+    assert!(store.data_bytes() >= 10 * budget, "dataset must dwarf the pool");
+
+    for policy in POLICIES {
+        let pool = store.pool(
+            PoolConfig { capacity_bytes: budget, ..PoolConfig::default() }.with_replacer(policy),
+        );
+        let paged = snapshot.paged(&store, &pool);
+
+        let queries = w.sample_entities(12, 0xFEED);
+        for &query in &queries {
+            let (out, stats) = paged.top_k(query, 10, &measure).unwrap();
+            let (mem, _) = snapshot.top_k(query, 10, &measure).unwrap();
+            let (flat, _) = unsharded.top_k(query, 10, &measure).unwrap();
+            assert_equivalent_answers(&out, &mem, &format!("{policy:?} 10x top_k {query}"));
+            assert_equivalent_answers(&out, &flat, &format!("{policy:?} 10x vs unsharded {query}"));
+            assert!(stats.pool_misses > 0, "a 10x-memory query cannot be all hits");
+        }
+
+        let mem_batch = snapshot.top_k_batch(&queries, 5, &measure).unwrap();
+        let paged_batch = paged.top_k_batch(&queries, 5, &measure).unwrap();
+        for ((mem, _), (out, _)) in mem_batch.iter().zip(paged_batch.iter()) {
+            assert_equivalent_answers(out, mem, &format!("{policy:?} 10x batch"));
+        }
+
+        let options = JoinOptions { k: 3, threads: 4, ..JoinOptions::default() };
+        let (mem_rows, _) = snapshot.top_k_join(&queries, &measure, options).unwrap();
+        let (rows, _) = paged.top_k_join(&queries, &measure, options).unwrap();
+        assert_eq!(mem_rows.len(), rows.len());
+        for (a, b) in mem_rows.iter().zip(rows.iter()) {
+            assert_equivalent_answers(&b.matches, &a.matches, &format!("{policy:?} 10x join"));
+        }
+        assert_eq!(pool.pinned_frames(), 0, "{policy:?}: pins all released");
+        let io = pool.stats();
+        assert!(io.evictions > 0, "{policy:?}: a 10x-memory run must evict");
+    }
+}
+
+/// The page-aware plan is visible and consistent: every shard carries a page
+/// estimate bounded by its page directory, `explain()` renders it, and a
+/// planner-disabled paged query (no estimates, no seeding) still answers
+/// bit-identically.
+#[test]
+fn paged_explain_exposes_consistent_page_estimates() {
+    let (w, _, sharded, store) = build_world(48, 4, 11, 3);
+    let snapshot = sharded.snapshot();
+    let pool = store.pool(pool_config(2, ReplacerPolicy::default()));
+    let paged = snapshot.paged(&store, &pool);
+    let measure = w.measure();
+    let query = w.sample_entities(1, 3)[0];
+
+    let plan = paged.explain(query, 5, &measure, PlannerConfig::default()).unwrap();
+    assert!(plan.explain().contains("pages="), "explain must render page estimates");
+    for shard_plan in &plan.shards {
+        let pages = shard_plan.pages.expect("every shard of a paged plan is estimated");
+        assert_eq!(pages.total_pages, paged.shard_pages(shard_plan.shard).len());
+        assert!(pages.resident_pages <= pages.total_pages);
+        assert_eq!(pages.cold_pages(), pages.total_pages - pages.resident_pages);
+    }
+
+    let (mem, _) = snapshot
+        .top_k_with_scheduler(query, 5, &measure, Default::default(), SchedulerConfig::default())
+        .unwrap();
+    let (out, stats) = paged
+        .top_k_with_scheduler(query, 5, &measure, Default::default(), SchedulerConfig::default())
+        .unwrap();
+    assert_equivalent_answers(&out, &mem, "planner-disabled paged query");
+    assert!(!stats.threshold_seeded, "disabled planner must not seed");
+}

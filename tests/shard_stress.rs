@@ -13,6 +13,7 @@ use digital_traces::index::testkit::{
     assert_equivalent_answers, StreamConfig, UniformConfig, Workload,
 };
 use digital_traces::index::{IndexConfig, IngestBuffer, ShardedMinSigIndex};
+use digital_traces::storage::{PagedTraceStore, PoolConfig, ReplacerPolicy, PAGE_SIZE};
 use digital_traces::EntityId;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -122,4 +123,135 @@ fn readers_race_per_shard_flushes_without_torn_epochs() {
 #[ignore = "heavy stress; run with cargo test --release -- --ignored"]
 fn heavy_readers_race_per_shard_flushes_without_torn_epochs() {
     run_stress(200, 8, 8, 40, 500);
+}
+
+/// The out-of-core variant: N readers drive **paged** sharded queries — every
+/// candidate trace read through one shared tight [`BufferPool`], pins held
+/// across executor step quanta — while the flusher keeps publishing new
+/// epochs.  Every answer must match the brute-force oracle of the *same*
+/// snapshot bit-for-bit, and when the dust settles no frame may be left
+/// pinned (the "no torn pins" invariant).
+///
+/// The stream is configured to touch **only new entities**, with a disjoint
+/// id range per flush, so a trace store built up-front over the base
+/// population plus every future batch agrees record-for-record with whatever
+/// prefix of flushes a captured snapshot has indexed.
+///
+/// [`BufferPool`]: digital_traces::storage::BufferPool
+fn run_paged_stress(
+    entities: u64,
+    shards: usize,
+    readers: usize,
+    flushes: u64,
+    records: usize,
+    pool_pages: usize,
+    policy: ReplacerPolicy,
+) {
+    let w = Workload::uniform(UniformConfig {
+        entities,
+        visits: 5,
+        seed: 42,
+        ..UniformConfig::default()
+    });
+    let measure = w.measure();
+    let index =
+        ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), shards)
+            .unwrap();
+
+    // Pre-generate every flush's batch, and a store that already holds the
+    // base traces plus all of them: new-entity-only streams with disjoint id
+    // ranges mean any snapshot's indexed traces are a subset of the store's,
+    // record-for-record.
+    let batches: Vec<Vec<_>> = (0..flushes)
+        .map(|flush| {
+            w.stream(StreamConfig {
+                records,
+                new_entity_percent: 100,
+                new_entity_base: 10_000 + flush * 100,
+                new_entity_span: 8,
+                start_tick: 20_000 + flush * 1_000,
+                seed: flush,
+                ..StreamConfig::default()
+            })
+        })
+        .collect();
+    let mut all_traces = w.traces.clone();
+    for record in batches.iter().flatten() {
+        all_traces.record(*record);
+    }
+    let store = PagedTraceStore::build(&all_traces, 4);
+    let pool = store.pool(
+        PoolConfig { capacity_bytes: pool_pages * PAGE_SIZE, ..PoolConfig::default() }
+            .with_replacer(policy),
+    );
+
+    let lock = RwLock::new(index);
+    let stop = AtomicBool::new(false);
+    let ready = AtomicUsize::new(0);
+    let batches = Mutex::new(batches);
+
+    std::thread::scope(|scope| {
+        for reader in 0..readers {
+            let (lock, stop, measure, store, pool) = (&lock, &stop, &measure, &store, &pool);
+            let ready = &ready;
+            scope.spawn(move || {
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let snapshot = lock.read().unwrap().snapshot();
+                    let paged = snapshot.paged(store, pool);
+                    // Base entities exist in every published snapshot.
+                    let query = EntityId((reader as u64 + iterations) % entities);
+                    let (got, stats) = paged.top_k(query, 3, measure).unwrap();
+                    let oracle = snapshot.brute_force(query, 3, measure).unwrap();
+                    assert_equivalent_answers(
+                        &got,
+                        &oracle,
+                        &format!("paged reader {reader} answer vs its snapshot's oracle"),
+                    );
+                    assert!(
+                        stats.pool_hits + stats.pool_misses > 0,
+                        "paged reader {reader} did no pool I/O"
+                    );
+                    if iterations == 0 {
+                        ready.fetch_add(1, Ordering::AcqRel);
+                    }
+                    iterations += 1;
+                }
+                assert!(iterations > 0, "paged reader {reader} never ran");
+            });
+        }
+
+        for _ in 0..flushes {
+            let batch = batches.lock().unwrap().remove(0);
+            let mut buffer: IngestBuffer = batch.into_iter().collect();
+            let mut guard = lock.write().unwrap();
+            let report = buffer.flush_sharded(&mut guard).unwrap();
+            assert!(report.shards_touched >= 1);
+            drop(guard);
+            std::thread::yield_now();
+        }
+        while ready.load(Ordering::Acquire) < readers {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    // No torn pins: every query that finished released everything it held.
+    assert_eq!(pool.pinned_frames(), 0, "a reader leaked a pin");
+    let io = pool.stats();
+    assert!(io.misses > 0, "a tight pool under racing readers must miss");
+}
+
+#[test]
+fn paged_readers_race_flushes_and_release_every_pin() {
+    run_paged_stress(24, 4, 4, 6, 60, 2, ReplacerPolicy::default());
+}
+
+/// The heavy out-of-core variant for the CI release stress job: more of
+/// everything, FIFO (the policy most hostile to re-accessed pages) and a
+/// single-frame pool so every reader fights for the same slot.
+#[test]
+#[ignore = "heavy stress; run with cargo test --release -- --ignored"]
+fn heavy_paged_readers_race_flushes_and_release_every_pin() {
+    run_paged_stress(120, 8, 8, 24, 300, 1, ReplacerPolicy::Fifo);
 }
