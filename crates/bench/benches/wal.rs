@@ -1,0 +1,283 @@
+//! Durable-ingest cost profile: what a write-ahead commit costs versus a full
+//! checkpoint, and how fast crash recovery replays the log.
+//!
+//! The criterion group times the raw commit path — one `LogManager::append`
+//! (fsync included) per batch size.  The JSON artifact pass then builds
+//! durable sharded indexes over growing populations and emits
+//! **`BENCH_wal.json`** with, per population: the pure WAL commit latency per
+//! batch size, the full durable-ingest latency (commit + copy-on-write
+//! flush), the checkpoint cost, and recovery replay throughput after a
+//! simulated crash.
+//!
+//! The pass doubles as a CI gate: it **panics** (failing the bench job) if
+//!
+//! * a recovered index's answer ever differs bitwise from the live index it
+//!   is recovering — the durability acceptance bar;
+//! * the WAL commit stops being O(batch): committing the same batch must not
+//!   get more than [`COMMIT_FLAT_FACTOR`]× slower on the largest population
+//!   than on the smallest (the commit writes the batch, never the index);
+//! * a WAL commit is not strictly cheaper than the O(shard) checkpoint it
+//!   amortises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minsig::durable::{encode_sub_batch, DurableShardedMinSigIndex};
+use minsig::testkit::{StreamConfig, UniformConfig, Workload};
+use minsig::{IndexConfig, ShardedMinSigIndex};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use trace_model::{EntityId, PresenceInstance};
+use trace_storage::{LogConfig, LogManager};
+
+const SHARDS: usize = 4;
+const K: usize = 10;
+/// Populations the artifact pass scales over.
+const SIZES: [u64; 3] = [500, 2_000, 8_000];
+/// Records per committed batch.
+const BATCH_SIZES: [usize; 3] = [64, 256, 1_024];
+/// Batches replayed by the recovery measurement.
+const RECOVERY_BATCHES: usize = 8;
+/// Commit latency may not grow more than this across a 16× population jump.
+const COMMIT_FLAT_FACTOR: f64 = 8.0;
+
+fn workload(entities: u64) -> Workload {
+    Workload::uniform(UniformConfig { entities, visits: 5, seed: 42, ..UniformConfig::default() })
+}
+
+fn stream(w: &Workload, entities: u64, i: u64, records: usize) -> Vec<PresenceInstance> {
+    w.stream(StreamConfig {
+        records,
+        existing_entities: entities,
+        new_entity_base: 10_000 + i * 100,
+        new_entity_span: 8,
+        start_tick: 20_000 + i * 1_000,
+        seed: i,
+        ..StreamConfig::default()
+    })
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wal-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn best_of<F: FnMut()>(passes: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn wal_commit(c: &mut Criterion) {
+    let w = workload(2_000);
+    let dir = temp_dir("criterion");
+    let (mut log, _) = LogManager::open(&dir, 0, LogConfig::default()).expect("bench log opens");
+
+    let mut group = c.benchmark_group("wal/commit");
+    group.sample_size(10);
+    for batch in BATCH_SIZES {
+        let payload = encode_sub_batch(1, &stream(&w, 2_000, 0, batch));
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(BenchmarkId::new("append_fsync", batch), |b| {
+            b.iter(|| {
+                black_box(log.append(black_box(&payload)).expect("bench append"));
+            })
+        });
+        // Keep the log from growing across the whole run.
+        let last = log.last_lsn().unwrap_or(0);
+        log.truncate_through(last).expect("bench log truncates");
+    }
+    group.finish();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    emit_artifact();
+}
+
+struct SizeRow {
+    entities: u64,
+    indexed_entities: usize,
+    checkpoint_ms: f64,
+    /// `(batch_size, wal_commit_ms, ingest_ms)` per batch size.
+    commits: Vec<(usize, f64, f64)>,
+    replay_ms: f64,
+    replay_records: usize,
+}
+
+/// One durable index per population: commit and checkpoint costs, then a
+/// crash and a timed recovery, gated on answer equality with the live index.
+fn emit_artifact() {
+    let log_config = LogConfig::default(); // fsync on: honest commit latency
+    let mut size_rows = Vec::new();
+
+    for &entities in &SIZES {
+        let w = workload(entities);
+        let measure = w.measure();
+        let dir = temp_dir(&format!("artifact-{entities}"));
+        let built = ShardedMinSigIndex::build(
+            &w.sp,
+            &w.traces,
+            IndexConfig::with_hash_functions(16),
+            SHARDS,
+        )
+        .expect("sharded bench index builds");
+        let indexed_entities = built.num_entities();
+        let mut durable =
+            DurableShardedMinSigIndex::create(&dir, built, log_config).expect("durable creates");
+
+        // Pure WAL commit: append + fsync of the serialised batch, measured
+        // on a scratch log in the same directory (same filesystem), so the
+        // number reflects durability alone — no copy-on-write flush.
+        let (mut scratch, _) =
+            LogManager::open(&dir.join("scratch-wal"), 0, log_config).expect("scratch log opens");
+        let mut commits = Vec::new();
+        for (i, &batch) in BATCH_SIZES.iter().enumerate() {
+            let records = stream(&w, entities, 900 + i as u64, batch);
+            let payload = encode_sub_batch(1, &records);
+            let wal_commit_s = best_of(7, || {
+                black_box(scratch.append(&payload).expect("scratch append"));
+            });
+            let ingest_start = Instant::now();
+            durable.ingest(records).expect("durable ingest");
+            let ingest_s = ingest_start.elapsed().as_secs_f64();
+            commits.push((batch, wal_commit_s * 1e3, ingest_s * 1e3));
+        }
+        drop(scratch);
+        let _ = std::fs::remove_dir_all(dir.join("scratch-wal"));
+
+        // Full checkpoint: every shard file rewritten — the O(shard) cost the
+        // O(batch) commits amortise.
+        let checkpoint_s = best_of(3, || durable.checkpoint().expect("checkpoint"));
+        let checkpoint_ms = checkpoint_s * 1e3;
+        for &(batch, wal_commit_ms, _) in &commits {
+            assert!(
+                wal_commit_ms < checkpoint_ms,
+                "{entities} entities: an O(batch) commit ({batch} records, {wal_commit_ms:.3} ms) \
+                 must be cheaper than the O(shard) checkpoint ({checkpoint_ms:.3} ms)"
+            );
+        }
+
+        // Crash after RECOVERY_BATCHES un-checkpointed batches, then recover.
+        let mut replay_records = 0;
+        for i in 0..RECOVERY_BATCHES {
+            let records = stream(&w, entities, i as u64, *BATCH_SIZES.last().unwrap());
+            replay_records += records.len();
+            durable.ingest(records).expect("durable ingest");
+        }
+        let queries: Vec<EntityId> =
+            (0..entities).step_by(((entities / 16).max(1)) as usize).map(EntityId).collect();
+        let oracle: Vec<_> = queries
+            .iter()
+            .map(|&q| durable.index().top_k(q, K, &measure).expect("live answers").0)
+            .collect();
+        drop(durable);
+
+        let replay_start = Instant::now();
+        let (recovered, report) =
+            DurableShardedMinSigIndex::open(&dir, log_config).expect("recovery opens");
+        let replay_s = replay_start.elapsed().as_secs_f64();
+        assert_eq!(report.batches_replayed, RECOVERY_BATCHES, "every batch must replay");
+        assert_eq!(report.records_replayed, replay_records);
+        for (i, &query) in queries.iter().enumerate() {
+            let (got, _) = recovered.index().top_k(query, K, &measure).expect("recovered answers");
+            assert_eq!(
+                got, oracle[i],
+                "{entities} entities: recovered answer diverged from the live index \
+                 for query {query}"
+            );
+        }
+
+        size_rows.push(SizeRow {
+            entities,
+            indexed_entities,
+            checkpoint_ms,
+            commits,
+            replay_ms: replay_s * 1e3,
+            replay_records,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // O(batch) gate: the same batch's commit may not track population size.
+    let smallest = &size_rows[0];
+    let largest = &size_rows[size_rows.len() - 1];
+    for (small, large) in smallest.commits.iter().zip(&largest.commits) {
+        assert!(
+            large.1 <= small.1 * COMMIT_FLAT_FACTOR,
+            "commit latency for a {}-record batch grew from {:.3} ms ({} entities) to {:.3} ms \
+             ({} entities): the WAL commit must be O(batch), not O(index)",
+            small.0,
+            small.1,
+            smallest.entities,
+            large.1,
+            largest.entities,
+        );
+    }
+
+    let mut rows = Vec::new();
+    for row in &size_rows {
+        let commits = row
+            .commits
+            .iter()
+            .map(|&(batch, wal_commit_ms, ingest_ms)| {
+                format!(
+                    concat!(
+                        "      {{\"batch_records\": {}, \"wal_commit_ms\": {:.4}, ",
+                        "\"ingest_ms\": {:.4}}}"
+                    ),
+                    batch, wal_commit_ms, ingest_ms,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        rows.push(format!(
+            concat!(
+                "    {{\"entities\": {}, \"indexed_entities\": {}, \"checkpoint_ms\": {:.4},\n",
+                "     \"commits\": [\n{}\n     ],\n",
+                "     \"recovery\": {{\"batches\": {}, \"records\": {}, \"replay_ms\": {:.4}, ",
+                "\"records_per_sec\": {:.1}}}}}"
+            ),
+            row.entities,
+            row.indexed_entities,
+            row.checkpoint_ms,
+            commits,
+            RECOVERY_BATCHES,
+            row.replay_records,
+            row.replay_ms,
+            row.replay_records as f64 / (row.replay_ms / 1e3).max(1e-12),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"wal\",\n",
+            "  \"shards\": {},\n",
+            "  \"k\": {},\n",
+            "  \"fsync\": true,\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SHARDS,
+        K,
+        rows.join(",\n"),
+    );
+    // `cargo bench` runs with the package directory as cwd; anchor the
+    // artifact at the workspace root, where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    name = wal;
+    config = Criterion::default();
+    targets = wal_commit
+);
+criterion_main!(wal);

@@ -1,0 +1,743 @@
+//! Continuously durable ingest: a write-ahead delta log in front of the
+//! copy-on-write flush.
+//!
+//! The checkpoint formats of [`crate::persist`] (`.msix`) and [`crate::shard`]
+//! (`manifest.mshd` + shard files) are crash-*atomic* but not crash-*durable*:
+//! every batch ingested after the last save dies with the process.  This
+//! module closes that window.  A [`DurableMinSigIndex`] (and its sharded
+//! sibling [`DurableShardedMinSigIndex`]) serialises each validated ingest
+//! batch into a [`trace_storage::LogManager`] and fsyncs it **before** the
+//! in-memory index applies the batch, so commits cost O(batch) while
+//! checkpoints stay O(index) — and a crash at any instant loses at most the
+//! batch whose `ingest` call never returned.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! unsharded dir/                sharded dir/
+//! ├── index.msix   checkpoint   ├── manifest.mshd      checkpoint
+//! └── wal/                      ├── shard-00000.msix   ...
+//!     └── wal-*.log             ├── wal/
+//!                               │   ├── shard-00000/wal-*.log   one log per shard
+//!                               │   ├── shard-00001/wal-*.log
+//!                               │   └── commit/wal-*.log        cross-shard commit log
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! Unsharded, one batch is one log record ([`encode_batch`]): the
+//! [`LogManager::append`] fsync is the commit point.  Sharded, a batch is
+//! routed into per-shard sub-batches, each logged to its shard's WAL under a
+//! shared `batch_id` ([`encode_sub_batch`]); the batch commits only when a
+//! record carrying that id ([`encode_commit`]) is appended to the commit log.
+//! A crash between two shards' appends leaves sub-batches whose id never
+//! reached the commit log — recovery discards them, preserving the
+//! cross-shard all-or-nothing contract of
+//! [`flush_sharded`](crate::ingest::IngestBuffer::flush_sharded).
+//!
+//! ## Checkpoint and recovery
+//!
+//! Every checkpoint file records the WAL LSN it covers *inside* the
+//! atomically renamed file (format v3, see [`crate::persist`]), so state and
+//! log position can never be torn apart.  `open` loads the checkpoint, opens
+//! the log(s) at that LSN, verifies the log still covers `ckpt_lsn + 1`
+//! onward, and replays every committed batch with a LSN beyond the
+//! checkpoint through the ordinary [`IngestBuffer`] path — a recovered index
+//! answers queries bit-identically to one that never crashed.
+//! [`DurableMinSigIndex::checkpoint`] saves, then truncates the log; a crash
+//! between the two merely replays batches the checkpoint already covers —
+//! the stored LSN filters them out, so nothing is ever applied twice.
+//!
+//! | crash point                          | after `open`                         |
+//! |--------------------------------------|--------------------------------------|
+//! | mid-append (torn record)             | batch lost; prior batches intact     |
+//! | after append, before flush           | batch replayed                       |
+//! | between two shards' appends          | sub-batches discarded (no commit)    |
+//! | after commit append, before flush    | batch replayed on every shard        |
+//! | mid-checkpoint save                  | old checkpoint + full log replayed   |
+//! | after save, before log truncation    | stale records filtered by LSN        |
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use trace_model::{EntityId, Period, PresenceInstance};
+use trace_storage::{LogConfig, LogManager};
+
+use crate::error::{IndexError, Result};
+use crate::index::MinSigIndex;
+use crate::ingest::{IngestBuffer, IngestReport};
+use crate::shard::{shard_of, ShardedIngestReport, ShardedMinSigIndex, SHARD_MANIFEST_FILE};
+use crate::snapshot::IndexSnapshot;
+
+/// File name of the unsharded checkpoint inside a durable index directory.
+pub const DURABLE_INDEX_FILE: &str = "index.msix";
+
+/// Serialised size of one presence record in a log payload.
+const RECORD_WIRE_LEN: usize = 28;
+
+/// The WAL directory of an unsharded durable index.
+pub fn wal_dir(dir: &Path) -> PathBuf {
+    dir.join("wal")
+}
+
+/// The WAL directory of one shard of a sharded durable index.
+pub fn shard_wal_dir(dir: &Path, shard: usize) -> PathBuf {
+    wal_dir(dir).join(format!("shard-{shard:05}"))
+}
+
+/// The commit-log directory of a sharded durable index.
+pub fn commit_wal_dir(dir: &Path) -> PathBuf {
+    wal_dir(dir).join("commit")
+}
+
+/// What a durable `open` replayed out of the write-ahead log(s).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed batches applied beyond the checkpoint.
+    pub batches_replayed: usize,
+    /// Presence records those batches carried (sharded: summed over the
+    /// per-shard sub-batches actually applied).
+    pub records_replayed: usize,
+    /// Sharded only: sub-batches discarded because their batch id never
+    /// reached the commit log (a crash between two shards' appends).
+    pub uncommitted_discarded: usize,
+}
+
+fn corrupt(msg: &str) -> IndexError {
+    IndexError::Corrupt(format!("durable index: {msg}"))
+}
+
+fn io_err(e: std::io::Error) -> IndexError {
+    IndexError::Io(e.to_string())
+}
+
+/// The log must still cover everything the checkpoint does not: its first
+/// retained LSN (or, when empty, the next one it will assign) may not skip
+/// past `ckpt_lsn + 1`.
+fn check_coverage(log: &LogManager, ckpt_lsn: u64, what: &str) -> Result<()> {
+    let first = log.first_lsn().unwrap_or_else(|| log.next_lsn());
+    if first > ckpt_lsn + 1 {
+        return Err(corrupt(&format!(
+            "{what}: log begins at LSN {first} but the checkpoint covers only LSN {ckpt_lsn}; \
+             the records in between are lost"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Log payload wire format
+// ---------------------------------------------------------------------------
+
+fn encode_records_into(buf: &mut Vec<u8>, records: &[PresenceInstance]) {
+    buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        buf.extend_from_slice(&r.entity.raw().to_le_bytes());
+        buf.extend_from_slice(&r.unit.to_le_bytes());
+        buf.extend_from_slice(&r.period.start.to_le_bytes());
+        buf.extend_from_slice(&r.period.end.to_le_bytes());
+    }
+}
+
+/// Serialises one unsharded ingest batch into a log payload:
+/// `count: u32` then `count` × (`entity: u64`, `unit: u32`, `start: u64`,
+/// `end: u64`), all little-endian.
+pub fn encode_batch(records: &[PresenceInstance]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + records.len() * RECORD_WIRE_LEN);
+    encode_records_into(&mut buf, records);
+    buf
+}
+
+/// Serialises one shard's slice of a routed batch: the cross-shard
+/// `batch_id: u64` followed by the [`encode_batch`] layout.
+pub fn encode_sub_batch(batch_id: u64, records: &[PresenceInstance]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + records.len() * RECORD_WIRE_LEN);
+    buf.extend_from_slice(&batch_id.to_le_bytes());
+    encode_records_into(&mut buf, records);
+    buf
+}
+
+/// Serialises a commit-log record: the committed `batch_id` alone.
+pub fn encode_commit(batch_id: u64) -> Vec<u8> {
+    batch_id.to_le_bytes().to_vec()
+}
+
+fn take<const N: usize>(payload: &[u8], at: &mut usize) -> Result<[u8; N]> {
+    let bytes = payload
+        .get(*at..*at + N)
+        .ok_or_else(|| corrupt("log payload shorter than its own framing"))?;
+    *at += N;
+    Ok(bytes.try_into().expect("slice length is N by construction"))
+}
+
+fn expect_end(payload: &[u8], at: usize) -> Result<()> {
+    if at != payload.len() {
+        return Err(corrupt(&format!("{} trailing bytes after log payload", payload.len() - at)));
+    }
+    Ok(())
+}
+
+fn decode_records(payload: &[u8], at: &mut usize) -> Result<Vec<PresenceInstance>> {
+    let count = u32::from_le_bytes(take::<4>(payload, at)?) as usize;
+    if payload.len().saturating_sub(*at) < count * RECORD_WIRE_LEN {
+        return Err(corrupt(&format!("log payload claims {count} records but is too short")));
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let entity = EntityId(u64::from_le_bytes(take::<8>(payload, at)?));
+        let unit = u32::from_le_bytes(take::<4>(payload, at)?);
+        let start = u64::from_le_bytes(take::<8>(payload, at)?);
+        let end = u64::from_le_bytes(take::<8>(payload, at)?);
+        let period = Period::new(start, end)
+            .map_err(|e| corrupt(&format!("logged record has an invalid period: {e}")))?;
+        records.push(PresenceInstance::new(entity, unit, period));
+    }
+    Ok(records)
+}
+
+/// Inverse of [`encode_batch`].
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<PresenceInstance>> {
+    let mut at = 0;
+    let records = decode_records(payload, &mut at)?;
+    expect_end(payload, at)?;
+    Ok(records)
+}
+
+/// Inverse of [`encode_sub_batch`].
+pub fn decode_sub_batch(payload: &[u8]) -> Result<(u64, Vec<PresenceInstance>)> {
+    let mut at = 0;
+    let batch_id = u64::from_le_bytes(take::<8>(payload, &mut at)?);
+    let records = decode_records(payload, &mut at)?;
+    expect_end(payload, at)?;
+    Ok((batch_id, records))
+}
+
+/// Inverse of [`encode_commit`].
+pub fn decode_commit(payload: &[u8]) -> Result<u64> {
+    let mut at = 0;
+    let batch_id = u64::from_le_bytes(take::<8>(payload, &mut at)?);
+    expect_end(payload, at)?;
+    Ok(batch_id)
+}
+
+// ---------------------------------------------------------------------------
+// Unsharded durable index
+// ---------------------------------------------------------------------------
+
+/// A [`MinSigIndex`] whose every ingest batch is logged and fsync'd before it
+/// is applied; see the [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct DurableMinSigIndex {
+    dir: PathBuf,
+    index: MinSigIndex,
+    log: LogManager,
+}
+
+impl DurableMinSigIndex {
+    /// Starts a durable index in `dir` (created if needed) from an
+    /// already-built `index`: writes the initial checkpoint and an empty log.
+    /// Refuses to clobber an existing durable index.
+    pub fn create(dir: &Path, index: MinSigIndex, config: LogConfig) -> Result<DurableMinSigIndex> {
+        fs::create_dir_all(dir).map_err(io_err)?;
+        let path = dir.join(DURABLE_INDEX_FILE);
+        if path.exists() {
+            return Err(IndexError::Io(format!(
+                "durable index already exists at {}",
+                path.display()
+            )));
+        }
+        index.snapshot().save_with_wal_lsn(&path, 0)?;
+        let (log, _) = LogManager::open(&wal_dir(dir), 0, config)?;
+        Ok(DurableMinSigIndex { dir: dir.to_path_buf(), index, log })
+    }
+
+    /// Opens the durable index in `dir`, replaying every logged batch newer
+    /// than the checkpoint.  The recovered index answers queries
+    /// bit-identically to one that applied the same batches and never
+    /// crashed.
+    pub fn open(dir: &Path, config: LogConfig) -> Result<(DurableMinSigIndex, RecoveryReport)> {
+        let (snapshot, ckpt_lsn) = IndexSnapshot::open_with_lsn(&dir.join(DURABLE_INDEX_FILE))?;
+        let mut index = MinSigIndex::from_snapshot(std::sync::Arc::new(snapshot));
+        let (log, records) = LogManager::open(&wal_dir(dir), ckpt_lsn, config)?;
+        check_coverage(&log, ckpt_lsn, "unsharded log")?;
+
+        let mut report = RecoveryReport::default();
+        for record in records.iter().filter(|r| r.lsn > ckpt_lsn) {
+            let batch = decode_batch(&record.payload)?;
+            report.batches_replayed += 1;
+            report.records_replayed += batch.len();
+            index.ingest_batch(batch)?;
+        }
+        Ok((DurableMinSigIndex { dir: dir.to_path_buf(), index, log }, report))
+    }
+
+    /// Applies one batch durably: validates it, appends the serialised batch
+    /// to the log (the fsync there is the commit point), then flushes it
+    /// through the ordinary [`IngestBuffer`] path.  On a validation or log
+    /// error the index is untouched and nothing was logged.
+    pub fn ingest<I: IntoIterator<Item = PresenceInstance>>(
+        &mut self,
+        records: I,
+    ) -> Result<IngestReport> {
+        let mut buffer: IngestBuffer = records.into_iter().collect();
+        if buffer.is_empty() {
+            return buffer.flush(&mut self.index);
+        }
+        buffer.validate(self.index.sp_index(), self.index.ticks_per_unit())?;
+        self.log.append(&encode_batch(buffer.records()))?;
+        // Invariant: the batch just passed the exact validation `flush`
+        // performs, and it is already durable — failing the flush now would
+        // desynchronise the log from the index.
+        Ok(buffer.flush(&mut self.index).expect("flush failed after validation and logging"))
+    }
+
+    /// Saves a checkpoint stamped with the log's current position, then
+    /// truncates the log through that LSN.  A crash between the two steps is
+    /// benign: the stored LSN filters the stale records out on recovery.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let lsn = self.log.next_lsn() - 1;
+        self.index.snapshot().save_with_wal_lsn(&self.dir.join(DURABLE_INDEX_FILE), lsn)?;
+        self.log.truncate_through(lsn)?;
+        Ok(())
+    }
+
+    /// The wrapped index, for queries and inspection.
+    pub fn index(&self) -> &MinSigIndex {
+        &self.index
+    }
+
+    /// The write-ahead log (LSN positions, on-disk footprint).
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// Unwraps the in-memory index, abandoning durability.
+    pub fn into_index(self) -> MinSigIndex {
+        self.index
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded durable index
+// ---------------------------------------------------------------------------
+
+/// A [`ShardedMinSigIndex`] with one write-ahead log per shard plus a commit
+/// log that makes routed batches atomic across shards; see the
+/// [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct DurableShardedMinSigIndex {
+    dir: PathBuf,
+    index: ShardedMinSigIndex,
+    logs: Vec<LogManager>,
+    commit: LogManager,
+    next_batch_id: u64,
+}
+
+impl DurableShardedMinSigIndex {
+    /// Starts a durable sharded index in `dir` (created if needed) from an
+    /// already-built `index`: writes the initial checkpoint and empty
+    /// per-shard and commit logs.  Refuses to clobber an existing one.
+    pub fn create(
+        dir: &Path,
+        index: ShardedMinSigIndex,
+        config: LogConfig,
+    ) -> Result<DurableShardedMinSigIndex> {
+        fs::create_dir_all(dir).map_err(io_err)?;
+        let manifest = dir.join(SHARD_MANIFEST_FILE);
+        if manifest.exists() {
+            return Err(IndexError::Io(format!(
+                "durable sharded index already exists at {}",
+                manifest.display()
+            )));
+        }
+        index.save(dir)?;
+        let mut logs = Vec::with_capacity(index.num_shards());
+        for shard in 0..index.num_shards() {
+            let (log, _) = LogManager::open(&shard_wal_dir(dir, shard), 0, config)?;
+            logs.push(log);
+        }
+        let (commit, _) = LogManager::open(&commit_wal_dir(dir), 0, config)?;
+        Ok(DurableShardedMinSigIndex {
+            dir: dir.to_path_buf(),
+            index,
+            logs,
+            commit,
+            next_batch_id: 1,
+        })
+    }
+
+    /// Opens the durable sharded index in `dir`, replaying every *committed*
+    /// sub-batch newer than each shard's checkpoint and discarding
+    /// sub-batches whose batch id never reached the commit log.
+    ///
+    /// The checkpoint itself is read leniently (a crash mid-save may leave
+    /// shard files from two checkpoint generations; per-file checksums and
+    /// routing are still enforced) because the replay restores consistency.
+    pub fn open(
+        dir: &Path,
+        config: LogConfig,
+    ) -> Result<(DurableShardedMinSigIndex, RecoveryReport)> {
+        let (mut index, ckpt_lsns) = ShardedMinSigIndex::open_for_recovery(dir)?;
+
+        let (commit, commit_records) = LogManager::open(&commit_wal_dir(dir), 0, config)?;
+        let mut committed = BTreeSet::new();
+        for record in &commit_records {
+            committed.insert(decode_commit(&record.payload)?);
+        }
+
+        let mut logs = Vec::with_capacity(ckpt_lsns.len());
+        let mut report = RecoveryReport::default();
+        let mut replayed_ids = BTreeSet::new();
+        let mut max_seen_id = committed.iter().next_back().copied().unwrap_or(0);
+        for (shard, &ckpt_lsn) in ckpt_lsns.iter().enumerate() {
+            let (log, records) = LogManager::open(&shard_wal_dir(dir, shard), ckpt_lsn, config)?;
+            check_coverage(&log, ckpt_lsn, &format!("shard {shard} log"))?;
+            for record in records.iter().filter(|r| r.lsn > ckpt_lsn) {
+                let (batch_id, batch) = decode_sub_batch(&record.payload)?;
+                max_seen_id = max_seen_id.max(batch_id);
+                if !committed.contains(&batch_id) {
+                    report.uncommitted_discarded += 1;
+                    continue;
+                }
+                report.records_replayed += batch.len();
+                replayed_ids.insert(batch_id);
+                index.shards[shard].ingest_batch(batch)?;
+            }
+            logs.push(log);
+        }
+        report.batches_replayed = replayed_ids.len();
+
+        let durable = DurableShardedMinSigIndex {
+            dir: dir.to_path_buf(),
+            index,
+            logs,
+            commit,
+            next_batch_id: max_seen_id + 1,
+        };
+        Ok((durable, report))
+    }
+
+    /// Applies one batch durably across the shards: validates it once against
+    /// the shared hierarchy, appends each shard's sub-batch to that shard's
+    /// log, appends the batch id to the commit log (**the commit point** —
+    /// its fsync makes the whole batch recoverable), and only then flushes
+    /// any shard.  On a validation or log error no shard was mutated; a
+    /// sub-batch logged before the error stays uncommitted and recovery
+    /// discards it.
+    pub fn ingest<I: IntoIterator<Item = PresenceInstance>>(
+        &mut self,
+        records: I,
+    ) -> Result<ShardedIngestReport> {
+        let mut buffer: IngestBuffer = records.into_iter().collect();
+        if buffer.is_empty() {
+            return buffer.flush_sharded(&mut self.index);
+        }
+        {
+            let probe = &self.index.shards[0];
+            buffer.validate(probe.sp_index(), probe.ticks_per_unit())?;
+        }
+
+        let num_shards = self.index.num_shards();
+        let mut per_shard: Vec<Vec<PresenceInstance>> = vec![Vec::new(); num_shards];
+        for record in buffer.records() {
+            per_shard[shard_of(record.entity, num_shards)].push(*record);
+        }
+        let batch_id = self.next_batch_id;
+        for (shard, sub_batch) in per_shard.iter().enumerate() {
+            if sub_batch.is_empty() {
+                continue;
+            }
+            self.logs[shard].append(&encode_sub_batch(batch_id, sub_batch))?;
+        }
+        self.commit.append(&encode_commit(batch_id))?;
+        self.next_batch_id = batch_id + 1;
+        // Invariant: the batch just passed the exact validation
+        // `flush_sharded` performs, and it is committed — failing the flush
+        // now would desynchronise the logs from the shards.
+        Ok(buffer
+            .flush_sharded(&mut self.index)
+            .expect("sharded flush failed after validation and logging"))
+    }
+
+    /// Saves a checkpoint with every shard file stamped with its log's
+    /// current position, then truncates all the logs.  Uncommitted
+    /// sub-batches below the stamped LSNs are retired with the logs — they
+    /// were never applied and never will be.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let lsns: Vec<u64> = self.logs.iter().map(|log| log.next_lsn() - 1).collect();
+        self.index.save_with_lsns(&self.dir, Some(&lsns))?;
+        for (log, &lsn) in self.logs.iter_mut().zip(&lsns) {
+            log.truncate_through(lsn)?;
+        }
+        let commit_lsn = self.commit.next_lsn() - 1;
+        self.commit.truncate_through(commit_lsn)?;
+        Ok(())
+    }
+
+    /// The wrapped sharded index, for queries and inspection.
+    pub fn index(&self) -> &ShardedMinSigIndex {
+        &self.index
+    }
+
+    /// One shard's write-ahead log.
+    pub fn shard_log(&self, shard: usize) -> &LogManager {
+        &self.logs[shard]
+    }
+
+    /// The cross-shard commit log.
+    pub fn commit_log(&self) -> &LogManager {
+        &self.commit
+    }
+
+    /// The id the next committed batch will carry.
+    pub fn next_batch_id(&self) -> u64 {
+        self.next_batch_id
+    }
+
+    /// Unwraps the in-memory sharded index, abandoning durability.
+    pub fn into_index(self) -> ShardedMinSigIndex {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use crate::testkit::{assert_equivalent_answers, PairedConfig, StreamConfig, Workload};
+
+    fn workload() -> Workload {
+        Workload::paired(PairedConfig { pairs: 24, ..PairedConfig::default() })
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("durable-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn no_fsync() -> LogConfig {
+        LogConfig { fsync: false, ..LogConfig::default() }
+    }
+
+    fn batches(w: &Workload, n: usize) -> Vec<Vec<PresenceInstance>> {
+        (0..n)
+            .map(|i| {
+                w.stream(StreamConfig {
+                    records: 40,
+                    existing_entities: 48,
+                    new_entity_base: 1_000 + 100 * i as u64,
+                    new_entity_span: 8,
+                    new_entity_percent: 25,
+                    start_tick: 10_000 + 5_000 * i as u64,
+                    seed: 0xD00D + i as u64,
+                    ..StreamConfig::default()
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wire_formats_round_trip() {
+        let w = workload();
+        let records = batches(&w, 1).remove(0);
+        assert_eq!(decode_batch(&encode_batch(&records)).unwrap(), records);
+        let (id, back) = decode_sub_batch(&encode_sub_batch(42, &records)).unwrap();
+        assert_eq!((id, back), (42, records.clone()));
+        assert_eq!(decode_commit(&encode_commit(7)).unwrap(), 7);
+        // Framing errors are Corrupt, not panics.
+        assert!(matches!(decode_batch(&[1, 0, 0, 0]), Err(IndexError::Corrupt(_))));
+        assert!(matches!(decode_commit(&[0; 9]), Err(IndexError::Corrupt(_))));
+        let mut trailing = encode_batch(&records);
+        trailing.push(0);
+        assert!(matches!(decode_batch(&trailing), Err(IndexError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crash_before_checkpoint_replays_every_batch() {
+        let w = workload();
+        let config = IndexConfig::with_hash_functions(32);
+        let dir = temp_dir("unsharded-replay");
+
+        let mut oracle = w.build_index(config);
+        let mut durable = DurableMinSigIndex::create(&dir, w.build_index(config), no_fsync())
+            .expect("create durable index");
+        for batch in batches(&w, 3) {
+            oracle.ingest_batch(batch.clone()).unwrap();
+            durable.ingest(batch).unwrap();
+        }
+        // Simulate a crash: drop without checkpointing.
+        drop(durable);
+
+        let (recovered, report) = DurableMinSigIndex::open(&dir, no_fsync()).unwrap();
+        assert_eq!(report.batches_replayed, 3);
+        assert_eq!(report.records_replayed, 120);
+        assert_eq!(report.uncommitted_discarded, 0);
+        assert_eq!(recovered.index().num_entities(), oracle.num_entities());
+        assert_eq!(recovered.index().epoch(), oracle.epoch());
+        let measure = w.measure();
+        for query in [0u64, 9, 31] {
+            let (a, _) = recovered.index().top_k(EntityId(query), 5, &measure).unwrap();
+            let (b, _) = oracle.top_k(EntityId(query), 5, &measure).unwrap();
+            assert_equivalent_answers(&a, &b, &format!("recovered, query {query}"));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_later_batches_still_replay() {
+        let w = workload();
+        let config = IndexConfig::with_hash_functions(32);
+        let dir = temp_dir("unsharded-ckpt");
+        let mut durable =
+            DurableMinSigIndex::create(&dir, w.build_index(config), no_fsync()).unwrap();
+        let all = batches(&w, 4);
+        durable.ingest(all[0].clone()).unwrap();
+        durable.ingest(all[1].clone()).unwrap();
+        durable.checkpoint().unwrap();
+        assert_eq!(durable.log().first_lsn(), None, "checkpoint truncates the log");
+        durable.ingest(all[2].clone()).unwrap();
+        durable.ingest(all[3].clone()).unwrap();
+        drop(durable);
+
+        let (recovered, report) = DurableMinSigIndex::open(&dir, no_fsync()).unwrap();
+        assert_eq!(report.batches_replayed, 2, "only post-checkpoint batches replay");
+        // Epochs count batches since the handle opened (`from_snapshot`
+        // restarts at 0, exactly like the non-durable open path).
+        assert_eq!(recovered.index().epoch(), 2);
+
+        // A clean checkpoint leaves nothing to replay at all.
+        let (mut durable, _) = DurableMinSigIndex::open(&dir, no_fsync()).unwrap();
+        durable.checkpoint().unwrap();
+        drop(durable);
+        let (_, report) = DurableMinSigIndex::open(&dir, no_fsync()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let w = workload();
+        let dir = temp_dir("clobber");
+        let config = IndexConfig::default();
+        DurableMinSigIndex::create(&dir, w.build_index(config), no_fsync()).unwrap();
+        assert!(matches!(
+            DurableMinSigIndex::create(&dir, w.build_index(config), no_fsync()),
+            Err(IndexError::Io(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_batch_is_never_logged() {
+        let w = workload();
+        let dir = temp_dir("invalid");
+        let mut durable =
+            DurableMinSigIndex::create(&dir, w.build_index(IndexConfig::default()), no_fsync())
+                .unwrap();
+        let bogus = PresenceInstance::new(
+            EntityId(1),
+            u32::MAX - 1, // not a unit of the hierarchy
+            Period::new(0, 60).unwrap(),
+        );
+        let epoch = durable.index().epoch();
+        assert!(durable.ingest(vec![bogus]).is_err());
+        assert_eq!(durable.log().last_lsn(), None, "rejected batch must not reach the log");
+        assert_eq!(durable.index().epoch(), epoch);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_crash_recovery_matches_never_crashed_oracle() {
+        let w = workload();
+        let config = IndexConfig::with_hash_functions(32);
+        let dir = temp_dir("sharded-replay");
+        let shards = 3;
+
+        let mut oracle = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let built = ShardedMinSigIndex::build(&w.sp, &w.traces, config, shards).unwrap();
+        let mut durable = DurableShardedMinSigIndex::create(&dir, built, no_fsync()).unwrap();
+        let all = batches(&w, 4);
+        oracle.ingest_batch(all[0].clone()).unwrap();
+        durable.ingest(all[0].clone()).unwrap();
+        durable.checkpoint().unwrap();
+        for batch in &all[1..] {
+            oracle.ingest_batch(batch.clone()).unwrap();
+            durable.ingest(batch.clone()).unwrap();
+        }
+        let next_id = durable.next_batch_id();
+        drop(durable);
+
+        let (recovered, report) = DurableShardedMinSigIndex::open(&dir, no_fsync()).unwrap();
+        assert_eq!(report.batches_replayed, 3);
+        assert_eq!(report.records_replayed, 120);
+        assert_eq!(report.uncommitted_discarded, 0);
+        assert_eq!(recovered.next_batch_id(), next_id, "batch ids must not be reused");
+        assert_eq!(recovered.index().num_entities(), oracle.num_entities());
+        let measure = w.measure();
+        for query in [0u64, 9, 31] {
+            let (a, _) = recovered.index().top_k(EntityId(query), 5, &measure).unwrap();
+            let (b, _) = oracle.top_k(EntityId(query), 5, &measure).unwrap();
+            assert_equivalent_answers(&a, &b, &format!("sharded recovered, query {query}"));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_sub_batch_is_discarded() {
+        let w = workload();
+        let config = IndexConfig::with_hash_functions(32);
+        let dir = temp_dir("uncommitted");
+        let built = ShardedMinSigIndex::build(&w.sp, &w.traces, config, 2).unwrap();
+        let mut durable = DurableShardedMinSigIndex::create(&dir, built, no_fsync()).unwrap();
+        let all = batches(&w, 2);
+        durable.ingest(all[0].clone()).unwrap();
+        let epochs = durable.index().epochs();
+        let orphan_id = durable.next_batch_id();
+        drop(durable);
+
+        // Simulate a crash between two shards' appends: shard 0 got its
+        // sub-batch, the commit record was never written.
+        let (mut log, _) = LogManager::open(&shard_wal_dir(&dir, 0), 0, no_fsync()).unwrap();
+        log.append(&encode_sub_batch(orphan_id, &all[1])).unwrap();
+        drop(log);
+
+        let (recovered, report) = DurableShardedMinSigIndex::open(&dir, no_fsync()).unwrap();
+        assert_eq!(report.batches_replayed, 1, "only the committed batch replays");
+        assert_eq!(report.uncommitted_discarded, 1);
+        assert_eq!(recovered.index().epochs(), epochs, "orphan must not advance any epoch");
+        assert_eq!(
+            recovered.next_batch_id(),
+            orphan_id + 1,
+            "the orphaned id is burned, never reused"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_log_behind_checkpoint_is_corrupt() {
+        let w = workload();
+        let dir = temp_dir("stale");
+        let mut durable =
+            DurableMinSigIndex::create(&dir, w.build_index(IndexConfig::default()), no_fsync())
+                .unwrap();
+        for batch in batches(&w, 2) {
+            durable.ingest(batch).unwrap();
+        }
+        durable.checkpoint().unwrap();
+        durable.ingest(batches(&w, 3).remove(2)).unwrap();
+        durable.checkpoint().unwrap();
+        drop(durable);
+
+        // Fabricate a gap: the log's first retained record now sits well
+        // beyond the checkpoint's LSN, so the records in between are gone.
+        // Recovery must refuse, not silently lose data.
+        fs::remove_dir_all(wal_dir(&dir)).unwrap();
+        let (mut log, _) = LogManager::open(&wal_dir(&dir), 100, no_fsync()).unwrap();
+        log.append(&encode_batch(&[])).unwrap();
+        drop(log);
+        assert!(matches!(DurableMinSigIndex::open(&dir, no_fsync()), Err(IndexError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

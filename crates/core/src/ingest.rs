@@ -129,6 +129,21 @@ impl IngestBuffer {
         &self.pending
     }
 
+    /// Validates every buffered record against a spatial hierarchy without
+    /// touching any index: the shared all-or-nothing gate of the sharded
+    /// flush and the durable ingest path, run before a batch is logged or
+    /// any shard mutated.
+    pub(crate) fn validate(&self, sp: &trace_model::SpIndex, ticks_per_unit: u64) -> Result<()> {
+        let mut by_entity: BTreeMap<EntityId, DigitalTrace> = BTreeMap::new();
+        for record in &self.pending {
+            by_entity.entry(record.entity).or_default().push(*record);
+        }
+        for delta_trace in by_entity.values() {
+            delta_trace.cell_sequence(sp, ticks_per_unit)?;
+        }
+        Ok(())
+    }
+
     /// Applies every buffered record to `index` as one copy-on-write batch
     /// and empties the buffer.
     ///
@@ -203,7 +218,10 @@ impl IngestBuffer {
         index.stats.num_nodes = snap.tree.num_nodes();
         index.stats.index_bytes = snap.tree.size_bytes();
         index.stats.hash_evaluations += hash_evaluations;
-        index.stats.build_time_us += start.elapsed().as_micros() as u64;
+        // Measured once: the report's flush time and the stats' build-time
+        // increment are the same number, so the two never disagree.
+        let flush_time_us = start.elapsed().as_micros() as u64;
+        index.stats.build_time_us += flush_time_us;
         index.epoch += 1;
         self.pending.clear();
 
@@ -212,7 +230,7 @@ impl IngestBuffer {
             entities_touched,
             entities_inserted,
             epoch: index.epoch,
-            flush_time_us: start.elapsed().as_micros() as u64,
+            flush_time_us,
         })
     }
 }
@@ -372,6 +390,25 @@ mod tests {
 
         buffer.clear();
         assert!(buffer.is_empty());
+    }
+
+    /// Regression: the flush used to call `elapsed()` twice, so the report's
+    /// `flush_time_us` and the amount added to `IndexStats::build_time_us`
+    /// disagreed.  They must be the same measurement.
+    #[test]
+    fn flush_time_matches_build_time_increment() {
+        let (sp, traces) = seed_dataset(10);
+        let mut index =
+            MinSigIndex::build(&sp, &traces, IndexConfig::with_hash_functions(16)).unwrap();
+        for batch in 0..3u64 {
+            let before = index.stats().build_time_us;
+            let report = index.ingest_batch(streamed_records(&sp, 200 + batch)).unwrap();
+            assert_eq!(
+                index.stats().build_time_us - before,
+                report.flush_time_us,
+                "build-time increment and reported flush time must be one measurement"
+            );
+        }
     }
 
     #[test]

@@ -113,6 +113,7 @@
 
 pub mod approximate;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod index;
@@ -135,6 +136,7 @@ pub use approximate::{BandedIndex, BandingConfig};
 pub use config::{
     BoundMode, HasherMode, IndexConfig, PlannerConfig, PublishPolicy, SchedulerConfig,
 };
+pub use durable::{DurableMinSigIndex, DurableShardedMinSigIndex, RecoveryReport};
 pub use engine::{
     Bound, Executor, InMemorySource, PagedSource, PrivateBound, SeededBound, SharedBound, TopKHeap,
     TraceSource,

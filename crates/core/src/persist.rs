@@ -10,17 +10,24 @@
 //! | segment | contents |
 //! |---------|----------|
 //! | `META`  | temporal discretisation, [`IndexConfig`], the *resolved* hash range, hierarchy height, tree level count, and the expected entity / node / unit counts |
+//! | `WAL`   | the WAL checkpoint LSN: the highest log record this file already incorporates — format version 3 and newer |
 //! | `SYN`   | the planning [`Synopsis`] (sketch size, per-level capacity caps, entity count, hot-entity ids) — format version 2 and newer |
 //! | `SP`    | the spatial hierarchy as a parent list (units were created parent-before-child, so replaying the list through [`SpIndexBuilder`] reproduces the exact same dense unit ids) |
 //! | `TREE`  | the [`MinSigTree`] node arena, structurally (chunked) |
 //! | `ENT`   | per entity: its base-level ST-cells and its full signature list (chunked) |
 //!
-//! **Version 2** (this build) adds the `SYN` segment so a reopened index
-//! plans sharded queries immediately — including a non-default synopsis
-//! sketch size chosen at build time — without recomputing anything.
-//! Version-1 files still open: they carry no `SYN` segment, so the synopsis
-//! is computed from the loaded sequences (a linear pass over cached lengths;
-//! still no re-hashing) at the default sketch size.
+//! **Version 3** (this build) adds the `WAL` segment carrying the checkpoint
+//! LSN of the durable ingest path (`crate::durable`): recovery replays only
+//! log records *newer* than this LSN, and because the LSN travels inside the
+//! atomically renamed file it can never disagree with the state it
+//! describes — a crash between a checkpoint and its log truncation cannot
+//! double-apply a batch.  A non-durable [`save`](IndexSnapshot::save) writes
+//! LSN 0.  **Version 2** added the `SYN` segment so a reopened index plans
+//! sharded queries immediately — including a non-default synopsis sketch
+//! size chosen at build time — without recomputing anything.  Version-1 and
+//! version-2 files still open: missing segments fall back (synopsis computed
+//! from the loaded sequences — a linear pass over cached lengths, no
+//! re-hashing; checkpoint LSN 0).
 //!
 //! Per-level sequences are *not* stored: they are cheap, deterministic
 //! projections of the base cells ([`CellSetSequence::from_base_cells`]), so
@@ -56,16 +63,18 @@ use trace_storage::segment::{self, Cursor, SegmentError};
 
 /// Magic bytes of a persisted index file ("MinSig IndeX").
 pub const INDEX_MAGIC: [u8; 4] = *b"MSIX";
-/// Newest index file format version this build reads and writes.  Version 2
-/// added the `SYN` planning-synopsis segment; version-1 files still open
-/// (their synopsis is computed from the loaded sequences).
-pub const INDEX_VERSION: u16 = 2;
+/// Newest index file format version this build reads and writes.  Version 3
+/// added the `WAL` checkpoint-LSN segment, version 2 the `SYN`
+/// planning-synopsis segment; older files still open (missing segments fall
+/// back to a computed synopsis and checkpoint LSN 0).
+pub const INDEX_VERSION: u16 = 3;
 
 const TAG_META: u32 = 1;
 const TAG_SP: u32 = 2;
 const TAG_TREE: u32 = 3;
 const TAG_ENT: u32 = 4;
 const TAG_SYN: u32 = 5;
+const TAG_WAL: u32 = 6;
 
 /// Entities per `ENT` segment and nodes per `TREE` segment: keeps individual
 /// segments small enough to checksum incrementally while amortising the
@@ -85,8 +94,17 @@ impl IndexSnapshot {
     /// file.  A saved-then-[`open`](IndexSnapshot::open)ed snapshot answers
     /// every query bit-identically to this one.
     pub fn save(&self, path: &Path) -> Result<()> {
+        self.save_with_wal_lsn(path, 0)
+    }
+
+    /// [`save`](IndexSnapshot::save), stamping `wal_lsn` as the file's WAL
+    /// checkpoint LSN — the durable ingest path's hook (`crate::durable`).
+    /// The LSN rides inside the atomically renamed file, so the persisted
+    /// state and the log position it corresponds to can never be torn apart
+    /// by a crash.
+    pub(crate) fn save_with_wal_lsn(&self, path: &Path, wal_lsn: u64) -> Result<()> {
         segment::atomic_write(path, INDEX_MAGIC, INDEX_VERSION, |writer| {
-            self.write_segments(writer)
+            self.write_segments(writer, wal_lsn)
         })?;
         Ok(())
     }
@@ -98,17 +116,25 @@ impl IndexSnapshot {
     /// without writing it first and reading it back; pair with
     /// [`open_from_bytes`](IndexSnapshot::open_from_bytes).
     pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        self.to_bytes_with_lsn(0)
+    }
+
+    /// [`to_bytes`](IndexSnapshot::to_bytes) with an explicit WAL checkpoint
+    /// LSN (the durable sharded save's hook).
+    pub(crate) fn to_bytes_with_lsn(&self, wal_lsn: u64) -> Result<Vec<u8>> {
         let mut writer = segment::SegmentWriter::new(Vec::new(), INDEX_MAGIC, INDEX_VERSION)
             .map_err(IndexError::from)?;
-        self.write_segments(&mut writer).map_err(IndexError::from)?;
+        self.write_segments(&mut writer, wal_lsn).map_err(IndexError::from)?;
         writer.finish().map_err(IndexError::from)
     }
 
     fn write_segments<W: std::io::Write>(
         &self,
         writer: &mut segment::SegmentWriter<W>,
+        wal_lsn: u64,
     ) -> trace_storage::segment::Result<()> {
         writer.write_segment(TAG_META, &self.encode_meta())?;
+        writer.write_segment(TAG_WAL, &wal_lsn.to_le_bytes())?;
         writer.write_segment(TAG_SYN, &self.encode_synopsis())?;
         writer.write_segment(TAG_SP, &self.encode_sp())?;
         for chunk in self.tree.nodes().chunks(NODES_PER_SEGMENT) {
@@ -130,6 +156,13 @@ impl IndexSnapshot {
     /// otherwise damaged file yields [`IndexError::Corrupt`] (or
     /// [`IndexError::Io`]), never a partially loaded index.
     pub fn open(path: &Path) -> Result<IndexSnapshot> {
+        Ok(Self::open_with_lsn(path)?.0)
+    }
+
+    /// [`open`](IndexSnapshot::open), also returning the file's WAL
+    /// checkpoint LSN (0 for files older than format version 3 and for
+    /// non-durable saves).
+    pub(crate) fn open_with_lsn(path: &Path) -> Result<(IndexSnapshot, u64)> {
         Self::open_reader(segment::open_file(path, INDEX_MAGIC, INDEX_VERSION)?)
     }
 
@@ -142,12 +175,18 @@ impl IndexSnapshot {
     /// open's manifest digest check) parse the *verified* buffer instead of
     /// re-reading the file — no window for the file to change in between.
     pub fn open_from_bytes(bytes: &[u8]) -> Result<IndexSnapshot> {
+        Ok(Self::open_from_bytes_with_lsn(bytes)?.0)
+    }
+
+    /// [`open_from_bytes`](IndexSnapshot::open_from_bytes), also returning
+    /// the buffer's WAL checkpoint LSN (the sharded recovery hook).
+    pub(crate) fn open_from_bytes_with_lsn(bytes: &[u8]) -> Result<(IndexSnapshot, u64)> {
         Self::open_reader(segment::SegmentReader::new(bytes, INDEX_MAGIC, INDEX_VERSION)?)
     }
 
     fn open_reader<R: std::io::Read>(
         mut reader: segment::SegmentReader<R>,
-    ) -> Result<IndexSnapshot> {
+    ) -> Result<(IndexSnapshot, u64)> {
         let version = reader.version();
         let mut meta: Option<Meta> = None;
         let mut sp = None;
@@ -155,6 +194,7 @@ impl IndexSnapshot {
         let mut sequences = BTreeMap::new();
         let mut signatures = BTreeMap::new();
         let mut synopsis: Option<Synopsis> = None;
+        let mut wal_lsn: Option<u64> = None;
 
         while let Some((tag, payload)) = reader.next_segment()? {
             match tag {
@@ -170,6 +210,18 @@ impl IndexSnapshot {
                         return Err(corrupt("duplicate SYN segment"));
                     }
                     synopsis = Some(decode_synopsis(&payload, meta)?);
+                }
+                TAG_WAL => {
+                    if version < 3 {
+                        return Err(corrupt("pre-version-3 file carries a WAL segment"));
+                    }
+                    if wal_lsn.is_some() {
+                        return Err(corrupt("duplicate WAL segment"));
+                    }
+                    let mut c = Cursor::new(&payload);
+                    let lsn = c.u64()?;
+                    c.expect_end().map_err(IndexError::from)?;
+                    wal_lsn = Some(lsn);
                 }
                 TAG_SP => {
                     let meta = meta.as_ref().ok_or_else(|| corrupt("SP segment before META"))?;
@@ -266,6 +318,14 @@ impl IndexSnapshot {
             ),
         };
 
+        // Version 3 files always carry the checkpoint LSN; older files never
+        // do, and an index saved outside the durable path has LSN 0 anyway.
+        let wal_lsn = match wal_lsn {
+            Some(lsn) => lsn,
+            None if version >= 3 => return Err(corrupt("missing WAL segment")),
+            None => 0,
+        };
+
         let family = SeededHashFamily::new(
             meta.config.num_hash_functions,
             meta.config.hash_seed,
@@ -284,7 +344,7 @@ impl IndexSnapshot {
             arena: crate::kernel::CandidateArena::default(),
         };
         snapshot.rebuild_arena();
-        Ok(snapshot)
+        Ok((snapshot, wal_lsn))
     }
 
     fn encode_meta(&self) -> Vec<u8> {
@@ -786,6 +846,24 @@ mod tests {
 
         std::fs::write(&path, &bytes).unwrap();
         MinSigIndex::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_checkpoint_lsn_round_trips() {
+        let (_sp, _traces, index) = sample_index(10);
+        let path = temp_path("wal-lsn.msix");
+        index.snapshot().save_with_wal_lsn(&path, 77).unwrap();
+        let (_, lsn) = IndexSnapshot::open_with_lsn(&path).unwrap();
+        assert_eq!(lsn, 77);
+        // The LSN travels with the bytes form too.
+        let bytes = index.snapshot().to_bytes_with_lsn(78).unwrap();
+        let (_, lsn) = IndexSnapshot::open_from_bytes_with_lsn(&bytes).unwrap();
+        assert_eq!(lsn, 78);
+        // A plain (non-durable) save stamps LSN 0.
+        index.save(&path).unwrap();
+        let (_, lsn) = IndexSnapshot::open_with_lsn(&path).unwrap();
+        assert_eq!(lsn, 0);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -117,7 +117,7 @@ use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
 use crate::stats::QueryStats;
 use rayon::prelude::*;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -129,11 +129,14 @@ use trace_storage::segment::{self, Cursor};
 
 /// Magic bytes of a sharded-index manifest file ("MinSig sHarD").
 pub const SHARD_MANIFEST_MAGIC: [u8; 4] = *b"MSHD";
-/// Newest manifest format version this build reads and writes.  Version 2
-/// directories hold `MSIX` version-2 shard files (which embed each shard's
-/// planning synopsis); the manifest payload layout is unchanged, and
-/// version-1 directories still open — their shards compute synopses on load.
-pub const SHARD_MANIFEST_VERSION: u16 = 2;
+/// Newest manifest format version this build reads and writes.  Version 3
+/// directories hold `MSIX` version-3 shard files (which embed each shard's
+/// WAL checkpoint LSN for the durable ingest path); version 2 directories
+/// hold version-2 shard files (embedded planning synopses).  The manifest
+/// payload layout is unchanged across all three versions, and older
+/// directories still open — their shards fall back exactly as unsharded
+/// `MSIX` files do.
+pub const SHARD_MANIFEST_VERSION: u16 = 3;
 /// File name of the manifest inside a sharded-index directory.
 pub const SHARD_MANIFEST_FILE: &str = "manifest.mshd";
 /// Version of the [`shard_of`] partitioning function recorded in the
@@ -189,7 +192,7 @@ pub fn shard_of(entity: EntityId, num_shards: usize) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct ShardedMinSigIndex {
-    shards: Vec<MinSigIndex>,
+    pub(crate) shards: Vec<MinSigIndex>,
 }
 
 /// One consistent cross-shard version of a [`ShardedMinSigIndex`]: all shard
@@ -960,14 +963,7 @@ impl IngestBuffer {
         // which dominates, still happens once.)
         {
             let probe = &index.shards[0];
-            let (sp, ticks) = (probe.sp_index(), probe.ticks_per_unit());
-            let mut by_entity: BTreeMap<EntityId, DigitalTrace> = BTreeMap::new();
-            for record in self.records() {
-                by_entity.entry(record.entity).or_default().push(*record);
-            }
-            for delta in by_entity.values() {
-                delta.cell_sequence(sp, ticks)?;
-            }
+            self.validate(probe.sp_index(), probe.ticks_per_unit())?;
         }
 
         let num_shards = index.num_shards();
@@ -1019,9 +1015,21 @@ impl ShardedMinSigIndex {
     /// before the manifest write leaves the old manifest whose digests no
     /// longer match the partially re-saved shard files ([`open`](Self::open)
     /// reports [`IndexError::Corrupt`]), never a silently served mix of old
-    /// and new shards.  To re-save without ever invalidating the previous
-    /// copy, save into a fresh directory and swap directories afterwards.
+    /// and new shards.  After the manifest commits, `shard-*.msix` files it
+    /// does not describe (left behind by an earlier save with more shards)
+    /// are deleted, so re-saving with a smaller shard count leaves exactly
+    /// the files the manifest lists.  To re-save without ever invalidating
+    /// the previous copy, save into a fresh directory and swap directories
+    /// afterwards.
     pub fn save(&self, dir: &Path) -> Result<()> {
+        self.save_with_lsns(dir, None)
+    }
+
+    /// [`save`](Self::save), stamping per-shard WAL checkpoint LSNs into the
+    /// shard files (the durable ingest path's hook; `None` stamps 0
+    /// everywhere).  `lsns`, when given, must have one entry per shard.
+    pub(crate) fn save_with_lsns(&self, dir: &Path, lsns: Option<&[u64]>) -> Result<()> {
+        debug_assert!(lsns.is_none_or(|l| l.len() == self.shards.len()));
         std::fs::create_dir_all(dir).map_err(|e| IndexError::Io(e.to_string()))?;
         let mut payload = Vec::with_capacity(8 + self.shards.len() * 16);
         payload.extend_from_slice(&PARTITION_VERSION.to_le_bytes());
@@ -1030,7 +1038,8 @@ impl ShardedMinSigIndex {
             // Serialise in memory, digest, then commit atomically: the
             // manifest digests the exact bytes that hit the disk, with no
             // write-then-read-back round trip.
-            let bytes = shard.snapshot().to_bytes()?;
+            let lsn = lsns.map_or(0, |l| l[i]);
+            let bytes = shard.snapshot().to_bytes_with_lsn(lsn)?;
             segment::atomic_write_bytes(&dir.join(Self::shard_file_name(i)), &bytes)?;
             payload.extend_from_slice(&(shard.num_entities() as u64).to_le_bytes());
             payload.extend_from_slice(&file_digest(&bytes).to_le_bytes());
@@ -1041,6 +1050,10 @@ impl ShardedMinSigIndex {
             SHARD_MANIFEST_VERSION,
             |writer| writer.write_segment(TAG_MANIFEST, &payload),
         )?;
+        // The manifest is durably in place: scrub orphaned shard files from
+        // any earlier save with a larger shard count.  (Before the manifest
+        // commit they must stay — the *old* manifest still describes them.)
+        remove_orphan_shard_files(dir, self.shards.len())?;
         Ok(())
     }
 
@@ -1056,6 +1069,23 @@ impl ShardedMinSigIndex {
     /// actually routes to the shard holding it — a renamed or swapped shard
     /// file is reported as [`IndexError::Corrupt`], never served.
     pub fn open(dir: &Path) -> Result<ShardedMinSigIndex> {
+        Ok(Self::open_inner(dir, true)?.0)
+    }
+
+    /// Opens a sharded directory for WAL recovery (`crate::durable`),
+    /// returning the shards plus each shard file's checkpoint LSN.
+    ///
+    /// Relaxed where a torn checkpoint is *expected* and WAL replay restores
+    /// consistency: the manifest's content digests and entity counts are not
+    /// enforced (a crash mid-checkpoint legitimately leaves an old manifest
+    /// next to some re-saved shard files).  Everything that replay cannot
+    /// repair stays enforced — per-file `MSIX` checksums, entity-to-shard
+    /// routing, and cross-shard hierarchy/discretisation agreement.
+    pub(crate) fn open_for_recovery(dir: &Path) -> Result<(ShardedMinSigIndex, Vec<u64>)> {
+        Self::open_inner(dir, false)
+    }
+
+    fn open_inner(dir: &Path, strict: bool) -> Result<(ShardedMinSigIndex, Vec<u64>)> {
         let mut reader = segment::open_file(
             &dir.join(SHARD_MANIFEST_FILE),
             SHARD_MANIFEST_MAGIC,
@@ -1097,10 +1127,11 @@ impl ShardedMinSigIndex {
 
         let num_shards = entries.len();
         let mut shards = Vec::with_capacity(num_shards);
+        let mut ckpt_lsns = Vec::with_capacity(num_shards);
         for (i, &(expected, digest)) in entries.iter().enumerate() {
             let path = dir.join(Self::shard_file_name(i));
             let bytes = std::fs::read(&path).map_err(|e| IndexError::Io(e.to_string()))?;
-            if file_digest(&bytes) != digest {
+            if strict && file_digest(&bytes) != digest {
                 return Err(corrupt(&format!(
                     "shard {i} does not match the manifest that describes it (interrupted \
                      re-save over an existing directory, or a damaged/replaced shard file)"
@@ -1109,9 +1140,9 @@ impl ShardedMinSigIndex {
             // Parse the *verified* buffer — re-reading the file here would
             // open a window for a concurrent re-save to swap it after the
             // digest check.
-            let shard =
-                MinSigIndex::from_snapshot(Arc::new(IndexSnapshot::open_from_bytes(&bytes)?));
-            if shard.num_entities() as u64 != expected {
+            let (snapshot, ckpt_lsn) = IndexSnapshot::open_from_bytes_with_lsn(&bytes)?;
+            let shard = MinSigIndex::from_snapshot(Arc::new(snapshot));
+            if strict && shard.num_entities() as u64 != expected {
                 return Err(corrupt(&format!(
                     "shard {i} holds {} entities but the manifest announces {expected}",
                     shard.num_entities()
@@ -1127,6 +1158,7 @@ impl ShardedMinSigIndex {
                 }
             }
             shards.push(shard);
+            ckpt_lsns.push(ckpt_lsn);
         }
         for (i, shard) in shards.iter().enumerate().skip(1) {
             if shard.ticks_per_unit() != shards[0].ticks_per_unit()
@@ -1137,8 +1169,30 @@ impl ShardedMinSigIndex {
                 )));
             }
         }
-        Ok(ShardedMinSigIndex::from_shards(shards))
+        Ok((ShardedMinSigIndex::from_shards(shards), ckpt_lsns))
     }
+}
+
+/// Deletes `shard-NNNNN.msix` files with index ≥ `num_shards` — orphans of
+/// an earlier save with a larger shard count, which the freshly committed
+/// manifest no longer describes.  Temp-file siblings and foreign names are
+/// left alone.
+fn remove_orphan_shard_files(dir: &Path, num_shards: usize) -> Result<()> {
+    let entries = std::fs::read_dir(dir).map_err(|e| IndexError::Io(e.to_string()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| IndexError::Io(e.to_string()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix("shard-").and_then(|s| s.strip_suffix(".msix")) else {
+            continue;
+        };
+        if let Ok(index) = stem.parse::<usize>() {
+            if index >= num_shards {
+                std::fs::remove_file(entry.path()).map_err(|e| IndexError::Io(e.to_string()))?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// 64-bit FNV-1a digest of a shard file's exact bytes.
@@ -1427,6 +1481,53 @@ mod tests {
         // A missing shard file is an I/O error, a missing manifest too.
         std::fs::remove_file(&b).unwrap();
         assert!(matches!(ShardedMinSigIndex::open(&dir), Err(IndexError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression test for the shrinking re-save bug: saving 8 shards and
+    /// then re-saving 2 into the same directory used to leave
+    /// `shard-00002.msix`..`shard-00007.msix` behind forever — `open` only
+    /// verifies manifest-listed files, so the stale shards silently
+    /// accumulated.  After the manifest commits, undescribed shard files
+    /// must be deleted and the directory must hold exactly the new save.
+    #[test]
+    fn shrinking_resave_deletes_orphaned_shard_files() {
+        let w = workload();
+        let config = IndexConfig::with_hash_functions(16);
+        let eight = ShardedMinSigIndex::build(&w.sp, &w.traces, config, 8).unwrap();
+        let dir = temp_dir("shrink");
+        eight.save(&dir).unwrap();
+        assert!(dir.join(ShardedMinSigIndex::shard_file_name(7)).exists());
+
+        let two = ShardedMinSigIndex::build(&w.sp, &w.traces, config, 2).unwrap();
+        two.save(&dir).unwrap();
+
+        // Exact directory contents: the manifest plus exactly two shards.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                SHARD_MANIFEST_FILE.to_string(),
+                ShardedMinSigIndex::shard_file_name(0),
+                ShardedMinSigIndex::shard_file_name(1),
+            ],
+            "orphaned shard files survived a shrinking re-save"
+        );
+
+        // And the directory reopens cleanly to the 2-shard index.
+        let reopened = ShardedMinSigIndex::open(&dir).unwrap();
+        assert_eq!(reopened.num_shards(), 2);
+        assert_eq!(reopened.num_entities(), two.num_entities());
+        let measure = w.measure();
+        for query in [0u64, 9, 31] {
+            let (a, _) = two.top_k(EntityId(query), 4, &measure).unwrap();
+            let (b, _) = reopened.top_k(EntityId(query), 4, &measure).unwrap();
+            assert_eq!(a, b);
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -25,13 +25,17 @@
 //!   path of the `minsig` crate;
 //! * [`segment`] — the checksummed, length-prefixed segment file format that
 //!   backs every on-disk artefact ([`save_trace_set`]/[`load_trace_set`] here,
-//!   the persisted index snapshot in `minsig::persist`).
+//!   the persisted index snapshot in `minsig::persist`);
+//! * [`log`] — the LSN'd, fsync'd append-only write-ahead log under the
+//!   durable ingest path of the `minsig` crate (O(batch) commits between
+//!   O(shard) checkpoints).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
 pub mod disk;
+pub mod log;
 pub mod page;
 pub mod pool;
 pub mod replacer;
@@ -41,6 +45,7 @@ pub mod store;
 
 pub use codec::TraceRecord;
 pub use disk::{DiskStats, PageId, VirtualDisk};
+pub use log::{LogConfig, LogManager, LogRecord, LOG_MAGIC, LOG_VERSION};
 pub use page::{Page, PAGE_SIZE};
 pub use pool::{BufferPool, PinnedPages, PoolConfig, PoolStats};
 pub use replacer::{FifoReplacer, LruKReplacer, Replacer, ReplacerPolicy};

@@ -254,14 +254,30 @@ impl<'d> BufferPool<'d> {
         inner.stats.misses += 1;
         inner.stats.simulated_us += self.config.miss_latency_us;
         let capacity = self.config.capacity_pages();
+        // Budget for rejected victims: a misbehaving custom replacer that
+        // keeps naming pinned (or non-resident) pages must not spin this
+        // loop forever — after one rejection per resident frame the pool
+        // overcommits instead, exactly as if `victim()` had returned `None`.
+        let mut rejections = inner.frames.len() + 1;
         while inner.frames.len() >= capacity {
             let Some(victim) = inner.replacer.victim() else { break };
-            let evicted = inner.frames.remove(&victim);
-            debug_assert!(
-                evicted.as_ref().is_some_and(|f| f.pins == 0),
-                "replacer named a pinned frame as victim"
-            );
-            inner.stats.evictions += 1;
+            match inner.frames.get(&victim).map(|f| f.pins) {
+                Some(0) => {
+                    inner.frames.remove(&victim);
+                    inner.stats.evictions += 1;
+                    continue;
+                }
+                // The pinned-never-victim invariant is enforced, not merely
+                // asserted: skip the bad victim and re-mark it unevictable
+                // so a conforming replacer stops offering it.
+                Some(_) => inner.replacer.set_evictable(victim, false),
+                // A victim the pool does not hold: scrub the stale entry.
+                None => inner.replacer.remove(victim),
+            }
+            rejections -= 1;
+            if rejections == 0 {
+                break;
+            }
         }
         let page = self.disk.read_page(id);
         inner.frames.insert(id, Frame { page: page.clone(), pins: u32::from(pin) });
@@ -556,6 +572,90 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, threads * reads_per_thread);
         // All 16 pages fit in the default budget: every page misses exactly once.
         assert_eq!(stats.misses, 16);
+    }
+
+    /// A replacer that violates every rule: it always names page 0 as the
+    /// victim (pinned or not), never removes it from its own bookkeeping,
+    /// and ignores `set_evictable`.  The pool must survive it in release
+    /// builds — the pinned frame stays resident with its pins intact and
+    /// the pool overcommits rather than evicting it or looping forever.
+    #[derive(Debug)]
+    struct MaliciousReplacer;
+
+    impl Replacer for MaliciousReplacer {
+        fn record_access(&mut self, _id: PageId) {}
+        fn set_evictable(&mut self, _id: PageId, _evictable: bool) {}
+        fn remove(&mut self, _id: PageId) {}
+        fn victim(&mut self) -> Option<PageId> {
+            Some(0)
+        }
+        fn tracked(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn malicious_replacer_cannot_evict_a_pinned_frame() {
+        let disk = disk_with_pages(9);
+        let pool = BufferPool::with_replacer(
+            &disk,
+            tiny(2, ReplacerPolicy::Fifo),
+            Box::new(MaliciousReplacer),
+        );
+        pool.pin(0);
+        assert_eq!(pool.pinned_frames(), 1);
+        // Every miss past the budget asks the replacer, which always answers
+        // with the pinned page 0: the pool must refuse, terminate its
+        // eviction loop, and overcommit.
+        for id in 1..8u64 {
+            pool.get(id);
+        }
+        assert!(pool.is_resident(0), "pinned frame was evicted by a malicious replacer");
+        assert_eq!(pool.pinned_frames(), 1, "pin accounting was corrupted");
+        assert_eq!(pool.cached_pages(), 8, "pool overcommits rather than dropping the pin");
+        assert_eq!(pool.stats().evictions, 0, "a rejected victim is not an eviction");
+        // The pin is still released by the normal protocol.
+        assert!(pool.unpin(0));
+        assert_eq!(pool.pinned_frames(), 0);
+        // Once unpinned, page 0 is a legitimate victim again and the next
+        // miss does evict it.
+        pool.get(8);
+        assert!(!pool.is_resident(0), "released frame became evictable again");
+        assert!(pool.stats().evictions > 0);
+    }
+
+    /// A replacer that names victims the pool does not even hold; the pool
+    /// must scrub them and fall back to overcommitting, never panic.
+    #[derive(Debug)]
+    struct PhantomReplacer(u64);
+
+    impl Replacer for PhantomReplacer {
+        fn record_access(&mut self, _id: PageId) {}
+        fn set_evictable(&mut self, _id: PageId, _evictable: bool) {}
+        fn remove(&mut self, _id: PageId) {}
+        fn victim(&mut self) -> Option<PageId> {
+            self.0 += 1;
+            Some(1_000 + self.0) // never resident
+        }
+        fn tracked(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn non_resident_victims_are_scrubbed_not_evicted() {
+        let disk = disk_with_pages(6);
+        let pool = BufferPool::with_replacer(
+            &disk,
+            tiny(2, ReplacerPolicy::Fifo),
+            Box::new(PhantomReplacer(0)),
+        );
+        for id in 0..6u64 {
+            pool.get(id);
+        }
+        assert_eq!(pool.cached_pages(), 6, "phantom victims force overcommit");
+        assert_eq!(pool.stats().evictions, 0);
+        assert_eq!(pool.stats().misses, 6);
     }
 
     #[test]

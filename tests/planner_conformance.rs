@@ -299,7 +299,8 @@ fn version_1_directories_still_open() {
     sharded.save(&dir_v2).unwrap();
 
     // Re-encode every shard file as version 1: same segments minus SYN
-    // (tag 5), same order — byte-wise what the pre-synopsis writer produced.
+    // (tag 5, added in v2) and WAL (tag 6, added in v3), same order —
+    // byte-wise what the pre-synopsis writer produced.
     let dir_v1 = temp_dir("v1compat", "legacy");
     std::fs::create_dir_all(&dir_v1).unwrap();
     let mut digests = Vec::new();
@@ -309,7 +310,7 @@ fn version_1_directories_still_open() {
         let mut reader = SegmentReader::new(bytes.as_slice(), INDEX_MAGIC, u16::MAX).unwrap();
         let mut writer = SegmentWriter::new(Vec::new(), INDEX_MAGIC, 1).unwrap();
         while let Some((tag, payload)) = reader.next_segment().unwrap() {
-            if tag != 5 {
+            if tag != 5 && tag != 6 {
                 writer.write_segment(tag, &payload).unwrap();
             }
         }

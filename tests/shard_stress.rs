@@ -12,7 +12,10 @@
 use digital_traces::index::testkit::{
     assert_equivalent_answers, StreamConfig, UniformConfig, Workload,
 };
-use digital_traces::index::{IndexConfig, IngestBuffer, ShardedMinSigIndex};
+use digital_traces::index::{
+    DurableShardedMinSigIndex, IndexConfig, IngestBuffer, ShardedMinSigIndex,
+};
+use digital_traces::storage::LogConfig;
 use digital_traces::storage::{PagedTraceStore, PoolConfig, ReplacerPolicy, PAGE_SIZE};
 use digital_traces::EntityId;
 use std::collections::HashSet;
@@ -240,6 +243,129 @@ fn run_paged_stress(
     assert_eq!(pool.pinned_frames(), 0, "a reader leaked a pin");
     let io = pool.stats();
     assert!(io.misses > 0, "a tight pool under racing readers must miss");
+}
+
+/// The durable-ingest variant: the flusher drives a
+/// [`DurableShardedMinSigIndex`] — every batch WAL-logged and committed
+/// before any shard flushes, with a checkpoint dropped mid-run — while N
+/// readers keep checking the no-torn-epochs and oracle-equality invariants.
+/// When the dust settles the process "crashes" (drops without a final
+/// checkpoint) and the recovered index must answer every probe exactly like
+/// the live one did.
+fn run_durable_stress(entities: u64, shards: usize, readers: usize, flushes: u64, records: usize) {
+    let w = Workload::uniform(UniformConfig {
+        entities,
+        visits: 5,
+        seed: 42,
+        ..UniformConfig::default()
+    });
+    let measure = w.measure();
+    let dir = std::env::temp_dir()
+        .join(format!("durable-stress-{}-{entities}-{shards}-{flushes}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let built =
+        ShardedMinSigIndex::build(&w.sp, &w.traces, IndexConfig::with_hash_functions(16), shards)
+            .unwrap();
+    let log_config = LogConfig { fsync: false, ..LogConfig::default() };
+    let durable = DurableShardedMinSigIndex::create(&dir, built, log_config).unwrap();
+
+    let published: Mutex<HashSet<Vec<u64>>> = Mutex::new(HashSet::from([durable.index().epochs()]));
+    let lock = RwLock::new(durable);
+    let stop = AtomicBool::new(false);
+    let ready = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for reader in 0..readers {
+            let (lock, published, stop, measure) = (&lock, &published, &stop, &measure);
+            let ready = &ready;
+            scope.spawn(move || {
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let snapshot = lock.read().unwrap().index().snapshot();
+                    let epochs = snapshot.epochs().to_vec();
+                    assert!(
+                        published.lock().unwrap().contains(&epochs),
+                        "durable reader {reader} observed a torn epoch set {epochs:?}"
+                    );
+                    let query = EntityId((reader as u64 + iterations) % entities);
+                    let (got, _) = snapshot.top_k(query, 3, measure).unwrap();
+                    let oracle = snapshot.brute_force(query, 3, measure).unwrap();
+                    assert_equivalent_answers(
+                        &got,
+                        &oracle,
+                        &format!("durable reader {reader} answer vs its snapshot's oracle"),
+                    );
+                    if iterations == 0 {
+                        ready.fetch_add(1, Ordering::AcqRel);
+                    }
+                    iterations += 1;
+                }
+                assert!(iterations > 0, "durable reader {reader} never ran");
+            });
+        }
+
+        for flush in 0..flushes {
+            let records = w.stream(StreamConfig {
+                records,
+                existing_entities: entities,
+                new_entity_base: 10_000 + flush * 100,
+                new_entity_span: 8,
+                start_tick: 20_000 + flush * 1_000,
+                seed: flush,
+                ..StreamConfig::default()
+            });
+            let mut guard = lock.write().unwrap();
+            let report = guard.ingest(records).unwrap();
+            assert!(report.shards_touched >= 1);
+            // Exercise a checkpoint under reader load mid-run: it truncates
+            // the logs but must not perturb what readers observe.
+            if flush == flushes / 2 {
+                guard.checkpoint().unwrap();
+            }
+            published.lock().unwrap().insert(guard.index().epochs());
+            drop(guard);
+            std::thread::yield_now();
+        }
+        while ready.load(Ordering::Acquire) < readers {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    assert_eq!(published.lock().unwrap().len() as u64, flushes + 1);
+
+    // Crash (no final checkpoint) and recover: the reopened index must agree
+    // with the live one on every probe.
+    let live = lock.into_inner().unwrap();
+    let live_snapshot = live.index().snapshot();
+    drop(live);
+    let (recovered, report) = DurableShardedMinSigIndex::open(&dir, log_config).unwrap();
+    assert!(report.batches_replayed >= 1, "post-checkpoint flushes must replay, got {report:?}");
+    assert_eq!(report.uncommitted_discarded, 0);
+    assert_eq!(recovered.index().num_entities(), live_snapshot.num_entities());
+    for query in 0..entities {
+        let query = EntityId(query);
+        let (got, _) = recovered.index().top_k(query, 3, &measure).unwrap();
+        let (want, _) = live_snapshot.top_k(query, 3, &measure).unwrap();
+        assert_equivalent_answers(
+            &got,
+            &want,
+            &format!("recovered vs live answer for entity {}", query.raw()),
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durable_readers_race_logged_flushes_and_recover_after_crash() {
+    run_durable_stress(24, 4, 4, 8, 60);
+}
+
+/// The heavy durable variant for the CI release stress job.
+#[test]
+#[ignore = "heavy stress; run with cargo test --release -- --ignored"]
+fn heavy_durable_readers_race_logged_flushes_and_recover_after_crash() {
+    run_durable_stress(120, 8, 8, 24, 300);
 }
 
 #[test]
