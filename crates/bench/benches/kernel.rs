@@ -2,12 +2,12 @@
 //!
 //! Three layers, matching the flat-kernel design (`minsig::kernel`):
 //!
-//! 1. **ns/comparison** of the intersection kernels — three-way-compare
-//!    merge, explicit-mask merge, galloping, and the size-ratio dispatcher —
-//!    over deterministic sorted sets at three size shapes: *similar*
-//!    (4096 × 4096), *skewed* at the dispatch boundary (512 × 4096) and
-//!    *extreme* skew (64 × 4096).  A comparison is one element step of the
-//!    two-pointer walk, so `comparisons = |a| + |b|` per call.
+//! 1. **ns/op** of the intersection kernels — three-way-compare merge,
+//!    explicit-mask merge, galloping, the SIMD blockwise kernel, and the
+//!    size-ratio dispatcher — over deterministic sorted sets on a full
+//!    size × skew grid: larger-side sizes {16, 256, 4096} × size ratios
+//!    {1×, 8×, 64×}.  A comparison is one element step of the two-pointer
+//!    walk, so `comparisons = |a| + |b|` per call.
 //! 2. **ns/degree** of the association-degree hot loop: the owned path
 //!    (`AssociationMeasure::degree` over `CellSetSequence` maps) against the
 //!    arena's fused SoA loop (`CandidateArena::degree_into`), on the shared
@@ -22,9 +22,15 @@
 //! workspace root.  The artifact embeds the committed baseline
 //! (`crates/bench/baselines/kernel.json`), which carries the pre-change
 //! shard-scaling QPS and the arena ns/degree recorded when the kernels
-//! landed.  Two gates **panic** (failing the bench job):
+//! landed, and records whether the `simd` cargo feature routed the
+//! dispatcher (CI runs the bench both ways).  Three gates **panic**
+//! (failing the bench job):
 //!
-//! * any fused arena degree diverging bitwise from the owned oracle;
+//! * any intersection kernel diverging from the merge oracle on any grid
+//!   shape, or any fused arena degree diverging bitwise from the owned
+//!   oracle;
+//! * the SIMD kernel losing to the scalar merge in the similar-size regime
+//!   at ≥ 256 elements (the regime the dispatcher routes to it);
 //! * arena ns/degree regressing more than 25% over the committed baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -40,6 +46,7 @@ use std::hint::black_box;
 use std::time::Instant;
 use trace_model::kernel::{
     intersection_len, intersection_len_gallop, intersection_len_masked, intersection_len_merge,
+    intersection_len_simd,
 };
 use trace_model::{AssociationMeasure, EntityId, LevelOverlap, PaperAdm};
 
@@ -73,22 +80,32 @@ fn make_set(len: usize, seed: u64) -> Vec<u64> {
         .collect()
 }
 
-/// The three size shapes the kernels are measured on.  Both sides draw gaps
-/// from the same dense domain, so intersections are non-trivial.
-fn shapes() -> Vec<(&'static str, Vec<u64>, Vec<u64>)> {
-    vec![
-        ("similar_4096x4096", make_set(4096, 42), make_set(4096, 1337)),
-        ("skewed_512x4096", make_set(512, 42), make_set(4096, 1337)),
-        ("extreme_64x4096", make_set(64, 42), make_set(4096, 1337)),
-    ]
+/// The size × skew grid the kernels are measured on: larger-side sizes
+/// {16, 256, 4096} × size ratios {1×, 8×, 64×} (the smaller side is
+/// `size / skew`, clamped to 1).  Both sides draw gaps from the same dense
+/// domain, so intersections are non-trivial on every shape.
+fn shapes() -> Vec<(String, Vec<u64>, Vec<u64>)> {
+    let mut out = Vec::new();
+    for &size in &[16usize, 256, 4096] {
+        for &skew in &[1usize, 8, 64] {
+            let small = (size / skew).max(1);
+            out.push((
+                format!("{small}x{size}_r{skew}"),
+                make_set(small, 42),
+                make_set(size, 1337),
+            ));
+        }
+    }
+    out
 }
 
 type IntersectionFn = fn(&[u64], &[u64]) -> usize;
 
-const KERNELS: [(&str, IntersectionFn); 4] = [
+const KERNELS: [(&str, IntersectionFn); 5] = [
     ("merge", intersection_len_merge),
     ("masked", intersection_len_masked),
     ("gallop", intersection_len_gallop),
+    ("simd", intersection_len_simd),
     ("dispatch", intersection_len),
 ];
 
@@ -174,13 +191,29 @@ fn write_artifact_and_gate(
     const PASSES: usize = 5;
     let mut rows = Vec::new();
 
-    // Layer 1: ns/comparison of every kernel on every shape.
+    // Layer 1: ns/op of every kernel on every grid shape, with two gates —
+    // every kernel must return the merge oracle's exact count, and the SIMD
+    // kernel must not lose to the scalar merge in the regime the dispatcher
+    // hands it (similar sizes, ≥ 256 elements).
     for (shape, a, b) in &shapes() {
         let comparisons = (a.len() + b.len()) as f64;
+        let expect = intersection_len_merge(a, b);
+        let mut merge_ns = f64::NAN;
+        let mut simd_ns = f64::NAN;
         for (name, f) in KERNELS {
+            assert_eq!(
+                f(a, b),
+                expect,
+                "kernel {name} diverged from the merge oracle on shape {shape}"
+            );
             let ns_call = best_ns_per_call(PASSES, 400, || {
                 black_box(f(black_box(a), black_box(b)));
             });
+            match name {
+                "merge" => merge_ns = ns_call,
+                "simd" => simd_ns = ns_call,
+                _ => {}
+            }
             rows.push(format!(
                 concat!(
                     "    {{\"layer\": \"intersection\", \"kernel\": \"{}\", \"shape\": \"{}\", ",
@@ -191,6 +224,14 @@ fn write_artifact_and_gate(
                 ns_call,
                 ns_call / comparisons,
             ));
+        }
+        if a.len() == b.len() && b.len() >= 256 {
+            assert!(
+                simd_ns <= merge_ns,
+                "SIMD kernel lost to the scalar merge on similar-size shape {shape} \
+                 ({simd_ns:.1} ns vs {merge_ns:.1} ns): the dispatcher routes this \
+                 regime to SIMD, so it must at least break even"
+            );
         }
     }
 
@@ -248,12 +289,14 @@ fn write_artifact_and_gate(
         concat!(
             "{{\n",
             "  \"bench\": \"kernel\",\n",
+            "  \"simd_feature\": {},\n",
             "  \"population\": {},\n",
             "  \"k\": {},\n",
             "  \"results\": [\n{}\n  ],\n",
             "  \"baseline\": {}\n",
             "}}\n"
         ),
+        cfg!(feature = "simd"),
         SHARD_BENCH_ENTITIES,
         K,
         rows.join(",\n"),

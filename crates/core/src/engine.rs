@@ -7,7 +7,8 @@
 //! (the [`execute`] function is its run-to-completion convenience wrapper).
 //! The executor separates three concerns:
 //!
-//! * the **logical search** walks the [`MinSigTree`] with a max-heap of
+//! * the **logical search** walks the [`MinSigTree`](crate::tree::MinSigTree)
+//!   topology (through its flat [`NodeArena`] rows) with a max-heap of
 //!   candidate subtrees ordered by an upper bound on the association degree
 //!   achievable inside each subtree, gradually tightening per-level overlap
 //!   caps down every branch (Theorem 4 / Section 5.1);
@@ -100,7 +101,7 @@
 //! let mut executor = Executor::new(
 //!     index.sp_index(),
 //!     index.hasher(),
-//!     index.tree(),
+//!     index.node_arena(),
 //!     query,
 //!     Some(EntityId(0)), // exclude the query entity itself
 //!     1,
@@ -123,10 +124,11 @@
 
 use crate::config::PublishPolicy;
 use crate::error::{IndexError, Result};
+use crate::kernel::NodeArena;
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{CellHashFamily, HierarchicalHasher};
 use crate::stats::QueryStats;
-use crate::tree::{MinSigTree, NodeId, ROOT};
+use crate::tree::{NodeId, ROOT};
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -610,7 +612,7 @@ where
     S: TraceSource,
     M: AssociationMeasure + ?Sized,
 {
-    tree: &'a MinSigTree,
+    tree: &'a NodeArena,
     query: &'a CellSetSequence,
     exclude: Option<EntityId>,
     k: usize,
@@ -635,6 +637,12 @@ where
 {
     /// Creates an executor with its frontier seeded at the tree root.
     ///
+    /// The tree topology is consumed through its flat per-snapshot
+    /// [`NodeArena`] rows (see
+    /// [`IndexSnapshot::node_arena`](crate::snapshot::IndexSnapshot::node_arena)),
+    /// so node expansion reads contiguous SoA vectors instead of chasing
+    /// owned node structs.
+    ///
     /// `exclude` removes the query entity itself from the answer set.  Fails
     /// with [`IndexError::LevelMismatch`] when the query sequence does not
     /// have the tree's level count.
@@ -642,7 +650,7 @@ where
     pub fn new(
         sp: &'a SpIndex,
         hasher: &'a HierarchicalHasher<F>,
-        tree: &'a MinSigTree,
+        tree: &'a NodeArena,
         query: &'a CellSetSequence,
         exclude: Option<EntityId>,
         k: usize,
@@ -720,6 +728,14 @@ where
         &self.stats
     }
 
+    /// The trace source leaf evaluation reads through — lets fan-out drivers
+    /// drain source-side accounting (e.g.
+    /// [`ArenaSource::take_dispatch`](crate::kernel::ArenaSource::take_dispatch))
+    /// before [`finish`](Self::finish).
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
     /// Advances the frontier by up to `quantum` nodes (at least 1), pruning
     /// against `max(local k-th threshold, bound.current())` and publishing
     /// threshold improvements per the configured [`PublishPolicy`].
@@ -779,13 +795,14 @@ where
     /// Expands an internal node's children into the frontier, or evaluates a
     /// leaf's entities through the source.
     fn visit<B: Bound + ?Sized>(&mut self, candidate: Candidate, bound: &B) {
-        let m = self.tree.levels();
-        let node = self.tree.node(candidate.node);
+        let tree = self.tree;
+        let m = tree.levels();
 
-        if node.depth == m {
-            // Leaf: evaluate every contained entity exactly.
+        if tree.depth(candidate.node) == m {
+            // Leaf: evaluate every contained entity exactly, reading the
+            // entity list from the arena's contiguous CSR span.
             self.stats.leaves_visited += 1;
-            for &entity in &node.entities {
+            for &entity in tree.leaf_entities(candidate.node) {
                 if Some(entity) == self.exclude {
                     continue;
                 }
@@ -805,22 +822,25 @@ where
         }
 
         // Internal node (or root): push its children with tightened bounds.
-        for (&routing_index, &child_id) in &node.children {
-            let child = self.tree.node(child_id);
+        // The child rows (depth / routing index / routing value) are strided
+        // reads from the arena's SoA vectors.
+        for &child_id in tree.children(candidate.node) {
+            let child_depth = tree.depth(child_id);
+            let routing_index = tree.routing_index(child_id);
+            let routing_value = tree.routing_value(child_id);
             let mut caps = if self.options.accumulate_down_branch {
                 candidate.caps.clone()
             } else {
                 self.query_sizes.clone()
             };
-            let depth_idx = (child.depth - 1) as usize;
+            let depth_idx = (child_depth - 1) as usize;
             let base_idx = (m - 1) as usize;
             if self.options.use_level_constraints {
-                let surviving =
-                    self.hashes.surviving(child.depth, routing_index, child.routing_value);
+                let surviving = self.hashes.surviving(child_depth, routing_index, routing_value);
                 caps[depth_idx] = caps[depth_idx].min(surviving);
             }
             // Theorem-2 constraint over base cells (the "partial pruned set").
-            let surviving_base = self.hashes.surviving(m, routing_index, child.routing_value);
+            let surviving_base = self.hashes.surviving(m, routing_index, routing_value);
             caps[base_idx] = caps[base_idx].min(surviving_base);
 
             let ub = self.measure.upper_bound(&self.query_sizes, &caps);
@@ -852,7 +872,7 @@ where
 pub fn execute<F, S, M>(
     sp: &SpIndex,
     hasher: &HierarchicalHasher<F>,
-    tree: &MinSigTree,
+    tree: &NodeArena,
     query: &CellSetSequence,
     exclude: Option<EntityId>,
     k: usize,

@@ -110,6 +110,7 @@ impl MinSigIndex {
             signatures,
             synopsis,
             arena: crate::kernel::CandidateArena::default(),
+            node_arena: crate::kernel::NodeArena::default(),
         };
         snapshot.rebuild_arena();
         Ok(MinSigIndex { snapshot: Arc::new(snapshot), stats, epoch: 0 })
@@ -161,6 +162,13 @@ impl MinSigIndex {
     /// The underlying tree (read-only).
     pub fn tree(&self) -> &MinSigTree {
         self.snapshot.tree()
+    }
+
+    /// The flat node rows of the tree (see [`crate::kernel::NodeArena`]) —
+    /// the topology a hand-driven [`Executor`](crate::engine::Executor)
+    /// expands through.
+    pub fn node_arena(&self) -> &crate::kernel::NodeArena {
+        self.snapshot.node_arena()
     }
 
     /// The hierarchical hasher (used by the paged query path and by ablations).

@@ -37,14 +37,18 @@
 use crate::engine::{TopKHeap, TraceSource};
 use crate::query::TopKResult;
 use crate::signature::SignatureList;
+use crate::stats::KernelDispatch;
+use crate::tree::{MinSigTree, NodeId};
 use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use trace_model::ajpi::{LevelOverlap, LevelStat};
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId, Level};
 
 pub use trace_model::kernel::{
-    argmax, intersection_len, intersection_len_gallop, intersection_len_masked,
-    intersection_len_merge, merge_min, GALLOP_SKEW,
+    argmax, dispatch_class, intersection_len, intersection_len_gallop, intersection_len_masked,
+    intersection_len_merge, intersection_len_simd, merge_min, merge_min_scalar, merge_min_simd,
+    KernelClass, GALLOP_SKEW, SIMD_LANES, TINY_LEN,
 };
 
 /// One level of the arena: CSR cells plus width-strided signature rows.
@@ -240,6 +244,34 @@ impl CandidateArena {
         measure.degree_from_overlap(scratch)
     }
 
+    /// [`degree_into`](Self::degree_into) plus per-kernel dispatch
+    /// accounting: classifies each per-level intersection via
+    /// [`dispatch_class`] (a pure function of the two lengths, so the hot
+    /// loop gains only integer compares, no instrumentation inside the
+    /// kernels) and counts it into `dispatch`.
+    pub fn degree_into_tracked<M: AssociationMeasure + ?Sized>(
+        &self,
+        pos: usize,
+        view: &QueryView<'_>,
+        measure: &M,
+        scratch: &mut LevelOverlap,
+        dispatch: &mut KernelDispatch,
+    ) -> f64 {
+        debug_assert_eq!(view.num_levels(), self.levels.len());
+        scratch.clear();
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let q = view.level(i);
+            let c = &lvl.cells[lvl.offsets[pos]..lvl.offsets[pos + 1]];
+            dispatch.record(dispatch_class(q.len(), c.len()));
+            scratch.push(LevelStat {
+                overlap: intersection_len(q, c),
+                size_a: q.len(),
+                size_b: c.len(),
+            });
+        }
+        measure.degree_from_overlap(scratch)
+    }
+
     /// One-shot variant of [`degree_into`](Self::degree_into) that owns its
     /// scratch; convenient for isolated lookups.
     pub fn degree_at<M: AssociationMeasure + ?Sized>(
@@ -262,6 +294,7 @@ impl CandidateArena {
         exclude: Option<EntityId>,
         k: usize,
         measure: &M,
+        dispatch: &mut KernelDispatch,
     ) -> (Vec<TopKResult>, usize) {
         let mut top = TopKHeap::new(k);
         let mut checked = 0usize;
@@ -271,9 +304,135 @@ impl CandidateArena {
                 continue;
             }
             checked += 1;
-            top.offer(entity, self.degree_into(pos, view, measure, &mut scratch));
+            top.offer(entity, self.degree_into_tracked(pos, view, measure, &mut scratch, dispatch));
         }
         (top.into_sorted(), checked)
+    }
+}
+
+/// Flat per-snapshot rows of the [`MinSigTree`]'s nodes — the node-side
+/// counterpart of the entity-side [`CandidateArena`].
+///
+/// The tree executor's inner loop (node expansion) previously walked owned
+/// [`Node`](crate::tree::Node) structs: a `Vec` index into a heap-allocated
+/// node, a `BTreeMap` iteration for the children, and a second node fetch per
+/// child to read its depth and routing value.  The node arena stores the same
+/// topology as structure-of-arrays rows indexed by [`NodeId`]:
+///
+/// * `depth`, `routing_index`, `routing_value` — one contiguous vector each
+///   (the routing values *are* the paper's materialised `SIG_N[u]` node
+///   signatures, so this is the node-signature SoA);
+/// * CSR children: `child_offsets[id]..child_offsets[id + 1]` brackets the
+///   node's children in ascending routing-index order (the owned `BTreeMap`'s
+///   iteration order, preserved for deterministic frontier content — answers
+///   are order-independent because the frontier orders by bound);
+/// * CSR leaf entities: `entity_offsets[id]..entity_offsets[id + 1]`
+///   brackets a leaf's entity list.
+///
+/// Like the candidate arena it is **read-path only**: the owned tree stays
+/// the source of truth for mutation and persistence, and each snapshot
+/// publish (or insert absorb) rebuilds these rows in `O(nodes)`.
+#[derive(Debug, Clone, Default)]
+pub struct NodeArena {
+    levels: Level,
+    num_entities: usize,
+    depth: Vec<Level>,
+    routing_index: Vec<u32>,
+    routing_value: Vec<u64>,
+    child_offsets: Vec<u32>,
+    children: Vec<NodeId>,
+    entity_offsets: Vec<u32>,
+    entities: Vec<EntityId>,
+}
+
+impl NodeArena {
+    /// Materialises the flat node rows from the owned tree.
+    pub fn build(tree: &MinSigTree) -> Self {
+        let nodes = tree.nodes();
+        let n = nodes.len();
+        let mut arena = NodeArena {
+            levels: tree.levels(),
+            num_entities: tree.num_entities(),
+            depth: Vec::with_capacity(n),
+            routing_index: Vec::with_capacity(n),
+            routing_value: Vec::with_capacity(n),
+            child_offsets: Vec::with_capacity(n + 1),
+            children: Vec::new(),
+            entity_offsets: Vec::with_capacity(n + 1),
+            entities: Vec::new(),
+        };
+        arena.child_offsets.push(0);
+        arena.entity_offsets.push(0);
+        for node in nodes {
+            arena.depth.push(node.depth);
+            arena.routing_index.push(node.routing_index);
+            arena.routing_value.push(node.routing_value);
+            arena.children.extend(node.children.values().copied());
+            arena.child_offsets.push(arena.children.len() as u32);
+            arena.entities.extend_from_slice(&node.entities);
+            arena.entity_offsets.push(arena.entities.len() as u32);
+        }
+        arena
+    }
+
+    /// Number of sp-index levels the tree was built for.
+    #[inline]
+    pub fn levels(&self) -> Level {
+        self.levels
+    }
+
+    /// Number of entities indexed by the tree.
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Total number of node rows, including the virtual root.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// Depth of a node (0 for the virtual root, `1..=m` for real nodes).
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> Level {
+        self.depth[id as usize]
+    }
+
+    /// Routing index `u` of a node's group.
+    #[inline]
+    pub fn routing_index(&self, id: NodeId) -> u32 {
+        self.routing_index[id as usize]
+    }
+
+    /// The group minimum at the routing index (`SIG_N[u]`).
+    #[inline]
+    pub fn routing_value(&self, id: NodeId) -> u64 {
+        self.routing_value[id as usize]
+    }
+
+    /// A node's children in ascending routing-index order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        let i = id as usize;
+        &self.children[self.child_offsets[i] as usize..self.child_offsets[i + 1] as usize]
+    }
+
+    /// A leaf's entity list (empty below leaf depth).
+    #[inline]
+    pub fn leaf_entities(&self, id: NodeId) -> &[EntityId] {
+        let i = id as usize;
+        &self.entities[self.entity_offsets[i] as usize..self.entity_offsets[i + 1] as usize]
+    }
+
+    /// Resident heap footprint of the node rows in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.depth.len() * std::mem::size_of::<Level>()
+            + self.routing_index.len() * std::mem::size_of::<u32>()
+            + self.routing_value.len() * std::mem::size_of::<u64>()
+            + (self.child_offsets.len() + self.entity_offsets.len()) * std::mem::size_of::<u32>()
+            + self.children.len() * std::mem::size_of::<NodeId>()
+            + self.entities.len() * std::mem::size_of::<EntityId>()
     }
 }
 
@@ -310,10 +469,22 @@ impl<'a> QueryView<'a> {
 /// Must be constructed with the same query sequence the executor scores
 /// against; the pre-resolved [`QueryView`] stands in for the `query`
 /// argument of [`TraceSource::degree`].
+///
+/// The source owns one [`LevelOverlap`] scratch reused across every degree
+/// it computes (an executor evaluates thousands of candidates per query, and
+/// batch fan-outs run one source per executor per query — this removes the
+/// per-candidate allocation entirely), plus the per-query
+/// [`KernelDispatch`] accounting drained via
+/// [`take_dispatch`](Self::take_dispatch).  Both live in single-threaded
+/// interior-mutability cells: an executor is driven by one worker at a time
+/// (`&mut` under the cooperative scheduler's mutex slots), so the source is
+/// `Send` but deliberately not `Sync`.
 pub struct ArenaSource<'a> {
     sequences: &'a BTreeMap<EntityId, CellSetSequence>,
     arena: &'a CandidateArena,
     view: QueryView<'a>,
+    scratch: RefCell<LevelOverlap>,
+    dispatch: Cell<KernelDispatch>,
 }
 
 impl<'a> ArenaSource<'a> {
@@ -323,7 +494,13 @@ impl<'a> ArenaSource<'a> {
         arena: &'a CandidateArena,
         query: &'a CellSetSequence,
     ) -> Self {
-        ArenaSource { sequences, arena, view: QueryView::new(query) }
+        ArenaSource {
+            sequences,
+            arena,
+            view: QueryView::new(query),
+            scratch: RefCell::new(LevelOverlap::default()),
+            dispatch: Cell::new(KernelDispatch::default()),
+        }
     }
 
     /// The arena this source scores against.
@@ -334,6 +511,12 @@ impl<'a> ArenaSource<'a> {
     /// The resolved query view.
     pub fn view(&self) -> &QueryView<'a> {
         &self.view
+    }
+
+    /// Drains the per-kernel dispatch counts accumulated since the last call
+    /// (or construction), leaving the counters at zero.
+    pub fn take_dispatch(&self) -> KernelDispatch {
+        self.dispatch.take()
     }
 }
 
@@ -350,7 +533,16 @@ impl TraceSource for ArenaSource<'_> {
     ) -> Option<f64> {
         debug_assert_eq!(query.num_levels(), self.view.num_levels());
         let pos = self.arena.position(entity)?;
-        Some(self.arena.degree_at(pos, &self.view, measure))
+        let mut dispatch = self.dispatch.get();
+        let degree = self.arena.degree_into_tracked(
+            pos,
+            &self.view,
+            measure,
+            &mut self.scratch.borrow_mut(),
+            &mut dispatch,
+        );
+        self.dispatch.set(dispatch);
+        Some(degree)
     }
 }
 
@@ -456,8 +648,14 @@ mod tests {
         let measure = PaperAdm::default_for(2);
         let qseq = &sequences[&EntityId(3)];
         let view = QueryView::new(qseq);
+        let mut dispatch = KernelDispatch::default();
         let (arena_results, arena_checked) =
-            arena.scan_top_k(&view, Some(EntityId(3)), 4, &measure);
+            arena.scan_top_k(&view, Some(EntityId(3)), 4, &measure, &mut dispatch);
+        assert_eq!(
+            dispatch.total(),
+            (arena_checked * arena.num_levels()) as u64,
+            "one classified intersection per level per scored candidate"
+        );
         let (owned_results, owned_checked) = crate::engine::scan_top_k(
             sequences.iter().map(|(e, s)| (*e, s)),
             qseq,
@@ -489,5 +687,33 @@ mod tests {
         assert!(source.sequence(EntityId(1)).is_some());
         assert_eq!(source.arena().len(), 4);
         assert_eq!(source.view().num_levels(), 2);
+        let drained = source.take_dispatch();
+        assert_eq!(drained.total(), (4 * 2) as u64, "4 degrees × 2 levels classified");
+        assert_eq!(source.take_dispatch().total(), 0, "take_dispatch resets the counters");
+    }
+
+    #[test]
+    fn node_arena_mirrors_the_owned_tree() {
+        use crate::tree::{MinSigTree, ROOT};
+        let (_sp, _sequences, signatures) = fixture(12);
+        let tree = MinSigTree::build(2, signatures.iter().map(|(e, s)| (*e, s)));
+        let arena = NodeArena::build(&tree);
+        assert_eq!(arena.levels(), tree.levels());
+        assert_eq!(arena.num_entities(), tree.num_entities());
+        assert_eq!(arena.num_nodes(), tree.num_nodes());
+        let mut leaf_entities = 0usize;
+        for id in 0..tree.num_nodes() as u32 {
+            let node = tree.node(id);
+            assert_eq!(arena.depth(id), node.depth);
+            assert_eq!(arena.routing_index(id), node.routing_index);
+            assert_eq!(arena.routing_value(id), node.routing_value);
+            let children: Vec<_> = node.children.values().copied().collect();
+            assert_eq!(arena.children(id), children.as_slice(), "children in routing-index order");
+            assert_eq!(arena.leaf_entities(id), node.entities.as_slice());
+            leaf_entities += arena.leaf_entities(id).len();
+        }
+        assert_eq!(leaf_entities, tree.num_entities());
+        assert!(!arena.children(ROOT).is_empty());
+        assert!(arena.resident_bytes() > 0);
     }
 }

@@ -145,8 +145,8 @@ pub use error::{IndexError, Result};
 pub use index::MinSigIndex;
 pub use ingest::{IngestBuffer, IngestReport};
 pub use join::{JoinOptions, JoinRow, JoinStats};
-pub use kernel::{ArenaSource, CandidateArena, QueryView};
-pub use paged::PagedShardedSnapshot;
+pub use kernel::{ArenaSource, CandidateArena, NodeArena, QueryView};
+pub use paged::{PagedArenaSource, PagedShardedSnapshot};
 pub use persist::{INDEX_MAGIC, INDEX_VERSION};
 pub use plan::{PageEstimate, QueryPlan, ShardDecision, ShardPlan};
 pub use query::{QueryOptions, TopKResult};
@@ -158,6 +158,6 @@ pub use signature::{
     CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily,
 };
 pub use snapshot::IndexSnapshot;
-pub use stats::{IndexStats, QueryStats, SearchStats};
+pub use stats::{IndexStats, KernelDispatch, QueryStats, SearchStats};
 pub use synopsis::{Synopsis, DEFAULT_SKETCH_SIZE};
 pub use tree::MinSigTree;

@@ -39,17 +39,168 @@ use crate::engine::{
 use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::join::{collect_join_rows, JoinOptions, JoinRow, JoinStats};
+use crate::kernel::{dispatch_class, intersection_len, QueryView};
 use crate::plan::{self, QueryPlan, ShardDecision};
 use crate::query::{QueryOptions, TopKResult};
 use crate::shard::{drive_cooperatively, ShardedSnapshot};
 use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
-use crate::stats::QueryStats;
+use crate::stats::{KernelDispatch, QueryStats};
 use rayon::prelude::*;
 use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
-use trace_model::{AssociationMeasure, CellSetSequence, EntityId};
+use trace_model::ajpi::{LevelOverlap, LevelStat};
+use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
 use trace_storage::{BufferPool, PageId, PagedTraceStore};
+
+/// One entity's flat per-level rows, copied out of the buffer pool: the
+/// packed level cells concatenated with a small offsets directory, exactly
+/// the layout one [`CandidateArena`](crate::kernel::CandidateArena) row has.
+#[derive(Debug)]
+struct FlatRows {
+    /// `offsets[i]..offsets[i + 1]` brackets level `i + 1`'s packed cells.
+    offsets: Vec<u32>,
+    cells: Vec<u64>,
+}
+
+impl FlatRows {
+    fn from_sequence(seq: &CellSetSequence) -> Self {
+        let num_levels = seq.num_levels();
+        let mut offsets = Vec::with_capacity(num_levels + 1);
+        offsets.push(0u32);
+        let mut cells = Vec::new();
+        for level in 1..=num_levels {
+            cells.extend_from_slice(seq.level(level as trace_model::Level).packed_slice());
+            offsets.push(cells.len() as u32);
+        }
+        FlatRows { offsets, cells }
+    }
+
+    #[inline]
+    fn level(&self, i: usize) -> &[u64] {
+        &self.cells[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u64>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The row cache plus per-query scratch behind one [`PagedArenaSource`];
+/// a single mutex keeps the source `Sync` so the cooperative fan-out can
+/// share it across parallel executors like it shares a [`PagedSource`].
+#[derive(Debug, Default)]
+struct PagedArenaState {
+    rows: HashMap<EntityId, FlatRows>,
+    resident_bytes: usize,
+    scratch: LevelOverlap,
+    dispatch: KernelDispatch,
+}
+
+/// A [`TraceSource`] that materialises **flat arena rows** from the paged
+/// store: the out-of-core counterpart of
+/// [`ArenaSource`](crate::kernel::ArenaSource), so paged leaf evaluation
+/// runs the same fused per-level kernel loop the in-memory hot path does.
+///
+/// On the first degree request for an entity its trace is read through the
+/// buffer pool (pages pinned transiently inside the read, released before
+/// this returns — the source itself never holds a pin) and its per-level
+/// packed cells are copied into a flat row (per-level CSR over one
+/// contiguous `u64` buffer, the candidate arena's layout).  Subsequent
+/// requests for
+/// the same entity — every re-expansion across executor step quanta — hit
+/// the row cache and never touch the pool again.
+///
+/// The cache honours the out-of-core budget: resident row bytes are capped
+/// at the pool's configured `capacity_bytes`, and crossing the cap flushes
+/// the cache wholesale (the rows were built from one pool-residency epoch;
+/// a new epoch starts clean) so a paged query's extra memory never exceeds
+/// one pool's worth.  Degrees are **bitwise identical** to
+/// `measure.degree(query, seq)` over the sequence
+/// [`sequence`](TraceSource::sequence) reports: both paths hand the measure
+/// the same integer per-level [`LevelStat`]s through the same
+/// [`dispatch_class`]-routed kernels.
+///
+/// Per-kernel dispatch accounting accumulates behind the same mutex and is
+/// drained with [`take_dispatch`](Self::take_dispatch).
+pub struct PagedArenaSource<'a> {
+    inner: PagedSource<'a>,
+    view: QueryView<'a>,
+    budget_bytes: usize,
+    state: Mutex<PagedArenaState>,
+}
+
+impl<'a> PagedArenaSource<'a> {
+    /// Creates a source over a store and pool for one query sequence; the
+    /// row-cache budget is the pool's configured capacity.
+    pub fn new(
+        store: &'a PagedTraceStore,
+        pool: &'a BufferPool<'a>,
+        sp: &'a SpIndex,
+        ticks_per_unit: u64,
+        query: &'a CellSetSequence,
+    ) -> Self {
+        PagedArenaSource {
+            inner: PagedSource::new(store, pool, sp, ticks_per_unit),
+            view: QueryView::new(query),
+            budget_bytes: pool.config().capacity_bytes,
+            state: Mutex::new(PagedArenaState::default()),
+        }
+    }
+
+    /// Drains the per-kernel dispatch counts accumulated since the last
+    /// call (or construction), leaving the counters at zero.
+    pub fn take_dispatch(&self) -> KernelDispatch {
+        std::mem::take(&mut self.state.lock().expect("paged arena state poisoned").dispatch)
+    }
+
+    /// Number of entity rows currently resident in the cache.
+    pub fn cached_rows(&self) -> usize {
+        self.state.lock().expect("paged arena state poisoned").rows.len()
+    }
+}
+
+impl TraceSource for PagedArenaSource<'_> {
+    fn sequence(&self, entity: EntityId) -> Option<Cow<'_, CellSetSequence>> {
+        self.inner.sequence(entity)
+    }
+
+    fn degree(
+        &self,
+        entity: EntityId,
+        query: &CellSetSequence,
+        measure: &dyn AssociationMeasure,
+    ) -> Option<f64> {
+        debug_assert_eq!(query.num_levels(), self.view.num_levels());
+        let state = &mut *self.state.lock().expect("paged arena state poisoned");
+        if !state.rows.contains_key(&entity) {
+            let rows = FlatRows::from_sequence(self.inner.sequence(entity)?.as_ref());
+            let bytes = rows.resident_bytes();
+            if state.resident_bytes + bytes > self.budget_bytes && !state.rows.is_empty() {
+                state.rows.clear();
+                state.resident_bytes = 0;
+            }
+            state.resident_bytes += bytes;
+            state.rows.insert(entity, rows);
+        }
+        let rows = &state.rows[&entity];
+        state.scratch.clear();
+        for i in 0..self.view.num_levels() {
+            let q = self.view.level(i);
+            let c = rows.level(i);
+            state.dispatch.record(dispatch_class(q.len(), c.len()));
+            state.scratch.push(LevelStat {
+                overlap: intersection_len(q, c),
+                size_a: q.len(),
+                size_b: c.len(),
+            });
+        }
+        Some(measure.degree_from_overlap(&state.scratch))
+    }
+}
 
 impl IndexSnapshot {
     /// Answers a top-k query reading candidate traces through `pool` over `store`.
@@ -80,11 +231,12 @@ impl IndexSnapshot {
             }
         };
         let before = pool.stats();
-        let source = PagedSource::new(store, pool, self.sp_index(), self.ticks_per_unit());
+        let source =
+            PagedArenaSource::new(store, pool, self.sp_index(), self.ticks_per_unit(), &query_seq);
         let (results, mut stats) = engine::execute(
             self.sp_index(),
             self.hasher(),
-            self.tree(),
+            self.node_arena(),
             &query_seq,
             Some(query),
             k,
@@ -92,6 +244,7 @@ impl IndexSnapshot {
             &source,
             options,
         )?;
+        stats.kernel_dispatch.absorb(source.take_dispatch());
         let io = pool.stats().since(&before);
         stats.pool_hits = io.hits;
         stats.pool_misses = io.misses;
@@ -148,7 +301,7 @@ impl ShardedSnapshot {
                 pages
             })
             .collect();
-        PagedShardedSnapshot { snapshot: self, store, pool, shard_pages }
+        PagedShardedSnapshot { snapshot: self, store, pool, shard_pages, flat_rows: true }
     }
 }
 
@@ -172,12 +325,25 @@ pub struct PagedShardedSnapshot<'a> {
     pool: &'a BufferPool<'a>,
     /// Per shard: the sorted distinct store pages its entities' traces span.
     shard_pages: Vec<Vec<PageId>>,
+    /// Route leaf evaluation through flat [`PagedArenaSource`] rows (the
+    /// default) instead of re-decoding owned sequences per evaluation.
+    flat_rows: bool,
 }
 
 impl<'a> PagedShardedSnapshot<'a> {
     /// The wrapped snapshot.
     pub fn snapshot(&self) -> &'a ShardedSnapshot {
         self.snapshot
+    }
+
+    /// Toggles the flat-row hot path (see [`PagedArenaSource`]): on by
+    /// default; `false` re-decodes owned sequences on every leaf evaluation
+    /// through the plain [`PagedSource`].  Answers are bitwise identical
+    /// either way — this knob exists for benchmarking the layouts against
+    /// each other.
+    pub fn with_flat_rows(mut self, flat_rows: bool) -> Self {
+        self.flat_rows = flat_rows;
+        self
     }
 
     /// The buffer pool every query reads through.
@@ -434,7 +600,9 @@ impl<'a> PagedShardedSnapshot<'a> {
     /// 2. plan page-aware ([`plan::plan_query_paged`]): seed through the
     ///    pool, estimate resident vs cold pages per shard, skip/scan/order;
     /// 3. answer scan shards by a flat paged degree loop, tree shards by
-    ///    cooperative [`Executor`]s over one shared [`PagedSource`];
+    ///    cooperative [`Executor`]s over one shared source — the flat
+    ///    [`PagedArenaSource`] by default, the plain [`PagedSource`] when
+    ///    [`with_flat_rows`](Self::with_flat_rows) turned the rows off;
     /// 4. merge exactly and charge the pool's counter deltas to the query.
     #[allow(clippy::too_many_arguments)]
     fn fan_out<M: AssociationMeasure + Sync + ?Sized>(
@@ -483,6 +651,66 @@ impl<'a> PagedShardedSnapshot<'a> {
             }
         }
 
+        let results = if self.flat_rows {
+            let arena_source = PagedArenaSource::new(
+                self.store,
+                self.pool,
+                probe.sp_index(),
+                probe.ticks_per_unit(),
+                query,
+            );
+            let results = self.drive_plan(
+                &plan,
+                &arena_source,
+                query,
+                exclude,
+                k,
+                measure,
+                options,
+                parallel,
+                scheduler,
+                &mut stats,
+            )?;
+            stats.kernel_dispatch.absorb(arena_source.take_dispatch());
+            results
+        } else {
+            self.drive_plan(
+                &plan, &source, query, exclude, k, measure, options, parallel, scheduler,
+                &mut stats,
+            )?
+        };
+        let io = self.pool.stats().since(&pool_before);
+        stats.pool_hits += io.hits;
+        stats.pool_misses += io.misses;
+        stats.pool_evictions += io.evictions;
+        stats.simulated_io_us += io.simulated_us;
+        stats.query_time_us = start.elapsed().as_micros() as u64;
+        Ok((results, stats))
+    }
+
+    /// Executes an already-built plan against one shared trace source —
+    /// the fan-out tail common to both leaf-evaluation layouts: scan shards
+    /// first (publishing their local thresholds), then the admitted tree
+    /// shards as cooperative executors, then the exact merge.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_plan<'s, S, M>(
+        &self,
+        plan: &QueryPlan,
+        source: &'s S,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        parallel: bool,
+        scheduler: SchedulerConfig,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<TopKResult>>
+    where
+        S: TraceSource + Sync,
+        M: AssociationMeasure + Sync + ?Sized,
+    {
+        let shards = self.snapshot.shard_snapshots();
         let use_shared = scheduler.bound_mode == BoundMode::Shared;
         let shared = SharedBound::new();
         if use_shared && plan.seeded() {
@@ -501,9 +729,9 @@ impl<'a> PagedShardedSnapshot<'a> {
                 if Some(entity) == exclude {
                     continue;
                 }
-                let Some(seq) = source.sequence(entity) else { continue };
+                let Some(degree) = source.degree(entity, query, &measure) else { continue };
                 checked += 1;
-                top.offer(entity, measure.degree(query, seq.as_ref()));
+                top.offer(entity, degree);
             }
             let results = top.into_sorted();
             stats.total_entities += shard.num_entities();
@@ -516,8 +744,8 @@ impl<'a> PagedShardedSnapshot<'a> {
 
         // Tree shards in plan order (most promising, then least cold I/O):
         // one resumable executor per shard, all leaf evaluation through the
-        // shared paged source.
-        let mut executors: Vec<Executor<'_, SeededHashFamily, &PagedSource<'_>, M>> =
+        // shared source.
+        let mut executors: Vec<Executor<'_, SeededHashFamily, &'s S, M>> =
             Vec::with_capacity(plan.shards.len());
         for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::TreeSearch) {
             let shard = &shards[shard_plan.shard];
@@ -525,12 +753,12 @@ impl<'a> PagedShardedSnapshot<'a> {
                 Executor::new(
                     shard.sp_index(),
                     shard.hasher(),
-                    shard.tree(),
+                    shard.node_arena(),
                     query,
                     exclude,
                     k,
                     measure,
-                    &source,
+                    source,
                     options,
                 )?
                 .with_publish_policy(scheduler.publish_policy),
@@ -550,14 +778,7 @@ impl<'a> PagedShardedSnapshot<'a> {
             stats.absorb_work(&executor_stats);
             parts.push(results);
         }
-        let results = engine::merge_top_k(k, parts);
-        let io = self.pool.stats().since(&pool_before);
-        stats.pool_hits += io.hits;
-        stats.pool_misses += io.misses;
-        stats.pool_evictions += io.evictions;
-        stats.simulated_io_us += io.simulated_us;
-        stats.query_time_us = start.elapsed().as_micros() as u64;
-        Ok((results, stats))
+        Ok(engine::merge_top_k(k, parts))
     }
 }
 
@@ -715,6 +936,77 @@ mod tests {
             assert_eq!(a.probe, b.probe);
             assert_eq!(a.matches, b.matches);
         }
+    }
+
+    #[test]
+    fn flat_rows_toggle_answers_identically_and_holds_no_pins() {
+        let (sp, traces) = dataset(40);
+        let sharded =
+            crate::shard::ShardedMinSigIndex::build(&sp, &traces, IndexConfig::default(), 4)
+                .unwrap();
+        let snapshot = sharded.snapshot();
+        let store = PagedTraceStore::build(&traces, 4);
+        let pool = store.pool(trace_storage::PoolConfig {
+            capacity_bytes: 3 * trace_storage::PAGE_SIZE,
+            ..Default::default()
+        });
+        let flat = snapshot.paged(&store, &pool);
+        let owned = snapshot.paged(&store, &pool).with_flat_rows(false);
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        let mut kernel_total = 0u64;
+        for query in [0u64, 7, 33, 79] {
+            let (a, flat_stats) = flat.top_k(EntityId(query), 5, &measure).unwrap();
+            let (b, owned_stats) = owned.top_k(EntityId(query), 5, &measure).unwrap();
+            assert_eq!(a, b, "query {query}: both layouts must answer bitwise identically");
+            kernel_total += flat_stats.kernel_dispatch.total();
+            assert_eq!(
+                owned_stats.kernel_dispatch.total(),
+                0,
+                "the owned-sequence layout does not run classified kernels"
+            );
+            assert_eq!(pool.pinned_frames(), 0, "row cache copies pages, it never holds pins");
+        }
+        assert!(kernel_total > 0, "flat paged queries must account their kernel dispatches");
+    }
+
+    #[test]
+    fn paged_arena_row_cache_respects_the_pool_budget() {
+        let (sp, traces) = dataset(60);
+        let store = PagedTraceStore::build(&traces, 4);
+        let pool = store.pool(trace_storage::PoolConfig {
+            capacity_bytes: 2 * trace_storage::PAGE_SIZE,
+            ..Default::default()
+        });
+        let index = MinSigIndex::build(&sp, &traces, IndexConfig::default()).unwrap();
+        let snapshot = index.snapshot();
+        let query_seq = snapshot.sequence(EntityId(0)).unwrap().clone();
+        let source = PagedArenaSource::new(
+            &store,
+            &pool,
+            snapshot.sp_index(),
+            snapshot.ticks_per_unit(),
+            &query_seq,
+        );
+        let measure = PaperAdm::default_for(sp.height() as usize);
+        let budget = pool.config().capacity_bytes;
+        for e in 0..120u64 {
+            let via_rows = source.degree(EntityId(e), &query_seq, &measure).unwrap();
+            let owned = measure.degree(&query_seq, snapshot.sequence(EntityId(e)).unwrap());
+            assert_eq!(via_rows.to_bits(), owned.to_bits(), "entity {e}");
+            // Re-evaluation hits the cache and stays identical.
+            let again = source.degree(EntityId(e), &query_seq, &measure).unwrap();
+            assert_eq!(again.to_bits(), owned.to_bits());
+            assert_eq!(pool.pinned_frames(), 0);
+        }
+        assert!(source.cached_rows() > 0);
+        assert!(
+            source.cached_rows() < 120,
+            "a {budget}-byte budget cannot hold all 120 rows: the cache must have flushed"
+        );
+        assert!(source.degree(EntityId(9999), &query_seq, &measure).is_none());
+        let drained = source.take_dispatch();
+        assert_eq!(drained.total(), 240 * sp.height() as u64, "two passes × 120 entities × levels");
+        assert_eq!(source.take_dispatch().total(), 0);
     }
 
     #[test]

@@ -342,6 +342,7 @@ impl IndexSnapshot {
             signatures,
             synopsis,
             arena: crate::kernel::CandidateArena::default(),
+            node_arena: crate::kernel::NodeArena::default(),
         };
         snapshot.rebuild_arena();
         Ok((snapshot, wal_lsn))

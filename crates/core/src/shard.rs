@@ -764,10 +764,12 @@ impl ShardedSnapshot {
     ) -> Result<Vec<TopKResult>> {
         let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
         let view = crate::kernel::QueryView::new(seq);
+        let mut dispatch = crate::stats::KernelDispatch::default();
         let parts = self
             .shards
             .iter()
-            .map(|shard| shard.arena().scan_top_k(&view, Some(query), k, measure).0);
+            .map(|shard| shard.arena().scan_top_k(&view, Some(query), k, measure, &mut dispatch).0)
+            .collect::<Vec<_>>();
         Ok(engine::merge_top_k(k, parts))
     }
 
@@ -840,7 +842,13 @@ impl ShardedSnapshot {
         let mut parts: Vec<Vec<TopKResult>> = Vec::with_capacity(plan.shards.len());
         for shard_plan in plan.admitted().filter(|p| p.decision == ShardDecision::Scan) {
             let shard = &self.shards[shard_plan.shard];
-            let (results, checked) = shard.arena().scan_top_k(&scan_view, exclude, k, measure);
+            let (results, checked) = shard.arena().scan_top_k(
+                &scan_view,
+                exclude,
+                k,
+                measure,
+                &mut stats.kernel_dispatch,
+            );
             stats.total_entities += shard.num_entities();
             stats.entities_checked += checked;
             if use_shared && k > 0 && results.len() >= k {
@@ -877,6 +885,10 @@ impl ShardedSnapshot {
         }
 
         for executor in executors {
+            // Kernel accounting lives on the source (the executor's stats
+            // only count frontier work); drain it before `finish` consumes
+            // the executor.
+            stats.kernel_dispatch.absorb(executor.source().take_dispatch());
             let (results, executor_stats) = executor.finish();
             stats.absorb_work(&executor_stats);
             parts.push(results);

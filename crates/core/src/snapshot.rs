@@ -16,7 +16,7 @@
 use crate::config::IndexConfig;
 use crate::engine;
 use crate::error::{IndexError, Result};
-use crate::kernel::{ArenaSource, CandidateArena, QueryView};
+use crate::kernel::{ArenaSource, CandidateArena, NodeArena, QueryView};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::{HierarchicalHasher, SeededHashFamily, SignatureList};
 use crate::stats::QueryStats;
@@ -85,6 +85,12 @@ pub struct IndexSnapshot {
     /// snapshot.  Invariant: always equals
     /// [`CandidateArena::build`] over the owned maps.
     pub(crate) arena: CandidateArena,
+    /// The flat node rows of the tree ([`crate::kernel::NodeArena`]): the
+    /// read-path-only SoA/CSR mirror of `tree` every executor expands
+    /// through.  Invariant: always equals [`NodeArena::build`] over `tree`;
+    /// rebuilt whenever the tree topology can change (every mutation,
+    /// including single-entity insert absorbs — inserts re-route tree paths).
+    pub(crate) node_arena: NodeArena,
 }
 
 impl IndexSnapshot {
@@ -167,9 +173,16 @@ impl IndexSnapshot {
         &self.arena
     }
 
-    /// Rebuilds the candidate arena from the owned maps; called by every
-    /// mutation path that replaces or removes trace data (the same paths
-    /// that fully recompute the synopsis).
+    /// The flat node rows of this snapshot's tree (see
+    /// [`crate::kernel::NodeArena`]) — the topology every
+    /// [`executor`](Self::executor) expands through.
+    pub fn node_arena(&self) -> &NodeArena {
+        &self.node_arena
+    }
+
+    /// Rebuilds the candidate arena and the node rows from the owned maps
+    /// and tree; called by every mutation path that replaces or removes
+    /// trace data (the same paths that fully recompute the synopsis).
     pub(crate) fn rebuild_arena(&mut self) {
         self.arena = CandidateArena::build(
             self.tree.levels(),
@@ -177,16 +190,21 @@ impl IndexSnapshot {
             &self.sequences,
             &self.signatures,
         );
+        self.node_arena = NodeArena::build(&self.tree);
     }
 
     /// Splices one **newly inserted** entity into the arena incrementally —
     /// the `O(delta + n)` companion of
     /// [`absorb_inserted_entity_into_synopsis`](Self::absorb_inserted_entity_into_synopsis);
-    /// the entity must already be in the owned maps.
+    /// the entity must already be in the owned maps.  The node rows are
+    /// rebuilt outright: an insert re-routes tree paths (possibly creating
+    /// nodes and lowering routing values), and the rebuild is `O(nodes)` —
+    /// the same order as the splice itself.
     pub(crate) fn absorb_inserted_entity_into_arena(&mut self, entity: EntityId) {
         let seq = self.sequences.get(&entity).expect("entity was just inserted");
         let sig = self.signatures.get(&entity).expect("entity was just inserted");
         self.arena.absorb_insert(entity, seq, sig);
+        self.node_arena = NodeArena::build(&self.tree);
     }
 
     /// Absorbs one **newly inserted** entity into the synopsis without
@@ -233,7 +251,11 @@ impl IndexSnapshot {
             .sum();
         let seq_bytes: usize =
             self.sequences.values().map(|s| s.total_cells() * std::mem::size_of::<u64>()).sum();
-        self.tree.size_bytes() + sig_bytes + seq_bytes + self.arena.resident_bytes()
+        self.tree.size_bytes()
+            + sig_bytes
+            + seq_bytes
+            + self.arena.resident_bytes()
+            + self.node_arena.resident_bytes()
     }
 
     /// Answers a top-k query for an indexed entity with default options.
@@ -270,17 +292,19 @@ impl IndexSnapshot {
         options: QueryOptions,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
         let source = ArenaSource::new(&self.sequences, &self.arena, query);
-        engine::execute(
+        let (results, mut stats) = engine::execute(
             &self.sp,
             &self.hasher,
-            &self.tree,
+            &self.node_arena,
             query,
             exclude,
             k,
             measure,
             &source,
             options,
-        )
+        )?;
+        stats.kernel_dispatch.absorb(source.take_dispatch());
+        Ok((results, stats))
     }
 
     /// Builds a **resumable** best-first executor over this snapshot's tree
@@ -304,7 +328,7 @@ impl IndexSnapshot {
         engine::Executor::new(
             &self.sp,
             &self.hasher,
-            &self.tree,
+            &self.node_arena,
             query,
             exclude,
             k,
@@ -324,7 +348,9 @@ impl IndexSnapshot {
         measure: &M,
     ) -> Result<Vec<TopKResult>> {
         let seq = self.sequences.get(&query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-        let (results, _) = self.arena.scan_top_k(&QueryView::new(seq), Some(query), k, measure);
+        let mut dispatch = crate::stats::KernelDispatch::default();
+        let (results, _) =
+            self.arena.scan_top_k(&QueryView::new(seq), Some(query), k, measure, &mut dispatch);
         Ok(results)
     }
 }

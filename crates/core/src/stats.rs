@@ -1,6 +1,59 @@
 //! Statistics reported by index construction and query processing.
 
 use serde::{Deserialize, Serialize};
+use trace_model::kernel::KernelClass;
+
+/// How many set intersections the flat (arena-backed) hot paths routed to
+/// each kernel class, per query.
+///
+/// The dispatch decision of
+/// [`trace_model::kernel::intersection_len`] is a pure function of the two
+/// input lengths ([`trace_model::kernel::dispatch_class`]), so these counters
+/// are accounted *outside* the kernel itself — the fused degree loops
+/// classify each per-level intersection as they issue it, and the hot loop
+/// carries no atomic or branch overhead.  Only the arena-backed paths (flat
+/// scans, [`ArenaSource`](crate::kernel::ArenaSource)-driven tree executors
+/// and the arena-backed paged source) count; owned-map fallback paths do
+/// not, so on mixed plans the totals cover the flat portion of the work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelDispatch {
+    /// Intersections taken by the branch-free tiny-set loop (both sides ≤
+    /// [`trace_model::kernel::TINY_LEN`], or one side empty).
+    pub tiny: u64,
+    /// Intersections taken by the scalar two-pointer merge.
+    pub merge: u64,
+    /// Intersections taken by the galloping (skewed-size) kernel.
+    pub gallop: u64,
+    /// Intersections taken by the SIMD block kernel (`simd` feature builds).
+    pub simd: u64,
+}
+
+impl KernelDispatch {
+    /// Counts one intersection of the given kernel class.
+    #[inline]
+    pub fn record(&mut self, class: KernelClass) {
+        match class {
+            KernelClass::Tiny => self.tiny += 1,
+            KernelClass::Merge => self.merge += 1,
+            KernelClass::Gallop => self.gallop += 1,
+            KernelClass::Simd => self.simd += 1,
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    #[inline]
+    pub fn absorb(&mut self, other: KernelDispatch) {
+        self.tiny += other.tiny;
+        self.merge += other.merge;
+        self.gallop += other.gallop;
+        self.simd += other.simd;
+    }
+
+    /// Total intersections counted across all kernel classes.
+    pub fn total(&self) -> u64 {
+        self.tiny + self.merge + self.gallop + self.simd
+    }
+}
 
 /// Statistics of one index build or update batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -83,6 +136,10 @@ pub struct QueryStats {
     /// Buffer-pool evictions (paged queries only; see
     /// [`pool_hits`](Self::pool_hits) for the attribution caveat).
     pub pool_evictions: u64,
+    /// Per-kernel dispatch counts of the flat hot paths' set intersections
+    /// (see [`KernelDispatch`]); sums over every per-shard executor via
+    /// [`absorb_work`](Self::absorb_work).
+    pub kernel_dispatch: KernelDispatch,
     /// Wall-clock query time in microseconds.
     pub query_time_us: u64,
 }
@@ -134,6 +191,7 @@ impl QueryStats {
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.pool_evictions += other.pool_evictions;
+        self.kernel_dispatch.absorb(other.kernel_dispatch);
     }
 }
 
@@ -196,6 +254,7 @@ mod tests {
             pool_misses: 2,
             pool_evictions: 1,
             simulated_io_us: 40,
+            kernel_dispatch: KernelDispatch { tiny: 1, merge: 2, gallop: 3, simd: 4 },
             query_time_us: 99,
             ..QueryStats::default()
         };
@@ -212,5 +271,24 @@ mod tests {
             "pool counters sum across absorbed shards"
         );
         assert_eq!(a.query_time_us, 10, "wall clock is not summed");
+        assert_eq!(
+            a.kernel_dispatch,
+            KernelDispatch { tiny: 1, merge: 2, gallop: 3, simd: 4 },
+            "kernel dispatch counters sum across absorbed shards"
+        );
+    }
+
+    #[test]
+    fn kernel_dispatch_records_and_totals() {
+        let mut d = KernelDispatch::default();
+        d.record(KernelClass::Tiny);
+        d.record(KernelClass::Merge);
+        d.record(KernelClass::Merge);
+        d.record(KernelClass::Gallop);
+        d.record(KernelClass::Simd);
+        assert_eq!(d, KernelDispatch { tiny: 1, merge: 2, gallop: 1, simd: 1 });
+        let mut sum = d;
+        sum.absorb(d);
+        assert_eq!(sum.total(), 10);
     }
 }

@@ -7,12 +7,11 @@
 //! data-dependent branches, which lets the compiler keep the loop bodies in
 //! registers and autovectorize the comparisons.
 //!
-//! Three intersection kernels are provided, all returning the exact same count:
+//! Four intersection kernels are provided, all returning the exact same count:
 //!
 //! * [`intersection_len_merge`] — the three-way-compare two-pointer merge.
 //!   LLVM lowers the match arms to conditional moves, so the compiled loop is
-//!   already branch-light; measured fastest when the two sets have similar
-//!   sizes, and doubles as the readable conformance oracle.
+//!   already branch-light; it doubles as the readable conformance oracle.
 //! * [`intersection_len_masked`] — the same merge with advance and count
 //!   updates spelled as explicit comparison masks (`i += (x <= y)`).  Kept so
 //!   the microbench can compare the two formulations on every target; on
@@ -21,10 +20,21 @@
 //! * [`intersection_len_gallop`] — iterates the smaller set and locates each
 //!   element in the larger one by exponential (galloping) search, giving
 //!   `O(small · log(large / small))` work.  Fastest when the sizes are skewed.
+//! * [`intersection_len_simd`] — explicit [`SIMD_LANES`]-wide block
+//!   intersection using AVX2 intrinsics (with an SSE2 block kernel and a
+//!   scalar merge as runtime-safe fallbacks).  Fastest on similar-size inputs
+//!   of a few hundred elements and up.
 //!
-//! [`intersection_len`] dispatches between merge and gallop using the
-//! [`GALLOP_SKEW`] heuristic (gallop when the larger set is at least 8× the
-//! smaller one).
+//! [`intersection_len`] dispatches between them: tiny inputs (≤ [`TINY_LEN`]
+//! on both sides) take a branch-free all-pairs loop, heavily skewed sizes
+//! (ratio ≥ [`GALLOP_SKEW`]) gallop, and the similar-size regime takes the
+//! SIMD kernel when the `simd` cargo feature is enabled (the scalar merge
+//! otherwise).  [`dispatch_class`] exposes the decision as a pure function of
+//! the two lengths so callers can account which kernel a given intersection
+//! used without instrumenting the hot loop itself.
+//!
+//! All kernels require their inputs sorted ascending and deduplicated; every
+//! public entry point `debug_assert!`s that invariant.
 
 /// Size-ratio threshold for switching from the two-pointer merge to galloping:
 /// gallop when `max_len >= GALLOP_SKEW * min_len`.
@@ -34,14 +44,88 @@
 /// amortised and galloping wins on every measured size.
 pub const GALLOP_SKEW: usize = 8;
 
+/// Inputs where *both* sides are at most this long skip kernel dispatch
+/// entirely and take a branch-free all-pairs comparison loop (at most
+/// `TINY_LEN²` = 64 compares, no data-dependent branches at all).
+pub const TINY_LEN: usize = 8;
+
+/// Lane width (in `u64` elements) of the widest SIMD intersection kernel
+/// ([`intersection_len_simd`]'s AVX2 path).  The SSE2 fallback processes 2
+/// lanes; the scalar fallback 1.
+pub const SIMD_LANES: usize = 4;
+
+/// Which kernel [`intersection_len`] routes a given pair of input lengths to.
+///
+/// Returned by [`dispatch_class`]; the mapping depends only on the two
+/// lengths (and the `simd` cargo feature), never on the slice contents, so
+/// callers can classify an intersection without re-running it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Both sides ≤ [`TINY_LEN`] (or one side empty): branch-free all-pairs.
+    Tiny,
+    /// Size ratio ≥ [`GALLOP_SKEW`]: exponential search over the larger side.
+    Gallop,
+    /// Similar sizes with the `simd` feature enabled: blockwise SIMD kernel.
+    Simd,
+    /// Similar sizes without the `simd` feature: scalar two-pointer merge.
+    Merge,
+}
+
+/// The kernel [`intersection_len`] will use for inputs of the given lengths.
+///
+/// Pure in the lengths: `intersection_len(a, b)` runs the kernel
+/// `dispatch_class(a.len(), b.len())` names.  One side empty classifies as
+/// [`KernelClass::Tiny`] (the all-pairs loop over zero pairs returns 0
+/// immediately).
+#[inline]
+pub fn dispatch_class(a_len: usize, b_len: usize) -> KernelClass {
+    let (min, max) = if a_len <= b_len { (a_len, b_len) } else { (b_len, a_len) };
+    if min == 0 || max <= TINY_LEN {
+        KernelClass::Tiny
+    } else if min.saturating_mul(GALLOP_SKEW) <= max {
+        KernelClass::Gallop
+    } else if cfg!(feature = "simd") {
+        KernelClass::Simd
+    } else {
+        KernelClass::Merge
+    }
+}
+
+/// True iff `s` is sorted ascending with no duplicates — the input contract
+/// of every intersection kernel, checked via `debug_assert!` at the public
+/// entry points.
+#[inline]
+fn is_sorted_dedup(s: &[u64]) -> bool {
+    s.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Branch-free all-pairs intersection for tiny inputs (both ≤ [`TINY_LEN`]).
+///
+/// At most 64 equality tests, each lowered to a flag-set + add with no
+/// data-dependent branch; for these sizes the fixed overhead of any of the
+/// dispatched kernels (pointer setup, probe bookkeeping, SIMD feature check)
+/// exceeds the whole loop.
+#[inline]
+fn intersection_len_tiny(a: &[u64], b: &[u64]) -> usize {
+    let mut count = 0usize;
+    for &x in a {
+        for &y in b {
+            count += usize::from(x == y);
+        }
+    }
+    count
+}
+
 /// Intersection size of two sorted, deduplicated slices — three-way-compare
 /// two-pointer merge.
 ///
 /// The readable formulation is also the fast one: LLVM lowers the match arms
 /// to conditional moves, so the compiled loop carries no unpredictable branch.
-/// This is the dispatcher's balanced-size kernel and the conformance oracle
-/// for the other kernels.
+/// This is the dispatcher's balanced-size scalar kernel and the conformance
+/// oracle for the other kernels.
 pub fn intersection_len_merge(a: &[u64], b: &[u64]) -> usize {
+    debug_assert!(is_sorted_dedup(a), "kernel input `a` must be sorted and deduplicated");
+    debug_assert!(is_sorted_dedup(b), "kernel input `b` must be sorted and deduplicated");
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -66,6 +150,8 @@ pub fn intersection_len_merge(a: &[u64], b: &[u64]) -> usize {
 /// moves LLVM already emits for the merge, so the dispatcher prefers the
 /// merge.
 pub fn intersection_len_masked(a: &[u64], b: &[u64]) -> usize {
+    debug_assert!(is_sorted_dedup(a), "kernel input `a` must be sorted and deduplicated");
+    debug_assert!(is_sorted_dedup(b), "kernel input `b` must be sorted and deduplicated");
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
     let (na, nb) = (a.len(), b.len());
     while i < na && j < nb {
@@ -109,6 +195,8 @@ fn gallop_lower_bound(large: &[u64], base: usize, x: u64) -> usize {
 /// `O(small + large)`.  Preferred when one set is at least [`GALLOP_SKEW`]
 /// times the other.
 pub fn intersection_len_gallop(a: &[u64], b: &[u64]) -> usize {
+    debug_assert!(is_sorted_dedup(a), "kernel input `a` must be sorted and deduplicated");
+    debug_assert!(is_sorted_dedup(b), "kernel input `b` must be sorted and deduplicated");
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let mut base = 0usize;
     let mut count = 0usize;
@@ -125,30 +213,110 @@ pub fn intersection_len_gallop(a: &[u64], b: &[u64]) -> usize {
     count
 }
 
-/// Intersection size of two sorted, deduplicated slices, dispatching between
-/// [`intersection_len_merge`] (similar sizes) and
-/// [`intersection_len_gallop`] (size ratio ≥ [`GALLOP_SKEW`]).
-#[inline]
-pub fn intersection_len(a: &[u64], b: &[u64]) -> usize {
-    let (min, max) = if a.len() <= b.len() { (a.len(), b.len()) } else { (b.len(), a.len()) };
-    if min == 0 {
-        0
-    } else if min.saturating_mul(GALLOP_SKEW) <= max {
-        intersection_len_gallop(a, b)
-    } else {
+/// Intersection size of two sorted, deduplicated slices — explicit SIMD
+/// blockwise kernel with runtime feature detection.
+///
+/// On x86-64 with AVX2 this compares [`SIMD_LANES`]-wide (4×`u64`) blocks of
+/// the two inputs: the current `a`-block is tested against the current
+/// `b`-block and its three lane rotations (so every lane pair is compared
+/// exactly once), the per-lane hit mask is popcounted, and whichever block has
+/// the smaller maximum advances (both on ties).  Because the inputs are
+/// deduplicated, a common value lives in exactly one block on each side and
+/// those two blocks are simultaneously current in exactly one iteration, so
+/// each match is counted exactly once; any partial-block tail is finished by
+/// the scalar merge.  Without AVX2 an SSE2 2-lane variant of the same scheme
+/// runs (SSE2 is part of the x86-64 baseline), and on other architectures
+/// this function *is* [`intersection_len_merge`] — so it is always safe to
+/// call and always returns the exact count.
+///
+/// This function is compiled unconditionally; the `simd` cargo feature only
+/// controls whether [`intersection_len`] routes the similar-size regime here.
+pub fn intersection_len_simd(a: &[u64], b: &[u64]) -> usize {
+    debug_assert!(is_sorted_dedup(a), "kernel input `a` must be sorted and deduplicated");
+    debug_assert!(is_sorted_dedup(b), "kernel input `b` must be sorted and deduplicated");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { x86::intersection_len_avx2(a, b) }
+        } else {
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            unsafe { x86::intersection_len_sse2(a, b) }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
         intersection_len_merge(a, b)
     }
+}
+
+/// Intersection size of two sorted, deduplicated slices, dispatching by input
+/// shape: tiny inputs (both ≤ [`TINY_LEN`]) take a branch-free all-pairs
+/// loop, size ratios ≥ [`GALLOP_SKEW`] take [`intersection_len_gallop`], and
+/// the similar-size regime takes [`intersection_len_simd`] when the `simd`
+/// cargo feature is enabled ([`intersection_len_merge`] otherwise).
+///
+/// The routing is exactly [`dispatch_class`] of the two lengths, and every
+/// kernel returns the identical exact count, so the dispatch decision can
+/// never change an answer.
+#[inline]
+pub fn intersection_len(a: &[u64], b: &[u64]) -> usize {
+    debug_assert!(is_sorted_dedup(a), "kernel input `a` must be sorted and deduplicated");
+    debug_assert!(is_sorted_dedup(b), "kernel input `b` must be sorted and deduplicated");
+    match dispatch_class(a.len(), b.len()) {
+        KernelClass::Tiny => intersection_len_tiny(a, b),
+        KernelClass::Gallop => intersection_len_gallop(a, b),
+        KernelClass::Simd => intersection_len_simd(a, b),
+        KernelClass::Merge => intersection_len_merge(a, b),
+    }
+}
+
+/// Element-wise minimum merge: `dst[i] = min(dst[i], src[i])` — scalar loop.
+///
+/// The loop is branch-free and autovectorizes; kept public as the conformance
+/// oracle for [`merge_min_simd`].  The slices must have equal length (the
+/// signature width).
+#[inline]
+pub fn merge_min_scalar(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len(), "signature widths must match");
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).min(s);
+    }
+}
+
+/// Element-wise minimum merge with explicit SIMD: `dst[i] = min(dst[i],
+/// src[i])` on 4×`u64` AVX2 blocks (unsigned min emulated by sign-bit flip +
+/// signed compare + blend, since unsigned 64-bit min is AVX-512-only), with a
+/// scalar tail and a full scalar fallback when AVX2 is absent.
+///
+/// Element-wise integer minimum is exact, so this is bit-identical to
+/// [`merge_min_scalar`] by construction.  Compiled unconditionally; the
+/// `simd` cargo feature only controls whether [`merge_min`] routes here.
+pub fn merge_min_simd(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len(), "signature widths must match");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { x86::merge_min_avx2(dst, src) };
+            return;
+        }
+    }
+    merge_min_scalar(dst, src);
 }
 
 /// Element-wise minimum merge: `dst[i] = min(dst[i], src[i])`.
 ///
 /// This is the MinHash signature-merge primitive; the slices must have equal
-/// length (the signature width).  The loop is branch-free and autovectorizes.
+/// length (the signature width).  Routes to [`merge_min_simd`] when the
+/// `simd` cargo feature is enabled, [`merge_min_scalar`] otherwise; both are
+/// exact integer minima, so the answers cannot differ.
 #[inline]
 pub fn merge_min(dst: &mut [u64], src: &[u64]) {
-    debug_assert_eq!(dst.len(), src.len(), "signature widths must match");
-    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-        *d = (*d).min(s);
+    if cfg!(feature = "simd") {
+        merge_min_simd(dst, src);
+    } else {
+        merge_min_scalar(dst, src);
     }
 }
 
@@ -171,6 +339,106 @@ pub fn argmax(values: &[u64]) -> usize {
     best
 }
 
+/// x86-64 intrinsic implementations of the SIMD kernels.
+///
+/// The AVX2 functions are `#[target_feature]`-gated and only reached behind
+/// a runtime `is_x86_feature_detected!("avx2")` check; the SSE2 function uses
+/// only baseline x86-64 instructions.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    const AVX_LANES: usize = super::SIMD_LANES; // 4 × u64 per __m256i
+    const SSE_LANES: usize = 2; // 2 × u64 per __m128i
+
+    /// Blockwise 4-lane intersection count.  See [`super::intersection_len_simd`]
+    /// for the counting argument; the block-advance rule (`smaller max moves,
+    /// both on ties`) guarantees the two blocks containing a common value are
+    /// simultaneously current in exactly one iteration.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn intersection_len_avx2(a: &[u64], b: &[u64]) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let na = a.len() & !(AVX_LANES - 1);
+        let nb = b.len() & !(AVX_LANES - 1);
+        while i < na && j < nb {
+            // SAFETY: `i + AVX_LANES <= na <= a.len()` (and likewise for `b`),
+            // and the loads are explicitly unaligned.
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(j).cast());
+            // Compare every a-lane against every b-lane: vb and its three
+            // lane rotations cover all 16 pairs exactly once.
+            let m0 = _mm256_cmpeq_epi64(va, vb);
+            let m1 = _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0b00_11_10_01));
+            let m2 = _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0b01_00_11_10));
+            let m3 = _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0b10_01_00_11));
+            let any = _mm256_or_si256(_mm256_or_si256(m0, m1), _mm256_or_si256(m2, m3));
+            // One mask bit per a-lane; dedup means each lane matches at most
+            // one b-lane, so the popcount is the exact pair count.
+            count += (_mm256_movemask_pd(_mm256_castsi256_pd(any)) as u32).count_ones() as usize;
+            let a_max = *a.get_unchecked(i + AVX_LANES - 1);
+            let b_max = *b.get_unchecked(j + AVX_LANES - 1);
+            i += if a_max <= b_max { AVX_LANES } else { 0 };
+            j += if b_max <= a_max { AVX_LANES } else { 0 };
+        }
+        count + super::intersection_len_merge(&a[i..], &b[j..])
+    }
+
+    /// 64-bit lane equality from SSE2-only ops: compare the 32-bit halves and
+    /// AND each half's mask with its sibling's.
+    #[inline]
+    unsafe fn cmpeq_epi64_sse2(x: __m128i, y: __m128i) -> __m128i {
+        let eq32 = _mm_cmpeq_epi32(x, y);
+        _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, 0b10_11_00_01))
+    }
+
+    /// Blockwise 2-lane intersection count using only baseline x86-64
+    /// instructions — the runtime fallback when AVX2 is unavailable.
+    pub(super) unsafe fn intersection_len_sse2(a: &[u64], b: &[u64]) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let na = a.len() & !(SSE_LANES - 1);
+        let nb = b.len() & !(SSE_LANES - 1);
+        while i < na && j < nb {
+            // SAFETY: `i + SSE_LANES <= na <= a.len()` (and likewise for `b`).
+            let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+            let vb = _mm_loadu_si128(b.as_ptr().add(j).cast());
+            let rot = _mm_shuffle_epi32(vb, 0b01_00_11_10); // swap the two u64 lanes
+            let any = _mm_or_si128(cmpeq_epi64_sse2(va, vb), cmpeq_epi64_sse2(va, rot));
+            count += (_mm_movemask_pd(_mm_castsi128_pd(any)) as u32).count_ones() as usize;
+            let a_max = *a.get_unchecked(i + SSE_LANES - 1);
+            let b_max = *b.get_unchecked(j + SSE_LANES - 1);
+            i += if a_max <= b_max { SSE_LANES } else { 0 };
+            j += if b_max <= a_max { SSE_LANES } else { 0 };
+        }
+        count + super::intersection_len_merge(&a[i..], &b[j..])
+    }
+
+    /// 4-lane element-wise unsigned minimum into `dst`.  Unsigned 64-bit min
+    /// has no AVX2 instruction; flipping the sign bit maps unsigned order onto
+    /// signed order, so `cmpgt_epi64` + `blendv` selects the unsigned min.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn merge_min_avx2(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len().min(src.len());
+        let blocks = n & !(AVX_LANES - 1);
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let mut i = 0usize;
+        while i < blocks {
+            // SAFETY: `i + AVX_LANES <= blocks <= dst.len().min(src.len())`.
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(d, sign), _mm256_xor_si256(s, sign));
+            let min = _mm256_blendv_epi8(d, s, gt);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), min);
+            i += AVX_LANES;
+        }
+        for k in i..n {
+            let s = src[k];
+            if s < dst[k] {
+                dst[k] = s;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +448,7 @@ mod tests {
             intersection_len_merge(a, b),
             intersection_len_masked(a, b),
             intersection_len_gallop(a, b),
+            intersection_len_simd(a, b),
             intersection_len(a, b),
         ]
     }
@@ -230,10 +499,86 @@ mod tests {
     }
 
     #[test]
+    fn simd_lane_width_boundaries() {
+        // Lengths straddling the 4-lane AVX2 block and the 2-lane SSE2 block:
+        // partial blocks must be finished exactly by the scalar tail.
+        for la in 0..=10usize {
+            for lb in 0..=10usize {
+                let a: Vec<u64> = (0..la as u64).map(|i| i * 3).collect();
+                let b: Vec<u64> = (0..lb as u64).map(|i| i * 2 + 1).collect();
+                let expect = a.iter().filter(|x| b.contains(x)).count();
+                assert_agree(&a, &b, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_route_to_the_all_pairs_loop() {
+        assert_eq!(dispatch_class(0, 0), KernelClass::Tiny);
+        assert_eq!(dispatch_class(0, 4096), KernelClass::Tiny);
+        assert_eq!(dispatch_class(TINY_LEN, TINY_LEN), KernelClass::Tiny);
+        assert_eq!(dispatch_class(1, TINY_LEN), KernelClass::Tiny);
+        // One side past TINY_LEN leaves the tiny regime.
+        assert_eq!(dispatch_class(1, TINY_LEN + 1), KernelClass::Gallop);
+        let similar = dispatch_class(TINY_LEN + 1, TINY_LEN + 1);
+        if cfg!(feature = "simd") {
+            assert_eq!(similar, KernelClass::Simd);
+        } else {
+            assert_eq!(similar, KernelClass::Merge);
+        }
+        assert_eq!(dispatch_class(64, 64 * GALLOP_SKEW), KernelClass::Gallop);
+    }
+
+    #[test]
+    fn dispatch_class_matches_the_documented_ratio_rule() {
+        for a in 0..64usize {
+            for b in 0..64usize {
+                let class = dispatch_class(a, b);
+                assert_eq!(class, dispatch_class(b, a), "dispatch must be symmetric");
+                let (min, max) = (a.min(b), a.max(b));
+                if min == 0 || max <= TINY_LEN {
+                    assert_eq!(class, KernelClass::Tiny);
+                } else if min * GALLOP_SKEW <= max {
+                    assert_eq!(class, KernelClass::Gallop);
+                } else {
+                    assert_ne!(class, KernelClass::Tiny);
+                    assert_ne!(class, KernelClass::Gallop);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn merge_min_is_elementwise() {
         let mut dst = vec![5, 1, 7, u64::MAX];
         merge_min(&mut dst, &[3, 2, 7, 0]);
         assert_eq!(dst, vec![3, 1, 7, 0]);
+    }
+
+    #[test]
+    fn merge_min_simd_matches_scalar_across_widths() {
+        for width in 0..=67usize {
+            let mut scalar: Vec<u64> =
+                (0..width as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+            let src: Vec<u64> =
+                (0..width as u64).map(|i| (!i).wrapping_mul(0xBF58_476D_1CE4_E5B9)).collect();
+            let mut simd = scalar.clone();
+            merge_min_scalar(&mut scalar, &src);
+            merge_min_simd(&mut simd, &src);
+            assert_eq!(simd, scalar, "merge_min_simd diverged at width {width}");
+        }
+    }
+
+    #[test]
+    fn merge_min_simd_handles_sign_bit_values() {
+        // The AVX2 path emulates unsigned min via a sign-bit flip; values on
+        // both sides of i64::MIN exercise that mapping.
+        let mut dst = vec![u64::MAX, 1 << 63, (1 << 63) - 1, 0, u64::MAX - 1, 1 << 63, 3, 9];
+        let src = vec![1 << 63, u64::MAX, 1 << 63, u64::MAX, u64::MAX, (1 << 63) - 1, 9, 3];
+        let mut expect = dst.clone();
+        merge_min_scalar(&mut expect, &src);
+        merge_min_simd(&mut dst, &src);
+        assert_eq!(dst, expect);
     }
 
     #[test]
