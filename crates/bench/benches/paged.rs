@@ -115,11 +115,14 @@ fn emit_artifact(
                 );
             }
             let mut best = f64::INFINITY;
+            let mut planning_us = 0u64;
             let before = pool.stats();
             for _ in 0..PASSES {
+                planning_us = 0;
                 let start = Instant::now();
                 for (i, &query) in queries.iter().enumerate() {
-                    let (results, _) = paged.top_k(query, K, measure).expect("paged answers");
+                    let (results, stats) = paged.top_k(query, K, measure).expect("paged answers");
+                    planning_us += stats.planning_us;
                     assert_eq!(
                         results, oracle[i],
                         "{policy_name} @ {fraction}: paged answer diverged from the \
@@ -140,9 +143,16 @@ fn emit_artifact(
                 concat!(
                     "    {{\"budget_fraction\": {}, \"policy\": \"{}\", \"qps\": {:.1}, ",
                     "\"pool_hits\": {}, \"pool_misses\": {}, \"pool_evictions\": {}, ",
-                    "\"simulated_io_us\": {}}}"
+                    "\"simulated_io_us\": {}, \"planning_us\": {}}}"
                 ),
-                fraction, policy_name, qps, io.hits, io.misses, io.evictions, io.simulated_us,
+                fraction,
+                policy_name,
+                qps,
+                io.hits,
+                io.misses,
+                io.evictions,
+                io.simulated_us,
+                planning_us,
             ));
         }
     }

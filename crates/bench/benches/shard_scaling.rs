@@ -232,7 +232,7 @@ fn emit_rows(
                     "    {{\"workload\": \"{}\", \"shards\": {}, \"mode\": \"{}\", ",
                     "\"qps\": {:.1}, \"nodes_visited\": {}, \"subtrees_pruned\": {}, ",
                     "\"entities_checked\": {}, \"bound_updates\": {}, ",
-                    "\"shards_skipped\": {}}}"
+                    "\"shards_skipped\": {}, \"planning_us\": {}}}"
                 ),
                 workload_name,
                 shards,
@@ -243,6 +243,7 @@ fn emit_rows(
                 work.entities_checked,
                 work.bound_updates,
                 work.shards_skipped,
+                work.planning_us,
             ));
         }
     }

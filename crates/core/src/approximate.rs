@@ -65,16 +65,14 @@ impl BandingConfig {
     }
 }
 
-/// Statistics of one approximate query.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ApproximateStats {
-    /// Candidates produced by band collisions (before exact scoring).
-    pub candidates: usize,
-    /// Entities scored exactly.
-    pub entities_checked: usize,
-    /// Total entities indexed.
-    pub total_entities: usize,
-}
+/// Compatibility alias: approximate queries report through the unified
+/// [`QueryStats`](crate::stats::QueryStats) — the same struct the exact tree,
+/// the flat scan and the budgeted sampled scan fill — so recall estimates,
+/// sampled-candidate counts and kernel dispatch are comparable across every
+/// access path.  The old `candidates` field maps to
+/// [`sampled_candidates`](crate::stats::QueryStats::sampled_candidates);
+/// `entities_checked` and `total_entities` kept their names.
+pub type ApproximateStats = crate::stats::QueryStats;
 
 /// The banded LSH candidate index.
 #[derive(Debug, Clone)]
@@ -178,17 +176,21 @@ impl IndexSnapshot {
         k: usize,
         measure: &M,
     ) -> Result<(Vec<TopKResult>, ApproximateStats)> {
+        let start = std::time::Instant::now();
         let query_seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
         let sig = SignatureList::build(self.sp_index(), self.hasher(), query_seq);
         let candidates = banded.candidates(&sig, self.sp_index().height());
         let mut stats = ApproximateStats {
-            candidates: candidates.len(),
+            k,
+            sampled_candidates: candidates.len(),
             total_entities: self.num_entities(),
             ..ApproximateStats::default()
         };
         // Verify the colliding candidates through the arena's fused degree
         // kernels — same selection heap, same scores, no per-candidate map
-        // walks.
+        // walks.  The tracked variant keeps the dispatch counters complete:
+        // approximate scoring dispatches the same intersection kernels as
+        // every exact path.
         let arena = self.arena();
         let view = crate::kernel::QueryView::new(query_seq);
         let mut scratch = trace_model::LevelOverlap::default();
@@ -200,9 +202,19 @@ impl IndexSnapshot {
             }
             let Some(pos) = arena.position(entity) else { continue };
             checked += 1;
-            top.offer(entity, arena.degree_into(pos, &view, measure, &mut scratch));
+            top.offer(
+                entity,
+                arena.degree_into_tracked(
+                    pos,
+                    &view,
+                    measure,
+                    &mut scratch,
+                    &mut stats.kernel_dispatch,
+                ),
+            );
         }
         stats.entities_checked = checked;
+        stats.query_time_us = start.elapsed().as_micros() as u64;
         Ok((top.into_sorted(), stats))
     }
 }
@@ -299,7 +311,10 @@ mod tests {
                 index.approximate_top_k(&banded, EntityId(query), 1, &measure).unwrap();
             let partner = if query % 2 == 0 { query + 1 } else { query - 1 };
             assert_eq!(approx[0].entity, EntityId(partner), "query {query}");
-            assert!(stats.candidates < index.num_entities(), "banding should filter candidates");
+            assert!(
+                stats.sampled_candidates < index.num_entities(),
+                "banding should filter candidates"
+            );
         }
     }
 
@@ -314,6 +329,11 @@ mod tests {
             index.approximate_top_k(&banded, EntityId(0), 5, &measure).unwrap();
         assert!(approx.len() <= 5);
         assert!(approx_stats.entities_checked <= exact_stats.total_entities);
+        assert!(
+            approx_stats.kernel_dispatch.total() > 0,
+            "approximate scoring must populate the dispatch counters"
+        );
+        assert!(approx_stats.sampled_candidates >= approx_stats.entities_checked);
         let r = recall(&exact, &approx);
         assert!(r > 0.0, "the top pair must be recovered");
         // Every approximate degree is also achievable exactly (it is a real entity's degree).

@@ -166,12 +166,27 @@ impl SchedulerConfig {
 ///
 /// The planner consumes the per-shard [`Synopsis`](crate::synopsis::Synopsis)
 /// to seed the search bound, skip shards and pick per-shard access paths
-/// **before** any tree traversal.  Like the scheduler knobs, none of these
-/// can change an answer — seeding and skipping rest on strict-inequality
-/// certificates, and the flat scan is bitwise identical to an exhausted tree
-/// search (`tests/planner_conformance.rs` proptests this); they only move
-/// work counters and wall-clock time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// **before** any tree traversal.  Like the scheduler knobs, none of the
+/// exact-planning knobs can change an answer — seeding and skipping rest on
+/// strict-inequality certificates, and the flat scan is bitwise identical to
+/// an exhausted tree search (`tests/planner_conformance.rs` proptests this);
+/// they only move work counters and wall-clock time.
+///
+/// The **budget knobs** are different: setting
+/// [`latency_budget_us`](Self::latency_budget_us) authorises the planner to
+/// *degrade* — to answer shards whose exact cost does not fit the budget by
+/// a deterministic sampled scan ([`ShardDecision::ApproximateScan`]) and to
+/// downgrade still-unstarted shards when the per-query deadline expires
+/// mid-flight.  Degradation is never silent ([`QueryStats::degradation`]
+/// reports exactly what was sampled), never exceeds
+/// [`recall_floor`](Self::recall_floor) in expectation, and **never occurs
+/// when the exact plan fits the budget** — with an unset (or non-binding)
+/// budget every answer stays bitwise identical to the unbudgeted plan
+/// (`tests/deadline_conformance.rs` proptests this).
+///
+/// [`ShardDecision::ApproximateScan`]: crate::plan::ShardDecision::ApproximateScan
+/// [`QueryStats::degradation`]: crate::stats::QueryStats::degradation
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlannerConfig {
     /// Score the shards' sketch entities exactly and publish their k-th-best
     /// degree as the initial search bound (a provable lower bound on the
@@ -184,11 +199,34 @@ pub struct PlannerConfig {
     /// exact scan instead of a best-first tree search (same answers, no
     /// frontier bookkeeping).  0 scans nothing but empty shards.
     pub scan_cutoff: usize,
+    /// Per-query latency budget in microseconds; `None` (the default) turns
+    /// all deadline machinery off — planning and execution are exactly the
+    /// unbudgeted paths.  `Some(b)` makes the planner cost the exact plan
+    /// (measured ns/degree × shard populations, plus cold-page I/O out of
+    /// core) and downgrade the least promising shards to sampled scans until
+    /// the estimate fits `b`; execution then enforces `b` as a hard deadline,
+    /// downgrading any shard the clock overtakes.
+    pub latency_budget_us: Option<u64>,
+    /// The lowest expected recall a budget-forced sampled scan may be planned
+    /// at (per shard): the planner never picks a sample rate whose
+    /// [`Synopsis::expected_scan_recall`] falls below this floor, even when
+    /// the budget asks for less work.  Irrelevant while
+    /// [`latency_budget_us`](Self::latency_budget_us) is `None`.  Must lie in
+    /// `[0, 1]`.
+    ///
+    /// [`Synopsis::expected_scan_recall`]: crate::synopsis::Synopsis::expected_scan_recall
+    pub recall_floor: f64,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { seed_threshold: true, skip_shards: true, scan_cutoff: 32 }
+        PlannerConfig {
+            seed_threshold: true,
+            skip_shards: true,
+            scan_cutoff: 32,
+            latency_budget_us: None,
+            recall_floor: 0.9,
+        }
     }
 }
 
@@ -197,7 +235,34 @@ impl PlannerConfig {
     /// everywhere — the PR 4 behaviour, kept as the measurable baseline (and
     /// what the explicit `*_with_scheduler` entry points use).
     pub fn disabled() -> Self {
-        PlannerConfig { seed_threshold: false, skip_shards: false, scan_cutoff: 0 }
+        PlannerConfig {
+            seed_threshold: false,
+            skip_shards: false,
+            scan_cutoff: 0,
+            ..PlannerConfig::default()
+        }
+    }
+
+    /// The default planner with a per-query latency budget, in microseconds.
+    pub fn with_budget(latency_budget_us: u64) -> Self {
+        PlannerConfig { latency_budget_us: Some(latency_budget_us), ..PlannerConfig::default() }
+    }
+
+    /// The default planner with a latency budget and an explicit recall floor.
+    pub fn with_budget_and_floor(latency_budget_us: u64, recall_floor: f64) -> Self {
+        PlannerConfig {
+            latency_budget_us: Some(latency_budget_us),
+            recall_floor,
+            ..PlannerConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.recall_floor) {
+            return Err(IndexError::InvalidConfig("recall_floor must lie in [0, 1]".into()));
+        }
+        Ok(())
     }
 }
 
@@ -229,10 +294,29 @@ mod tests {
         assert!(p.seed_threshold);
         assert!(p.skip_shards);
         assert!(p.scan_cutoff > 0);
+        assert_eq!(p.latency_budget_us, None, "no deadline machinery by default");
+        assert!(p.validate().is_ok());
         let off = PlannerConfig::disabled();
         assert!(!off.seed_threshold);
         assert!(!off.skip_shards);
         assert_eq!(off.scan_cutoff, 0);
+        assert_eq!(off.latency_budget_us, None);
+    }
+
+    #[test]
+    fn planner_budget_constructors_and_validation() {
+        let b = PlannerConfig::with_budget(5_000);
+        assert_eq!(b.latency_budget_us, Some(5_000));
+        assert!(b.seed_threshold, "budgeting keeps the default exact planning on");
+        let f = PlannerConfig::with_budget_and_floor(5_000, 0.75);
+        assert_eq!((f.latency_budget_us, f.recall_floor), (Some(5_000), 0.75));
+        assert!(f.validate().is_ok());
+        assert!(PlannerConfig { recall_floor: 1.5, ..PlannerConfig::default() }
+            .validate()
+            .is_err());
+        assert!(PlannerConfig { recall_floor: -0.1, ..PlannerConfig::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -785,6 +785,36 @@ where
         while self.step(bound, usize::MAX) {}
     }
 
+    /// Drives the executor under `bound`, `quantum` nodes at a time,
+    /// re-checking `deadline` between quanta.
+    ///
+    /// Returns `true` when the frontier was exhausted (the answer is the
+    /// full exact answer, identical to [`run`](Self::run)); `false` when the
+    /// deadline tripped first, in which case the frontier still holds the
+    /// remaining work and the caller decides how to degrade.  `None` never
+    /// trips, making `run_until(bound, q, None)` bit-for-bit `run(bound)`.
+    pub fn run_until<B: Bound + ?Sized>(
+        &mut self,
+        bound: &B,
+        quantum: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> bool {
+        match deadline {
+            None => {
+                self.run(bound);
+                true
+            }
+            Some(deadline) => loop {
+                if std::time::Instant::now() >= deadline {
+                    return self.exhausted;
+                }
+                if !self.step(bound, quantum) {
+                    return true;
+                }
+            },
+        }
+    }
+
     /// Consumes the executor, returning the sorted answers and the final
     /// work counters (with the wall-clock time since construction).
     pub fn finish(mut self) -> (Vec<TopKResult>, QueryStats) {

@@ -308,6 +308,52 @@ impl CandidateArena {
         }
         (top.into_sorted(), checked)
     }
+
+    /// Deterministic **sampled** flat scan — the execution primitive behind
+    /// the planner's [`ShardDecision::ApproximateScan`] arm.  Every entity in
+    /// `always` (the shard's hot-sketch members) is scored unconditionally;
+    /// every other member is scored iff [`sample_includes`] admits it at
+    /// `rate`.  Scoring itself is exact (same tracked kernel as
+    /// [`scan_top_k`](Self::scan_top_k)), so the only error is *omission* of
+    /// unsampled entities, which is exactly what
+    /// [`Synopsis::expected_scan_recall`] models.  Returns the sorted
+    /// answers plus the number of entities actually scored.
+    ///
+    /// Because [`sample_includes`] is a pure hash of the entity id, the
+    /// sample — and therefore the answer — is identical across runs,
+    /// machines, and schedules.
+    ///
+    /// [`ShardDecision::ApproximateScan`]: crate::plan::ShardDecision::ApproximateScan
+    /// [`sample_includes`]: crate::plan::sample_includes
+    /// [`Synopsis::expected_scan_recall`]: crate::synopsis::Synopsis::expected_scan_recall
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_top_k_sampled<M: AssociationMeasure + ?Sized>(
+        &self,
+        view: &QueryView<'_>,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        rate: f64,
+        always: &[EntityId],
+        dispatch: &mut KernelDispatch,
+    ) -> (Vec<TopKResult>, usize) {
+        let mut top = TopKHeap::new(k);
+        let mut checked = 0usize;
+        let mut scratch = LevelOverlap::default();
+        for (pos, &entity) in self.entities.iter().enumerate() {
+            if Some(entity) == exclude {
+                continue;
+            }
+            // Sketch entities first-class: they are few (`m ≤ 16`), so a
+            // linear containment test beats hashing.
+            if !crate::plan::sample_includes(entity, rate) && !always.contains(&entity) {
+                continue;
+            }
+            checked += 1;
+            top.offer(entity, self.degree_into_tracked(pos, view, measure, &mut scratch, dispatch));
+        }
+        (top.into_sorted(), checked)
+    }
 }
 
 /// Flat per-snapshot rows of the [`MinSigTree`]'s nodes — the node-side

@@ -132,7 +132,7 @@ pub mod synopsis;
 pub mod testkit;
 pub mod tree;
 
-pub use approximate::{BandedIndex, BandingConfig};
+pub use approximate::{ApproximateStats, BandedIndex, BandingConfig};
 pub use config::{
     BoundMode, HasherMode, IndexConfig, PlannerConfig, PublishPolicy, SchedulerConfig,
 };
@@ -148,7 +148,9 @@ pub use join::{JoinOptions, JoinRow, JoinStats};
 pub use kernel::{ArenaSource, CandidateArena, NodeArena, QueryView};
 pub use paged::{PagedArenaSource, PagedShardedSnapshot};
 pub use persist::{INDEX_MAGIC, INDEX_VERSION};
-pub use plan::{PageEstimate, QueryPlan, ShardDecision, ShardPlan};
+pub use plan::{
+    sample_includes, BatchGroup, BatchPlan, PageEstimate, QueryPlan, ShardDecision, ShardPlan,
+};
 pub use query::{QueryOptions, TopKResult};
 pub use shard::{
     shard_of, ShardedIngestReport, ShardedMinSigIndex, ShardedSnapshot, PARTITION_VERSION,
@@ -158,6 +160,6 @@ pub use signature::{
     CellHashFamily, HierarchicalHasher, SeededHashFamily, SignatureList, TableHashFamily,
 };
 pub use snapshot::IndexSnapshot;
-pub use stats::{IndexStats, KernelDispatch, QueryStats, SearchStats};
+pub use stats::{DegradationReport, IndexStats, KernelDispatch, QueryStats, SearchStats};
 pub use synopsis::{Synopsis, DEFAULT_SKETCH_SIZE};
 pub use tree::MinSigTree;

@@ -45,12 +45,12 @@ use crate::query::{QueryOptions, TopKResult};
 use crate::shard::{drive_cooperatively, ShardedSnapshot};
 use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
-use crate::stats::{KernelDispatch, QueryStats};
+use crate::stats::{DegradationReport, KernelDispatch, QueryStats};
 use rayon::prelude::*;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trace_model::ajpi::{LevelOverlap, LevelStat};
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId, SpIndex};
 use trace_storage::{BufferPool, PageId, PagedTraceStore};
@@ -617,6 +617,7 @@ impl<'a> PagedShardedSnapshot<'a> {
         planner: PlannerConfig,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
         scheduler.validate()?;
+        planner.validate()?;
         let start = Instant::now();
         self.snapshot.check_query_levels(query)?;
         let shards = self.snapshot.shard_snapshots();
@@ -642,6 +643,7 @@ impl<'a> PagedShardedSnapshot<'a> {
         );
 
         let mut stats = QueryStats { k, ..QueryStats::default() };
+        stats.planning_us = start.elapsed().as_micros() as u64;
         stats.entities_checked += plan.seed_candidates;
         stats.shards_skipped = plan.shards_skipped();
         stats.threshold_seeded = plan.seeded();
@@ -670,13 +672,14 @@ impl<'a> PagedShardedSnapshot<'a> {
                 parallel,
                 scheduler,
                 &mut stats,
+                start,
             )?;
             stats.kernel_dispatch.absorb(arena_source.take_dispatch());
             results
         } else {
             self.drive_plan(
                 &plan, &source, query, exclude, k, measure, options, parallel, scheduler,
-                &mut stats,
+                &mut stats, start,
             )?
         };
         let io = self.pool.stats().since(&pool_before);
@@ -705,11 +708,17 @@ impl<'a> PagedShardedSnapshot<'a> {
         parallel: bool,
         scheduler: SchedulerConfig,
         stats: &mut QueryStats,
+        start: Instant,
     ) -> Result<Vec<TopKResult>>
     where
         S: TraceSource + Sync,
         M: AssociationMeasure + Sync + ?Sized,
     {
+        if plan.planner.latency_budget_us.is_some() {
+            return self.drive_plan_deadline(
+                plan, source, query, exclude, k, measure, options, scheduler, stats, start,
+            );
+        }
         let shards = self.snapshot.shard_snapshots();
         let use_shared = scheduler.bound_mode == BoundMode::Shared;
         let shared = SharedBound::new();
@@ -777,6 +786,208 @@ impl<'a> PagedShardedSnapshot<'a> {
             let (results, executor_stats) = executor.finish();
             stats.absorb_work(&executor_stats);
             parts.push(results);
+        }
+        Ok(engine::merge_top_k(k, parts))
+    }
+
+    /// The out-of-core counterpart of the in-memory deadline drive
+    /// (`ShardedSnapshot::execute_plan_deadline`): admitted shards run
+    /// **sequentially in plan order** with the deadline re-checked between
+    /// quanta, planned or downgraded approximate shards answered by the
+    /// deterministic sampled degree loop through the pool.  The same
+    /// protocol applies — downgrade-at-floor-rate, abandon mid-flight trees,
+    /// floor-rate-1.0 shards stay exact — so the degradation report means
+    /// the same thing on every path.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_plan_deadline<S, M>(
+        &self,
+        plan: &QueryPlan,
+        source: &S,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        stats: &mut QueryStats,
+        start: Instant,
+    ) -> Result<Vec<TopKResult>>
+    where
+        S: TraceSource + Sync,
+        M: AssociationMeasure + Sync + ?Sized,
+    {
+        let deadline = plan
+            .planner
+            .latency_budget_us
+            .and_then(|us| start.checked_add(Duration::from_micros(us)));
+        let shards = self.snapshot.shard_snapshots();
+        let use_shared = scheduler.bound_mode == BoundMode::Shared;
+        let shared = SharedBound::new();
+        if plan.seeded() {
+            shared.publish(plan.seed);
+        }
+        let mut report = DegradationReport::default();
+        let mut parts: Vec<Vec<TopKResult>> = Vec::with_capacity(plan.shards.len());
+
+        let sampled_scan = |shard_idx: usize,
+                            rate: f64,
+                            count_population: bool,
+                            downgraded: bool,
+                            stats: &mut QueryStats,
+                            report: &mut DegradationReport,
+                            parts: &mut Vec<Vec<TopKResult>>| {
+            let shard = &shards[shard_idx];
+            let hot = shard.synopsis().hot_entities();
+            let mut top = TopKHeap::new(k);
+            let mut checked = 0usize;
+            for &entity in shard.sequences().keys() {
+                if Some(entity) == exclude {
+                    continue;
+                }
+                if !plan::sample_includes(entity, rate) && !hot.contains(&entity) {
+                    continue;
+                }
+                let Some(degree) = source.degree(entity, query, &measure) else { continue };
+                checked += 1;
+                top.offer(entity, degree);
+            }
+            let results = top.into_sorted();
+            if count_population {
+                stats.total_entities += shard.num_entities();
+            }
+            stats.entities_checked += checked;
+            stats.sampled_candidates += checked;
+            stats.recall_estimate =
+                stats.recall_estimate.min(shard.synopsis().expected_scan_recall(rate));
+            report.record_shard(shard_idx, rate, downgraded);
+            if use_shared && k > 0 && results.len() >= k {
+                shared.publish(results[k - 1].degree);
+            }
+            parts.push(results);
+        };
+
+        for shard_plan in plan.admitted() {
+            let shard = &shards[shard_plan.shard];
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            match shard_plan.decision {
+                ShardDecision::Skip => unreachable!("admitted() filters skips"),
+                ShardDecision::ApproximateScan { rate } => {
+                    sampled_scan(
+                        shard_plan.shard,
+                        rate,
+                        true,
+                        false,
+                        stats,
+                        &mut report,
+                        &mut parts,
+                    );
+                }
+                ShardDecision::Scan => {
+                    let floor_rate =
+                        shard.synopsis().min_rate_for_recall(plan.planner.recall_floor);
+                    if expired && floor_rate < 1.0 {
+                        report.deadline_exceeded = true;
+                        sampled_scan(
+                            shard_plan.shard,
+                            floor_rate,
+                            true,
+                            true,
+                            stats,
+                            &mut report,
+                            &mut parts,
+                        );
+                        continue;
+                    }
+                    let mut top = TopKHeap::new(k);
+                    let mut checked = 0usize;
+                    for &entity in shard.sequences().keys() {
+                        if Some(entity) == exclude {
+                            continue;
+                        }
+                        let Some(degree) = source.degree(entity, query, &measure) else {
+                            continue;
+                        };
+                        checked += 1;
+                        top.offer(entity, degree);
+                    }
+                    let results = top.into_sorted();
+                    stats.total_entities += shard.num_entities();
+                    stats.entities_checked += checked;
+                    if use_shared && k > 0 && results.len() >= k {
+                        shared.publish(results[k - 1].degree);
+                    }
+                    parts.push(results);
+                }
+                ShardDecision::TreeSearch => {
+                    let floor_rate =
+                        shard.synopsis().min_rate_for_recall(plan.planner.recall_floor);
+                    if expired && floor_rate < 1.0 {
+                        report.deadline_exceeded = true;
+                        sampled_scan(
+                            shard_plan.shard,
+                            floor_rate,
+                            true,
+                            true,
+                            stats,
+                            &mut report,
+                            &mut parts,
+                        );
+                        continue;
+                    }
+                    let mut executor = Executor::new(
+                        shard.sp_index(),
+                        shard.hasher(),
+                        shard.node_arena(),
+                        query,
+                        exclude,
+                        k,
+                        measure,
+                        source,
+                        options,
+                    )?
+                    .with_publish_policy(scheduler.publish_policy);
+                    // Reserve the sampled fallback's estimated cost out of
+                    // the deadline: an abandon still pays that scan after it.
+                    let shard_deadline = if floor_rate >= 1.0 {
+                        None
+                    } else {
+                        let reserve = Duration::from_nanos(plan::fallback_reserve_ns(
+                            floor_rate,
+                            shard_plan.entities,
+                            plan.seed_candidates,
+                            stats.planning_us,
+                        ));
+                        deadline.map(|d| d.checked_sub(reserve).unwrap_or(d))
+                    };
+                    let exhausted = if use_shared {
+                        executor.run_until(&shared, scheduler.step_quantum, shard_deadline)
+                    } else if plan.seeded() {
+                        let seeded = SeededBound::new(plan.seed);
+                        executor.run_until(&seeded, scheduler.step_quantum, shard_deadline)
+                    } else {
+                        executor.run_until(&PrivateBound, scheduler.step_quantum, shard_deadline)
+                    };
+                    let (results, executor_stats) = executor.finish();
+                    stats.absorb_work(&executor_stats);
+                    if exhausted {
+                        parts.push(results);
+                    } else {
+                        report.deadline_exceeded = true;
+                        sampled_scan(
+                            shard_plan.shard,
+                            floor_rate,
+                            false,
+                            true,
+                            stats,
+                            &mut report,
+                            &mut parts,
+                        );
+                    }
+                }
+            }
+        }
+        if report.shards_approximate() > 0 {
+            stats.degradation = Some(report);
         }
         Ok(engine::merge_top_k(k, parts))
     }

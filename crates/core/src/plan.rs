@@ -31,11 +31,47 @@
 //! exhausted tree search.  `tests/planner_conformance.rs` proptests exactly
 //! this, over arbitrary shard counts, sketch sizes and knob settings.
 //!
+//! ## Latency budgets and the approximate arm
+//!
+//! With [`PlannerConfig::latency_budget_us`] set, the planner additionally
+//! acts as a QoS mechanism: it **costs** the exact plan — per-degree
+//! nanoseconds calibrated from the seeding pass it just timed (real degree
+//! evaluations over this very query), plus cold-page I/O out of core — and,
+//! when the estimate exceeds the budget, downgrades the *least promising*
+//! admitted shards to [`ShardDecision::ApproximateScan`]: a deterministic
+//! sampled flat scan that always scores the shard's hot-sketch entities and
+//! includes each remaining member with probability `rate`
+//! ([`sample_includes`] is a pure hash of the entity id, so the sample is
+//! identical across runs and machines).  The rate is never chosen below what
+//! [`Synopsis::min_rate_for_recall`] demands for
+//! [`PlannerConfig::recall_floor`], and a shard whose floor rate reaches 1.0
+//! simply stays exact.  **A plan whose exact cost fits the budget is never
+//! degraded** — exactness is the default, approximation the forced
+//! exception, and an unset budget skips all of this machinery bit-for-bit.
+//!
+//! ## Batch planning
+//!
+//! [`plan_batch`] plans a whole batch in one pass: per-shard sketch
+//! positions are resolved against the arenas **once** and reused by every
+//! query's seeding loop, and the resulting per-query plans are grouped by
+//! their admitted-shard *footprint* (the ordered shard/decision skeleton)
+//! into [`BatchGroup`]s — queries in one group run the same shards the same
+//! way, which is what the batch driver amortizes.  Every per-query seed is
+//! still computed from that query's own degrees (a seed is only sound for
+//! the query it was scored against), so batch-planned plans — and therefore
+//! answers — are identical to per-query planning
+//! (`tests/deadline_conformance.rs` asserts bitwise equality).
+//! [`BatchPlan::explain`] renders the grouping.
+//!
 //! The plan itself is a first-class value: [`ShardedSnapshot::explain`]
 //! returns the [`QueryPlan`] without executing it, and
 //! [`QueryPlan::explain`] renders it for humans.
 //!
+//! [`plan_batch`]: crate::shard::ShardedSnapshot::plan_batch
 //! [`ShardedSnapshot::explain`]: crate::shard::ShardedSnapshot::explain
+//! [`PlannerConfig::latency_budget_us`]: crate::config::PlannerConfig::latency_budget_us
+//! [`PlannerConfig::recall_floor`]: crate::config::PlannerConfig::recall_floor
+//! [`Synopsis::min_rate_for_recall`]: crate::synopsis::Synopsis::min_rate_for_recall
 
 use crate::config::PlannerConfig;
 use crate::engine::TopKHeap;
@@ -46,7 +82,7 @@ use std::sync::Arc;
 use trace_model::{AssociationMeasure, CellSetSequence, EntityId};
 
 /// How the planner decided to treat one shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ShardDecision {
     /// The shard's synopsis upper bound cannot beat the seeded threshold:
     /// provably no top-k entity lives there, so the query never opens it.
@@ -59,6 +95,22 @@ pub enum ShardDecision {
     Scan,
     /// The shard gets a best-first tree executor under the query's bound.
     TreeSearch,
+    /// The exact plan does not fit the latency budget: the shard is answered
+    /// by a **deterministic sampled scan** — every hot-sketch entity plus
+    /// each remaining member with probability `rate` (a pure hash of the
+    /// entity id, [`sample_includes`]) is scored exactly; the rest are never
+    /// touched.  The only decision that can change an answer, which is why
+    /// it is taken only under an explicit
+    /// [`latency_budget_us`](crate::config::PlannerConfig::latency_budget_us)
+    /// and always reported through
+    /// [`QueryStats::degradation`](crate::stats::QueryStats::degradation).
+    ApproximateScan {
+        /// Inclusion probability of each non-sketch member, in `(0, 1)`;
+        /// chosen as the larger of the budget-derived rate and the
+        /// [`recall_floor`](crate::config::PlannerConfig::recall_floor)'s
+        /// minimum rate (a rate reaching 1.0 stays exact instead).
+        rate: f64,
+    },
 }
 
 /// A shard's page-residency estimate at plan time: how many distinct store
@@ -140,6 +192,22 @@ impl QueryPlan {
         self.shards.iter().filter(|s| s.decision != ShardDecision::Skip)
     }
 
+    /// Number of shards the budget forced onto the sampled (approximate)
+    /// access path.  0 whenever the exact plan fits the budget — and always
+    /// 0 with no budget set.
+    pub fn shards_approximate(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.decision, ShardDecision::ApproximateScan { .. }))
+            .count()
+    }
+
+    /// True when every admitted shard runs an exact access path: the plan's
+    /// answer is bitwise identical to the unbudgeted plan's.
+    pub fn is_exact(&self) -> bool {
+        self.shards_approximate() == 0
+    }
+
     /// Renders the plan for humans: the seed, then one line per shard in
     /// plan order with its population, upper bound and decision.
     pub fn explain(&self) -> String {
@@ -156,10 +224,13 @@ impl QueryPlan {
         );
         for plan in &self.shards {
             let decision = match plan.decision {
-                ShardDecision::TreeSearch => "tree-search",
-                ShardDecision::Scan => "scan",
-                ShardDecision::Skip if plan.entities == 0 => "skip (empty shard)",
-                ShardDecision::Skip => "skip (upper bound below seed)",
+                ShardDecision::TreeSearch => "tree-search".to_string(),
+                ShardDecision::Scan => "scan".to_string(),
+                ShardDecision::Skip if plan.entities == 0 => "skip (empty shard)".to_string(),
+                ShardDecision::Skip => "skip (upper bound below seed)".to_string(),
+                ShardDecision::ApproximateScan { rate } => {
+                    format!("approximate-scan (rate={rate:.3}, budget-forced)")
+                }
             };
             let pages = match plan.pages {
                 Some(p) => format!(
@@ -212,9 +283,11 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
     // A fully disabled planner computes nothing at all: every shard is
     // admitted as a tree search in shard-index order, with the trivial
     // (+inf) upper bound — the baseline paths must not pay per-shard
-    // synopsis evaluation they are benchmarked against.
+    // synopsis evaluation they are benchmarked against.  (A latency budget
+    // on an otherwise disabled planner still gets the cost model: budgets
+    // are a promise to the caller, not an optimisation.)
     let planning_active = config.seed_threshold || config.skip_shards || config.scan_cutoff > 0;
-    if !planning_active {
+    if !planning_active && config.latency_budget_us.is_none() {
         let shards = shards
             .iter()
             .enumerate()
@@ -235,6 +308,7 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
         };
     }
 
+    let plan_start = std::time::Instant::now();
     let levels = query.num_levels() as u8;
     let query_sizes: Vec<usize> = (1..=levels).map(|l| query.level(l).len()).collect();
 
@@ -294,8 +368,149 @@ pub(crate) fn plan_query<M: AssociationMeasure + ?Sized>(
     admitted.sort_by(|a, b| {
         b.upper_bound.total_cmp(&a.upper_bound).then_with(|| a.shard.cmp(&b.shard))
     });
+    apply_latency_budget(
+        &mut admitted,
+        shards,
+        config,
+        plan_start.elapsed().as_nanos(),
+        seed_candidates,
+        0,
+    );
     admitted.extend(skipped);
     QueryPlan { k, seed, seed_candidates, shards: admitted, planner: *config }
+}
+
+/// Nanoseconds assumed per exact degree evaluation when the plan scored no
+/// seed candidates to calibrate against (seeding off, or an empty sketch).
+/// Deliberately on the measured path's high side: over-estimating exact cost
+/// degrades a little too eagerly, which is the correct failure direction for
+/// a latency promise.
+pub(crate) const FALLBACK_NS_PER_DEGREE: u64 = 200;
+
+/// Multiplier on the calibrated per-evaluation cost when pricing a *scan*
+/// of a whole shard.  The calibration times the seeding pass, whose handful
+/// of sketch evaluations run against warm arena rows; a streaming scan (or
+/// the leaf evaluations of a large tree search) pays cold rows on every
+/// step and measures several times slower.  Over-pricing makes the budget
+/// pass degrade slightly too eagerly and sample slightly too thin for the
+/// head-room — both land the query *under* its budget, which is the
+/// correct failure direction for a latency promise.
+pub(crate) const SCAN_COST_CONSERVATISM: u64 = 5;
+
+/// Estimated cost (ns) of the sampled fallback scan a mid-flight abandon
+/// pays: `floor_rate × entities` degree evaluations at the same
+/// conservatively-scaled `ns_per_degree` calibration the budget pass
+/// priced shards with (the timed seeding pass over `seed_candidates`
+/// evaluations, or [`FALLBACK_NS_PER_DEGREE`] when nothing was seeded).
+/// The deadline drives subtract this *reserve* from the deadline they hand
+/// a tree search: abandoning at the raw deadline would still pay the
+/// fallback scan after it, overshooting the budget by exactly that scan.
+pub(crate) fn fallback_reserve_ns(
+    floor_rate: f64,
+    entities: usize,
+    seed_candidates: usize,
+    planning_us: u64,
+) -> u64 {
+    let ns_per_degree = if seed_candidates > 0 && planning_us > 0 {
+        (planning_us.saturating_mul(1_000) / seed_candidates as u64).max(1)
+    } else {
+        FALLBACK_NS_PER_DEGREE
+    };
+    let scan_ns = ns_per_degree.saturating_mul(SCAN_COST_CONSERVATISM);
+    (floor_rate.clamp(0.0, 1.0) * entities as f64 * scan_ns as f64) as u64
+}
+
+/// The budget pass: downgrades the cheapest-to-lose suffix of the admitted
+/// shards (they are already sorted most-promising-first) to sampled scans
+/// until the cost estimate fits [`PlannerConfig::latency_budget_us`].
+///
+/// The exact cost of a shard is `entities × ns_per_degree` — the flat-scan
+/// worst case, which also upper-bounds what its tree search can do — plus
+/// `cold_pages × miss_latency_us` out of core.  `ns_per_degree` is
+/// calibrated from the seeding pass the planner just timed (`planning_ns`
+/// over `seed_candidates` real evaluations of this very query) so the model
+/// tracks the machine and the query's sequence sizes; with nothing to
+/// calibrate against, [`FALLBACK_NS_PER_DEGREE`] applies.
+///
+/// Invariants, by construction: a plan whose total exact estimate fits the
+/// budget is untouched (exactness when the budget is not binding); a
+/// downgraded shard's rate is never below its synopsis'
+/// [`min_rate_for_recall`](Synopsis::min_rate_for_recall) for the
+/// configured floor; and a floor rate reaching 1.0 leaves the shard exact
+/// (sampling everything *is* the exact scan, minus honesty).
+///
+/// `miss_latency_us` is 0 for in-memory plans.
+fn apply_latency_budget(
+    admitted: &mut [ShardPlan],
+    shards: &[Arc<IndexSnapshot>],
+    config: &PlannerConfig,
+    planning_ns: u128,
+    seed_candidates: usize,
+    miss_latency_us: u64,
+) {
+    let Some(budget_us) = config.latency_budget_us else { return };
+    let budget_ns = (budget_us as u128).saturating_mul(1_000);
+    let ns_per_degree = if seed_candidates > 0 && planning_ns > 0 {
+        ((planning_ns / seed_candidates as u128).max(1)).min(u64::MAX as u128) as u64
+    } else {
+        FALLBACK_NS_PER_DEGREE
+    };
+    // Planning time already spent counts against the budget: the deadline
+    // the executor will enforce starts at query arrival, not at plan end.
+    let mut spent_ns = planning_ns;
+    for plan in admitted.iter_mut() {
+        let exact_ns = exact_cost_ns(plan, ns_per_degree, miss_latency_us);
+        if spent_ns.saturating_add(exact_ns) <= budget_ns {
+            spent_ns = spent_ns.saturating_add(exact_ns);
+            continue;
+        }
+        // Over budget from here on: sample this shard at the cheapest rate
+        // the head-room affords, floored by the recall promise.
+        let synopsis: &Synopsis = shards[plan.shard].synopsis();
+        let floor_rate = synopsis.min_rate_for_recall(config.recall_floor);
+        let headroom = budget_ns.saturating_sub(spent_ns);
+        let budget_rate = if exact_ns == 0 { 1.0 } else { headroom as f64 / exact_ns as f64 };
+        let rate = budget_rate.max(floor_rate).clamp(0.0, 1.0);
+        if rate >= 1.0 {
+            // The recall floor forbids sampling thin enough to matter (or
+            // the shard is free anyway): stay exact.
+            spent_ns = spent_ns.saturating_add(exact_ns);
+            continue;
+        }
+        plan.decision = ShardDecision::ApproximateScan { rate };
+        spent_ns = spent_ns.saturating_add((exact_ns as f64 * rate) as u128);
+    }
+}
+
+/// The planner's exact-cost estimate of one admitted shard, in nanoseconds.
+/// The compute term carries [`SCAN_COST_CONSERVATISM`]: whole-shard
+/// evaluation streams cold arena rows the warm seeding calibration cannot
+/// see.
+fn exact_cost_ns(plan: &ShardPlan, ns_per_degree: u64, miss_latency_us: u64) -> u128 {
+    let compute =
+        (plan.entities as u128) * ns_per_degree.saturating_mul(SCAN_COST_CONSERVATISM) as u128;
+    let io =
+        plan.pages.map_or(0u128, |p| p.cold_pages() as u128) * (miss_latency_us as u128) * 1_000;
+    compute + io
+}
+
+/// Whether a deterministic sampled scan at `rate` includes `entity`: a
+/// SplitMix64 finalizer over the salted id compared against `rate`'s slice
+/// of the hash range.  Pure — the same entity is in or out of the sample at
+/// a given rate on every run, every shard and every machine, which keeps
+/// degraded answers reproducible.
+pub fn sample_includes(entity: EntityId, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    let mut z = entity.raw().wrapping_add(0xA0761D6478BD642F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64) < rate * (u64::MAX as f64)
 }
 
 /// [`plan_query`] for the out-of-core path: the same answer-invariant
@@ -332,12 +547,13 @@ pub(crate) fn plan_query_paged<M: AssociationMeasure + ?Sized>(
 ) -> QueryPlan {
     debug_assert_eq!(shards.len(), shard_pages.len());
     let planning_active = config.seed_threshold || config.skip_shards || config.scan_cutoff > 0;
-    if !planning_active {
+    if !planning_active && config.latency_budget_us.is_none() {
         // The disabled baseline mirrors `plan_query`: nothing computed, no
         // page probes, every shard tree-searched in index order.
         return plan_query(shards, query, exclude, k, measure, config);
     }
 
+    let plan_start = std::time::Instant::now();
     let levels = query.num_levels() as u8;
     let query_sizes: Vec<usize> = (1..=levels).map(|l| query.level(l).len()).collect();
 
@@ -395,8 +611,229 @@ pub(crate) fn plan_query_paged<M: AssociationMeasure + ?Sized>(
             .then_with(|| cold(a).cmp(&cold(b)))
             .then_with(|| a.shard.cmp(&b.shard))
     });
+    // Out of core the exact cost of a shard includes fetching its cold
+    // pages at the pool's configured miss latency — the dominant term at
+    // tight budgets, which is exactly when the budget pass matters.
+    apply_latency_budget(
+        &mut admitted,
+        shards,
+        config,
+        plan_start.elapsed().as_nanos(),
+        seed_candidates,
+        pool.config().miss_latency_us,
+    );
     admitted.extend(skipped);
     QueryPlan { k, seed, seed_candidates, shards: admitted, planner: *config }
+}
+
+/// One group of a [`BatchPlan`]: the batch queries (by input index) whose
+/// plans share an identical admitted-shard *footprint* — the same shards, in
+/// the same driving order, under the same decisions.  Queries in one group
+/// run the same executor/scan skeleton; only their seeds and degrees differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchGroup {
+    /// Indices into the batch's query slice, ascending.
+    pub queries: Vec<usize>,
+    /// The shared skeleton: `(shard index, decision)` in driving order.
+    pub footprint: Vec<(usize, ShardDecision)>,
+}
+
+/// The amortized plan of one query batch: one [`QueryPlan`] per query (in
+/// input order, each identical to what [`ShardedSnapshot::plan`]-per-query
+/// would have produced) plus the footprint grouping the batch driver and
+/// [`explain`](BatchPlan::explain) expose.
+///
+/// Amortization happens in *how* the plans are built, not in what they say:
+/// every shard's hot-sketch entities are resolved to arena positions once
+/// for the whole batch and every query's seeding loop reuses them, so
+/// planning cost grows with `sketch × shards + batch × sketch` instead of
+/// `batch × (sketch × shards)` lookups — while each query's seed is still
+/// scored from its own degrees (a seed is only sound for the query it was
+/// scored against), keeping batch plans bitwise identical to per-query
+/// plans.
+///
+/// [`ShardedSnapshot::plan`]: crate::shard::ShardedSnapshot::explain
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlan {
+    /// Per-query plans, in batch input order.
+    pub plans: Vec<QueryPlan>,
+    /// Footprint groups; within each group query indices ascend, and groups
+    /// are ordered by their smallest query index.
+    pub groups: Vec<BatchGroup>,
+    /// Wall-clock time spent planning the whole batch, in microseconds.
+    pub planning_us: u64,
+}
+
+impl BatchPlan {
+    /// Renders the batch grouping for humans: one block per footprint group
+    /// with its member queries and shared shard skeleton.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "BatchPlan: {} quer{} in {} footprint group(s), planned in {} us",
+            self.plans.len(),
+            if self.plans.len() == 1 { "y" } else { "ies" },
+            self.groups.len(),
+            self.planning_us,
+        );
+        for (g, group) in self.groups.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  group {:>3}  {} quer{}: {:?}",
+                g,
+                group.queries.len(),
+                if group.queries.len() == 1 { "y" } else { "ies" },
+                group.queries,
+            );
+            for &(shard, decision) in &group.footprint {
+                let what = match decision {
+                    ShardDecision::TreeSearch => "tree-search".to_string(),
+                    ShardDecision::Scan => "scan".to_string(),
+                    ShardDecision::Skip => "skip".to_string(),
+                    ShardDecision::ApproximateScan { rate } => {
+                        format!("approximate-scan (rate={rate:.3})")
+                    }
+                };
+                let _ = writeln!(out, "             shard {shard:>3}  {what}");
+            }
+        }
+        out
+    }
+}
+
+/// A decision's footprint key: discriminant plus the rate's exact bits, so
+/// approximate shards only group when their sample rates agree.
+fn decision_key(decision: ShardDecision) -> (u8, u64) {
+    match decision {
+        ShardDecision::Skip => (0, 0),
+        ShardDecision::Scan => (1, 0),
+        ShardDecision::TreeSearch => (2, 0),
+        ShardDecision::ApproximateScan { rate } => (3, rate.to_bits()),
+    }
+}
+
+/// Plans a whole batch in one pass; see [`BatchPlan`] for the amortization
+/// and identity contracts.  `queries` pairs each query sequence with its
+/// excluded entity (the query entity itself on entity batches).
+pub(crate) fn plan_batch<M: AssociationMeasure + ?Sized>(
+    shards: &[Arc<IndexSnapshot>],
+    queries: &[(&CellSetSequence, Option<EntityId>)],
+    k: usize,
+    measure: &M,
+    config: &PlannerConfig,
+) -> BatchPlan {
+    let batch_start = std::time::Instant::now();
+    let planning_active = config.seed_threshold || config.skip_shards || config.scan_cutoff > 0;
+
+    // The one-pass amortization: resolve every shard's sketch ids against
+    // its arena once, up front; each query's seeding loop then reuses the
+    // positions instead of re-running `sketch × shards` binary searches.
+    let hot_positions: Vec<Vec<(EntityId, usize)>> = if planning_active && config.seed_threshold {
+        shards
+            .iter()
+            .map(|shard| {
+                let arena = shard.arena();
+                shard
+                    .synopsis()
+                    .hot_entities()
+                    .iter()
+                    .filter_map(|&hot| arena.position(hot).map(|pos| (hot, pos)))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut plans: Vec<QueryPlan> = Vec::with_capacity(queries.len());
+    let mut scratch = trace_model::LevelOverlap::default();
+    for &(query, exclude) in queries {
+        if !planning_active && config.latency_budget_us.is_none() {
+            plans.push(plan_query(shards, query, exclude, k, measure, config));
+            continue;
+        }
+        let plan_start = std::time::Instant::now();
+        let levels = query.num_levels() as u8;
+        let query_sizes: Vec<usize> = (1..=levels).map(|l| query.level(l).len()).collect();
+
+        // Per-query seeding over the shared positions: same candidates in
+        // the same order as `plan_query`, so the same seed — degrees depend
+        // on the query, which is why the *values* cannot be shared.
+        let mut seed = f64::NEG_INFINITY;
+        let mut seed_candidates = 0usize;
+        if config.seed_threshold && k > 0 {
+            let mut top = TopKHeap::new(k);
+            let view = crate::kernel::QueryView::new(query);
+            for (shard, positions) in shards.iter().zip(&hot_positions) {
+                let arena = shard.arena();
+                for &(hot, pos) in positions {
+                    if Some(hot) == exclude {
+                        continue;
+                    }
+                    seed_candidates += 1;
+                    top.offer(hot, arena.degree_into(pos, &view, measure, &mut scratch));
+                }
+            }
+            seed = top.threshold();
+        }
+
+        let mut admitted: Vec<ShardPlan> = Vec::with_capacity(shards.len());
+        let mut skipped: Vec<ShardPlan> = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let synopsis: &Synopsis = shard.synopsis();
+            let entities = synopsis.num_entities();
+            let upper_bound = synopsis.degree_upper_bound(&query_sizes, measure);
+            let decision = if config.skip_shards && seed > upper_bound {
+                ShardDecision::Skip
+            } else if entities > 0 && entities <= config.scan_cutoff {
+                ShardDecision::Scan
+            } else {
+                ShardDecision::TreeSearch
+            };
+            let plan = ShardPlan { shard: i, entities, upper_bound, decision, pages: None };
+            if decision == ShardDecision::Skip {
+                skipped.push(plan);
+            } else {
+                admitted.push(plan);
+            }
+        }
+        admitted.sort_by(|a, b| {
+            b.upper_bound.total_cmp(&a.upper_bound).then_with(|| a.shard.cmp(&b.shard))
+        });
+        apply_latency_budget(
+            &mut admitted,
+            shards,
+            config,
+            plan_start.elapsed().as_nanos(),
+            seed_candidates,
+            0,
+        );
+        admitted.extend(skipped);
+        plans.push(QueryPlan { k, seed, seed_candidates, shards: admitted, planner: *config });
+    }
+
+    // Group by admitted footprint (ordered shard/decision skeleton).
+    type FootprintKey = Vec<(usize, (u8, u64))>;
+    let mut groups: Vec<BatchGroup> = Vec::new();
+    let mut index: std::collections::HashMap<FootprintKey, usize> =
+        std::collections::HashMap::new();
+    for (q, plan) in plans.iter().enumerate() {
+        let key: FootprintKey =
+            plan.admitted().map(|s| (s.shard, decision_key(s.decision))).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].queries.push(q),
+            None => {
+                index.insert(key, groups.len());
+                groups.push(BatchGroup {
+                    queries: vec![q],
+                    footprint: plan.admitted().map(|s| (s.shard, s.decision)).collect(),
+                });
+            }
+        }
+    }
+
+    BatchPlan { plans, groups, planning_us: batch_start.elapsed().as_micros() as u64 }
 }
 
 #[cfg(test)]
@@ -460,5 +897,121 @@ mod tests {
         let text = plan.explain();
         assert!(text.contains("QueryPlan"));
         assert!(text.contains("shard"));
+    }
+
+    #[test]
+    fn unbinding_budget_never_degrades_the_plan() {
+        let w = Workload::paired(PairedConfig::default());
+        let shards = shards_of(&w, 4);
+        let query =
+            shards.iter().find_map(|s| s.sequence(trace_model::EntityId(0))).unwrap().clone();
+        let exact = plan_query(
+            &shards,
+            &query,
+            Some(trace_model::EntityId(0)),
+            3,
+            &w.measure(),
+            &PlannerConfig::default(),
+        );
+        let budgeted = plan_query(
+            &shards,
+            &query,
+            Some(trace_model::EntityId(0)),
+            3,
+            &w.measure(),
+            &PlannerConfig::with_budget(u64::MAX / 2_000),
+        );
+        assert!(budgeted.is_exact(), "a non-binding budget must not degrade anything");
+        let decisions =
+            |p: &QueryPlan| p.shards.iter().map(|s| (s.shard, s.decision)).collect::<Vec<_>>();
+        assert_eq!(decisions(&exact), decisions(&budgeted));
+        assert_eq!(exact.seed, budgeted.seed);
+    }
+
+    #[test]
+    fn binding_budget_degrades_with_the_floor_honored() {
+        let w = Workload::paired(PairedConfig::default());
+        let shards = shards_of(&w, 4);
+        let query =
+            shards.iter().find_map(|s| s.sequence(trace_model::EntityId(0))).unwrap().clone();
+        // A 1 µs budget binds on any real population.
+        let config = PlannerConfig::with_budget_and_floor(1, 0.5);
+        let plan =
+            plan_query(&shards, &query, Some(trace_model::EntityId(0)), 3, &w.measure(), &config);
+        assert!(
+            plan.shards_approximate() > 0,
+            "a 1 us budget must force sampling somewhere: {}",
+            plan.explain()
+        );
+        for shard_plan in &plan.shards {
+            if let ShardDecision::ApproximateScan { rate } = shard_plan.decision {
+                let floor = shards[shard_plan.shard].synopsis().min_rate_for_recall(0.5);
+                assert!(rate >= floor - 1e-12, "rate {rate} below floor rate {floor}");
+                assert!(rate < 1.0, "rate 1.0 must stay exact instead");
+                assert!(
+                    shards[shard_plan.shard].synopsis().expected_scan_recall(rate) >= 0.5 - 1e-12
+                );
+            }
+        }
+        let text = plan.explain();
+        assert!(text.contains("approximate-scan"), "explain renders the new arm: {text}");
+    }
+
+    #[test]
+    fn strict_recall_floor_refuses_to_degrade() {
+        let w = Workload::paired(PairedConfig::default());
+        let shards = shards_of(&w, 2);
+        let query =
+            shards.iter().find_map(|s| s.sequence(trace_model::EntityId(0))).unwrap().clone();
+        // recall_floor 1.0 ⇒ min rate 1.0 everywhere ⇒ sampling can never
+        // help, so even an impossible budget leaves the plan exact.
+        let config = PlannerConfig::with_budget_and_floor(1, 1.0);
+        let plan =
+            plan_query(&shards, &query, Some(trace_model::EntityId(0)), 3, &w.measure(), &config);
+        assert!(plan.is_exact(), "a 1.0 recall floor forbids all sampling");
+    }
+
+    #[test]
+    fn batch_plans_equal_per_query_plans_and_group_by_footprint() {
+        let w = Workload::paired(PairedConfig::default());
+        let shards = shards_of(&w, 4);
+        let measure = w.measure();
+        let ids: Vec<trace_model::EntityId> = (0..6u64).map(trace_model::EntityId).collect();
+        let queries: Vec<(&CellSetSequence, Option<EntityId>)> = ids
+            .iter()
+            .filter_map(|&e| shards.iter().find_map(|s| s.sequence(e)).map(|seq| (seq, Some(e))))
+            .collect();
+        assert!(queries.len() >= 2, "the paired workload indexes the probe ids");
+        let config = PlannerConfig::default();
+        let batch = plan_batch(&shards, &queries, 3, &measure, &config);
+        assert_eq!(batch.plans.len(), queries.len());
+        for (i, &(seq, exclude)) in queries.iter().enumerate() {
+            let single = plan_query(&shards, seq, exclude, 3, &measure, &config);
+            assert_eq!(batch.plans[i], single, "batch plan {i} diverged from per-query planning");
+        }
+        // Groups partition the batch.
+        let mut seen: Vec<usize> = batch.groups.iter().flat_map(|g| g.queries.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..queries.len()).collect::<Vec<_>>());
+        let text = batch.explain();
+        assert!(text.contains("BatchPlan"), "{text}");
+        assert!(text.contains("group"), "{text}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_tracks_the_rate() {
+        let e = trace_model::EntityId(12345);
+        assert!(sample_includes(e, 1.0));
+        assert!(!sample_includes(e, 0.0));
+        for rate in [0.1, 0.5, 0.9] {
+            assert_eq!(sample_includes(e, rate), sample_includes(e, rate), "pure function");
+        }
+        // The empirical inclusion fraction tracks the rate on a large range.
+        for rate in [0.25, 0.5, 0.75] {
+            let hits =
+                (0..10_000u64).filter(|&i| sample_includes(trace_model::EntityId(i), rate)).count();
+            let fraction = hits as f64 / 10_000.0;
+            assert!((fraction - rate).abs() < 0.05, "rate {rate} drew fraction {fraction}");
+        }
     }
 }

@@ -111,16 +111,16 @@ use crate::error::{IndexError, Result};
 use crate::index::MinSigIndex;
 use crate::ingest::IngestBuffer;
 use crate::join::{collect_join_rows, JoinOptions, JoinRow, JoinStats};
-use crate::plan::{self, QueryPlan, ShardDecision};
+use crate::plan::{self, BatchPlan, QueryPlan, ShardDecision};
 use crate::query::{QueryOptions, TopKResult};
 use crate::signature::SeededHashFamily;
 use crate::snapshot::IndexSnapshot;
-use crate::stats::QueryStats;
+use crate::stats::{DegradationReport, QueryStats};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trace_model::{
     AssociationMeasure, CellSetSequence, DigitalTrace, EntityId, PresenceInstance, SpIndex,
     TraceSet,
@@ -686,11 +686,23 @@ impl ShardedSnapshot {
 
     /// [`top_k_batch`](Self::top_k_batch) with every knob explicit.
     ///
-    /// Parallelism is over the *queries* (the batch is the wider axis); each
-    /// query is planned independently and its admitted per-shard executors
-    /// are then interleaved sequentially on its worker — still
-    /// cooperatively, sharing one seeded bound per query — to avoid nested
-    /// thread fan-out.  Results are identical either way.
+    /// The batch is **planned once** ([`plan_batch`](Self::plan_batch)):
+    /// per-shard sketch positions are resolved against the arenas a single
+    /// time and reused by every query's seeding pass, and the resulting
+    /// per-query plans are grouped by admitted-shard footprint.  Per-query
+    /// plans — and therefore answers — are identical to per-query planning
+    /// (`tests/deadline_conformance.rs` asserts bitwise equality); only the
+    /// planning cost is amortized.  Each query's reported
+    /// [`QueryStats::planning_us`] is its amortized share
+    /// (`total / batch size`, integer division).
+    ///
+    /// Execution parallelism is over the *queries* (the batch is the wider
+    /// axis); each query's admitted per-shard executors are interleaved
+    /// sequentially on its worker — still cooperatively, sharing one seeded
+    /// bound per query — to avoid nested thread fan-out.  Results are
+    /// identical either way.  With a latency budget set, each query's
+    /// deadline is measured from its own execution start (the shared
+    /// planning cost is amortized, not charged per query).
     pub fn top_k_batch_with_planner<M: AssociationMeasure + Sync + ?Sized>(
         &self,
         queries: &[EntityId],
@@ -700,15 +712,77 @@ impl ShardedSnapshot {
         scheduler: SchedulerConfig,
         planner: PlannerConfig,
     ) -> Result<Vec<(Vec<TopKResult>, QueryStats)>> {
-        let answers: Vec<Result<(Vec<TopKResult>, QueryStats)>> = queries
+        scheduler.validate()?;
+        planner.validate()?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Resolve sequentially so the *first* unknown entity (in input
+        // order) fails the batch, matching the unsharded contract.
+        let mut seqs: Vec<&CellSetSequence> = Vec::with_capacity(queries.len());
+        for &query in queries {
+            let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+            self.check_query_levels(seq)?;
+            seqs.push(seq);
+        }
+        let pairs: Vec<(&CellSetSequence, Option<EntityId>)> =
+            seqs.iter().zip(queries).map(|(&seq, &query)| (seq, Some(query))).collect();
+        let batch = plan::plan_batch(&self.shards, &pairs, k, measure, &planner);
+        let amortized_planning_us = batch.planning_us / queries.len() as u64;
+        let indices: Vec<usize> = (0..queries.len()).collect();
+        let answers: Vec<Result<(Vec<TopKResult>, QueryStats)>> = indices
             .par_iter()
-            .map(|&query| {
-                let seq =
-                    self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
-                self.fan_out(seq, Some(query), k, measure, options, false, scheduler, planner)
+            .map(|&i| {
+                self.execute_plan(
+                    &batch.plans[i],
+                    seqs[i],
+                    Some(queries[i]),
+                    k,
+                    measure,
+                    options,
+                    false,
+                    scheduler,
+                    Instant::now(),
+                    amortized_planning_us,
+                )
             })
             .collect();
         answers.into_iter().collect()
+    }
+
+    /// Builds — without executing — the [`BatchPlan`] that
+    /// [`top_k_batch_with_planner`](Self::top_k_batch_with_planner) would
+    /// run: one [`QueryPlan`] per query (bitwise identical to per-query
+    /// [`explain`](Self::explain)) plus the footprint grouping.  The first
+    /// unknown query entity fails the whole batch, like the execution path.
+    pub fn plan_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        planner: PlannerConfig,
+    ) -> Result<BatchPlan> {
+        planner.validate()?;
+        let mut pairs: Vec<(&CellSetSequence, Option<EntityId>)> =
+            Vec::with_capacity(queries.len());
+        for &query in queries {
+            let seq = self.sequence(query).ok_or(IndexError::UnknownQueryEntity(query.raw()))?;
+            self.check_query_levels(seq)?;
+            pairs.push((seq, Some(query)));
+        }
+        Ok(plan::plan_batch(&self.shards, &pairs, k, measure, &planner))
+    }
+
+    /// Renders [`plan_batch`](Self::plan_batch) for humans: the footprint
+    /// groups, their member queries, and each group's shared shard skeleton.
+    pub fn explain_batch<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        queries: &[EntityId],
+        k: usize,
+        measure: &M,
+        planner: PlannerConfig,
+    ) -> Result<String> {
+        Ok(self.plan_batch(queries, k, measure, planner)?.explain())
     }
 
     /// Answers the top-k query for every probe entity, optionally in
@@ -812,11 +886,48 @@ impl ShardedSnapshot {
         planner: PlannerConfig,
     ) -> Result<(Vec<TopKResult>, QueryStats)> {
         scheduler.validate()?;
+        planner.validate()?;
         let start = Instant::now();
         self.check_query_levels(query)?;
         let plan = plan::plan_query(&self.shards, query, exclude, k, measure, &planner);
+        let planning_us = start.elapsed().as_micros() as u64;
+        self.execute_plan(
+            &plan,
+            query,
+            exclude,
+            k,
+            measure,
+            options,
+            parallel,
+            scheduler,
+            start,
+            planning_us,
+        )
+    }
 
-        let mut stats = QueryStats { k, ..QueryStats::default() };
+    /// Executes an already-built [`QueryPlan`]: the cooperative exact drive
+    /// when no latency budget is set (byte-for-byte the pre-budget fan-out),
+    /// or the sequential deadline-checked drive when one is.  `start` is the
+    /// instant the per-query latency budget is measured from — for the
+    /// single-query path that is *before* planning (planning time spends
+    /// budget, matching the cost model), for the batch path it is the
+    /// query's own execution start (the batch's shared planning cost is
+    /// amortized, not charged per query).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_plan<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        plan: &QueryPlan,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        parallel: bool,
+        scheduler: SchedulerConfig,
+        start: Instant,
+        planning_us: u64,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        let mut stats = QueryStats { k, planning_us, ..QueryStats::default() };
         // Seeding scored real candidates exactly: charge them as checked
         // work, and count skipped shards' populations toward |E| so pruning
         // effectiveness stays comparable with unplanned runs.
@@ -827,6 +938,12 @@ impl ShardedSnapshot {
             if shard_plan.decision == ShardDecision::Skip {
                 stats.total_entities += shard_plan.entities;
             }
+        }
+
+        if plan.planner.latency_budget_us.is_some() {
+            return self.execute_plan_deadline(
+                plan, query, exclude, k, measure, options, scheduler, start, stats,
+            );
         }
 
         let use_shared = scheduler.bound_mode == BoundMode::Shared;
@@ -896,6 +1013,318 @@ impl ShardedSnapshot {
         let results = engine::merge_top_k(k, parts);
         stats.query_time_us = start.elapsed().as_micros() as u64;
         Ok((results, stats))
+    }
+
+    /// The deadline-checked execution of a budgeted plan.
+    ///
+    /// Admitted shards are driven **sequentially in plan order** (most
+    /// promising first), so when the deadline trips the work already spent
+    /// went to the shards most likely to hold the answer.  Per shard:
+    ///
+    /// * planned [`ShardDecision::ApproximateScan`] verdicts run the
+    ///   deterministic sampled scan;
+    /// * exact verdicts whose turn comes *after* the deadline are downgraded
+    ///   to the sampled scan at the shard's recall-floor rate;
+    /// * a tree search caught mid-flight is abandoned (its work counters are
+    ///   kept) and the shard re-answered by the sampled scan — unless the
+    ///   recall floor demands rate 1.0, in which case the shard ignores the
+    ///   deadline and stays exact (the floor is the hard constraint, the
+    ///   budget best-effort).
+    ///
+    /// Every sampled shard is recorded in the [`DegradationReport`]; when no
+    /// shard ends up sampled the report is omitted, `recall_estimate` stays
+    /// 1.0, and the answer is bitwise identical to the unbudgeted drive
+    /// (exact answers are schedule-independent, so the sequential order
+    /// changes nothing).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_plan_deadline<M: AssociationMeasure + Sync + ?Sized>(
+        &self,
+        plan: &QueryPlan,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        start: Instant,
+        mut stats: QueryStats,
+    ) -> Result<(Vec<TopKResult>, QueryStats)> {
+        let deadline = plan
+            .planner
+            .latency_budget_us
+            .and_then(|us| start.checked_add(Duration::from_micros(us)));
+        let use_shared = scheduler.bound_mode == BoundMode::Shared;
+        let shared = SharedBound::new();
+        if plan.seeded() {
+            shared.publish(plan.seed);
+        }
+        let seeded = SeededBound::new(plan.seed);
+        let mut report = DegradationReport::default();
+        let mut parts: Vec<Vec<TopKResult>> = Vec::with_capacity(plan.shards.len());
+        if use_shared {
+            self.drive_deadline(
+                plan,
+                query,
+                exclude,
+                k,
+                measure,
+                options,
+                scheduler,
+                &shared,
+                Some(&shared),
+                deadline,
+                &mut stats,
+                &mut report,
+                &mut parts,
+            )?;
+        } else if plan.seeded() {
+            // Independent mode still profits from the seed as a fixed bound.
+            self.drive_deadline(
+                plan,
+                query,
+                exclude,
+                k,
+                measure,
+                options,
+                scheduler,
+                &seeded,
+                None,
+                deadline,
+                &mut stats,
+                &mut report,
+                &mut parts,
+            )?;
+        } else {
+            self.drive_deadline(
+                plan,
+                query,
+                exclude,
+                k,
+                measure,
+                options,
+                scheduler,
+                &PrivateBound,
+                None,
+                deadline,
+                &mut stats,
+                &mut report,
+                &mut parts,
+            )?;
+        }
+        if report.shards_approximate() > 0 {
+            stats.degradation = Some(report);
+        }
+        let results = engine::merge_top_k(k, parts);
+        stats.query_time_us = start.elapsed().as_micros() as u64;
+        Ok((results, stats))
+    }
+
+    /// Sequential plan-order drive under one bound with per-shard deadline
+    /// checks — the loop behind
+    /// [`execute_plan_deadline`](Self::execute_plan_deadline).
+    #[allow(clippy::too_many_arguments)]
+    fn drive_deadline<M, B>(
+        &self,
+        plan: &QueryPlan,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        options: QueryOptions,
+        scheduler: SchedulerConfig,
+        bound: &B,
+        shared: Option<&SharedBound>,
+        deadline: Option<Instant>,
+        stats: &mut QueryStats,
+        report: &mut DegradationReport,
+        parts: &mut Vec<Vec<TopKResult>>,
+    ) -> Result<()>
+    where
+        M: AssociationMeasure + Sync + ?Sized,
+        B: Bound + ?Sized,
+    {
+        let scan_view = crate::kernel::QueryView::new(query);
+        for shard_plan in plan.admitted() {
+            let shard = &self.shards[shard_plan.shard];
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            match shard_plan.decision {
+                ShardDecision::Skip => unreachable!("admitted() filters skips"),
+                ShardDecision::ApproximateScan { rate } => {
+                    self.sampled_scan_shard(
+                        shard_plan.shard,
+                        query,
+                        exclude,
+                        k,
+                        measure,
+                        rate,
+                        true,
+                        false,
+                        stats,
+                        report,
+                        shared,
+                        parts,
+                    );
+                }
+                ShardDecision::Scan => {
+                    let floor_rate =
+                        shard.synopsis().min_rate_for_recall(plan.planner.recall_floor);
+                    if expired && floor_rate < 1.0 {
+                        report.deadline_exceeded = true;
+                        self.sampled_scan_shard(
+                            shard_plan.shard,
+                            query,
+                            exclude,
+                            k,
+                            measure,
+                            floor_rate,
+                            true,
+                            true,
+                            stats,
+                            report,
+                            shared,
+                            parts,
+                        );
+                        continue;
+                    }
+                    let (results, checked) = shard.arena().scan_top_k(
+                        &scan_view,
+                        exclude,
+                        k,
+                        measure,
+                        &mut stats.kernel_dispatch,
+                    );
+                    stats.total_entities += shard.num_entities();
+                    stats.entities_checked += checked;
+                    if let Some(shared) = shared {
+                        if k > 0 && results.len() >= k {
+                            shared.publish(results[k - 1].degree);
+                        }
+                    }
+                    parts.push(results);
+                }
+                ShardDecision::TreeSearch => {
+                    let floor_rate =
+                        shard.synopsis().min_rate_for_recall(plan.planner.recall_floor);
+                    if expired && floor_rate < 1.0 {
+                        report.deadline_exceeded = true;
+                        self.sampled_scan_shard(
+                            shard_plan.shard,
+                            query,
+                            exclude,
+                            k,
+                            measure,
+                            floor_rate,
+                            true,
+                            true,
+                            stats,
+                            report,
+                            shared,
+                            parts,
+                        );
+                        continue;
+                    }
+                    let mut executor = shard
+                        .executor(query, exclude, k, measure, options)?
+                        .with_publish_policy(scheduler.publish_policy);
+                    // A shard the floor pins to rate 1.0 cannot be usefully
+                    // sampled: it runs to exhaustion regardless of deadline.
+                    // Otherwise, abandoning at the raw deadline would still
+                    // pay the sampled fallback scan *after* it — overshooting
+                    // the budget by exactly that scan — so its estimated cost
+                    // (the budget pass's own calibration) is reserved out of
+                    // the deadline handed to the executor.
+                    let shard_deadline = if floor_rate >= 1.0 {
+                        None
+                    } else {
+                        let reserve = Duration::from_nanos(plan::fallback_reserve_ns(
+                            floor_rate,
+                            shard_plan.entities,
+                            plan.seed_candidates,
+                            stats.planning_us,
+                        ));
+                        deadline.map(|d| d.checked_sub(reserve).unwrap_or(d))
+                    };
+                    let exhausted =
+                        executor.run_until(bound, scheduler.step_quantum, shard_deadline);
+                    stats.kernel_dispatch.absorb(executor.source().take_dispatch());
+                    let (results, executor_stats) = executor.finish();
+                    stats.absorb_work(&executor_stats);
+                    if exhausted {
+                        parts.push(results);
+                    } else {
+                        // Mid-flight abandon: keep the counters (the work
+                        // happened), discard the partial answer — it may be
+                        // missing arbitrary entities, while the sampled
+                        // scan's omissions are exactly what the error model
+                        // prices.  The executor already counted the shard's
+                        // population, so the scan must not count it again.
+                        report.deadline_exceeded = true;
+                        self.sampled_scan_shard(
+                            shard_plan.shard,
+                            query,
+                            exclude,
+                            k,
+                            measure,
+                            floor_rate,
+                            false,
+                            true,
+                            stats,
+                            report,
+                            shared,
+                            parts,
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the deterministic sampled scan on one shard and does all the
+    /// degradation bookkeeping: work counters, conservative recall estimate,
+    /// report row, optional bound publishing (a sampled k-th-best over `≥ k`
+    /// real candidates is still `≤` the global k-th best, so publishing it
+    /// is sound).  `count_population` is false when the caller already
+    /// charged the shard's population (an abandoned mid-flight executor).
+    #[allow(clippy::too_many_arguments)]
+    fn sampled_scan_shard<M: AssociationMeasure + ?Sized>(
+        &self,
+        shard_idx: usize,
+        query: &CellSetSequence,
+        exclude: Option<EntityId>,
+        k: usize,
+        measure: &M,
+        rate: f64,
+        count_population: bool,
+        downgraded: bool,
+        stats: &mut QueryStats,
+        report: &mut DegradationReport,
+        shared: Option<&SharedBound>,
+        parts: &mut Vec<Vec<TopKResult>>,
+    ) {
+        let shard = &self.shards[shard_idx];
+        let (results, checked) = shard.approximate_scan_top_k(
+            query,
+            exclude,
+            k,
+            measure,
+            rate,
+            &mut stats.kernel_dispatch,
+        );
+        if count_population {
+            stats.total_entities += shard.num_entities();
+        }
+        stats.entities_checked += checked;
+        stats.sampled_candidates += checked;
+        stats.recall_estimate =
+            stats.recall_estimate.min(shard.synopsis().expected_scan_recall(rate));
+        report.record_shard(shard_idx, rate, downgraded);
+        if let Some(shared) = shared {
+            if k > 0 && results.len() >= k {
+                shared.publish(results[k - 1].degree);
+            }
+        }
+        parts.push(results);
     }
 }
 

@@ -74,6 +74,79 @@ pub struct IndexStats {
     pub build_time_us: u64,
 }
 
+/// Per-answer record of what the deadline/recall-budgeted planner degraded —
+/// attached to [`QueryStats::degradation`] whenever any shard of a query was
+/// answered by a sampled (approximate) scan instead of an exact access path.
+///
+/// `None` on [`QueryStats::degradation`] is the exactness certificate: no
+/// shard was sampled, the answer is bitwise identical to the unbudgeted
+/// plan.  When present, the report is **truthful by construction** — the
+/// executing fan-out stamps it from the shards it actually sampled, not from
+/// what the plan intended (`tests/deadline_conformance.rs` proptests the
+/// reported set against the executed one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Shards the *planner* chose to sample up front because the exact plan
+    /// exceeded the latency budget ([`ShardDecision::ApproximateScan`]
+    /// arms in the executed plan).
+    ///
+    /// [`ShardDecision::ApproximateScan`]: crate::plan::ShardDecision::ApproximateScan
+    pub shards_planned_approximate: usize,
+    /// Shards downgraded *mid-flight* by the per-query deadline: they were
+    /// admitted exactly but the deadline expired before (or while) their
+    /// executor ran, so they were answered by a sampled scan instead.
+    pub shards_deadline_downgraded: usize,
+    /// Bitmask of the sampled shards' indices (bit `i` = shard `i` was
+    /// answered approximately, whether planned or downgraded).  Covers the
+    /// first 64 shards; larger deployments rely on the counts.
+    pub approximate_shard_mask: u64,
+    /// The smallest sample rate any sampled shard ran at (1.0 when nothing
+    /// was sampled).
+    pub min_sample_rate: f64,
+    /// Whether the per-query deadline actually expired during execution
+    /// (planned-approximate-only degradation leaves this false).
+    pub deadline_exceeded: bool,
+}
+
+impl DegradationReport {
+    /// Total shards answered approximately, planned and downgraded combined.
+    pub fn shards_approximate(&self) -> usize {
+        self.shards_planned_approximate + self.shards_deadline_downgraded
+    }
+
+    /// Records one sampled shard into the report.
+    pub(crate) fn record_shard(&mut self, shard: usize, rate: f64, downgraded: bool) {
+        if downgraded {
+            self.shards_deadline_downgraded += 1;
+        } else {
+            self.shards_planned_approximate += 1;
+        }
+        if shard < 64 {
+            self.approximate_shard_mask |= 1u64 << shard;
+        }
+        if self.shards_approximate() == 1 {
+            self.min_sample_rate = rate;
+        } else {
+            self.min_sample_rate = self.min_sample_rate.min(rate);
+        }
+    }
+
+    /// Merges another report into this one (used by `absorb_work` when batch
+    /// stats are summed): counts add, masks union, the minimum rate wins.
+    pub(crate) fn merge(&mut self, other: &DegradationReport) {
+        let had_any = self.shards_approximate() > 0;
+        self.shards_planned_approximate += other.shards_planned_approximate;
+        self.shards_deadline_downgraded += other.shards_deadline_downgraded;
+        self.approximate_shard_mask |= other.approximate_shard_mask;
+        self.min_sample_rate = if had_any {
+            self.min_sample_rate.min(other.min_sample_rate)
+        } else {
+            other.min_sample_rate
+        };
+        self.deadline_exceeded |= other.deadline_exceeded;
+    }
+}
+
 /// Statistics of one top-k query (Definition 5 and the complement convention used
 /// throughout the experiment harness), instrumented down to the executor's
 /// frontier: how many subtrees were visited, how many were pruned by the
@@ -85,7 +158,7 @@ pub struct IndexStats {
 /// comparable against independent per-shard execution (same workload, same
 /// answers — strictly fewer `nodes_visited` / strictly more
 /// `subtrees_pruned` when the shared bound bites).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryStats {
     /// Total number of indexed entities (`|E|`).
     pub total_entities: usize,
@@ -140,8 +213,65 @@ pub struct QueryStats {
     /// (see [`KernelDispatch`]); sums over every per-shard executor via
     /// [`absorb_work`](Self::absorb_work).
     pub kernel_dispatch: KernelDispatch,
+    /// Estimated recall of the answer: the probability that any true top-k
+    /// member survived every access path the query ran.  Exactly `1.0` on
+    /// every exact path (the default); below `1.0` only when the budgeted
+    /// planner sampled at least one shard, in which case the minimum over
+    /// the sampled shards' [`Synopsis::expected_scan_recall`] estimates is
+    /// reported.  [`absorb_work`](Self::absorb_work) likewise combines
+    /// estimates by taking the minimum (conservative across shards and
+    /// batches).
+    ///
+    /// [`Synopsis::expected_scan_recall`]: crate::synopsis::Synopsis::expected_scan_recall
+    pub recall_estimate: f64,
+    /// Entities scored through a *sampled* access path — the LSH banded
+    /// candidates of [`approximate_top_k`], or the members a budgeted
+    /// approximate shard scan drew.  Always ≤
+    /// [`entities_checked`](Self::entities_checked) (sampled scores are also
+    /// exact degree computations and count in both).
+    ///
+    /// [`approximate_top_k`]: crate::snapshot::IndexSnapshot::approximate_top_k
+    pub sampled_candidates: usize,
+    /// What the budgeted planner degraded, if anything.  `None` (the
+    /// default) is the exactness certificate: every shard ran an exact
+    /// access path and the answer is bitwise identical to the unbudgeted
+    /// plan.  See [`DegradationReport`].
+    pub degradation: Option<DegradationReport>,
+    /// Wall-clock time the planner spent building this query's
+    /// [`QueryPlan`](crate::plan::QueryPlan) (seeding, skipping, budgeting),
+    /// in microseconds; summed by [`absorb_work`](Self::absorb_work) so batch
+    /// stats expose the total — and therefore amortized — planning cost.
+    pub planning_us: u64,
     /// Wall-clock query time in microseconds.
     pub query_time_us: u64,
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        QueryStats {
+            total_entities: 0,
+            k: 0,
+            nodes_visited: 0,
+            leaves_visited: 0,
+            entities_checked: 0,
+            subtrees_pruned: 0,
+            bound_updates: 0,
+            steps: 0,
+            shards_skipped: 0,
+            threshold_seeded: false,
+            simulated_io_us: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_evictions: 0,
+            kernel_dispatch: KernelDispatch::default(),
+            // An answer is exact until some sampled path says otherwise.
+            recall_estimate: 1.0,
+            sampled_candidates: 0,
+            degradation: None,
+            planning_us: 0,
+            query_time_us: 0,
+        }
+    }
 }
 
 /// Former name of [`QueryStats`]; kept as an alias so existing callers and
@@ -192,6 +322,15 @@ impl QueryStats {
         self.pool_misses += other.pool_misses;
         self.pool_evictions += other.pool_evictions;
         self.kernel_dispatch.absorb(other.kernel_dispatch);
+        self.recall_estimate = self.recall_estimate.min(other.recall_estimate);
+        self.sampled_candidates += other.sampled_candidates;
+        self.planning_us += other.planning_us;
+        if let Some(theirs) = &other.degradation {
+            match &mut self.degradation {
+                Some(mine) => mine.merge(theirs),
+                None => self.degradation = Some(*theirs),
+            }
+        }
     }
 }
 
@@ -276,6 +415,67 @@ mod tests {
             KernelDispatch { tiny: 1, merge: 2, gallop: 3, simd: 4 },
             "kernel dispatch counters sum across absorbed shards"
         );
+    }
+
+    #[test]
+    fn default_stats_are_an_exact_answer() {
+        let stats = QueryStats::default();
+        assert_eq!(stats.recall_estimate, 1.0);
+        assert_eq!(stats.sampled_candidates, 0);
+        assert_eq!(stats.degradation, None);
+        assert_eq!(stats.planning_us, 0);
+    }
+
+    #[test]
+    fn absorb_work_combines_degradation_conservatively() {
+        let mut exact = QueryStats::default();
+        let mut report = DegradationReport::default();
+        report.record_shard(2, 0.5, false);
+        report.record_shard(3, 0.25, true);
+        let degraded = QueryStats {
+            recall_estimate: 0.8,
+            sampled_candidates: 40,
+            degradation: Some(report),
+            planning_us: 7,
+            ..QueryStats::default()
+        };
+        exact.absorb_work(&degraded);
+        assert_eq!(exact.recall_estimate, 0.8, "recall combines by minimum");
+        assert_eq!(exact.sampled_candidates, 40);
+        assert_eq!(exact.planning_us, 7);
+        let merged = exact.degradation.expect("degradation propagates through absorb");
+        assert_eq!(merged.shards_planned_approximate, 1);
+        assert_eq!(merged.shards_deadline_downgraded, 1);
+        assert_eq!(merged.approximate_shard_mask, 0b1100);
+        assert_eq!(merged.min_sample_rate, 0.25);
+
+        // Absorbing a second degraded query merges the two reports.
+        let mut other_report = DegradationReport::default();
+        other_report.record_shard(0, 0.75, false);
+        other_report.deadline_exceeded = true;
+        let other = QueryStats {
+            recall_estimate: 0.9,
+            degradation: Some(other_report),
+            ..QueryStats::default()
+        };
+        exact.absorb_work(&other);
+        let merged = exact.degradation.unwrap();
+        assert_eq!(merged.shards_approximate(), 3);
+        assert_eq!(merged.approximate_shard_mask, 0b1101);
+        assert_eq!(merged.min_sample_rate, 0.25, "minimum rate survives the merge");
+        assert!(merged.deadline_exceeded);
+        assert_eq!(exact.recall_estimate, 0.8, "minimum recall survives the merge");
+    }
+
+    #[test]
+    fn degradation_report_counts_and_mask() {
+        let mut r = DegradationReport::default();
+        assert_eq!(r.shards_approximate(), 0);
+        r.record_shard(1, 0.5, false);
+        r.record_shard(70, 0.1, true);
+        assert_eq!(r.shards_approximate(), 2);
+        assert_eq!(r.approximate_shard_mask, 0b10, "shards past 64 rely on the counts");
+        assert_eq!(r.min_sample_rate, 0.1);
     }
 
     #[test]

@@ -195,6 +195,60 @@ impl Synopsis {
             self.level_caps.iter().zip(query_sizes).map(|(&cap, &q)| cap.min(q)).collect();
         measure.upper_bound(query_sizes, &caps)
     }
+
+    /// The expected recall of a **sampled scan** of this shard at sample rate
+    /// `rate ∈ [0, 1]`: the probability that a fixed member of the true top-k
+    /// residing in this shard is scored by the scan.
+    ///
+    /// The sampled scan always scores every hot-sketch entity (they are known
+    /// ids, not a random draw) and includes each remaining member
+    /// independently with probability `rate`, so a top-k member is found with
+    /// probability `1` if it is hot and `rate` otherwise.  With `m` of `n`
+    /// entities in the sketch, a member is hot with probability at least
+    /// `p = min(m, n) / n` under the planner's prior (hot entities, having
+    /// the most cells, are the *most* likely to reach large overlap degrees —
+    /// the same monotonicity the seeding heuristic exploits — so the uniform
+    /// `m/n` is the conservative floor), giving
+    ///
+    /// ```text
+    /// E[recall] ≥ p + (1 − p)·rate
+    /// ```
+    ///
+    /// An empty shard recalls perfectly (there is nothing to miss), as does
+    /// `rate = 1` (the scan degenerates to the exact flat scan).  The
+    /// estimate is monotone in `rate`, which is what makes
+    /// [`min_rate_for_recall`](Self::min_rate_for_recall) its exact inverse.
+    pub fn expected_scan_recall(&self, rate: f64) -> f64 {
+        let rate = rate.clamp(0.0, 1.0);
+        if self.num_entities == 0 {
+            return 1.0;
+        }
+        let hot = self.hot_entities.len().min(self.num_entities);
+        let p = hot as f64 / self.num_entities as f64;
+        (p + (1.0 - p) * rate).clamp(0.0, 1.0)
+    }
+
+    /// The smallest sample rate whose
+    /// [`expected_scan_recall`](Self::expected_scan_recall) meets `target`:
+    /// the inverse of the error
+    /// model, `clamp((target − p) / (1 − p), 0, 1)` with `p` the hot-sketch
+    /// coverage.  Returns `0.0` when the sketch alone already meets the
+    /// target and `1.0` (exact) when no rate below one can.
+    pub fn min_rate_for_recall(&self, target: f64) -> f64 {
+        let target = target.clamp(0.0, 1.0);
+        if self.num_entities == 0 {
+            return 0.0;
+        }
+        let hot = self.hot_entities.len().min(self.num_entities);
+        let p = hot as f64 / self.num_entities as f64;
+        if p >= target {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return 0.0;
+        }
+        ((target - p) / (1.0 - p)).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +315,49 @@ mod tests {
         for (_, s) in &members {
             assert!(measure.degree(&query, s) <= ub + 1e-12);
         }
+    }
+
+    #[test]
+    fn scan_recall_model_is_monotone_and_inverts() {
+        let sp = SpIndex::uniform(2, &[3]).unwrap();
+        let seqs: Vec<(EntityId, CellSetSequence)> =
+            (0..10u64).map(|e| (EntityId(e), seq(&sp, &[(e as u32, 0)]))).collect();
+        let syn = Synopsis::compute(2, seqs.iter().map(|(e, s)| (*e, s)), 4, 0);
+        // p = 4/10; rate 0 recalls only the sketch, rate 1 recalls exactly.
+        assert!((syn.expected_scan_recall(0.0) - 0.4).abs() < 1e-12);
+        assert_eq!(syn.expected_scan_recall(1.0), 1.0);
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let r = syn.expected_scan_recall(i as f64 / 10.0);
+            assert!(r >= last, "recall model must be monotone in the rate");
+            last = r;
+        }
+        // Inversion: the minimum rate for a target achieves at least it.
+        for target in [0.0, 0.3, 0.5, 0.9, 0.95, 1.0] {
+            let rate = syn.min_rate_for_recall(target);
+            assert!(
+                syn.expected_scan_recall(rate) + 1e-12 >= target,
+                "rate {rate} misses target {target}"
+            );
+        }
+        // The sketch alone covers low targets at rate 0.
+        assert_eq!(syn.min_rate_for_recall(0.3), 0.0);
+        // Perfect recall needs the full scan.
+        assert_eq!(syn.min_rate_for_recall(1.0), 1.0);
+    }
+
+    #[test]
+    fn scan_recall_degenerate_shards() {
+        let empty = Synopsis::compute(2, std::iter::empty(), 4, 0);
+        assert_eq!(empty.expected_scan_recall(0.0), 1.0);
+        assert_eq!(empty.min_rate_for_recall(1.0), 0.0);
+        // A shard fully covered by its sketch recalls perfectly at rate 0.
+        let sp = SpIndex::uniform(2, &[3]).unwrap();
+        let a = seq(&sp, &[(0, 0)]);
+        let pop = [(EntityId(1), &a)];
+        let covered = Synopsis::compute(2, pop.iter().map(|(e, s)| (*e, *s)), 4, 0);
+        assert_eq!(covered.expected_scan_recall(0.0), 1.0);
+        assert_eq!(covered.min_rate_for_recall(1.0), 0.0);
     }
 
     #[test]

@@ -350,6 +350,52 @@ impl Default for PlannerDispersedConfig {
     }
 }
 
+/// Configuration of [`Workload::deadline_adversarial`] — the budgeted
+/// planner's stress case: **one pathologically expensive shard** (a large
+/// clique sharing a long itinerary, so its tree search must score many
+/// strong candidates) while every other shard holds only trivial
+/// single-cell entities.  A latency budget that comfortably covers the
+/// cheap shards binds exactly on the expensive one, which is where the
+/// downgrade protocol and the recall floor earn their keep.
+#[derive(Debug, Clone)]
+pub struct DeadlineAdversarialConfig {
+    /// The shard count; the expensive clique lands in one of them.
+    pub num_shards: usize,
+    /// Clique size of the expensive shard; must be at least 2.
+    pub expensive_entities: u64,
+    /// Single-cell entities filling the remaining (cheap) shards.
+    pub cheap_entities: u64,
+    /// Length of the clique's shared itinerary in ST-cells.
+    pub itinerary_steps: u64,
+    /// Extra expensive-shard entities that each walk a random *window* of
+    /// the clique itinerary plus one private cell.  Their overlap with a
+    /// clique query is real but strictly below every clique partner's (the
+    /// private cell keeps the Dice ratio under its ceiling), so the exact
+    /// top-k is untouched — yet their distinct signatures fan the shard's
+    /// tree into many small leaves, which is what gives a deadline-driven
+    /// executor fine-grained abandon points.  Requires
+    /// `itinerary_steps >= 4` when non-zero.
+    pub chaff_entities: u64,
+    /// The hierarchy to generate over.
+    pub hierarchy: HierarchySpec,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for DeadlineAdversarialConfig {
+    fn default() -> Self {
+        DeadlineAdversarialConfig {
+            num_shards: 4,
+            expensive_entities: 24,
+            cheap_entities: 24,
+            itinerary_steps: 8,
+            chaff_entities: 0,
+            hierarchy: HierarchySpec::default(),
+            seed: 0,
+        }
+    }
+}
+
 /// A generated population: the hierarchy it lives in plus its trace set.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -663,6 +709,93 @@ impl Workload {
         (Workload { sp, traces }, entities)
     }
 
+    /// One pathologically expensive shard plus cheap rest — the budgeted
+    /// planner's stress workload; see [`DeadlineAdversarialConfig`].
+    /// Returns the workload plus the expensive clique's ids (the natural
+    /// probes: their queries *must* drive the expensive shard).
+    pub fn deadline_adversarial(config: DeadlineAdversarialConfig) -> (Workload, Vec<EntityId>) {
+        assert!(config.num_shards > 0, "the expensive clique needs a shard to live in");
+        assert!(config.expensive_entities >= 2, "a clique of one has no associations");
+        assert!(config.itinerary_steps >= 1, "the clique itinerary cannot be empty");
+        assert!(
+            config.chaff_entities == 0 || config.itinerary_steps >= 4,
+            "chaff windows need an itinerary of at least 4 steps"
+        );
+        let sp = config.hierarchy.build();
+        let base = sp.base_units().to_vec();
+        let mut rng = Rng64::new(config.seed);
+        let mut traces = TraceSet::new(TICKS_PER_UNIT);
+
+        let (hot, cheap) = partition_ids_by_home_shard(
+            config.num_shards,
+            config.expensive_entities + config.chaff_entities,
+            config.cheap_entities,
+        );
+        let (expensive, chaff) = hot.split_at(config.expensive_entities as usize);
+        let expensive = expensive.to_vec();
+
+        // The expensive shard: every clique member walks the whole shared
+        // itinerary — and nothing else, so all partners *tie* in degree.
+        // The tie wall is what makes the shard pathological (tie-complete
+        // pruning must expand every boundary subtree), and it keeps the
+        // recall oracle honest: any k sampled partners are a fully valid
+        // degraded answer, so measured recall reflects sampling coverage,
+        // not arbitrary id tie-breaks the sampler cannot know.
+        let itinerary = random_itinerary(&base, &mut rng, config.itinerary_steps);
+        for &entity in &expensive {
+            for &(unit, start) in &itinerary {
+                traces.record(PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+        }
+
+        // Chaff: each walks a random window of the itinerary plus one
+        // private cell all its own.  The window makes its overlap with a
+        // clique query real (its subtree cannot be dismissed for free); the
+        // private cell caps its Dice ratio strictly below the clique
+        // partners' (overlap w of sizes steps vs w+1 scores under the
+        // full-overlap tie wall), so chaff never enters the exact top-k of
+        // any clique probe as long as k stays within the clique.
+        let window = (config.itinerary_steps / 2).max(1);
+        let chaff_start = config.itinerary_steps * 2 * TICKS_PER_UNIT;
+        for (i, &entity) in chaff.iter().enumerate() {
+            let offset = rng.below(config.itinerary_steps - window + 1) as usize;
+            for &(unit, start) in &itinerary[offset..offset + window as usize] {
+                traces.record(PresenceInstance::new(
+                    entity,
+                    unit,
+                    Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+                ));
+            }
+            let unit = base[rng.below(base.len() as u64) as usize];
+            let private = chaff_start + i as u64 * TICKS_PER_UNIT;
+            traces.record(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(private, private + TICKS_PER_UNIT).unwrap(),
+            ));
+        }
+
+        // Cheap shards: one isolated cell per entity, far past every clique
+        // and chaff cell — zero overlap with any clique query, trivially
+        // skippable or scannable in no time.
+        let cheap_start = config.itinerary_steps * 2 * TICKS_PER_UNIT
+            + (config.chaff_entities + config.expensive_entities * 5 + 10) * TICKS_PER_UNIT;
+        for (i, &entity) in cheap.iter().enumerate() {
+            let unit = base[rng.below(base.len() as u64) as usize];
+            let start = cheap_start + i as u64 * TICKS_PER_UNIT;
+            traces.record(PresenceInstance::new(
+                entity,
+                unit,
+                Period::new(start, start + TICKS_PER_UNIT).unwrap(),
+            ));
+        }
+        (Workload { sp, traces }, expensive)
+    }
+
     /// Builds a [`MinSigIndex`] over this workload.
     pub fn build_index(&self, config: IndexConfig) -> MinSigIndex {
         MinSigIndex::build(&self.sp, &self.traces, config).expect("workload index builds")
@@ -786,6 +919,18 @@ fn partition_ids_by_home_shard(
         }
     }
     (hot, background)
+}
+
+/// Measured recall of a (possibly degraded) answer against the exact
+/// answer: the fraction of exact top-k entities the degraded answer
+/// recovered, with degree-ties at the k-th threshold counting as recovered
+/// (a sampled scan that surfaced a *different* entity of the same degree is
+/// not wrong, only differently tied).  The oracle behind the recall-floor
+/// conformance tests and the deadline bench; delegates to
+/// [`approximate::recall`](crate::approximate::recall) with the argument
+/// order those callers read naturally.
+pub fn measured_recall(approx: &[TopKResult], exact: &[TopKResult]) -> f64 {
+    crate::approximate::recall(exact, approx)
 }
 
 /// Asserts that two *exact* top-k answers are **fully bit-identical**.

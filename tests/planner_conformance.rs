@@ -74,7 +74,7 @@ proptest! {
     ) {
         let (w, unsharded, mut sharded) = build_pair(entities, visits, seed, nh, shards);
         sharded.set_synopsis_sketch_size(m);
-        let planner = PlannerConfig { seed_threshold, skip_shards, scan_cutoff };
+        let planner = PlannerConfig { seed_threshold, skip_shards, scan_cutoff, ..PlannerConfig::default() };
         let measure = w.measure();
         let snapshot = sharded.snapshot();
         for query in w.entities() {
